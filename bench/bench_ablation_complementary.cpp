@@ -1,0 +1,76 @@
+// Ablation (§VI-A extension): resistor pull-up (§V bench) vs the
+// complementary two-lattice structure, across several target functions.
+// The paper predicts the complementary form makes static power "almost
+// zero" and removes the rise-time dominance of the high pull-up resistor —
+// this bench quantifies both claims with the gate-metrics engine.
+#include <cstdio>
+
+#include "ftl/bridge/metrics.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/util/table.hpp"
+#include "ftl/util/units.hpp"
+
+int main() {
+  using namespace ftl;
+  std::printf("== Ablation: resistor pull-up vs complementary lattice"
+              " (Section VI-A) ==\n\n");
+
+  struct Case {
+    const char* name;
+    const char* expression;
+  };
+  const Case cases[] = {
+      {"XOR3", "a b c + a b' c' + a' b c' + a' b' c"},
+      {"MAJ3", "a b + b c + a c"},
+      {"AND-OR", "a b + c"},
+      {"MUX", "s a + s' b"},
+  };
+
+  util::ConsoleTable table({"function", "topology", "switches",
+                            "P_static worst", "tpd", "rise", "E/transition",
+                            "VOH"});
+  bool power_claim = true;
+  bool speed_claim = true;
+  for (const Case& c : cases) {
+    const auto parsed = logic::parse_expression(c.expression);
+    const lattice::Lattice pdn =
+        lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
+    const lattice::Lattice pun =
+        lattice::altun_riedel_synthesis(~parsed.table, pdn.var_names());
+
+    const bridge::GateMetrics resistor =
+        bridge::measure_resistor_gate(pdn, parsed.table);
+    const bridge::GateMetrics complementary =
+        bridge::measure_complementary_gate(pdn, pun, parsed.table);
+
+    const auto add = [&](const char* topology, const bridge::GateMetrics& m) {
+      char voh[16];
+      std::snprintf(voh, sizeof voh, "%.3f", m.output_high_min);
+      table.add_row({c.name, topology, std::to_string(m.switch_count),
+                     util::format_si(m.static_power_worst, 3, "W"),
+                     util::format_si(m.propagation_delay, 3, "s"),
+                     util::format_si(m.rise_time, 3, "s"),
+                     util::format_si(m.energy_per_transition, 3, "J"), voh});
+    };
+    add("resistor", resistor);
+    add("complementary", complementary);
+
+    power_claim = power_claim && complementary.functional &&
+                  complementary.static_power_worst <
+                      0.01 * resistor.static_power_worst;
+    speed_claim = speed_claim &&
+                  complementary.propagation_delay < resistor.propagation_delay;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper claim 1 — static power 'almost zero' (>100x lower):"
+              " %s\n", power_claim ? "confirmed" : "NOT confirmed");
+  std::printf("paper claim 2 — pull-up rise-time dominance eliminated"
+              " (lower tpd): %s\n",
+              speed_claim ? "confirmed" : "NOT confirmed");
+  std::printf("note: VOH of the complementary form sits one n-type Vth drop"
+              " below VDD, the classic pass-gate cost the paper's future"
+              " p-type work would remove.\n");
+  return power_claim && speed_claim ? 0 : 1;
+}

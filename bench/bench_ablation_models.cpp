@@ -1,0 +1,124 @@
+// Ablation (§VI-A extension): level-1 vs level-3 MOSFET model. The paper
+// fits level-1 and plans "more specific equations, such as level-3" as
+// future work; this bench quantifies what the upgrade buys — fit RMSE on
+// the same TCAD data, and the spread of the two models' predictions on the
+// Fig. 12 series-chain experiment.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "ftl/bridge/chain_netlist.hpp"
+#include "ftl/fit/extract.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/mosfet3.hpp"
+#include "ftl/spice/sources.hpp"
+#include "ftl/util/table.hpp"
+#include "ftl/util/units.hpp"
+
+namespace {
+
+/// Chain current with the level-3 model (mirror of bridge::chain_current,
+/// which is level-1; built here to compare like for like).
+double chain_current_level3(int count, double v, const ftl::fit::Level3Params& base) {
+  using namespace ftl::spice;
+  Circuit ckt;
+  ckt.add(std::make_unique<VoltageSource>("Vs", ckt.node("n0"), Circuit::kGround,
+                                          Waveform::dc(v)));
+  ckt.add(std::make_unique<VoltageSource>("Vg", ckt.node("g"), Circuit::kGround,
+                                          Waveform::dc(v)));
+  ftl::fit::Level3Params type_a = base;
+  type_a.width = 0.7e-6;
+  type_a.length = 0.35e-6;
+  ftl::fit::Level3Params type_b = type_a;
+  type_b.length = 0.5e-6;
+  for (int i = 0; i < count; ++i) {
+    const std::string n = "n" + std::to_string(i);
+    const std::string s = (i == count - 1) ? "0" : "n" + std::to_string(i + 1);
+    const std::string de = "de" + std::to_string(i);
+    const std::string dw = "dw" + std::to_string(i);
+    const auto add = [&](const char* tag, const std::string& a,
+                         const std::string& b, const ftl::fit::Level3Params& p) {
+      ckt.add(std::make_unique<Mosfet3>("M" + std::to_string(i) + tag,
+                                        ckt.node(a), ckt.node("g"), ckt.node(b),
+                                        Circuit::kGround, p));
+    };
+    add("ne", n, de, type_a);
+    add("es", de, s, type_a);
+    add("sw", s, dw, type_a);
+    add("wn", dw, n, type_a);
+    add("ns", n, s, type_b);
+    add("ew", de, dw, type_b);
+  }
+  const OpResult op = dc_operating_point(ckt);
+  const auto& src = dynamic_cast<const VoltageSource&>(ckt.device("Vs"));
+  return -src.current(op.solution);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftl;
+  std::printf("== Ablation: level-1 vs level-3 MOSFET model ==\n\n");
+
+  const auto spec = tcad::make_device(tcad::DeviceShape::kSquare,
+                                      tcad::GateDielectric::kHfO2);
+  const tcad::NetworkSolver solver(tcad::build_mesh(spec, 48),
+                                   tcad::ChargeSheetModel(spec));
+  const auto dsff = tcad::parse_bias_case("DSFF");
+
+  const fit::FitResult l1 = fit::extract_from_device(solver, dsff, 0.7e-6, 0.35e-6);
+  const fit::Fit3Result l3 =
+      fit::extract_level3_from_device(solver, dsff, 0.7e-6, 0.35e-6);
+
+  util::ConsoleTable fits({"model", "Kp", "Vth", "lambda", "theta", "vc",
+                           "RMSE [A]"});
+  {
+    char kp[24], vth[24], lam[24], rms[24];
+    std::snprintf(kp, sizeof kp, "%.3e", l1.params.kp);
+    std::snprintf(vth, sizeof vth, "%.3f", l1.params.vth);
+    std::snprintf(lam, sizeof lam, "%.3f", l1.params.lambda);
+    std::snprintf(rms, sizeof rms, "%.3e", l1.rms);
+    fits.add_row({"level-1", kp, vth, lam, "-", "-", rms});
+  }
+  {
+    char kp[24], vth[24], lam[24], th[24], vc[24], rms[24];
+    std::snprintf(kp, sizeof kp, "%.3e", l3.params.kp);
+    std::snprintf(vth, sizeof vth, "%.3f", l3.params.vth);
+    std::snprintf(lam, sizeof lam, "%.3f", l3.params.lambda);
+    std::snprintf(th, sizeof th, "%.3f", l3.params.theta);
+    std::snprintf(vc, sizeof vc, "%.2f", l3.params.vc);
+    std::snprintf(rms, sizeof rms, "%.3e", l3.rms);
+    fits.add_row({"level-3", kp, vth, lam, th, vc, rms});
+  }
+  std::printf("%s\n", fits.render().c_str());
+  const double improvement = l1.rms / std::max(l3.rms, 1e-30);
+  std::printf("fit RMSE improvement from level-3: %.2fx\n\n", improvement);
+
+  // How much do circuit-level predictions move? Fig. 12a with both models.
+  std::printf("Fig. 12a chain currents predicted by each model"
+              " (VDD = gate = 1.2 V):\n");
+  util::ConsoleTable chain({"N", "level-1 [A]", "level-3 [A]", "spread"});
+  const bridge::SwitchModelParams l1_model = bridge::switch_model_from_fit(l1);
+  double max_spread = 0.0;
+  for (int n : {1, 2, 5, 11, 21}) {
+    const double i1 = bridge::chain_current(n, 1.2, 1.2, l1_model);
+    const double i3 = chain_current_level3(n, 1.2, l3.params);
+    const double spread = std::fabs(i1 - i3) / std::max(i1, i3);
+    max_spread = std::max(max_spread, spread);
+    char c1[24], c3[24], sp[24];
+    std::snprintf(c1, sizeof c1, "%.3e", i1);
+    std::snprintf(c3, sizeof c3, "%.3e", i3);
+    std::snprintf(sp, sizeof sp, "%.0f%%", 100.0 * spread);
+    chain.add_row({std::to_string(n), c1, c3, sp});
+  }
+  std::printf("%s\n", chain.render().c_str());
+  std::printf("findings: level-3 fits the raw I-V data %.1fx better and"
+              " recovers the physical threshold (%.3f V vs the device's"
+              " ~0.16 V, where level-1 compromises at %.3f V); at the 1.2 V"
+              " logic operating point the two models' circuit predictions"
+              " agree within %.0f%% — the paper's level-1 choice is adequate"
+              " for its Section V studies, and the level-3 upgrade matters"
+              " for curve-accurate work.\n",
+              improvement, l3.params.vth, l1.params.vth, 100.0 * max_spread);
+  return l3.rms < l1.rms && max_spread < 0.25 ? 0 : 1;
+}

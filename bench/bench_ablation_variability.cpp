@@ -1,0 +1,49 @@
+// Ablation: process-variation yield of the XOR3 lattice gate. Nanoscale
+// four-terminal switches will scatter in Vth and Kp; this bench sweeps the
+// Vth spread and reports the fraction of Monte-Carlo dies whose full truth
+// table still meets VDD/3 - 2VDD/3 static margins — the feasibility
+// question behind the paper's planned fabrication step.
+#include <cstdio>
+
+#include "ftl/bridge/variability.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/util/table.hpp"
+
+int main() {
+  using namespace ftl;
+  std::printf("== Ablation: Monte-Carlo Vth/Kp variation vs yield (XOR3,"
+              " 3x3 lattice) ==\n\n");
+
+  const auto lat = lattice::xor3_lattice_3x3();
+  const auto xor3 = lattice::xor3_truth_table();
+
+  ftl::util::ConsoleTable table({"sigma Vth [mV]", "sigma Kp [%]", "trials",
+                                 "yield", "worst VOL [V]", "worst VOH [V]"});
+  const double sigmas_mv[] = {0.0, 25.0, 50.0, 100.0, 200.0, 300.0};
+  double yield_at_zero = 0.0;
+  double yield_at_max = 1.0;
+  for (const double sigma_mv : sigmas_mv) {
+    bridge::VariabilityOptions options;
+    options.sigma_vth = sigma_mv * 1e-3;
+    options.sigma_kp_rel = 0.10;  // 10% Kp spread throughout
+    options.trials = 120;
+    options.seed = 7;
+    const bridge::VariabilityResult r =
+        bridge::monte_carlo_yield(lat, xor3, options);
+    if (sigma_mv == 0.0) yield_at_zero = r.yield();
+    yield_at_max = r.yield();
+    char y[16], lo[16], hi[16];
+    std::snprintf(y, sizeof y, "%.0f%%", 100.0 * r.yield());
+    std::snprintf(lo, sizeof lo, "%.3f", r.worst_low);
+    std::snprintf(hi, sizeof hi, "%.3f", r.worst_high);
+    char sv[16];
+    std::snprintf(sv, sizeof sv, "%.0f", sigma_mv);
+    table.add_row({sv, "10", std::to_string(r.trials), y, lo, hi});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: the gate holds full yield with Kp spread alone and"
+              " degrades as the Vth spread approaches the gate overdrive —"
+              " the margin budget a fabrication run would have to meet.\n");
+  // Sanity: nominal process yields 100%; extreme spread must cost yield.
+  return (yield_at_zero == 1.0 && yield_at_max <= yield_at_zero) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Fig. 10 reproduction: fit the level-1 MOSFET equations to the square+HfO2
+// TCAD data (§IV, the paper's two-scenario recipe on the terminal pair) and
+// print the fitted curve next to the data, plus the extracted Kp / Vth /
+// lambda — the values that seed the Fig. 9 switch model.
+#include <cmath>
+#include <cstdio>
+
+#include "ftl/bridge/switch_model.hpp"
+#include "ftl/fit/extract.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/table.hpp"
+
+int main() {
+  using namespace ftl;
+  std::printf("== Fig. 10: level-1 curve fit to the square+HfO2 TCAD data"
+              " ==\n\n");
+
+  const auto spec = tcad::make_device(tcad::DeviceShape::kSquare,
+                                      tcad::GateDielectric::kHfO2);
+  const tcad::NetworkSolver solver(tcad::build_mesh(spec, 48),
+                                   tcad::ChargeSheetModel(spec));
+
+  // Type A fit: adjacent pair (DSFF), L = 0.35 um.
+  const fit::FitResult type_a = fit::extract_from_device(
+      solver, tcad::parse_bias_case("DSFF"), 0.7e-6, 0.35e-6);
+  // Type B fit: opposite pair (SFDF), L = 0.5 um.
+  const fit::FitResult type_b = fit::extract_from_device(
+      solver, tcad::parse_bias_case("SFDF"), 0.7e-6, 0.5e-6);
+
+  ftl::util::ConsoleTable params(
+      {"transistor", "Kp [A/V^2]", "Vth [V]", "lambda [1/V]", "RMSE [A]", "converged"});
+  const auto add = [&params](const char* name, const fit::FitResult& r) {
+    char kp[32], vth[32], lam[32], rms[32];
+    std::snprintf(kp, sizeof kp, "%.3e", r.params.kp);
+    std::snprintf(vth, sizeof vth, "%.4f", r.params.vth);
+    std::snprintf(lam, sizeof lam, "%.4f", r.params.lambda);
+    std::snprintf(rms, sizeof rms, "%.3e", r.rms);
+    params.add_row({name, kp, vth, lam, rms, r.converged ? "yes" : "no"});
+  };
+  add("Type A (adjacent, L=0.35um)", type_a);
+  add("Type B (opposite, L=0.50um)", type_b);
+  std::printf("%s\n", params.render().c_str());
+
+  // The Fig. 10 overlay: Id-Vd data at Vgs = 5 V against the fitted curve.
+  const auto dsff = tcad::parse_bias_case("DSFF");
+  const tcad::IvCurve idvd = tcad::sweep_drain(solver, dsff, 5.0, 0.0, 5.0, 26);
+  const auto data = idvd.terminal_magnitude(0);
+
+  std::printf("Id-Vd at Vgs = 5 V: TCAD data vs fitted level-1 curve\n");
+  ftl::util::ConsoleTable overlay({"Vds [V]", "TCAD [A]", "fit [A]", "error [%]"});
+  double max_rel = 0.0;
+  ftl::util::CsvWriter csv("fig10_curve_fit.csv");
+  csv.write_header({"vds", "tcad", "fit"});
+  for (std::size_t i = 0; i < idvd.sweep_values.size(); ++i) {
+    const double vds = idvd.sweep_values[i];
+    const double fit_i = fit::level1_ids(type_a.params, 5.0, vds);
+    csv.write_row(std::vector<double>{vds, data[i], fit_i});
+    if (i % 5 != 0 && i + 1 != idvd.sweep_values.size()) continue;
+    const double rel = data[i] > 1e-12 ? 100.0 * std::fabs(fit_i - data[i]) / data[i] : 0.0;
+    max_rel = std::max(max_rel, rel);
+    char v[32], d[32], f[32], e[32];
+    std::snprintf(v, sizeof v, "%.2f", vds);
+    std::snprintf(d, sizeof d, "%.3e", data[i]);
+    std::snprintf(f, sizeof f, "%.3e", fit_i);
+    std::snprintf(e, sizeof e, "%.1f", rel);
+    overlay.add_row({v, d, f, e});
+  }
+  std::printf("%s\n", overlay.render().c_str());
+
+  const auto canonical = bridge::paper_switch_model();
+  std::printf("canonical switch model card (bridge::paper_switch_model):"
+              " Kp=%.3e Vth=%.3f lambda=%.3f\n",
+              canonical.kp, canonical.vth, canonical.lambda);
+  std::printf("fresh Type A fit agrees with the canonical card: %s\n",
+              (std::fabs(type_a.params.kp - canonical.kp) < 0.15 * canonical.kp &&
+               std::fabs(type_a.params.vth - canonical.vth) < 0.1)
+                  ? "yes"
+                  : "NO (re-run and update paper_switch_model)");
+  return type_a.converged && type_b.converged ? 0 : 1;
+}

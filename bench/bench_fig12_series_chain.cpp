@@ -1,0 +1,91 @@
+// Fig. 12 reproduction: drive capability of series-connected four-terminal
+// switches.
+//  (a) current at a constant 1.2 V supply vs the number of switches in
+//      series (paper: 11.12 uA at 1 -> 2.2 uA at 5 -> 0.52 uA at 21, an
+//      almost exact 1/N law);
+//  (b) supply voltage required for a constant 5.5 uA (the two-switch
+//      current) vs chain length (paper: near-linear growth to ~2.5 V at 21).
+#include <cmath>
+#include <cstdio>
+
+#include "ftl/bridge/chain_netlist.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/table.hpp"
+#include "ftl/util/units.hpp"
+
+int main() {
+  using namespace ftl;
+  std::printf("== Fig. 12: four-terminal switches in series ==\n\n");
+
+  // --- (a) current at constant 1.2 V --------------------------------------
+  std::printf("(a) current at VDD = 1.2 V\n");
+  // Paper series (1..21, from the Fig. 12a description).
+  const struct {
+    int n;
+    double paper_current;
+  } paper_points[] = {{1, 11.12e-6}, {5, 2.2e-6}, {21, 0.52e-6}};
+
+  ftl::util::ConsoleTable ta({"N switches", "I measured [A]",
+                              "I paper [A]", "I(1)/I(N) measured",
+                              "I(1)/I(N) paper"});
+  ftl::util::CsvWriter csv_a("fig12a_chain_current.csv");
+  csv_a.write_header({"n", "current"});
+  std::vector<double> currents(22, 0.0);
+  for (int n = 1; n <= 21; ++n) {
+    currents[static_cast<std::size_t>(n)] = bridge::chain_current(n, 1.2, 1.2);
+    csv_a.write_row(std::vector<double>{static_cast<double>(n),
+                                        currents[static_cast<std::size_t>(n)]});
+  }
+  for (const auto& p : paper_points) {
+    char i_meas[32], i_pap[32], r_meas[32], r_pap[32];
+    std::snprintf(i_meas, sizeof i_meas, "%.3e", currents[static_cast<std::size_t>(p.n)]);
+    std::snprintf(i_pap, sizeof i_pap, "%.2e", p.paper_current);
+    std::snprintf(r_meas, sizeof r_meas, "%.1f",
+                  currents[1] / currents[static_cast<std::size_t>(p.n)]);
+    std::snprintf(r_pap, sizeof r_pap, "%.1f", 11.12e-6 / p.paper_current);
+    ta.add_row({std::to_string(p.n), i_meas, i_pap, r_meas, r_pap});
+  }
+  std::printf("%s\n", ta.render().c_str());
+  const double decay_ratio = currents[1] / currents[21];
+  std::printf("shape check: I(1)/I(21) = %.1f (paper: 21.4; ~1/N law %s)\n\n",
+              decay_ratio,
+              decay_ratio > 10.0 && decay_ratio < 45.0 ? "holds" : "BROKEN");
+
+  // --- (b) voltage for the constant two-switch current --------------------
+  const double target = bridge::chain_current(2, 1.2, 1.2);
+  std::printf("(b) supply voltage for a constant %s (the 2-switch current;"
+              " paper used 5.5 uA)\n",
+              ftl::util::format_si(target, 3, "A").c_str());
+  ftl::util::ConsoleTable tb({"N switches", "V measured [V]", "V paper [V]"});
+  ftl::util::CsvWriter csv_b("fig12b_chain_voltage.csv");
+  csv_b.write_header({"n", "voltage"});
+  const struct {
+    int n;
+    const char* paper;
+  } paper_v[] = {{2, "1.2"}, {5, "~1.5"}, {11, "~1.9"}, {21, "~2.5"}};
+  std::vector<double> volts(22, 0.0);
+  for (int n = 1; n <= 21; ++n) {
+    volts[static_cast<std::size_t>(n)] = bridge::voltage_for_current(n, target);
+    csv_b.write_row(std::vector<double>{static_cast<double>(n),
+                                        volts[static_cast<std::size_t>(n)]});
+  }
+  for (const auto& p : paper_v) {
+    char v[32];
+    std::snprintf(v, sizeof v, "%.3f", volts[static_cast<std::size_t>(p.n)]);
+    tb.add_row({std::to_string(p.n), v, p.paper});
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  // Shape checks: monotone increase, sub-linear in N (the paper's
+  // feasibility argument: voltage does NOT grow linearly with N).
+  bool monotone = true;
+  for (int n = 2; n <= 21; ++n) {
+    monotone = monotone && volts[static_cast<std::size_t>(n)] >=
+                               volts[static_cast<std::size_t>(n - 1)] - 1e-9;
+  }
+  const double growth = volts[21] / volts[2];
+  std::printf("shape check: V monotone in N: %s; V(21)/V(2) = %.2f"
+              " (21/2 = 10.5 would be linear-resistor behaviour; paper ~2.1)\n",
+              monotone ? "yes" : "NO", growth);
+  return monotone && growth < 6.0 ? 0 : 1;
+}

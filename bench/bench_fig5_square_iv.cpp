@@ -1,0 +1,15 @@
+// Fig. 5 reproduction: enhancement square-gate device I-V characteristics
+// (DSSS case), both dielectrics, with Vth and on/off extraction compared to
+// the §III-B text (HfO2: 0.16 V / 1e6; SiO2: 1.36 V / 1e5).
+#include "device_iv_common.hpp"
+
+int main() {
+  std::printf("== Fig. 5: square-shaped device, DSSS case ==\n\n");
+  const int out_of_band = bench::run_device_iv_bench(
+      ftl::tcad::DeviceShape::kSquare,
+      bench::PaperTargets{0.16, 1.36, 1e6, 1e5}, 0.0, "fig5_square");
+  std::printf("summary: %d metric(s) outside the one-decade/35%% band"
+              " (documented divergences live in EXPERIMENTS.md)\n",
+              out_of_band);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 6 reproduction: enhancement cross-gate device I-V characteristics
+// (DSSS case), both dielectrics, with Vth and on/off extraction compared to
+// the §III-B text (HfO2: 0.27 V / 1e6; SiO2: 1.76 V / 1e4).
+#include "device_iv_common.hpp"
+
+int main() {
+  std::printf("== Fig. 6: cross-shaped device, DSSS case ==\n\n");
+  const int out_of_band = bench::run_device_iv_bench(
+      ftl::tcad::DeviceShape::kCross,
+      bench::PaperTargets{0.27, 1.76, 1e6, 1e4}, 0.0, "fig6_cross");
+  std::printf("summary: %d metric(s) outside the one-decade/35%% band"
+              " (documented divergences live in EXPERIMENTS.md)\n",
+              out_of_band);
+  return 0;
+}

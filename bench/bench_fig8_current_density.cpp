@@ -1,0 +1,59 @@
+// Fig. 8 reproduction: current-density vector profiles of the three devices
+// under the DSSS on-state bias. The paper's qualitative claim — the cross
+// gate gives a uniform current profile, the square gate crowds current at
+// the corners — is quantified with a Gini coefficient and peak/mean ratio
+// over |J| in the gated channel. Full vector fields are dumped to CSV for
+// plotting.
+#include <cstdio>
+
+#include "ftl/tcad/bias.hpp"
+#include "ftl/tcad/current_density.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/table.hpp"
+
+int main() {
+  using namespace ftl::tcad;
+  std::printf("== Fig. 8: current-density vector profiles (DSSS, Vgs=Vds=5V)"
+              " ==\n\n");
+
+  ftl::util::ConsoleTable table(
+      {"device", "peak/mean |J|", "Gini(|J|)", "paper expectation"});
+  const BiasPoint bias = parse_bias_case("DSSS").at(5.0, 5.0);
+
+  struct Entry {
+    DeviceShape shape;
+    const char* expectation;
+  };
+  const Entry entries[] = {
+      {DeviceShape::kSquare, "corner crowding (least uniform)"},
+      {DeviceShape::kCross, "uniform profile across terminals"},
+      {DeviceShape::kJunctionless, "uniform wire conduction"},
+  };
+
+  double square_gini = 0.0;
+  double cross_gini = 0.0;
+  for (const Entry& e : entries) {
+    const DeviceSpec spec = make_device(e.shape, GateDielectric::kHfO2);
+    const NetworkSolver solver(build_mesh(spec, 48), ChargeSheetModel(spec));
+    const CrowdingMetrics m = crowding_metrics(solver, bias);
+    char peak[32], gini[32];
+    std::snprintf(peak, sizeof peak, "%.2f", m.peak_over_mean);
+    std::snprintf(gini, sizeof gini, "%.3f", m.gini);
+    table.add_row({to_string(e.shape), peak, gini, e.expectation});
+    if (e.shape == DeviceShape::kSquare) square_gini = m.gini;
+    if (e.shape == DeviceShape::kCross) cross_gini = m.gini;
+
+    // Vector-field dump for plotting (x, y, jx, jy).
+    const auto field = current_density_field(solver, bias);
+    ftl::util::CsvWriter csv("fig8_" + to_string(e.shape) + "_field.csv");
+    csv.write_header({"x", "y", "jx", "jy"});
+    for (const FieldSample& s : field) {
+      csv.write_row(std::vector<double>{s.x, s.y, s.jx, s.jy});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  const bool ordered = cross_gini < square_gini;
+  std::printf("cross more uniform than square (paper's observation): %s\n",
+              ordered ? "yes" : "NO");
+  return ordered ? 0 : 1;
+}

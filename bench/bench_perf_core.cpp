@@ -1,0 +1,85 @@
+// Performance microbenchmarks (google-benchmark) for the computational
+// kernels: path counting (Table I engine), the dense LU behind each Newton
+// step, the TCAD network solve, lattice evaluation, and a full XOR3
+// operating point.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/linalg/lu.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/tcad/bias.hpp"
+#include "ftl/tcad/network_solver.hpp"
+
+namespace {
+
+void BM_CountProducts(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl::lattice::count_products(m, n));
+  }
+  state.SetLabel(std::to_string(m) + "x" + std::to_string(n));
+}
+BENCHMARK(BM_CountProducts)->Args({4, 4})->Args({6, 6})->Args({7, 7});
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  ftl::linalg::Matrix a(n, n);
+  ftl::linalg::Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+    a(r, r) += static_cast<double>(n);
+    b[r] = dist(rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl::linalg::solve(a, b));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(20)->Arg(60)->Arg(150);
+
+void BM_LatticeEvaluate(benchmark::State& state) {
+  const auto lat = ftl::lattice::xor3_lattice_3x3();
+  std::uint64_t code = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lat.evaluate(code));
+    code = (code + 1) & 7;
+  }
+}
+BENCHMARK(BM_LatticeEvaluate);
+
+void BM_TcadSolve(benchmark::State& state) {
+  using namespace ftl::tcad;
+  const auto spec = make_device(DeviceShape::kSquare, GateDielectric::kHfO2);
+  const NetworkSolver solver(build_mesh(spec, static_cast<int>(state.range(0))),
+                             ChargeSheetModel(spec));
+  const BiasPoint bias = parse_bias_case("DSSS").at(5.0, 5.0);
+  ftl::linalg::Vector warm;
+  for (auto _ : state) {
+    const SolveResult r = solver.solve(bias, warm.empty() ? nullptr : &warm);
+    warm = r.node_voltage;
+    benchmark::DoNotOptimize(r.terminal_current[0]);
+  }
+}
+BENCHMARK(BM_TcadSolve)->Arg(24)->Arg(48);
+
+void BM_Xor3OperatingPoint(benchmark::State& state) {
+  using namespace ftl;
+  const auto lat = lattice::xor3_lattice_3x3();
+  std::map<int, spice::Waveform> drives;
+  drives[0] = spice::Waveform::dc(1.2);
+  for (auto _ : state) {
+    bridge::LatticeCircuit lc = bridge::build_lattice_circuit(lat, drives);
+    benchmark::DoNotOptimize(spice::dc_operating_point(lc.circuit));
+  }
+}
+BENCHMARK(BM_Xor3OperatingPoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

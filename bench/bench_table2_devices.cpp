@@ -1,0 +1,78 @@
+// Table II reproduction: the structural features of the three four-terminal
+// devices, echoed from the DeviceSpec factory together with the physical
+// quantities the charge-sheet model derives from them (Cox, phiF, depletion
+// charge, predicted threshold voltage, subthreshold ideality).
+#include <cstdio>
+
+#include "ftl/tcad/charge_sheet.hpp"
+#include "ftl/tcad/device.hpp"
+#include "ftl/util/table.hpp"
+#include "ftl/util/units.hpp"
+
+int main() {
+  using namespace ftl::tcad;
+  using ftl::util::format_si;
+
+  std::printf("== Table II: structural features (inputs) and derived model"
+              " quantities ==\n\n");
+
+  ftl::util::ConsoleTable table({"quantity", "square", "cross", "junctionless"});
+  const DeviceSpec sq = make_device(DeviceShape::kSquare, GateDielectric::kHfO2);
+  const DeviceSpec cr = make_device(DeviceShape::kCross, GateDielectric::kHfO2);
+  const DeviceSpec jl = make_device(DeviceShape::kJunctionless, GateDielectric::kHfO2);
+
+  const auto row = [&](const std::string& name, auto get) {
+    table.add_row({name, get(sq), get(cr), get(jl)});
+  };
+  row("device size", [](const DeviceSpec& s) {
+    return format_si(s.footprint, 3, "m") + " sq.";
+  });
+  row("electrode W x D", [](const DeviceSpec& s) {
+    return format_si(s.electrode_width, 3, "m") + " x " +
+           format_si(s.electrode_depth, 3, "m");
+  });
+  row("gate extent", [](const DeviceSpec& s) {
+    return format_si(s.gate_extent, 3, "m");
+  });
+  row("oxide thickness", [](const DeviceSpec& s) {
+    return format_si(s.oxide_thickness, 3, "m");
+  });
+  row("substrate doping", [](const DeviceSpec& s) {
+    return s.substrate_acceptors > 0.0
+               ? format_si(s.substrate_acceptors * 1e-6, 3, "cm^-3 (B)")
+               : std::string("SiO2 (none)");
+  });
+  row("electrode doping", [](const DeviceSpec& s) {
+    return format_si(s.electrode_donors * 1e-6, 3, "cm^-3 (P)");
+  });
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Derived quantities per dielectric (paper Vth in brackets,"
+              " from the Section III-B text):\n\n");
+  ftl::util::ConsoleTable derived(
+      {"device/dielectric", "Cox [F/m^2]", "n", "Vth model [V]", "Vth paper [V]"});
+  struct Row {
+    DeviceShape shape;
+    GateDielectric diel;
+    const char* paper_vth;
+  };
+  const Row rows[] = {
+      {DeviceShape::kSquare, GateDielectric::kHfO2, "0.16"},
+      {DeviceShape::kSquare, GateDielectric::kSiO2, "1.36"},
+      {DeviceShape::kCross, GateDielectric::kHfO2, "0.27"},
+      {DeviceShape::kCross, GateDielectric::kSiO2, "1.76"},
+      {DeviceShape::kJunctionless, GateDielectric::kHfO2, "-0.57"},
+      {DeviceShape::kJunctionless, GateDielectric::kSiO2, "-4.8"},
+  };
+  for (const Row& r : rows) {
+    const ChargeSheetModel model(make_device(r.shape, r.diel));
+    char cox[32], n[32], vth[32];
+    std::snprintf(cox, sizeof cox, "%.3e", model.cox());
+    std::snprintf(n, sizeof n, "%.3f", model.ideality());
+    std::snprintf(vth, sizeof vth, "%+.3f", model.threshold_voltage());
+    derived.add_row({to_string(r.shape) + "/" + to_string(r.diel), cox, n, vth,
+                     r.paper_vth});
+  }
+  std::printf("%s\n", derived.render().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+// Shared harness for the Fig. 5/6/7 device I-V reproductions: runs the
+// paper's three sweep set-ups in the DSSS case, prints per-terminal currents
+// (the four curves of each subfigure), extracts Vth and on/off ratio, and
+// compares them against the paper's reported values. Raw curves are dumped
+// to CSV next to the binary.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "ftl/tcad/bias.hpp"
+#include "ftl/tcad/extract.hpp"
+#include "ftl/tcad/sweep.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/table.hpp"
+
+namespace bench {
+
+struct PaperTargets {
+  double vth_hfo2;
+  double vth_sio2;
+  double ratio_hfo2;
+  double ratio_sio2;
+};
+
+inline void print_curve(const ftl::tcad::IvCurve& curve, const char* title) {
+  std::printf("%s\n", title);
+  ftl::util::ConsoleTable table({curve.sweep_variable, "I(T1) [A]", "I(T2) [A]",
+                                 "I(T3) [A]", "I(T4) [A]"});
+  for (std::size_t i = 0; i < curve.sweep_values.size(); ++i) {
+    if (i % 5 != 0 && i + 1 != curve.sweep_values.size()) continue;  // thin out
+    char v[32];
+    std::snprintf(v, sizeof v, "%.2f", curve.sweep_values[i]);
+    std::vector<std::string> row{v};
+    for (int t = 0; t < 4; ++t) {
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.3e",
+                    std::fabs(curve.terminal_currents[i][static_cast<std::size_t>(t)]));
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+inline void dump_csv(const ftl::tcad::IvCurve& curve, const std::string& path) {
+  ftl::util::CsvWriter csv(path);
+  csv.write_header({curve.sweep_variable, "I_T1", "I_T2", "I_T3", "I_T4"});
+  for (std::size_t i = 0; i < curve.sweep_values.size(); ++i) {
+    csv.write_row(std::vector<double>{
+        curve.sweep_values[i], curve.terminal_currents[i][0],
+        curve.terminal_currents[i][1], curve.terminal_currents[i][2],
+        curve.terminal_currents[i][3]});
+  }
+}
+
+/// Returns the number of metric comparisons that land outside a decade of
+/// the paper value (the shape criterion).
+inline int run_device_iv_bench(ftl::tcad::DeviceShape shape,
+                               const PaperTargets& paper, double vg_min,
+                               const std::string& csv_prefix) {
+  using namespace ftl::tcad;
+  int out_of_band = 0;
+  const BiasCase dsss = parse_bias_case("DSSS");
+
+  for (const GateDielectric diel : {GateDielectric::kHfO2, GateDielectric::kSiO2}) {
+    const DeviceSpec spec = make_device(shape, diel);
+    const ChargeSheetModel model(spec);
+    const NetworkSolver solver(build_mesh(spec, 48), model);
+    // The SiO2 junctionless device needs a deeper negative sweep.
+    const double lo = diel == GateDielectric::kSiO2 && spec.is_depletion()
+                          ? vg_min * 3.0
+                          : vg_min;
+    const SweepSetups sweeps = run_paper_setups(solver, dsss, lo, 5.0, 26);
+
+    std::printf("---- %s / %s ----\n\n", to_string(shape).c_str(),
+                to_string(diel).c_str());
+    print_curve(sweeps.idvg_low, "(a) Ids-Vgs at Vds = 10 mV");
+    print_curve(sweeps.idvg_high, "(b) Ids-Vgs at Vds = 5 V");
+    print_curve(sweeps.idvd, "(c) Ids-Vds at Vgs = 5 V");
+
+    const auto id_low = sweeps.idvg_low.drain_current(dsss);
+    const auto id_high = sweeps.idvg_high.drain_current(dsss);
+    const double vth =
+        threshold_voltage_max_gm(sweeps.idvg_low.sweep_values, id_low, 0.010);
+    // Depletion devices are ON at Vgs = 0; their off-point is below Vth.
+    const double vg_off =
+        spec.is_depletion() ? model.threshold_voltage() - 1.0 : 0.0;
+    const double ratio =
+        on_off_ratio(sweeps.idvg_high.sweep_values, id_high, 5.0, vg_off);
+    const double ion = id_high.back();
+
+    const double paper_vth =
+        diel == GateDielectric::kHfO2 ? paper.vth_hfo2 : paper.vth_sio2;
+    const double paper_ratio =
+        diel == GateDielectric::kHfO2 ? paper.ratio_hfo2 : paper.ratio_sio2;
+    std::printf("extracted: Vth = %+.3f V (paper %+.2f), Ion = %.3e A,"
+                " Ion/Ioff = %.2e (paper %.0e)\n\n",
+                vth, paper_vth, ion, ratio, paper_ratio);
+    if (std::fabs(vth - paper_vth) > std::max(0.35 * std::fabs(paper_vth), 0.15)) {
+      ++out_of_band;
+    }
+    if (ratio / paper_ratio > 10.0 || paper_ratio / ratio > 10.0) ++out_of_band;
+
+    const std::string tag = csv_prefix + "_" + to_string(diel);
+    dump_csv(sweeps.idvg_low, tag + "_idvg_10mV.csv");
+    dump_csv(sweeps.idvg_high, tag + "_idvg_5V.csv");
+    dump_csv(sweeps.idvd, tag + "_idvd.csv");
+  }
+  return out_of_band;
+}
+
+}  // namespace bench

@@ -1,0 +1,60 @@
+// The §VI-A "automated design tool" as a command-line utility: give it a
+// Boolean expression and optimization weights; it explores lattice
+// implementations and prints the characterized candidates plus its pick.
+//
+// Usage: design_explorer ["expression"] [--area W] [--delay W] [--power W]
+//                        [--energy W]
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+
+#include "ftl/designer/designer.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftl;
+
+  std::string expression = "a b c + a b' c' + a' b c' + a' b' c";  // XOR3
+  designer::DesignWeights weights;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name, double& slot) {
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        slot = std::atof(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    if (flag("--area", weights.area) || flag("--delay", weights.delay) ||
+        flag("--power", weights.static_power) || flag("--energy", weights.energy)) {
+      continue;
+    }
+    expression = argv[i];
+  }
+
+  try {
+    const auto parsed = logic::parse_expression(expression);
+    std::printf("target: %s  (%d variables)\n\n", expression.c_str(),
+                parsed.table.num_vars());
+    const auto candidates =
+        designer::explore_designs(parsed.table, parsed.var_names);
+    std::printf("%s\n", designer::render_report(candidates).c_str());
+
+    const std::size_t best = designer::pick_best(candidates, weights);
+    std::printf("pick (weights area=%.1f delay=%.1f power=%.1f energy=%.1f):"
+                " %s\n\n",
+                weights.area, weights.delay, weights.static_power,
+                weights.energy, candidates[best].method.c_str());
+    std::printf("pull-down lattice:\n%s\n",
+                candidates[best].pulldown.to_string().c_str());
+    if (candidates[best].pullup) {
+      std::printf("pull-up lattice (complement):\n%s\n",
+                  candidates[best].pullup->to_string().c_str());
+    }
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Explore the TCAD substitute: pick a device shape, dielectric and bias
+// case, run the paper's three sweep set-ups, and dump curves to CSV.
+//
+// Usage: device_playground [square|cross|junctionless] [hfo2|sio2] [CASE]
+//   CASE is a 4-letter terminal-role string over D/S/F, e.g. DSSS or DSFF.
+#include <cstdio>
+#include <string>
+
+#include "ftl/tcad/bias.hpp"
+#include "ftl/tcad/extract.hpp"
+#include "ftl/tcad/sweep.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftl::tcad;
+
+  DeviceShape shape = DeviceShape::kSquare;
+  GateDielectric diel = GateDielectric::kHfO2;
+  std::string case_name = "DSSS";
+  if (argc > 1) {
+    const std::string s = ftl::util::to_lower(argv[1]);
+    if (s == "cross") shape = DeviceShape::kCross;
+    else if (s == "junctionless") shape = DeviceShape::kJunctionless;
+    else if (s != "square") {
+      std::fprintf(stderr, "unknown shape '%s'\n", argv[1]);
+      return 1;
+    }
+  }
+  if (argc > 2) {
+    const std::string d = ftl::util::to_lower(argv[2]);
+    if (d == "sio2") diel = GateDielectric::kSiO2;
+    else if (d != "hfo2") {
+      std::fprintf(stderr, "unknown dielectric '%s'\n", argv[2]);
+      return 1;
+    }
+  }
+  if (argc > 3) case_name = argv[3];
+
+  BiasCase bias;
+  try {
+    bias = parse_bias_case(case_name);
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const DeviceSpec spec = make_device(shape, diel);
+  const ChargeSheetModel model(spec);
+  const NetworkSolver solver(build_mesh(spec, 48), model);
+
+  std::printf("device: %s / %s, bias case %s\n", to_string(shape).c_str(),
+              to_string(diel).c_str(), bias.name.c_str());
+  std::printf("model: Vth = %+.3f V, Cox = %.3e F/m^2, n = %.3f\n\n",
+              model.threshold_voltage(), model.cox(), model.ideality());
+
+  const double vg_min = spec.is_depletion()
+                            ? model.threshold_voltage() - 1.5
+                            : 0.0;
+  const SweepSetups sweeps = run_paper_setups(solver, bias, vg_min, 5.0, 26);
+
+  const auto dump = [&](const ftl::tcad::IvCurve& curve, const std::string& name) {
+    ftl::util::CsvWriter csv(name);
+    csv.write_header({curve.sweep_variable, "I_T1", "I_T2", "I_T3", "I_T4"});
+    for (std::size_t i = 0; i < curve.sweep_values.size(); ++i) {
+      csv.write_row(std::vector<double>{
+          curve.sweep_values[i], curve.terminal_currents[i][0],
+          curve.terminal_currents[i][1], curve.terminal_currents[i][2],
+          curve.terminal_currents[i][3]});
+    }
+    std::printf("wrote %s (%d rows)\n", name.c_str(), csv.rows());
+  };
+  const std::string prefix = "playground_" + to_string(shape) + "_" +
+                             to_string(diel) + "_" + bias.name;
+  dump(sweeps.idvg_low, prefix + "_idvg_10mV.csv");
+  dump(sweeps.idvg_high, prefix + "_idvg_5V.csv");
+  dump(sweeps.idvd, prefix + "_idvd.csv");
+
+  const auto id_low = sweeps.idvg_low.drain_current(bias);
+  const auto id_high = sweeps.idvg_high.drain_current(bias);
+  std::printf("\nextracted Vth (max-gm): %+.3f V\n",
+              threshold_voltage_max_gm(sweeps.idvg_low.sweep_values, id_low, 0.010));
+  std::printf("Ion (Vgs=Vds=5V): %.3e A\n", id_high.back());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// A miniature SPICE front-end: read a netlist file (or the built-in demo),
+// run its .tran or .dc directive, and print results — demonstrating that the
+// simulator stands alone as a general tool.
+//
+// Usage: netlist_runner [file.sp] [node_to_print ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ftl/linalg/matrix.hpp"
+#include "ftl/spice/dcsweep.hpp"
+#include "ftl/spice/netlist_parser.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/spice/transient.hpp"
+
+namespace {
+
+constexpr const char* kDemoDeck = R"(four-terminal switch demo (built-in)
+VDD vdd 0 1.2
+RPU vdd out 500k
+CL  out 0 10f
+M1  out g 0 0 FTSW W=0.7u L=0.35u
+VIN g 0 PULSE(0 1.2 20n 1n 1n 60n 160n)
+.model FTSW NMOS (KP=25u VTO=0.045 LAMBDA=0.028)
+.tran 0.5n 160n
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftl::spice;
+
+  std::string text = kDemoDeck;
+  std::vector<std::string> nodes;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+    for (int i = 2; i < argc; ++i) nodes.emplace_back(argv[i]);
+  } else {
+    nodes = {"out", "g"};
+  }
+
+  ParsedNetlist parsed;
+  try {
+    parsed = parse_netlist(text);
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  if (!parsed.title.empty()) std::printf("* %s\n", parsed.title.c_str());
+
+  try {
+    if (parsed.tran) {
+      TransientOptions options = *parsed.tran;
+      options.record_nodes = nodes;
+      const TransientResult tr = transient(parsed.circuit, options);
+      std::printf("t");
+      for (const auto& n : nodes) std::printf("\tV(%s)", n.c_str());
+      std::printf("\n");
+      const std::size_t stride = std::max<std::size_t>(tr.size() / 40, 1);
+      for (std::size_t i = 0; i < tr.size(); i += stride) {
+        std::printf("%.4e", tr.time()[i]);
+        for (const auto& n : nodes) std::printf("\t%.5f", tr.signal(n)[i]);
+        std::printf("\n");
+      }
+    } else if (parsed.dc) {
+      ftl::linalg::Vector values;
+      for (double v = parsed.dc->start; v <= parsed.dc->stop + 1e-12;
+           v += parsed.dc->step) {
+        values.push_back(v);
+      }
+      const DcSweepResult sweep = dc_sweep(parsed.circuit, parsed.dc->source, values);
+      std::printf("%s", parsed.dc->source.c_str());
+      for (const auto& n : nodes) std::printf("\tV(%s)", n.c_str());
+      std::printf("\n");
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        std::printf("%.4f", values[i]);
+        for (const auto& n : nodes) {
+          const int idx = parsed.circuit.find_node(n);
+          std::printf("\t%.5f",
+                      idx < 0 ? 0.0 : sweep.solutions[i][static_cast<std::size_t>(idx)]);
+        }
+        std::printf("\n");
+      }
+    } else {
+      const OpResult op = dc_operating_point(parsed.circuit);
+      std::printf("DC operating point (%d Newton iterations):\n", op.iterations);
+      for (int i = 0; i < parsed.circuit.node_count(); ++i) {
+        std::printf("  V(%s) = %.6f\n", parsed.circuit.node_name(i).c_str(),
+                    op.solution[static_cast<std::size_t>(i)]);
+      }
+    }
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "simulation error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

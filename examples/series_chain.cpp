@@ -1,0 +1,44 @@
+// Drive-capability exploration (the Fig. 12 experiments, parameterized):
+// sweep chain length and supply voltage from the command line.
+//
+// Usage: series_chain [max_switches] [vdd]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ftl/bridge/chain_netlist.hpp"
+#include "ftl/util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftl;
+
+  int max_switches = 21;
+  double vdd = 1.2;
+  if (argc > 1) max_switches = std::atoi(argv[1]);
+  if (argc > 2) vdd = std::atof(argv[2]);
+  if (max_switches < 1 || vdd <= 0.0) {
+    std::fprintf(stderr, "usage: series_chain [max_switches>=1] [vdd>0]\n");
+    return 1;
+  }
+
+  std::printf("chain current at VDD = %s (gates at VDD):\n",
+              util::format_si(vdd, 3, "V").c_str());
+  std::printf("  N    I [A]        N*I [A] (flat when I ~ 1/N)\n");
+  double i1 = 0.0;
+  for (int n = 1; n <= max_switches; ++n) {
+    const double i = bridge::chain_current(n, vdd, vdd);
+    if (n == 1) i1 = i;
+    std::printf("  %-4d %-12.4e %-12.4e\n", n, i, n * i);
+  }
+
+  const double target = bridge::chain_current(2, vdd, vdd);
+  std::printf("\nvoltage required for the 2-switch current (%s):\n",
+              util::format_si(target, 3, "A").c_str());
+  std::printf("  N    V [V]\n");
+  for (int n = 1; n <= max_switches; n += (n < 5 ? 1 : 4)) {
+    std::printf("  %-4d %.3f\n", n, bridge::voltage_for_current(n, target));
+  }
+
+  std::printf("\nsingle-switch ON resistance at this drive: %s\n",
+              util::format_si(vdd / i1, 3, "Ohm").c_str());
+  return 0;
+}

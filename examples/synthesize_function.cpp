@@ -1,0 +1,78 @@
+// Synthesize an arbitrary Boolean expression onto a switching lattice from
+// the command line, optionally hunting for a smaller realization with the
+// search engines.
+//
+// Usage: synthesize_function ["expression"] [--search]
+//   expression  e.g. "a b' + c (a + b)"   (default: XOR3)
+//   --search    also try exhaustive/local search for smaller lattices
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/logic/isop.hpp"
+#include "ftl/util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftl;
+
+  std::string expression = "a b c + a b' c' + a' b c' + a' b' c";
+  bool search = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--search") == 0) {
+      search = true;
+    } else {
+      expression = argv[i];
+    }
+  }
+
+  logic::ParsedFunction parsed;
+  try {
+    parsed = logic::parse_expression(expression);
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("expression: %s\n", expression.c_str());
+  std::printf("ISOP: %s\n",
+              logic::isop(parsed.table).to_string(parsed.var_names).c_str());
+  std::printf("dual ISOP: %s\n\n",
+              logic::isop_of_dual(parsed.table).to_string(parsed.var_names).c_str());
+
+  const lattice::Lattice lat =
+      lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
+  std::printf("Altun-Riedel lattice (%dx%d, %d switches):\n%s\n", lat.rows(),
+              lat.cols(), lat.cell_count(), lat.to_string().c_str());
+  std::printf("verified: %s\n",
+              lattice::realizes(lat, parsed.table) ? "yes" : "NO");
+
+  if (search && parsed.table.num_vars() <= 6) {
+    std::printf("\nsearching for smaller lattices...\n");
+    const int baseline = lat.cell_count();
+    for (int cells = 1; cells < baseline; ++cells) {
+      for (int rows = 1; rows <= cells; ++rows) {
+        if (cells % rows != 0) continue;
+        const int cols = cells / rows;
+        std::optional<lattice::Lattice> found;
+        lattice::SearchOptions options;
+        if (cells <= 9) {
+          found = lattice::exhaustive_synthesis(parsed.table, rows, cols,
+                                                options, parsed.var_names);
+        } else if (cells <= 20) {
+          options.seed = 7;
+          found = lattice::local_search_synthesis(parsed.table, rows, cols,
+                                                  options, parsed.var_names);
+        }
+        if (found) {
+          std::printf("found %dx%d (%d switches):\n%s\n", rows, cols, cells,
+                      found->to_string().c_str());
+          return 0;
+        }
+      }
+    }
+    std::printf("no smaller lattice found within the search budget.\n");
+  }
+  return 0;
+}

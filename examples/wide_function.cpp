@@ -1,0 +1,58 @@
+// Beyond the truth-table ceiling: synthesize a 32-variable function onto a
+// lattice using the ROBDD engine — the workflow for functions no 2^n
+// enumeration can touch — and show how the baseline construction's area
+// scales with the function's OR-width.
+#include <cmath>
+#include <cstdio>
+
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/bdd.hpp"
+
+int main() {
+  using namespace ftl;
+
+  // f = "either half all-ones" over 32 inputs: two 16-literal products.
+  // Its dual's ISOP has 16x16 = 256 products, so the Altun-Riedel lattice
+  // is 256x2 — comfortably constructible even though no truth table of 32
+  // variables can exist.
+  const int n = 32;
+  logic::BddManager mgr(n);
+  logic::BddRef f = mgr.zero();
+  for (int base = 0; base < n; base += 16) {
+    logic::BddRef cluster = mgr.one();
+    for (int v = base; v < base + 16; ++v) {
+      cluster = mgr.land(cluster, mgr.variable(v));
+    }
+    f = mgr.lor(f, cluster);
+  }
+  std::printf("function: 32-variable either-half-all-ones detector\n");
+  std::printf("BDD nodes: %zu, satisfying assignments: %.4g of 2^32\n",
+              mgr.node_count(f), mgr.sat_count(f));
+
+  const lattice::Lattice lat = lattice::altun_riedel_synthesis(mgr, f);
+  std::printf("\nsynthesized lattice: %dx%d (%d four-terminal switches)\n",
+              lat.rows(), lat.cols(), lat.cell_count());
+  std::printf("(construction self-verified against the BDD on 4096 random"
+              " assignments)\n");
+
+  std::printf("\nspot checks:\n");
+  std::printf("  all zeros     -> %d (expect 0)\n", lat.evaluate(0));
+  std::printf("  low half 1s   -> %d (expect 1)\n", lat.evaluate(0xFFFFull));
+  std::printf("  15 of 16 low  -> %d (expect 0)\n", lat.evaluate(0x7FFFull));
+  std::printf("  high half 1s  -> %d (expect 1)\n",
+              lat.evaluate(0xFFFF0000ull));
+  std::printf("  all ones      -> %d (expect 1)\n", lat.evaluate(0xFFFFFFFFull));
+
+  // Area scaling note: the baseline construction multiplies |ISOP(f)| by
+  // |ISOP(f^D)|, which explodes for OR-rich functions — the reason the
+  // paper's companion synthesis work ([2]-[4], [13]) hunts for smaller
+  // realizations.
+  std::printf("\nbaseline size if split into k all-ones clusters of 32/k"
+              " inputs each:\n");
+  for (int k : {2, 4, 8}) {
+    const double dual_products = std::pow(32.0 / k, k);
+    std::printf("  k=%d clusters -> %d x %.0f = %.0f switches\n", k, k,
+                dual_products, k * dual_products);
+  }
+  return 0;
+}

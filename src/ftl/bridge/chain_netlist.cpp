@@ -1,0 +1,69 @@
+#include "ftl/bridge/chain_netlist.hpp"
+
+#include <memory>
+
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/sources.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::bridge {
+
+ChainCircuit build_switch_chain(int count, double supply_voltage,
+                                double gate_voltage,
+                                const SwitchModelParams& params) {
+  FTL_EXPECTS(count >= 1);
+  ChainCircuit out;
+  out.supply_source = "Vsupply";
+  out.gate_source = "Vgate";
+  spice::Circuit& ckt = out.circuit;
+
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      out.supply_source, ckt.node("n0"), spice::Circuit::kGround,
+      spice::Waveform::dc(supply_voltage)));
+  ckt.add(std::make_unique<spice::VoltageSource>(
+      out.gate_source, ckt.node("g"), spice::Circuit::kGround,
+      spice::Waveform::dc(gate_voltage)));
+
+  for (int i = 0; i < count; ++i) {
+    const std::string north = "n" + std::to_string(i);
+    const std::string south = (i == count - 1) ? "0" : "n" + std::to_string(i + 1);
+    add_four_terminal_switch(ckt, "ch" + std::to_string(i),
+                             {north, "de" + std::to_string(i), south,
+                              "dw" + std::to_string(i)},
+                             "g", params);
+  }
+  return out;
+}
+
+double chain_current(int count, double supply_voltage, double gate_voltage,
+                     const SwitchModelParams& params) {
+  ChainCircuit chain = build_switch_chain(count, supply_voltage, gate_voltage, params);
+  const spice::OpResult op = spice::dc_operating_point(chain.circuit);
+  if (!op.converged) throw ftl::Error("chain_current: DC did not converge");
+  const auto& supply = dynamic_cast<const spice::VoltageSource&>(
+      chain.circuit.device(chain.supply_source));
+  // The MNA branch current flows from + through the source; the current
+  // delivered into the chain is its negative.
+  return -supply.current(op.solution);
+}
+
+double voltage_for_current(int count, double target_current, double v_max,
+                           const SwitchModelParams& params) {
+  FTL_EXPECTS(target_current > 0.0 && v_max > 0.0);
+  double lo = 0.0;
+  double hi = v_max;
+  if (chain_current(count, hi, hi, params) < target_current) {
+    throw ftl::Error("voltage_for_current: target unreachable below v_max");
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (chain_current(count, mid, mid, params) < target_current) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ftl::bridge

@@ -1,0 +1,195 @@
+#include "ftl/bridge/lattice_netlist.hpp"
+
+#include <memory>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/spice/devices.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::bridge {
+namespace {
+
+/// Node naming for one lattice fabric instance:
+///  - every top-row N terminal is the `top` node,
+///  - every bottom-row S terminal is the `bottom` node,
+///  - vertical links <prefix>v<r>_<c> join S of (r,c) to N of (r+1,c),
+///  - horizontal links <prefix>h<r>_<c> join E of (r,c) to W of (r,c+1),
+///  - edge-of-lattice E/W terminals dangle on their own nodes.
+struct NodeNamer {
+  const lattice::Lattice& lat;
+  std::string prefix;
+  std::string top;
+  std::string bottom;
+
+  std::string north(int r, int c) const {
+    return r == 0 ? top
+                  : prefix + "v" + std::to_string(r - 1) + "_" + std::to_string(c);
+  }
+  std::string south(int r, int c) const {
+    return r == lat.rows() - 1
+               ? bottom
+               : prefix + "v" + std::to_string(r) + "_" + std::to_string(c);
+  }
+  std::string west(int r, int c) const {
+    return c == 0 ? prefix + "dw" + std::to_string(r)
+                  : prefix + "h" + std::to_string(r) + "_" + std::to_string(c - 1);
+  }
+  std::string east(int r, int c) const {
+    return c == lat.cols() - 1
+               ? prefix + "de" + std::to_string(r)
+               : prefix + "h" + std::to_string(r) + "_" + std::to_string(c);
+  }
+};
+
+std::string input_node(const lattice::Lattice& lat, int var, bool positive) {
+  const std::string& name = lat.var_names()[static_cast<std::size_t>(var)];
+  return "in_" + name + (positive ? "" : "_n");
+}
+
+/// Creates the shared input-phase drivers needed by `lattices`, plus the
+/// gate-high rail when any cell is a constant 1. Returns the true-phase
+/// source names.
+std::vector<std::string> add_input_drivers(
+    spice::Circuit& ckt, const std::vector<const lattice::Lattice*>& lattices,
+    const std::map<int, spice::Waveform>& drives, double vdd) {
+  FTL_EXPECTS(!lattices.empty());
+  const lattice::Lattice& first = *lattices.front();
+  const int num_vars = first.num_vars();
+
+  std::vector<bool> need_true(static_cast<std::size_t>(num_vars), false);
+  std::vector<bool> need_comp(static_cast<std::size_t>(num_vars), false);
+  bool need_gate_high = false;
+  for (const lattice::Lattice* lat : lattices) {
+    FTL_EXPECTS_MSG(lat->num_vars() == num_vars,
+                    "all lattices must share the variable set");
+    for (int r = 0; r < lat->rows(); ++r) {
+      for (int c = 0; c < lat->cols(); ++c) {
+        const lattice::CellValue& v = lat->at(r, c);
+        if (v.kind == lattice::CellValue::Kind::kLiteral) {
+          (v.literal.positive ? need_true : need_comp)[static_cast<std::size_t>(
+              v.literal.var)] = true;
+        } else if (v.kind == lattice::CellValue::Kind::kConst1) {
+          need_gate_high = true;
+        }
+      }
+    }
+  }
+
+  const auto drive_of = [&drives](int var) {
+    const auto it = drives.find(var);
+    return it != drives.end() ? it->second : spice::Waveform::dc(0.0);
+  };
+  std::vector<std::string> sources;
+  for (int var = 0; var < num_vars; ++var) {
+    const std::string& name = first.var_names()[static_cast<std::size_t>(var)];
+    if (need_true[static_cast<std::size_t>(var)]) {
+      ckt.add(std::make_unique<spice::VoltageSource>(
+          "Vin_" + name, ckt.node(input_node(first, var, true)),
+          spice::Circuit::kGround, drive_of(var)));
+      sources.push_back("Vin_" + name);
+    }
+    if (need_comp[static_cast<std::size_t>(var)]) {
+      ckt.add(std::make_unique<spice::VoltageSource>(
+          "Vin_" + name + "_n", ckt.node(input_node(first, var, false)),
+          spice::Circuit::kGround, drive_of(var).complemented(vdd)));
+    }
+  }
+  if (need_gate_high) {
+    // Always-ON switches gate at VDD through a dedicated rail so the supply
+    // current measurement is not polluted.
+    ckt.add(std::make_unique<spice::VoltageSource>(
+        "Vgate_high", ckt.node("gate_high"), spice::Circuit::kGround,
+        spice::Waveform::dc(vdd)));
+  }
+  return sources;
+}
+
+/// Instantiates one lattice's switch fabric between `top` and `bottom`.
+/// `row_offset` disambiguates the per-switch override coordinates when two
+/// lattices share one circuit (complementary topology).
+void add_lattice_network(spice::Circuit& ckt, const lattice::Lattice& lat,
+                         const std::string& prefix, const std::string& top,
+                         const std::string& bottom,
+                         const LatticeCircuitOptions& options,
+                         int row_offset = 0) {
+  const SwitchModelParams& model = options.switch_model;
+  const NodeNamer nodes{lat, prefix, top, bottom};
+  for (int r = 0; r < lat.rows(); ++r) {
+    for (int c = 0; c < lat.cols(); ++c) {
+      const lattice::CellValue& v = lat.at(r, c);
+      std::string gate;
+      switch (v.kind) {
+        case lattice::CellValue::Kind::kConst0:
+          gate = "0";  // grounded gate: switch permanently OFF
+          break;
+        case lattice::CellValue::Kind::kConst1:
+          gate = "gate_high";
+          break;
+        case lattice::CellValue::Kind::kLiteral:
+          gate = input_node(lat, v.literal.var, v.literal.positive);
+          break;
+      }
+      const SwitchModelParams params =
+          options.switch_param_fn
+              ? options.switch_param_fn(r + row_offset, c, model)
+              : model;
+      add_four_terminal_switch(
+          ckt, prefix + "sw" + std::to_string(r) + "_" + std::to_string(c),
+          {nodes.north(r, c), nodes.east(r, c), nodes.south(r, c),
+           nodes.west(r, c)},
+          gate, params);
+    }
+  }
+}
+
+LatticeCircuit begin_circuit(const LatticeCircuitOptions& options) {
+  LatticeCircuit out;
+  out.output_node = "out";
+  out.vdd_source = "Vvdd";
+  out.circuit.add(std::make_unique<spice::VoltageSource>(
+      out.vdd_source, out.circuit.node("vdd"), spice::Circuit::kGround,
+      spice::Waveform::dc(options.vdd)));
+  out.circuit.add(std::make_unique<spice::Capacitor>(
+      "Cout", out.circuit.node(out.output_node), spice::Circuit::kGround,
+      options.output_cap));
+  return out;
+}
+
+}  // namespace
+
+LatticeCircuit build_lattice_circuit(const lattice::Lattice& lattice,
+                                     const std::map<int, spice::Waveform>& drives,
+                                     const LatticeCircuitOptions& options) {
+  LatticeCircuit out = begin_circuit(options);
+  out.circuit.add(std::make_unique<spice::Resistor>(
+      "Rpullup", out.circuit.node("vdd"), out.circuit.node(out.output_node),
+      options.pullup));
+  out.input_sources =
+      add_input_drivers(out.circuit, {&lattice}, drives, options.vdd);
+  add_lattice_network(out.circuit, lattice, "", out.output_node, "0", options);
+  return out;
+}
+
+LatticeCircuit build_complementary_lattice_circuit(
+    const lattice::Lattice& pulldown, const lattice::Lattice& pullup,
+    const std::map<int, spice::Waveform>& drives,
+    const LatticeCircuitOptions& options) {
+  // The pull-up must conduct exactly when the pull-down does not.
+  const logic::TruthTable f = lattice::realized_truth_table(pulldown);
+  const logic::TruthTable g = lattice::realized_truth_table(pullup);
+  if (!(g == ~f)) {
+    throw ftl::Error(
+        "complementary circuit: pull-up lattice does not realize the "
+        "complement of the pull-down lattice");
+  }
+  LatticeCircuit out = begin_circuit(options);
+  out.input_sources = add_input_drivers(out.circuit, {&pulldown, &pullup},
+                                        drives, options.vdd);
+  add_lattice_network(out.circuit, pulldown, "pd_", out.output_node, "0",
+                      options);
+  add_lattice_network(out.circuit, pullup, "pu_", "vdd", out.output_node,
+                      options, pulldown.rows());
+  return out;
+}
+
+}  // namespace ftl::bridge

@@ -1,0 +1,64 @@
+#pragma once
+// Lattice -> SPICE netlist generation.
+//
+// Two bench topologies are provided:
+//  - build_lattice_circuit: the §V test bench — the lattice is the pull-down
+//    network between the output ("top plate") and ground ("bottom plate"),
+//    with a pull-up resistor to VDD and a load capacitor. The output is the
+//    *negation* of the lattice function.
+//  - build_complementary_lattice_circuit: the §VI-A extension — a second
+//    lattice realizing the complement function replaces the pull-up
+//    resistor, giving the CMOS-like complementary structure whose static
+//    power the paper expects to be "almost zero".
+//
+// Control inputs drive the switch gates at VDD levels; complemented literals
+// get exact complementary drivers.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ftl/bridge/switch_model.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/spice/sources.hpp"
+
+namespace ftl::bridge {
+
+struct LatticeCircuitOptions {
+  double vdd = 1.2;          ///< supply, V (§V: 1.2 V)
+  double pullup = 500e3;     ///< pull-up resistor, Ohm (§V: 500 kOhm)
+  double output_cap = 10e-15;  ///< output load, F (§V: 10 fF)
+  SwitchModelParams switch_model = paper_switch_model();
+  /// Optional per-switch parameter override (row, col, nominal) — the hook
+  /// the Monte-Carlo variability analysis uses to scatter Vth/Kp per
+  /// instance. Rows/cols of a complementary pull-up lattice are passed with
+  /// the row offset by the pull-down's row count.
+  std::function<SwitchModelParams(int row, int col, const SwitchModelParams&)>
+      switch_param_fn;
+};
+
+struct LatticeCircuit {
+  spice::Circuit circuit;
+  std::string output_node;              ///< the lattice top plate ("out")
+  std::string vdd_source;               ///< supply source name
+  std::vector<std::string> input_sources;  ///< one per variable (true phase)
+};
+
+/// Builds the §V bench around `lattice`. `drives[var]` is the gate waveform
+/// of variable `var` (missing entries default to DC 0); complementary
+/// drivers for negated literals are generated automatically.
+LatticeCircuit build_lattice_circuit(const lattice::Lattice& lattice,
+                                     const std::map<int, spice::Waveform>& drives,
+                                     const LatticeCircuitOptions& options = {});
+
+/// Builds the complementary topology: `pulldown` (realizing f) between the
+/// output and ground, `pullup` (which must realize ¬f over the same
+/// variables) between VDD and the output. Throws ftl::Error when the two
+/// lattices do not realize complementary functions.
+LatticeCircuit build_complementary_lattice_circuit(
+    const lattice::Lattice& pulldown, const lattice::Lattice& pullup,
+    const std::map<int, spice::Waveform>& drives,
+    const LatticeCircuitOptions& options = {});
+
+}  // namespace ftl::bridge

@@ -1,0 +1,62 @@
+#pragma once
+// Gate characterization — the §VI-A analysis plan (power consumption, delay,
+// energy, area) implemented over the lattice test benches. Works for both
+// the resistor-pull-up topology of §V and the complementary topology of
+// §VI-A, so the two can be compared quantitatively.
+
+#include <functional>
+#include <map>
+
+#include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::bridge {
+
+/// Figures of merit of one lattice gate implementation.
+struct GateMetrics {
+  int switch_count = 0;        ///< area proxy: four-terminal switches used
+  bool functional = false;     ///< every input code lands on the right rail
+
+  double output_low_max = 0.0;   ///< V_OL: worst (highest) low output, V
+  double output_high_min = 0.0;  ///< V_OH: worst (lowest) high output, V
+
+  double static_power_worst = 0.0;  ///< max over input codes, W
+  double static_power_mean = 0.0;   ///< average over input codes, W
+
+  double rise_time = 0.0;   ///< worst 10-90% rise over the code walk, s
+  double fall_time = 0.0;   ///< worst 90-10% fall, s
+  double propagation_delay = 0.0;  ///< worst input-edge to Vdd/2 crossing, s
+  double max_frequency = 0.0;      ///< 1 / (rise + fall), Hz
+
+  double energy_per_transition = 0.0;  ///< dynamic energy per output flip, J
+};
+
+struct MeasureOptions {
+  LatticeCircuitOptions circuit;
+  double phase_time = 40e-9;  ///< dwell per input code in the transient walk
+  double dt = 0.2e-9;
+};
+
+/// A builder produces the circuit under test for a given set of input
+/// drives (so the same measurement runs on any bench topology).
+using GateBuilder =
+    std::function<LatticeCircuit(const std::map<int, spice::Waveform>&)>;
+
+/// Characterizes the gate `build` implements against the target function
+/// `f` (the *non-inverted* lattice function; both topologies here produce
+/// the inverted output, which the measurement accounts for).
+/// `switch_count` is the area the caller attributes to the implementation.
+GateMetrics measure_gate(const GateBuilder& build, const logic::TruthTable& f,
+                         int switch_count, const MeasureOptions& options = {});
+
+/// Convenience wrappers for the two standard topologies.
+GateMetrics measure_resistor_gate(const lattice::Lattice& lattice,
+                                  const logic::TruthTable& f,
+                                  const MeasureOptions& options = {});
+
+GateMetrics measure_complementary_gate(const lattice::Lattice& pulldown,
+                                       const lattice::Lattice& pullup,
+                                       const logic::TruthTable& f,
+                                       const MeasureOptions& options = {});
+
+}  // namespace ftl::bridge

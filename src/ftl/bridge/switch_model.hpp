@@ -1,0 +1,46 @@
+#pragma once
+// The paper's Fig. 9 circuit model of the square four-terminal switch: six
+// level-1 NMOS transistors, one per terminal pair C(4,2), all sharing the
+// control gate. Adjacent pairs (N-E, E-S, S-W, W-N) are Type A transistors
+// (L = 0.35 um); opposite pairs (N-S, E-W) are Type B (L = 0.5 um); all have
+// W = 0.7 um. A 1 fF grounded capacitor loads every terminal (§V).
+
+#include <array>
+#include <string>
+
+#include "ftl/fit/extract.hpp"
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::bridge {
+
+/// Terminal ordering used throughout the bridge: N, E, S, W.
+enum SwitchTerminal : int { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
+
+struct SwitchModelParams {
+  double kp = 0.0;        ///< level-1 Kp, A/V^2 (from the TCAD fit)
+  double vth = 0.0;       ///< V
+  double lambda = 0.0;    ///< 1/V
+  double width = 0.7e-6;  ///< all six transistors, m
+  double length_adjacent = 0.35e-6;  ///< Type A, m
+  double length_opposite = 0.50e-6;  ///< Type B, m
+  double terminal_cap = 1e-15;       ///< grounded cap per terminal, F
+};
+
+/// The paper's model card for the square + HfO2 device, i.e. the output of
+/// this library's own TCAD -> level-1 extraction pipeline (bench_fig10
+/// regenerates it; test_bridge cross-checks it against a fresh fit).
+SwitchModelParams paper_switch_model();
+
+/// Builds the switch-model parameters from a completed level-1 fit.
+SwitchModelParams switch_model_from_fit(const fit::FitResult& fit);
+
+/// Instantiates one four-terminal switch into `circuit`.
+/// `terminals` are the N/E/S/W node names; `gate` the control node.
+/// Device names are derived from `prefix` (must be unique per switch).
+void add_four_terminal_switch(spice::Circuit& circuit,
+                              const std::string& prefix,
+                              const std::array<std::string, 4>& terminals,
+                              const std::string& gate,
+                              const SwitchModelParams& params);
+
+}  // namespace ftl::bridge

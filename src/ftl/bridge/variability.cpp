@@ -1,0 +1,82 @@
+#include "ftl/bridge/variability.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "ftl/spice/dcop.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::bridge {
+
+VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
+                                    const logic::TruthTable& target,
+                                    const VariabilityOptions& options) {
+  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
+  FTL_EXPECTS(options.trials >= 1);
+  FTL_EXPECTS(options.sigma_vth >= 0.0 && options.sigma_kp_rel >= 0.0);
+
+  const double vdd = options.circuit.vdd;
+  const double v_low_limit = options.low_fraction * vdd;
+  const double v_high_limit = options.high_fraction * vdd;
+
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  VariabilityResult result;
+  result.trials = options.trials;
+  result.worst_low = 0.0;
+  result.worst_high = vdd;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // One fixed perturbation per switch site for this trial; the same die
+    // is then evaluated on every input code.
+    std::vector<double> dvth(static_cast<std::size_t>(lattice.cell_count()));
+    std::vector<double> dkp(static_cast<std::size_t>(lattice.cell_count()));
+    for (int i = 0; i < lattice.cell_count(); ++i) {
+      dvth[static_cast<std::size_t>(i)] = options.sigma_vth * gauss(rng);
+      dkp[static_cast<std::size_t>(i)] =
+          std::max(1.0 + options.sigma_kp_rel * gauss(rng), 0.05);
+    }
+
+    LatticeCircuitOptions circuit_options = options.circuit;
+    circuit_options.switch_param_fn =
+        [&](int row, int col, const SwitchModelParams& nominal) {
+          SwitchModelParams p = nominal;
+          const std::size_t i =
+              static_cast<std::size_t>(row * lattice.cols() + col);
+          p.vth = nominal.vth + dvth[i];
+          p.kp = nominal.kp * dkp[i];
+          return p;
+        };
+
+    bool pass = true;
+    for (std::uint64_t code = 0; code < target.num_minterms() && pass; ++code) {
+      std::map<int, spice::Waveform> drives;
+      for (int v = 0; v < target.num_vars(); ++v) {
+        drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+      }
+      LatticeCircuit lc = build_lattice_circuit(lattice, drives, circuit_options);
+      spice::OpResult op;
+      try {
+        op = spice::dc_operating_point(lc.circuit);
+      } catch (const ftl::Error&) {
+        // A die whose operating point cannot be found is a failing die.
+        pass = false;
+        break;
+      }
+      const double out = op.solution[static_cast<std::size_t>(
+          lc.circuit.find_node(lc.output_node))];
+      if (target.get(code)) {
+        result.worst_low = std::max(result.worst_low, out);
+        pass = op.converged && out < v_low_limit;
+      } else {
+        result.worst_high = std::min(result.worst_high, out);
+        pass = op.converged && out > v_high_limit;
+      }
+    }
+    if (pass) ++result.passing;
+  }
+  return result;
+}
+
+}  // namespace ftl::bridge

@@ -1,0 +1,45 @@
+#pragma once
+// Monte-Carlo process-variation analysis of lattice gates. Nanoscale
+// four-terminal switches will spread in Vth and Kp from die to die; this
+// module perturbs every switch instance independently and asks how often
+// the gate still computes its function at static noise margins — the yield
+// question a feasibility study like the paper's ultimately feeds.
+
+#include <cstdint>
+
+#include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::bridge {
+
+struct VariabilityOptions {
+  double sigma_vth = 0.0;     ///< std-dev of the per-switch Vth shift, V
+  double sigma_kp_rel = 0.0;  ///< relative std-dev of per-switch Kp
+  int trials = 200;
+  std::uint64_t seed = 1;
+  LatticeCircuitOptions circuit;
+  /// Logic thresholds as fractions of VDD for the pass/fail decision.
+  double low_fraction = 1.0 / 3.0;
+  double high_fraction = 2.0 / 3.0;
+};
+
+struct VariabilityResult {
+  int trials = 0;
+  int passing = 0;            ///< trials whose full truth table is correct
+  double worst_low = 0.0;     ///< highest low-state output seen, V
+  double worst_high = 0.0;    ///< lowest high-state output seen, V
+
+  double yield() const {
+    return trials > 0 ? static_cast<double>(passing) / trials : 0.0;
+  }
+};
+
+/// Runs `options.trials` Monte-Carlo instances of the §V resistor-pull-up
+/// bench for `lattice`, each with every switch's Vth and Kp independently
+/// perturbed (Gaussian), and checks the full DC truth table against
+/// `target`. Deterministic for a fixed seed.
+VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
+                                    const logic::TruthTable& target,
+                                    const VariabilityOptions& options);
+
+}  // namespace ftl::bridge

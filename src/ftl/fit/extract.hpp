@@ -1,0 +1,89 @@
+#pragma once
+// Parameter extraction (§IV): fits the level-1 MOSFET equations to TCAD
+// sweep data with Levenberg–Marquardt, reproducing the paper's two-scenario
+// recipe — an Id-Vg sweep (drain at 5 V) and an Id-Vd sweep (gate at 5 V) on
+// the DSFF terminal pair — to obtain Kp, Vth and lambda with minimum RMSE.
+
+#include "ftl/fit/mosfet_level1.hpp"
+#include "ftl/fit/mosfet_level3.hpp"
+#include "ftl/linalg/matrix.hpp"
+#include "ftl/tcad/sweep.hpp"
+
+namespace ftl::fit {
+
+/// One measured operating point.
+struct IvSample {
+  double vgs = 0.0;
+  double vds = 0.0;
+  double ids = 0.0;
+};
+
+struct FitOptions {
+  /// Weight residuals by 1/(|I| + floor_fraction * I_max). Relative
+  /// weighting keeps the turn-on region (which pins Vth) from being drowned
+  /// out by the high-current points; without it the level-1 fit to
+  /// mobility-degraded data drags Vth below zero.
+  bool relative_weighting = true;
+  double floor_fraction = 0.05;
+  /// Lower bound on the fitted threshold. The §IV pipeline pins this at 0
+  /// for the enhancement devices: a square-law fit to mobility-degraded
+  /// data can otherwise drift slightly negative, which would leave the
+  /// logic switch conducting at Vgs = 0. Set below zero to fit
+  /// depletion-mode data.
+  double vth_min = -20.0;
+};
+
+struct FitResult {
+  Level1Params params;
+  double rms = 0.0;  ///< root-mean-square current residual (unweighted), A
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits Kp, Vth and lambda to `samples` at fixed W/L. `initial` seeds the
+/// search (its width/length are preserved). Throws ftl::Error on an empty
+/// sample set.
+FitResult fit_level1(const std::vector<IvSample>& samples,
+                     const Level1Params& initial, const FitOptions& options = {});
+
+/// Builds the sample set from TCAD curves: an Id-Vg curve at fixed vds and
+/// an Id-Vd curve at fixed vgs, using terminal `drain`'s current.
+std::vector<IvSample> samples_from_curves(const tcad::IvCurve& idvg,
+                                          double vds_of_idvg,
+                                          const tcad::IvCurve& idvd,
+                                          double vgs_of_idvd, int drain);
+
+/// Heuristic initial guess: Vth by max-gm on the Id-Vg data, Kp from the
+/// strongest saturation sample, lambda = 0.
+Level1Params initial_guess(const std::vector<IvSample>& samples, double width,
+                           double length);
+
+/// Full paper pipeline: runs the DSFF (adjacent-pair) sweeps on a device
+/// solver, extracts the level-1 parameters. `length` is the effective
+/// channel length assigned to the fitted transistor (Type A: 0.35 um,
+/// Type B: 0.5 um in the paper's model).
+FitResult extract_from_device(const tcad::NetworkSolver& solver,
+                              const tcad::BiasCase& bias, double width,
+                              double length);
+
+// ---- Level-3 extraction (§VI-A "more accurate model" extension) ----------
+
+struct Fit3Result {
+  Level3Params params;
+  double rms = 0.0;  ///< unweighted current RMSE, A
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits the five level-3 parameters {kp, vth, lambda, theta, vc} to
+/// `samples`, seeded from a completed level-1 fit.
+Fit3Result fit_level3(const std::vector<IvSample>& samples,
+                      const Level1Params& level1_seed,
+                      const FitOptions& options = {});
+
+/// Level-3 variant of the device pipeline.
+Fit3Result extract_level3_from_device(const tcad::NetworkSolver& solver,
+                                      const tcad::BiasCase& bias, double width,
+                                      double length);
+
+}  // namespace ftl::fit

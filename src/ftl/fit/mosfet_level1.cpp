@@ -1,0 +1,40 @@
+#include "ftl/fit/mosfet_level1.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::fit {
+
+double level1_ids(const Level1Params& p, double vgs, double vds) {
+  FTL_EXPECTS(vds >= 0.0);
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0) return 0.0;
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds <= vov) {
+    return p.beta() * (vov * vds - 0.5 * vds * vds) * clm;
+  }
+  return 0.5 * p.beta() * vov * vov * clm;
+}
+
+Level1Derivatives level1_derivatives(const Level1Params& p, double vgs,
+                                     double vds) {
+  FTL_EXPECTS(vds >= 0.0);
+  Level1Derivatives d;
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0) return d;
+  const double beta = p.beta();
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds <= vov) {
+    const double core = vov * vds - 0.5 * vds * vds;
+    d.ids = beta * core * clm;
+    d.gm = beta * vds * clm;
+    d.gds = beta * ((vov - vds) * clm + core * p.lambda);
+  } else {
+    const double core = 0.5 * vov * vov;
+    d.ids = beta * core * clm;
+    d.gm = beta * vov * clm;
+    d.gds = beta * core * p.lambda;
+  }
+  return d;
+}
+
+}  // namespace ftl::fit

@@ -1,0 +1,37 @@
+#pragma once
+// The level-1 MOSFET equations exactly as printed in §IV of the paper:
+//
+//   Ids = 0                                                  Vgs <= Vth
+//   Ids = Kp (W/L) [(Vgs-Vth)Vds - Vds^2/2] (1 + lambda Vds)  triode
+//   Ids = (Kp/2)(W/L)(Vgs-Vth)^2 (1 + lambda Vds)             saturation
+//
+// Shared between the fitting pipeline (which extracts Kp, Vth, lambda from
+// the TCAD data) and the circuit simulator's MOSFET device model.
+
+namespace ftl::fit {
+
+/// Level-1 parameter set. Kp = mu_n Cox (A/V^2); W, L in metres.
+struct Level1Params {
+  double kp = 1e-4;      ///< transconductance parameter, A/V^2
+  double vth = 1.0;      ///< threshold voltage, V
+  double lambda = 0.0;   ///< channel-length modulation, 1/V
+  double width = 1e-6;   ///< channel width, m
+  double length = 1e-6;  ///< channel length, m
+
+  double beta() const { return kp * width / length; }
+};
+
+/// Drain current for vds >= 0 (callers swap terminals for reverse bias).
+double level1_ids(const Level1Params& p, double vgs, double vds);
+
+/// Partial derivatives for Newton linearization (vds >= 0).
+struct Level1Derivatives {
+  double ids = 0.0;
+  double gm = 0.0;   ///< dIds/dVgs
+  double gds = 0.0;  ///< dIds/dVds
+};
+
+Level1Derivatives level1_derivatives(const Level1Params& p, double vgs,
+                                     double vds);
+
+}  // namespace ftl::fit

@@ -1,0 +1,52 @@
+#include "ftl/fit/mosfet_level3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::fit {
+
+double level3_vdsat(const Level3Params& p, double vgs) {
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0) return 0.0;
+  return vov / (1.0 + vov / p.vc);
+}
+
+double level3_ids(const Level3Params& p, double vgs, double vds) {
+  FTL_EXPECTS(vds >= 0.0);
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0) return 0.0;
+  const double beta_eff = p.beta() / (1.0 + p.theta * vov);
+  const double vdsat = level3_vdsat(p, vgs);
+
+  const auto triode = [&](double v) {
+    return beta_eff * (vov * v - 0.5 * v * v) / (1.0 + v / p.vc);
+  };
+  if (vds <= vdsat) {
+    return triode(vds) * (1.0 + p.lambda * vds);
+  }
+  // Saturation: pin the core current at Vdsat and continue with the
+  // channel-length-modulation slope; continuous at vds = vdsat.
+  const double idsat = triode(vdsat) * (1.0 + p.lambda * vdsat);
+  return idsat * (1.0 + p.lambda * (vds - vdsat));
+}
+
+Level3Derivatives level3_derivatives(const Level3Params& p, double vgs,
+                                     double vds) {
+  // Central finite differences: the level-3 expressions are piecewise smooth
+  // and cheap, so numeric derivatives are accurate and keep the region
+  // bookkeeping in one place (the current evaluation).
+  Level3Derivatives d;
+  d.ids = level3_ids(p, vgs, vds);
+  const double h = 1e-6;
+  d.gm = (level3_ids(p, vgs + h, vds) - level3_ids(p, vgs - h, vds)) / (2.0 * h);
+  d.gds = (level3_ids(p, vgs, vds + h) -
+           level3_ids(p, vgs, std::max(vds - h, 0.0))) /
+          (vds - h >= 0.0 ? 2.0 * h : h);
+  if (d.gm < 0.0) d.gm = 0.0;
+  if (d.gds < 0.0) d.gds = 0.0;
+  return d;
+}
+
+}  // namespace ftl::fit

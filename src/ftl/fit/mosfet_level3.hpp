@@ -1,0 +1,45 @@
+#pragma once
+// Simplified level-3 MOSFET equations — the "more accurate transistor model"
+// the paper schedules as future work (§VI-A). Two short-channel effects are
+// added on top of the level-1 square law:
+//   - first-order mobility degradation:  mu_eff = mu0 / (1 + theta (Vgs-Vth))
+//   - velocity saturation via a critical voltage vc = Ec*L:
+//       the triode current gains a 1 / (1 + Vds/vc) factor and the
+//       saturation voltage drops from Vov to  Vdsat = Vov / (1 + Vov/vc).
+// Channel-length modulation keeps the level-1 (1 + lambda Vds) form. The
+// expressions are continuous (value-wise) across the region boundary.
+
+#include "ftl/fit/mosfet_level1.hpp"
+
+namespace ftl::fit {
+
+/// Level-3 parameter set; degenerates to level-1 when theta = 0, vc -> inf.
+struct Level3Params {
+  double kp = 1e-4;      ///< low-field transconductance parameter, A/V^2
+  double vth = 1.0;      ///< V
+  double lambda = 0.0;   ///< 1/V
+  double theta = 0.0;    ///< mobility degradation, 1/V
+  double vc = 1e9;       ///< velocity-saturation voltage Ec*L, V
+  double width = 1e-6;
+  double length = 1e-6;
+
+  double beta() const { return kp * width / length; }
+};
+
+/// Drain current for vds >= 0.
+double level3_ids(const Level3Params& p, double vgs, double vds);
+
+/// Saturation voltage Vdsat = Vov / (1 + Vov/vc) (0 in cutoff).
+double level3_vdsat(const Level3Params& p, double vgs);
+
+struct Level3Derivatives {
+  double ids = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+/// Derivatives for Newton linearization (central finite differences).
+Level3Derivatives level3_derivatives(const Level3Params& p, double vgs,
+                                     double vds);
+
+}  // namespace ftl::fit

@@ -1,0 +1,24 @@
+#pragma once
+// Top-plate to bottom-plate connectivity over a grid of switch states — the
+// semantic core of the four-terminal switching model. A lattice evaluates to
+// 1 exactly when the ON switches form a connected path from any top-row cell
+// to any bottom-row cell (4-neighbour adjacency).
+
+#include <cstdint>
+#include <vector>
+
+namespace ftl::lattice {
+
+/// BFS connectivity query on an explicit state grid (row-major, rows*cols).
+bool top_bottom_connected(const std::vector<bool>& states, int rows, int cols);
+
+/// Connectivity where the states are packed into the low rows*cols bits of
+/// `pattern` (row-major). Requires rows*cols <= 64.
+bool top_bottom_connected_bits(std::uint64_t pattern, int rows, int cols);
+
+/// Precomputed connectivity for every ON/OFF pattern of a small grid
+/// (rows*cols <= 20). Index = packed row-major pattern. Used by the
+/// exhaustive lattice search.
+std::vector<bool> connectivity_lut(int rows, int cols);
+
+}  // namespace ftl::lattice

@@ -1,0 +1,92 @@
+#include "ftl/lattice/faults.hpp"
+
+#include <algorithm>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::lattice {
+
+std::string to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kStuckOpen: return "stuck-open";
+    case FaultType::kStuckClosed: return "stuck-closed";
+  }
+  return "?";
+}
+
+Lattice inject_fault(const Lattice& lattice, const Fault& fault) {
+  Lattice faulty = lattice;
+  faulty.set(fault.row, fault.col,
+             fault.type == FaultType::kStuckOpen ? CellValue::zero()
+                                                 : CellValue::one());
+  return faulty;
+}
+
+FaultAnalysis analyze_single_faults(const Lattice& lattice,
+                                    const logic::TruthTable& target) {
+  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
+  FaultAnalysis analysis;
+  for (int r = 0; r < lattice.rows(); ++r) {
+    for (int c = 0; c < lattice.cols(); ++c) {
+      for (const FaultType type :
+           {FaultType::kStuckOpen, FaultType::kStuckClosed}) {
+        const Fault fault{r, c, type};
+        ++analysis.total_faults;
+        if (realizes(inject_fault(lattice, fault), target)) {
+          analysis.masked.push_back(fault);
+        } else {
+          analysis.critical.push_back(fault);
+        }
+      }
+    }
+  }
+  return analysis;
+}
+
+std::vector<std::uint64_t> greedy_test_set(const Lattice& lattice,
+                                           const logic::TruthTable& target) {
+  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
+  const FaultAnalysis analysis = analyze_single_faults(lattice, target);
+  const std::uint64_t num_codes = target.num_minterms();
+
+  // Detection matrix: which assignments expose each critical fault.
+  struct Pending {
+    Fault fault;
+    std::vector<std::uint64_t> detecting;
+  };
+  std::vector<Pending> pending;
+  for (const Fault& fault : analysis.critical) {
+    Pending p{fault, {}};
+    const Lattice faulty = inject_fault(lattice, fault);
+    for (std::uint64_t m = 0; m < num_codes; ++m) {
+      if (faulty.evaluate(m) != target.get(m)) p.detecting.push_back(m);
+    }
+    FTL_ENSURES(!p.detecting.empty());  // critical means some code differs
+    pending.push_back(std::move(p));
+  }
+
+  // Greedy set cover: repeatedly take the assignment detecting the most
+  // still-undetected faults.
+  std::vector<std::uint64_t> tests;
+  while (!pending.empty()) {
+    std::vector<int> gain(static_cast<std::size_t>(num_codes), 0);
+    for (const Pending& p : pending) {
+      for (std::uint64_t m : p.detecting) ++gain[static_cast<std::size_t>(m)];
+    }
+    const auto best = std::max_element(gain.begin(), gain.end());
+    const std::uint64_t chosen =
+        static_cast<std::uint64_t>(best - gain.begin());
+    tests.push_back(chosen);
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [chosen](const Pending& p) {
+                                   return std::find(p.detecting.begin(),
+                                                    p.detecting.end(),
+                                                    chosen) != p.detecting.end();
+                                 }),
+                  pending.end());
+  }
+  return tests;
+}
+
+}  // namespace ftl::lattice

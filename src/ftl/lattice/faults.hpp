@@ -1,0 +1,65 @@
+#pragma once
+// Switch-fault analysis for lattices. The parent project of the paper
+// (NANOxCOMP, ref [1]) pairs synthesis with *testing* of switching
+// nano-crossbar arrays; this module quantifies a lattice's inherent defect
+// tolerance: which single stuck-open (switch never conducts) or
+// stuck-closed (always conducts) faults change the realized function, and
+// which are masked by path redundancy.
+
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::lattice {
+
+enum class FaultType {
+  kStuckOpen,    ///< the switch never conducts (control stuck at 0)
+  kStuckClosed,  ///< the switch always conducts (control stuck at 1)
+};
+
+std::string to_string(FaultType type);
+
+/// One single-switch fault site.
+struct Fault {
+  int row = 0;
+  int col = 0;
+  FaultType type = FaultType::kStuckOpen;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Copy of `lattice` with the fault injected (the cell forced to a
+/// constant, regardless of its control value).
+Lattice inject_fault(const Lattice& lattice, const Fault& fault);
+
+/// Result of exhaustive single-fault simulation against a target function.
+struct FaultAnalysis {
+  int total_faults = 0;          ///< 2 faults per cell
+  std::vector<Fault> critical;   ///< faults that change the function
+  std::vector<Fault> masked;     ///< faults absorbed by path redundancy
+
+  /// Fraction of single faults the lattice tolerates ("inherent
+  /// redundancy"). 0 when every fault is critical.
+  double masking_ratio() const {
+    return total_faults > 0
+               ? static_cast<double>(masked.size()) / total_faults
+               : 0.0;
+  }
+};
+
+/// Simulates every single stuck-open/stuck-closed fault and classifies it
+/// by whether the faulty lattice still realizes `target`.
+/// Requires target.num_vars() == lattice.num_vars() (<= 26 variables).
+FaultAnalysis analyze_single_faults(const Lattice& lattice,
+                                    const logic::TruthTable& target);
+
+/// Minimal test set: input assignments that together detect every critical
+/// fault (greedy set cover over the fault/assignment detection matrix).
+/// A fault is detected by an assignment when the faulty lattice's output
+/// differs from the fault-free one there.
+std::vector<std::uint64_t> greedy_test_set(const Lattice& lattice,
+                                           const logic::TruthTable& target);
+
+}  // namespace ftl::lattice

@@ -1,0 +1,63 @@
+#include "ftl/lattice/function.hpp"
+
+#include "ftl/lattice/paths.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::lattice {
+
+logic::Sop grid_function(int rows, int cols) {
+  FTL_EXPECTS(rows * cols <= logic::Cube::kMaxVars);
+  logic::Sop sop(rows * cols);
+  enumerate_products(rows, cols, [&sop](const std::vector<int>& path) {
+    logic::Cube cube;
+    for (int cell : path) cube.add({cell, true});
+    sop.add(std::move(cube));
+  });
+  return sop;
+}
+
+logic::TruthTable realized_truth_table(const Lattice& lattice) {
+  FTL_EXPECTS(lattice.num_vars() <= logic::TruthTable::kMaxVars);
+  return logic::TruthTable::from_function(
+      lattice.num_vars(),
+      [&lattice](std::uint64_t m) { return lattice.evaluate(m); });
+}
+
+bool realizes(const Lattice& lattice, const logic::TruthTable& target) {
+  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
+  for (std::uint64_t m = 0; m < target.num_minterms(); ++m) {
+    if (lattice.evaluate(m) != target.get(m)) return false;
+  }
+  return true;
+}
+
+logic::Sop realized_sop(const Lattice& lattice) {
+  logic::Sop out(lattice.num_vars());
+  enumerate_products(
+      lattice.rows(), lattice.cols(), [&](const std::vector<int>& path) {
+        logic::Cube cube;
+        for (int cell : path) {
+          const CellValue& v = lattice.at(cell / lattice.cols(), cell % lattice.cols());
+          switch (v.kind) {
+            case CellValue::Kind::kConst0:
+              return;  // this path can never conduct
+            case CellValue::Kind::kConst1:
+              break;  // always-ON switch contributes no literal
+            case CellValue::Kind::kLiteral: {
+              const auto pol = cube.polarity(v.literal.var);
+              if (pol.has_value() && *pol != v.literal.positive) {
+                return;  // x·x' — contradictory product
+              }
+              if (!pol.has_value()) cube.add(v.literal);
+              break;
+            }
+          }
+        }
+        out.add(std::move(cube));
+      });
+  out.absorb();
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace ftl::lattice

@@ -1,0 +1,33 @@
+#pragma once
+// Derivation of the Boolean function a lattice computes.
+//
+// Two routes are provided and cross-checked in the tests:
+//  1. semantic — evaluate top-bottom connectivity for every input assignment
+//     (always available);
+//  2. symbolic — substitute cell values into the irredundant path products of
+//     the m×n grid function and simplify by absorption (small lattices).
+
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/sop.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::lattice {
+
+/// The m×n lattice function f_{m×n} over the rows*cols switch variables
+/// (row-major x0..x_{mn-1}), as in Fig. 2c. Requires rows*cols <= 64.
+logic::Sop grid_function(int rows, int cols);
+
+/// Truth table of the function the lattice realizes, by evaluating
+/// connectivity on all 2^num_vars assignments. Requires num_vars <= 26.
+logic::TruthTable realized_truth_table(const Lattice& lattice);
+
+/// True when the lattice realizes exactly `target`.
+bool realizes(const Lattice& lattice, const logic::TruthTable& target);
+
+/// Symbolic derivation: substitutes the cell values into every irredundant
+/// path product and simplifies with absorption. Constant-0 cells kill their
+/// paths; constant-1 cells vanish from products; contradictory products
+/// (x·x') are dropped. Requires num_vars <= 64 and a small lattice.
+logic::Sop realized_sop(const Lattice& lattice);
+
+}  // namespace ftl::lattice

@@ -1,0 +1,24 @@
+#pragma once
+// Concrete lattice mappings referenced by the paper.
+//
+// Fig. 3 shows XOR3 = a⊕b⊕c realized on a 3×4 lattice and on the
+// minimum-size 3×3 lattice. The exact per-cell assignment is not legible in
+// the paper text, so the mappings here were produced by this library's own
+// search engines (and are verified against the XOR3 truth table in the test
+// suite); the sizes match the paper's.
+
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::lattice {
+
+/// Truth table of out = a ⊕ b ⊕ c over variables {a, b, c} (vars 0, 1, 2).
+logic::TruthTable xor3_truth_table();
+
+/// The paper's Fig. 3b: XOR3 on the minimum-size 3×3 lattice.
+Lattice xor3_lattice_3x3();
+
+/// The paper's Fig. 3a: XOR3 on a 3×4 lattice.
+Lattice xor3_lattice_3x4();
+
+}  // namespace ftl::lattice

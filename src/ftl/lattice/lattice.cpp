@@ -1,0 +1,101 @@
+#include "ftl/lattice/lattice.hpp"
+
+#include <sstream>
+
+#include "ftl/lattice/connectivity.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::lattice {
+
+bool CellValue::evaluate(std::uint64_t assignment) const {
+  switch (kind) {
+    case Kind::kConst0: return false;
+    case Kind::kConst1: return true;
+    case Kind::kLiteral: {
+      const bool v = ((assignment >> literal.var) & 1) != 0;
+      return literal.positive ? v : !v;
+    }
+  }
+  return false;
+}
+
+std::string CellValue::to_string(const std::vector<std::string>& names) const {
+  switch (kind) {
+    case Kind::kConst0: return "0";
+    case Kind::kConst1: return "1";
+    case Kind::kLiteral: {
+      std::string out;
+      if (static_cast<std::size_t>(literal.var) < names.size()) {
+        out = names[static_cast<std::size_t>(literal.var)];
+      } else {
+        out = 'x' + std::to_string(literal.var);
+      }
+      if (!literal.positive) out += '\'';
+      return out;
+    }
+  }
+  return "?";
+}
+
+Lattice::Lattice(int rows, int cols, int num_vars,
+                 std::vector<std::string> var_names)
+    : rows_(rows),
+      cols_(cols),
+      num_vars_(num_vars),
+      cells_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)),
+      var_names_(std::move(var_names)) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= logic::Cube::kMaxVars);
+  if (var_names_.empty()) {
+    for (int v = 0; v < num_vars; ++v) var_names_.push_back('x' + std::to_string(v));
+  }
+  FTL_EXPECTS(static_cast<int>(var_names_.size()) == num_vars);
+}
+
+int Lattice::index(int row, int col) const {
+  FTL_EXPECTS(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  return row * cols_ + col;
+}
+
+const CellValue& Lattice::at(int row, int col) const {
+  return cells_[static_cast<std::size_t>(index(row, col))];
+}
+
+void Lattice::set(int row, int col, CellValue value) {
+  if (value.kind == CellValue::Kind::kLiteral) {
+    FTL_EXPECTS_MSG(value.literal.var >= 0 && value.literal.var < num_vars_,
+                    "cell literal variable out of range");
+  }
+  cells_[static_cast<std::size_t>(index(row, col))] = value;
+}
+
+std::vector<bool> Lattice::switch_states(std::uint64_t assignment) const {
+  std::vector<bool> states(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    states[i] = cells_[i].evaluate(assignment);
+  }
+  return states;
+}
+
+bool Lattice::evaluate(std::uint64_t assignment) const {
+  return top_bottom_connected(switch_states(assignment), rows_, cols_);
+}
+
+std::string Lattice::to_string() const {
+  // Fixed-width cells for alignment.
+  std::size_t width = 1;
+  for (const CellValue& c : cells_) {
+    width = std::max(width, c.to_string(var_names_).size());
+  }
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const std::string s = at(r, c).to_string(var_names_);
+      os << s << std::string(width - s.size() + 1, ' ');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ftl::lattice

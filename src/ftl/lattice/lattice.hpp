@@ -1,0 +1,75 @@
+#pragma once
+// The switching lattice of §II: an m×n grid of four-terminal switches, each
+// connected to its horizontal and vertical neighbours. Every switch carries
+// a control value — a literal of the target function or a constant — and the
+// lattice computes 1 when the ON switches connect the top plate to the
+// bottom plate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/logic/cube.hpp"
+
+namespace ftl::lattice {
+
+/// Control value placed on one lattice cell.
+struct CellValue {
+  enum class Kind { kConst0, kConst1, kLiteral };
+
+  Kind kind = Kind::kConst0;
+  logic::Literal literal;  ///< valid when kind == kLiteral
+
+  static CellValue zero() { return {Kind::kConst0, {}}; }
+  static CellValue one() { return {Kind::kConst1, {}}; }
+  static CellValue of(int var, bool positive = true) {
+    return {Kind::kLiteral, {var, positive}};
+  }
+
+  /// Switch state under `assignment` (bit v = value of variable v).
+  bool evaluate(std::uint64_t assignment) const;
+
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+  friend bool operator==(const CellValue&, const CellValue&) = default;
+};
+
+/// An m×n switching lattice over `num_vars` control variables.
+class Lattice {
+ public:
+  Lattice() = default;
+
+  /// All cells initialized to constant 0.
+  Lattice(int rows, int cols, int num_vars,
+          std::vector<std::string> var_names = {});
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_vars() const { return num_vars_; }
+  int cell_count() const { return rows_ * cols_; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  const CellValue& at(int row, int col) const;
+  void set(int row, int col, CellValue value);
+
+  /// Switch states for one input assignment, row-major.
+  std::vector<bool> switch_states(std::uint64_t assignment) const;
+
+  /// Lattice output for one input assignment: top-bottom connectivity of the
+  /// ON switches.
+  bool evaluate(std::uint64_t assignment) const;
+
+  /// Multi-line rendering, one row of cells per line.
+  std::string to_string() const;
+
+ private:
+  int index(int row, int col) const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  int num_vars_ = 0;
+  std::vector<CellValue> cells_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace ftl::lattice

@@ -1,0 +1,119 @@
+#include "ftl/lattice/paths.hpp"
+
+#include <array>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::lattice {
+namespace {
+
+__extension__ using Mask = unsigned __int128;  // 81 cells for 9x9 > 64 bits
+
+constexpr Mask bit(int i) { return Mask{1} << i; }
+
+struct PathEnumerator {
+  int rows;
+  int cols;
+  std::uint64_t limit;  // 0 = unlimited
+  const std::function<void(const std::vector<int>&)>* visit;  // may be null
+
+  std::vector<Mask> neighbor_mask;              // all 4-neighbours of a cell
+  std::vector<std::array<int, 4>> neighbors;    // -1 padded
+  std::uint64_t count = 0;
+  std::vector<int> path;
+  bool stopped = false;
+
+  PathEnumerator(int r, int c) : rows(r), cols(c), limit(0), visit(nullptr) {
+    const int n = rows * cols;
+    neighbor_mask.assign(static_cast<std::size_t>(n), Mask{0});
+    neighbors.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
+    for (int i = 0; i < n; ++i) {
+      const int row = i / cols;
+      const int col = i % cols;
+      int k = 0;
+      const auto add = [&](int j) {
+        neighbors[static_cast<std::size_t>(i)][static_cast<std::size_t>(k++)] = j;
+        neighbor_mask[static_cast<std::size_t>(i)] |= bit(j);
+      };
+      if (row + 1 < rows) add(i + cols);  // prefer downward extension first
+      if (col + 1 < cols) add(i + 1);
+      if (col > 0) add(i - 1);
+      if (row > 0) add(i - cols);
+    }
+  }
+
+  void emit() {
+    ++count;
+    if (visit != nullptr) (*visit)(path);
+    if (limit != 0 && count >= limit) stopped = true;
+  }
+
+  /// Extends the induced path whose head is `head`. `forbidden` contains the
+  /// top row, every path cell, and every neighbour of every interior (non-
+  /// head) path cell, so any candidate outside it keeps the path chordless.
+  void extend(int head, Mask forbidden) {
+    const Mask next_forbidden =
+        forbidden | neighbor_mask[static_cast<std::size_t>(head)];
+    for (int nb : neighbors[static_cast<std::size_t>(head)]) {
+      if (nb < 0 || stopped) break;  // -1 padding terminates the list
+      if ((forbidden & bit(nb)) != 0) continue;
+      path.push_back(nb);
+      if (nb >= (rows - 1) * cols) {
+        emit();  // reached the bottom row: complete, do not extend further
+      } else {
+        extend(nb, next_forbidden | bit(nb));
+      }
+      path.pop_back();
+      if (stopped) return;
+    }
+  }
+
+  std::uint64_t run() {
+    // Top row mask: paths may contain exactly one top-row cell (their start).
+    Mask top = 0;
+    for (int c = 0; c < cols; ++c) top |= bit(c);
+    if (rows == 1) {
+      // Degenerate lattice: every single top-row cell touches both plates.
+      for (int c = 0; c < cols && !stopped; ++c) {
+        path.assign(1, c);
+        emit();
+      }
+      path.clear();
+      return count;
+    }
+    for (int c = 0; c < cols && !stopped; ++c) {
+      path.assign(1, c);
+      extend(c, top | bit(c));
+    }
+    path.clear();
+    return count;
+  }
+};
+
+}  // namespace
+
+std::uint64_t count_products(int rows, int cols) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 128);
+  PathEnumerator e(rows, cols);
+  return e.run();
+}
+
+std::uint64_t enumerate_products(
+    int rows, int cols,
+    const std::function<void(const std::vector<int>&)>& visit,
+    std::uint64_t max_paths) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 128);
+  PathEnumerator e(rows, cols);
+  e.visit = &visit;
+  e.limit = max_paths;
+  return e.run();
+}
+
+std::vector<std::vector<int>> all_products(int rows, int cols) {
+  std::vector<std::vector<int>> out;
+  enumerate_products(rows, cols,
+                     [&out](const std::vector<int>& p) { out.push_back(p); });
+  return out;
+}
+
+}  // namespace ftl::lattice

@@ -1,0 +1,35 @@
+#pragma once
+// Irredundant top-to-bottom path enumeration for m×n lattices.
+//
+// The lattice function (§II) is the OR over all *irredundant* paths of the
+// AND of their switch variables: a path is redundant when its switch set
+// contains the switch set of another path. A set of cells is a minimal
+// top-bottom connector exactly when it is an induced (chordless) path of the
+// grid graph whose first vertex is its only top-row cell and whose last
+// vertex is its only bottom-row cell; this module enumerates and counts
+// those. The counts reproduce Table I of the paper for 2 <= m,n <= 9.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ftl::lattice {
+
+/// Number of products in the m×n lattice function — the number of
+/// irredundant top-bottom paths. Supports rows*cols up to 128 cells;
+/// the paper's Table I covers 2..9 × 2..9.
+std::uint64_t count_products(int rows, int cols);
+
+/// Invokes `visit` with the row-major cell indices of every irredundant
+/// path, in DFS order. Returns the number of paths visited. When
+/// `max_paths` > 0, enumeration stops (and the function returns) after that
+/// many paths.
+std::uint64_t enumerate_products(
+    int rows, int cols,
+    const std::function<void(const std::vector<int>&)>& visit,
+    std::uint64_t max_paths = 0);
+
+/// All irredundant paths as cell-index lists (use only for small lattices).
+std::vector<std::vector<int>> all_products(int rows, int cols);
+
+}  // namespace ftl::lattice

@@ -1,0 +1,236 @@
+#include "ftl/lattice/synthesis.hpp"
+
+#include <random>
+#include <string>
+
+#include "ftl/lattice/connectivity.hpp"
+#include "ftl/lattice/function.hpp"
+#include "ftl/logic/isop.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::lattice {
+namespace {
+
+/// Candidate cell values for search engines: all literals, plus constants.
+std::vector<CellValue> candidate_values(int num_vars, bool allow_constants) {
+  std::vector<CellValue> out;
+  for (int v = 0; v < num_vars; ++v) {
+    out.push_back(CellValue::of(v, true));
+    out.push_back(CellValue::of(v, false));
+  }
+  if (allow_constants) {
+    out.push_back(CellValue::one());
+    out.push_back(CellValue::zero());
+  }
+  return out;
+}
+
+/// Per-choice truth vector: bit m = value of the choice under assignment m.
+std::uint64_t choice_bits(const CellValue& value, std::uint64_t num_minterms) {
+  std::uint64_t bits = 0;
+  for (std::uint64_t m = 0; m < num_minterms; ++m) {
+    if (value.evaluate(m)) bits |= std::uint64_t{1} << m;
+  }
+  return bits;
+}
+
+Lattice materialize(const logic::TruthTable& target, int rows, int cols,
+                    const std::vector<CellValue>& choices,
+                    const std::vector<int>& pick,
+                    std::vector<std::string> var_names) {
+  Lattice lat(rows, cols, target.num_vars(), std::move(var_names));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      lat.set(r, c, choices[static_cast<std::size_t>(pick[static_cast<std::size_t>(r * cols + c)])]);
+    }
+  }
+  return lat;
+}
+
+}  // namespace
+
+Lattice altun_riedel_synthesis(const logic::TruthTable& target,
+                               std::vector<std::string> var_names) {
+  const int nv = target.num_vars();
+  if (target.is_zero() || target.is_one()) {
+    Lattice lat(1, 1, nv, std::move(var_names));
+    lat.set(0, 0, target.is_one() ? CellValue::one() : CellValue::zero());
+    return lat;
+  }
+
+  const logic::Sop products = logic::isop(target);
+  const logic::Sop duals = logic::isop_of_dual(target);
+  FTL_ENSURES(!products.empty() && !duals.empty());
+
+  const int rows = duals.size();
+  const int cols = products.size();
+  Lattice lat(rows, cols, nv, std::move(var_names));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const auto shared =
+          duals.cubes()[static_cast<std::size_t>(i)].shared_literals(
+              products.cubes()[static_cast<std::size_t>(j)]);
+      if (shared.empty()) {
+        // Cannot happen for implicants of f and f^D (they always share a
+        // literal); reaching this means the ISOPs are inconsistent.
+        throw ftl::Error("altun_riedel_synthesis: product/dual pair shares no literal");
+      }
+      lat.set(i, j, CellValue{CellValue::Kind::kLiteral, shared.front()});
+    }
+  }
+  FTL_ENSURES(realizes(lat, target));
+  return lat;
+}
+
+Lattice altun_riedel_synthesis(logic::BddManager& manager,
+                               logic::BddRef target,
+                               std::vector<std::string> var_names) {
+  const int nv = manager.num_vars();
+  if (manager.is_zero(target) || manager.is_one(target)) {
+    Lattice lat(1, 1, nv, std::move(var_names));
+    lat.set(0, 0, manager.is_one(target) ? CellValue::one() : CellValue::zero());
+    return lat;
+  }
+
+  const logic::Sop products = manager.isop(target);
+  const logic::Sop duals = manager.isop(manager.dual(target));
+  FTL_ENSURES(!products.empty() && !duals.empty());
+
+  const int rows = duals.size();
+  const int cols = products.size();
+  Lattice lat(rows, cols, nv, std::move(var_names));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const auto shared =
+          duals.cubes()[static_cast<std::size_t>(i)].shared_literals(
+              products.cubes()[static_cast<std::size_t>(j)]);
+      if (shared.empty()) {
+        throw ftl::Error("altun_riedel_synthesis(bdd): product/dual pair shares no literal");
+      }
+      lat.set(i, j, CellValue{CellValue::Kind::kLiteral, shared.front()});
+    }
+  }
+
+  // Verification: exhaustive while affordable, dense sampling beyond.
+  if (nv <= 20) {
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << nv); ++m) {
+      FTL_ENSURES(lat.evaluate(m) == manager.evaluate(target, m));
+    }
+  } else {
+    std::mt19937_64 rng(0x4c415454u);  // fixed seed: deterministic check
+    for (int trial = 0; trial < 4096; ++trial) {
+      const std::uint64_t m =
+          rng() & ((nv >= 64) ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << nv) - 1));
+      FTL_ENSURES(lat.evaluate(m) == manager.evaluate(target, m));
+    }
+  }
+  return lat;
+}
+
+std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
+                                            int rows, int cols,
+                                            const SearchOptions& options,
+                                            std::vector<std::string> var_names) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 20);
+  FTL_EXPECTS(target.num_vars() <= 6);
+  const int cells = rows * cols;
+  const std::uint64_t num_minterms = target.num_minterms();
+
+  const std::vector<CellValue> choices =
+      candidate_values(target.num_vars(), options.allow_constants);
+  const int nc = static_cast<int>(choices.size());
+  std::vector<std::uint64_t> bits(choices.size());
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    bits[i] = choice_bits(choices[i], num_minterms);
+  }
+
+  const std::vector<bool> lut = connectivity_lut(rows, cols);
+
+  std::vector<int> pick(static_cast<std::size_t>(cells), 0);
+  for (;;) {
+    // Evaluate the candidate on every input assignment; early exit on the
+    // first mismatch.
+    bool ok = true;
+    for (std::uint64_t m = 0; m < num_minterms && ok; ++m) {
+      std::uint64_t pattern = 0;
+      for (int i = 0; i < cells; ++i) {
+        pattern |= ((bits[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] >> m) & 1)
+                   << i;
+      }
+      ok = (lut[static_cast<std::size_t>(pattern)] == target.get(m));
+    }
+    if (ok) {
+      return materialize(target, rows, cols, choices, pick, std::move(var_names));
+    }
+    // Odometer increment.
+    int i = 0;
+    while (i < cells) {
+      if (++pick[static_cast<std::size_t>(i)] < nc) break;
+      pick[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == cells) return std::nullopt;
+  }
+}
+
+std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
+                                              int rows, int cols,
+                                              const SearchOptions& options,
+                                              std::vector<std::string> var_names) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 20);
+  FTL_EXPECTS(target.num_vars() <= 6);
+  const int cells = rows * cols;
+  const std::uint64_t num_minterms = target.num_minterms();
+
+  const std::vector<CellValue> choices =
+      candidate_values(target.num_vars(), options.allow_constants);
+  const int nc = static_cast<int>(choices.size());
+  std::vector<std::uint64_t> bits(choices.size());
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    bits[i] = choice_bits(choices[i], num_minterms);
+  }
+  const std::vector<bool> lut = connectivity_lut(rows, cols);
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> cell_dist(0, cells - 1);
+  std::uniform_int_distribution<int> choice_dist(0, nc - 1);
+
+  const auto cost = [&](const std::vector<int>& pick) {
+    int mismatches = 0;
+    for (std::uint64_t m = 0; m < num_minterms; ++m) {
+      std::uint64_t pattern = 0;
+      for (int i = 0; i < cells; ++i) {
+        pattern |= ((bits[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] >> m) & 1)
+                   << i;
+      }
+      if (lut[static_cast<std::size_t>(pattern)] != target.get(m)) ++mismatches;
+    }
+    return mismatches;
+  };
+
+  for (int restart = 0; restart < options.max_restarts; ++restart) {
+    std::vector<int> pick(static_cast<std::size_t>(cells));
+    for (int& p : pick) p = choice_dist(rng);
+    int current = cost(pick);
+    for (int iter = 0; iter < options.max_iterations && current > 0; ++iter) {
+      const int cell = cell_dist(rng);
+      const int old_choice = pick[static_cast<std::size_t>(cell)];
+      const int new_choice = choice_dist(rng);
+      if (new_choice == old_choice) continue;
+      pick[static_cast<std::size_t>(cell)] = new_choice;
+      const int next = cost(pick);
+      if (next <= current) {
+        current = next;  // greedy with sideways moves to escape plateaus
+      } else {
+        pick[static_cast<std::size_t>(cell)] = old_choice;
+      }
+    }
+    if (current == 0) {
+      return materialize(target, rows, cols, choices, pick, std::move(var_names));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftl::lattice

@@ -1,0 +1,61 @@
+#pragma once
+// Lattice synthesis: mapping a target Boolean function onto the control
+// inputs of an m×n switching lattice (§II, Fig. 3).
+//
+// Three engines, in increasing cost:
+//  - altun_riedel_synthesis: the dual-based construction of [Altun & Riedel,
+//    IEEE TC 2012] (ref [9] of the paper). Produces a |ISOP(f^D)| ×
+//    |ISOP(f)| lattice; fast, never fails, rarely minimal.
+//  - exhaustive_synthesis: complete search over all cell assignments of a
+//    fixed rows×cols lattice. Proves (non-)existence for tiny lattices; this
+//    is how the paper's "3×3 is the minimum size for XOR3" claim is checked.
+//  - local_search_synthesis: randomized hill climbing with restarts, for
+//    sizes where exhaustive search is too expensive but a mapping is
+//    believed to exist (e.g. the paper's 3×4 XOR3).
+
+#include <cstdint>
+#include <optional>
+
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/bdd.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::lattice {
+
+/// Dual-based synthesis; the returned lattice always realizes `target`.
+/// Variable names are attached to the lattice when provided.
+Lattice altun_riedel_synthesis(const logic::TruthTable& target,
+                               std::vector<std::string> var_names = {});
+
+/// BDD-backed variant of the same construction, for functions beyond the
+/// 26-variable truth-table ceiling (cells can carry up to 64 variables).
+/// The result is verified against `target` exhaustively up to 20 variables
+/// and by dense random sampling above that.
+Lattice altun_riedel_synthesis(logic::BddManager& manager,
+                               logic::BddRef target,
+                               std::vector<std::string> var_names = {});
+
+struct SearchOptions {
+  bool allow_constants = true;  ///< permit constant-0/1 cells
+  std::uint64_t seed = 1;       ///< local search RNG seed
+  int max_restarts = 200;       ///< local search restarts
+  int max_iterations = 20000;   ///< moves per restart
+};
+
+/// Complete enumeration over all assignments of a rows×cols lattice.
+/// Returns the first realization found, or nullopt when none exists.
+/// Requires rows*cols <= 20 and target.num_vars() <= 6; intended for the
+/// small sizes where the search space (2*vars+2)^(rows*cols) is tractable.
+std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
+                                            int rows, int cols,
+                                            const SearchOptions& options = {},
+                                            std::vector<std::string> var_names = {});
+
+/// Randomized hill climbing with restarts. Returns a realization or nullopt
+/// when the budget is exhausted (which does not prove non-existence).
+std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
+                                              int rows, int cols,
+                                              const SearchOptions& options = {},
+                                              std::vector<std::string> var_names = {});
+
+}  // namespace ftl::lattice

@@ -1,0 +1,63 @@
+#include "ftl/linalg/cg.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
+                            const Vector& initial, const CgOptions& options) {
+  FTL_EXPECTS(a.rows() == a.cols() && b.size() == a.rows());
+  const std::size_t n = b.size();
+
+  CgResult result;
+  result.x = initial.empty() ? Vector(n, 0.0) : initial;
+  FTL_EXPECTS(result.x.size() == n);
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    result.x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  Vector r = b;
+  {
+    const Vector ax = a.multiply(result.x);
+    for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
+  }
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  Vector p = z;
+  double rz = dot(r, z);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const Vector ap = a.multiply(p);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown) — report non-convergence
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rnorm = norm2(r);
+    result.relative_residual = rnorm / bnorm;
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace ftl::linalg

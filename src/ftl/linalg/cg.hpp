@@ -1,0 +1,28 @@
+#pragma once
+// Jacobi-preconditioned conjugate gradients for the SPD network Laplacians
+// produced by the TCAD resistor-network solver.
+
+#include "ftl/linalg/sparse.hpp"
+
+namespace ftl::linalg {
+
+struct CgOptions {
+  int max_iterations = 2000;
+  double tolerance = 1e-12;  ///< relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  Vector x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for symmetric positive definite A.
+/// `initial` (optional) warm-starts the iteration — the TCAD sweeps reuse
+/// the previous bias point's solution.
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
+                            const Vector& initial = {},
+                            const CgOptions& options = {});
+
+}  // namespace ftl::linalg

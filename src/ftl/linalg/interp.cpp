@@ -1,0 +1,39 @@
+#include "ftl/linalg/interp.hpp"
+
+#include <algorithm>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+
+double interp1(const Vector& xs, const Vector& ys, double x) {
+  FTL_EXPECTS(!xs.empty() && xs.size() == ys.size());
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  FTL_EXPECTS(span > 0.0);
+  const double t = (x - xs[lo]) / span;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+std::optional<double> first_crossing(const Vector& xs, const Vector& ys,
+                                     double level, bool rising) {
+  FTL_EXPECTS(xs.size() == ys.size());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double a = ys[i - 1];
+    const double b = ys[i];
+    const bool crosses = rising ? (a < level && b >= level)
+                                : (a > level && b <= level);
+    if (!crosses) continue;
+    const double dy = b - a;
+    if (dy == 0.0) return xs[i];
+    const double t = (level - a) / dy;
+    return xs[i - 1] + t * (xs[i] - xs[i - 1]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftl::linalg

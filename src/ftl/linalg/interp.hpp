@@ -1,0 +1,21 @@
+#pragma once
+// 1-D piecewise-linear interpolation over monotonically increasing abscissae.
+// Used for PWL sources, waveform sampling, and crossing detection in
+// measurements.
+
+#include <optional>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::linalg {
+
+/// Linear interpolation of (xs, ys) at `x`. xs must be strictly increasing
+/// with at least one point; values outside the range clamp to the endpoints.
+double interp1(const Vector& xs, const Vector& ys, double x);
+
+/// First x at which the piecewise-linear curve (xs, ys) crosses `level`
+/// moving in the requested direction. `rising` selects upward crossings.
+std::optional<double> first_crossing(const Vector& xs, const Vector& ys,
+                                     double level, bool rising);
+
+}  // namespace ftl::linalg

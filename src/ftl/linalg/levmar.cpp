@@ -1,0 +1,133 @@
+#include "ftl/linalg/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/linalg/lu.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+namespace {
+
+void clamp_to_bounds(Vector& p, const LevMarOptions& o) {
+  if (!o.lower_bounds.empty()) {
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = std::max(p[i], o.lower_bounds[i]);
+  }
+  if (!o.upper_bounds.empty()) {
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = std::min(p[i], o.upper_bounds[i]);
+  }
+}
+
+double sum_squares(const Vector& r) {
+  double acc = 0.0;
+  for (double x : r) acc += x * x;
+  return acc;
+}
+
+}  // namespace
+
+LevMarResult levenberg_marquardt(const ResidualFn& fn, Vector initial,
+                                 std::size_t residual_count,
+                                 const LevMarOptions& options) {
+  const std::size_t np = initial.size();
+  FTL_EXPECTS(np > 0 && residual_count >= np);
+  if (!options.lower_bounds.empty() && options.lower_bounds.size() != np) {
+    throw ftl::Error("levmar: lower_bounds size mismatch");
+  }
+  if (!options.upper_bounds.empty() && options.upper_bounds.size() != np) {
+    throw ftl::Error("levmar: upper_bounds size mismatch");
+  }
+
+  Vector p = std::move(initial);
+  clamp_to_bounds(p, options);
+
+  Vector r(residual_count, 0.0);
+  fn(p, r);
+  double cost = sum_squares(r);
+
+  Matrix jac(residual_count, np);
+  Vector r_pert(residual_count, 0.0);
+  double lambda = options.initial_lambda;
+
+  LevMarResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Forward-difference Jacobian.
+    for (std::size_t j = 0; j < np; ++j) {
+      const double h = options.fd_step * std::max(std::fabs(p[j]), 1e-9);
+      Vector pj = p;
+      pj[j] += h;
+      clamp_to_bounds(pj, options);
+      const double actual_h = pj[j] - p[j];
+      if (actual_h == 0.0) {
+        // Pinned at a bound; probe in the other direction.
+        pj = p;
+        pj[j] -= h;
+        clamp_to_bounds(pj, options);
+      }
+      const double denom = pj[j] - p[j];
+      fn(pj, r_pert);
+      if (denom == 0.0) {
+        for (std::size_t i = 0; i < residual_count; ++i) jac(i, j) = 0.0;
+      } else {
+        for (std::size_t i = 0; i < residual_count; ++i) {
+          jac(i, j) = (r_pert[i] - r[i]) / denom;
+        }
+      }
+    }
+
+    const Vector grad = jac.transpose_multiply(r);
+    if (norm_inf(grad) < options.gradient_tol) {
+      result.converged = true;
+      break;
+    }
+
+    const Matrix jtj = jac.gram();
+    bool accepted = false;
+    for (int attempt = 0; attempt < 30 && !accepted; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t i = 0; i < np; ++i) {
+        damped(i, i) += lambda * std::max(jtj(i, i), 1e-12);
+      }
+      Vector rhs(np);
+      for (std::size_t i = 0; i < np; ++i) rhs[i] = -grad[i];
+
+      Vector step;
+      try {
+        step = solve(std::move(damped), rhs);
+      } catch (const ftl::Error&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+
+      Vector candidate = axpy(p, 1.0, step);
+      clamp_to_bounds(candidate, options);
+      fn(candidate, r_pert);
+      const double new_cost = sum_squares(r_pert);
+      if (new_cost < cost) {
+        const double rel_step = norm2(step) / std::max(norm2(p), 1e-12);
+        p = std::move(candidate);
+        r = r_pert;
+        cost = new_cost;
+        lambda = std::max(lambda * options.lambda_down, 1e-14);
+        accepted = true;
+        if (rel_step < options.step_tol) {
+          result.converged = true;
+        }
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+    if (!accepted || result.converged) {
+      result.converged = result.converged || !accepted;
+      break;
+    }
+  }
+
+  result.parameters = std::move(p);
+  result.rms = std::sqrt(cost / static_cast<double>(residual_count));
+  return result;
+}
+
+}  // namespace ftl::linalg

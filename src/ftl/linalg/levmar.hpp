@@ -1,0 +1,44 @@
+#pragma once
+// Levenberg–Marquardt nonlinear least squares.
+//
+// Stands in for the MATLAB Curve Fitting Toolbox the paper used to extract
+// Kp, Vth and lambda from the TCAD data (§IV): minimizes ||r(p)||² over
+// parameters p with finite-difference Jacobians and an adaptive damping
+// schedule.
+
+#include <functional>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::linalg {
+
+/// Residual callback: fills `r` (fixed size) from parameters `p`.
+using ResidualFn = std::function<void(const Vector& p, Vector& r)>;
+
+struct LevMarOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;      ///< damping increase on a rejected step
+  double lambda_down = 0.25;    ///< damping decrease on an accepted step
+  double gradient_tol = 1e-12;  ///< stop when ||J^T r||_inf falls below this
+  double step_tol = 1e-12;      ///< stop when the relative step is below this
+  double fd_step = 1e-6;        ///< relative finite-difference step
+  Vector lower_bounds;          ///< optional box bounds (empty = unbounded)
+  Vector upper_bounds;
+};
+
+struct LevMarResult {
+  Vector parameters;
+  double rms = 0.0;          ///< sqrt(mean squared residual) at the solution
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes the sum of squared residuals starting from `initial`.
+/// `residual_count` is the fixed length of the residual vector.
+/// Throws ftl::Error on inconsistent option/bound sizes.
+LevMarResult levenberg_marquardt(const ResidualFn& fn, Vector initial,
+                                 std::size_t residual_count,
+                                 const LevMarOptions& options = {});
+
+}  // namespace ftl::linalg

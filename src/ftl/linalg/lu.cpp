@@ -1,0 +1,81 @@
+#include "ftl/linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+
+LuFactorization::LuFactorization(Matrix a, double pivot_floor)
+    : lu_(std::move(a)), perm_(lu_.rows()) {
+  FTL_EXPECTS(lu_.rows() == lu_.cols());
+  const std::size_t n = lu_.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  double* m = lu_.data();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search in column k.
+    std::size_t piv = k;
+    double best = std::fabs(m[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(m[r * n + k]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best <= pivot_floor) {
+      throw ftl::Error("LU: singular matrix (pivot " + std::to_string(best) +
+                       " at column " + std::to_string(k) + ")");
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m[k * n + c], m[piv * n + c]);
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const double pivot = m[k * n + k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = m[r * n + k] / pivot;
+      m[r * n + k] = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) m[r * n + c] -= factor * m[k * n + c];
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  FTL_EXPECTS(b.size() == n);
+  const double* m = lu_.data();
+
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= m[i * n + j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= m[ii * n + j] * x[j];
+    x[ii] = acc / m[ii * n + ii];
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  const std::size_t n = lu_.rows();
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < n; ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(Matrix a, const Vector& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+}  // namespace ftl::linalg

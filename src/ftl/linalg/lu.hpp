@@ -1,0 +1,37 @@
+#pragma once
+// Partial-pivot LU factorization and solve. This is the linear kernel under
+// every Newton iteration in the circuit simulator and the TCAD network
+// solver, and under the normal equations in Levenberg–Marquardt.
+
+#include <vector>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::linalg {
+
+/// LU factorization with row partial pivoting: P*A = L*U.
+/// Construction factors immediately; throws ftl::Error on a singular matrix.
+class LuFactorization {
+ public:
+  /// Factors `a` (square). `pivot_floor` is the smallest acceptable absolute
+  /// pivot; below it the matrix is reported singular.
+  explicit LuFactorization(Matrix a, double pivot_floor = 1e-300);
+
+  /// Solves A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Product of U's diagonal with pivot sign — the determinant of A.
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// One-shot convenience: solves A x = b. Throws ftl::Error when singular.
+Vector solve(Matrix a, const Vector& b);
+
+}  // namespace ftl::linalg

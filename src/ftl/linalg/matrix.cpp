@@ -1,0 +1,107 @@
+#include "ftl/linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  FTL_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  FTL_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void Matrix::assign(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  FTL_EXPECTS(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t i = 0; i < cols_; ++i) {
+      if (row[i] == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) g(i, j) += row[i] * row[j];
+    }
+  }
+  return g;
+}
+
+Vector Matrix::transpose_multiply(const Vector& x) const {
+  FTL_EXPECTS(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
+  }
+  return y;
+}
+
+double norm2(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm_inf(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  FTL_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  FTL_EXPECTS(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Vector linspace(double first, double last, std::size_t count) {
+  FTL_EXPECTS(count >= 1);
+  Vector out(count);
+  if (count == 1) {
+    out[0] = first;
+    return out;
+  }
+  const double step = (last - first) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = first + step * static_cast<double>(i);
+  }
+  out.back() = last;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+}  // namespace ftl::linalg

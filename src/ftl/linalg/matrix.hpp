@@ -1,0 +1,66 @@
+#pragma once
+// Dense row-major matrix and vector helpers for the circuit and fitting
+// numerics. Circuit matrices in this project stay small (≲ a few hundred
+// unknowns), so a cache-friendly dense representation with partial-pivot LU
+// outperforms a sparse package at these sizes and keeps the solver simple.
+
+#include <cstddef>
+#include <vector>
+
+namespace ftl::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Resizes, discarding contents, and fills with zero.
+  void assign(std::size_t rows, std::size_t cols);
+
+  /// y = A * x
+  Vector multiply(const Vector& x) const;
+
+  /// C = A^T * A  (used by the normal-equations path in Levenberg–Marquardt)
+  Matrix gram() const;
+
+  /// y = A^T * x
+  Vector transpose_multiply(const Vector& x) const;
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Infinity norm.
+double norm_inf(const Vector& v);
+
+/// Dot product; requires equal sizes.
+double dot(const Vector& a, const Vector& b);
+
+/// out = a + s * b; requires equal sizes.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+/// Uniformly spaced values from `first` to `last` inclusive (count >= 2),
+/// or the single value `first` when count == 1.
+Vector linspace(double first, double last, std::size_t count);
+
+}  // namespace ftl::linalg

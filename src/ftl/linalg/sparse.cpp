@@ -1,0 +1,66 @@
+#include "ftl/linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::linalg {
+
+void TripletList::add(std::size_t r, std::size_t c, double v) {
+  FTL_EXPECTS(r < rows_ && c < cols_);
+  if (v != 0.0) entries_.push_back({r, c, v});
+}
+
+SparseMatrix::SparseMatrix(const TripletList& triplets)
+    : rows_(triplets.rows()), cols_(triplets.cols()) {
+  std::vector<TripletList::Entry> sorted = triplets.entries();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TripletList::Entry& a, const TripletList::Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_start_.assign(rows_ + 1, 0);
+  col_index_.reserve(sorted.size());
+  values_.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    double acc = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      acc += sorted[j].value;
+      ++j;
+    }
+    if (acc != 0.0) {
+      col_index_.push_back(sorted[i].col);
+      values_.push_back(acc);
+      ++row_start_[sorted[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_start_[r + 1] += row_start_[r];
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  FTL_EXPECTS(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      acc += values_[k] * x[col_index_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector SparseMatrix::diagonal() const {
+  Vector d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (col_index_[k] == r) d[r] += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace ftl::linalg

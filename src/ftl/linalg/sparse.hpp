@@ -1,0 +1,62 @@
+#pragma once
+// Compressed-sparse-row matrix for the TCAD resistor-network solver. The
+// network Laplacians there are symmetric positive definite after Dirichlet
+// elimination, so they pair with the conjugate-gradient solver in cg.hpp.
+
+#include <cstddef>
+#include <vector>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::linalg {
+
+/// Coordinate-format accumulator; duplicate entries are summed on build.
+class TripletList {
+ public:
+  TripletList(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  void add(std::size_t r, std::size_t c, double v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  struct Entry {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+/// CSR sparse matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets, summing duplicates and dropping explicit zeros.
+  explicit SparseMatrix(const TripletList& triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A * x
+  Vector multiply(const Vector& x) const;
+
+  /// Diagonal entries (zero where absent) — the Jacobi preconditioner.
+  Vector diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace ftl::linalg

@@ -1,0 +1,228 @@
+#include "ftl/logic/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= Cube::kMaxVars);
+  // Terminals: var index num_vars_ sorts below every decision node.
+  nodes_.push_back({num_vars_, kZero, kZero});  // 0
+  nodes_.push_back({num_vars_, kOne, kOne});    // 1
+}
+
+BddRef BddManager::make(int var, BddRef low, BddRef high) {
+  if (low == high) return low;  // redundant test elimination
+  const std::array<std::int64_t, 3> key{var, low, high};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::variable(int var) {
+  FTL_EXPECTS(var >= 0 && var < num_vars_);
+  return make(var, kZero, kOne);
+}
+
+int BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
+  return std::min({var_of(f), var_of(g), var_of(h)});
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+
+  const std::array<std::int64_t, 3> key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  const auto cof = [&](BddRef x, bool value) {
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    if (n.var != v) return x;  // x does not test v at the top
+    return value ? n.high : n.low;
+  };
+  const BddRef low = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef high = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef result = make(v, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::lxor(BddRef f, BddRef g) { return ite(f, lnot(g), g); }
+
+BddRef BddManager::cofactor(BddRef f, int var, bool value) {
+  FTL_EXPECTS(var >= 0 && var < num_vars_);
+  if (f == kZero || f == kOne) return f;
+  // Copy the node: the recursive calls below may grow nodes_ and a
+  // reference into the vector would dangle.
+  const Node n = nodes_[static_cast<std::size_t>(f)];
+  if (n.var > var) return f;           // f independent of var
+  if (n.var == var) return value ? n.high : n.low;
+  // n.var < var: rebuild both branches.
+  return make(n.var, cofactor(n.low, var, value), cofactor(n.high, var, value));
+}
+
+BddRef BddManager::dual(BddRef f) {
+  // f^D(x) = !f(!x). Complementing all inputs swaps every node's children;
+  // fold the outer negation into the same recursion:
+  //   D(terminal c) = !c ; D(node(v, lo, hi)) = node(v, D(hi), D(lo)).
+  if (f == kZero) return kOne;
+  if (f == kOne) return kZero;
+  const auto it = dual_cache_.find(f);
+  if (it != dual_cache_.end()) return it->second;
+  // Copy (recursion may reallocate nodes_).
+  const Node n = nodes_[static_cast<std::size_t>(f)];
+  const BddRef result = make(n.var, dual(n.high), dual(n.low));
+  dual_cache_.emplace(f, result);
+  return result;
+}
+
+bool BddManager::evaluate(BddRef f, std::uint64_t assignment) const {
+  while (f != kZero && f != kOne) {
+    const Node& n = nodes_[static_cast<std::size_t>(f)];
+    f = ((assignment >> n.var) & 1) != 0 ? n.high : n.low;
+  }
+  return f == kOne;
+}
+
+double BddManager::sat_count(BddRef f) {
+  // Work in satisfying *fractions*: frac(node) = (frac(low)+frac(high))/2
+  // is exact regardless of skipped levels, because skipped variables are
+  // free on both sides.
+  const std::function<double(BddRef)> frac = [&](BddRef x) -> double {
+    if (x == kZero) return 0.0;
+    if (x == kOne) return 1.0;
+    const auto it = count_cache_.find(x);
+    if (it != count_cache_.end()) return it->second;
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    const double result = 0.5 * (frac(n.low) + frac(n.high));
+    count_cache_.emplace(x, result);
+    return result;
+  };
+  return frac(f) * std::pow(2.0, num_vars_);
+}
+
+std::size_t BddManager::node_count(BddRef f) const {
+  std::vector<BddRef> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef x = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(x)]) continue;
+    seen[static_cast<std::size_t>(x)] = true;
+    ++count;
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    if (x != kZero && x != kOne) {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+    }
+  }
+  return count;
+}
+
+bool BddManager::depends_on(BddRef f, int var) {
+  return cofactor(f, var, false) != cofactor(f, var, true);
+}
+
+BddRef BddManager::from_truth_table(const TruthTable& table) {
+  FTL_EXPECTS(table.num_vars() == num_vars_);
+  // Shannon expansion with x0 decided at the top of the diagram; deeper
+  // recursion levels decide higher variables, so every node's children test
+  // strictly larger variables (the ROBDD order invariant). Reduction and
+  // sharing fall out of the unique table.
+  const std::function<BddRef(int, std::uint64_t)> shannon =
+      [&](int var, std::uint64_t fixed_bits) -> BddRef {
+    if (var == num_vars_) {
+      return table.get(fixed_bits) ? kOne : kZero;
+    }
+    const BddRef low = shannon(var + 1, fixed_bits);
+    const BddRef high = shannon(var + 1, fixed_bits | (std::uint64_t{1} << var));
+    return make(var, low, high);
+  };
+  return shannon(0, 0);
+}
+
+BddRef BddManager::from_sop(const Sop& sop) {
+  FTL_EXPECTS(sop.num_vars() <= num_vars_);
+  BddRef acc = kZero;
+  for (const Cube& cube : sop.cubes()) {
+    BddRef product = kOne;
+    for (const Literal& lit : cube.literals()) {
+      const BddRef v = variable(lit.var);
+      product = land(product, lit.positive ? v : lnot(v));
+    }
+    acc = lor(acc, product);
+  }
+  return acc;
+}
+
+TruthTable BddManager::to_truth_table(BddRef f) const {
+  FTL_EXPECTS(num_vars_ <= TruthTable::kMaxVars);
+  TruthTable t(num_vars_);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (evaluate(f, m)) t.set(m, true);
+  }
+  return t;
+}
+
+BddManager::IsopResult BddManager::isop_interval(BddRef lower, BddRef upper) {
+  if (lower == kZero) return {{}, kZero};
+  if (upper == kOne) return {{Cube{}}, kOne};
+
+  // Split on the top variable of the pair.
+  const int v = std::min(var_of(lower), var_of(upper));
+  FTL_ENSURES(v < num_vars_);
+  const auto cof = [&](BddRef x, bool value) {
+    const Node& n = nodes_[static_cast<std::size_t>(x)];
+    if (n.var != v) return x;
+    return value ? n.high : n.low;
+  };
+  const BddRef l0 = cof(lower, false);
+  const BddRef l1 = cof(lower, true);
+  const BddRef u0 = cof(upper, false);
+  const BddRef u1 = cof(upper, true);
+
+  IsopResult r0 = isop_interval(diff(l0, u1), u0);
+  IsopResult r1 = isop_interval(diff(l1, u0), u1);
+  const BddRef remaining = lor(diff(l0, r0.function), diff(l1, r1.function));
+  IsopResult r2 = isop_interval(remaining, land(u0, u1));
+
+  IsopResult out;
+  out.cover.reserve(r0.cover.size() + r1.cover.size() + r2.cover.size());
+  for (Cube& c : r0.cover) {
+    c.add({v, false});
+    out.cover.push_back(std::move(c));
+  }
+  for (Cube& c : r1.cover) {
+    c.add({v, true});
+    out.cover.push_back(std::move(c));
+  }
+  for (Cube& c : r2.cover) out.cover.push_back(std::move(c));
+
+  const BddRef xv = variable(v);
+  out.function = lor(ite(xv, r1.function, r0.function), r2.function);
+  return out;
+}
+
+Sop BddManager::isop(BddRef onset, BddRef dontcare) {
+  IsopResult r = isop_interval(onset, lor(onset, dontcare));
+  // The cover realizes a function between onset and onset|dc.
+  FTL_ENSURES(is_zero(diff(onset, r.function)));
+  FTL_ENSURES(is_zero(diff(r.function, lor(onset, dontcare))));
+  Sop out(num_vars_, std::move(r.cover));
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace ftl::logic

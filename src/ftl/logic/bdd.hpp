@@ -1,0 +1,118 @@
+#pragma once
+// Reduced ordered binary decision diagrams.
+//
+// Truth tables cap the logic layer at 26 variables; the synthesis
+// literature the paper builds on (refs [2]-[4], [13]) works on functions
+// well beyond that. This is a compact ROBDD engine — unique table, ITE with
+// memoization, complement/cofactor/compose-free API — plus the two
+// operations lattice synthesis needs: the Boolean dual and Minato–Morreale
+// ISOP extraction directly on BDDs.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/logic/sop.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::logic {
+
+/// Handle to a BDD node owned by a BddManager.
+using BddRef = std::int32_t;
+
+/// ROBDD manager with a fixed variable order x0 < x1 < ... (index order).
+class BddManager {
+ public:
+  explicit BddManager(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  BddRef zero() const { return kZero; }
+  BddRef one() const { return kOne; }
+  BddRef variable(int var);
+
+  // --- Boolean operations (fully reduced, memoized) ----------------------
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef land(BddRef f, BddRef g) { return ite(f, g, kZero); }
+  BddRef lor(BddRef f, BddRef g) { return ite(f, kOne, g); }
+  BddRef lxor(BddRef f, BddRef g);
+  BddRef lnot(BddRef f) { return ite(f, kZero, kOne); }
+  BddRef diff(BddRef f, BddRef g) { return ite(g, kZero, f); }  // f & !g
+
+  /// Cofactor with variable `var` fixed to `value`.
+  BddRef cofactor(BddRef f, int var, bool value);
+
+  /// The Boolean dual f^D(x) = !f(!x).
+  BddRef dual(BddRef f);
+
+  // --- Queries -------------------------------------------------------------
+  bool is_zero(BddRef f) const { return f == kZero; }
+  bool is_one(BddRef f) const { return f == kOne; }
+
+  /// Evaluates under `assignment` (bit v = value of variable v).
+  bool evaluate(BddRef f, std::uint64_t assignment) const;
+
+  /// Number of satisfying assignments over all num_vars() inputs.
+  double sat_count(BddRef f);
+
+  /// Live node count reachable from `f` (diagnostic).
+  std::size_t node_count(BddRef f) const;
+
+  /// True when the function depends on `var`.
+  bool depends_on(BddRef f, int var);
+
+  // --- Conversions ---------------------------------------------------------
+  /// Builds a BDD from a truth table (num_vars <= 26).
+  BddRef from_truth_table(const TruthTable& table);
+
+  /// Builds a BDD from an SOP cover.
+  BddRef from_sop(const Sop& sop);
+
+  /// Expands to a truth table (requires num_vars <= 26).
+  TruthTable to_truth_table(BddRef f) const;
+
+  /// Minato–Morreale irredundant SOP of the interval [onset, onset|dc].
+  Sop isop(BddRef onset, BddRef dontcare);
+  Sop isop(BddRef f) { return isop(f, kZero); }
+
+ private:
+  static constexpr BddRef kZero = 0;
+  static constexpr BddRef kOne = 1;
+
+  struct Node {
+    int var;      // branching variable (num_vars_ for terminals)
+    BddRef low;   // var = 0 child
+    BddRef high;  // var = 1 child
+  };
+
+  struct TripleHash {
+    std::size_t operator()(const std::array<std::int64_t, 3>& k) const {
+      std::size_t h = 1469598103934665603ull;
+      for (std::int64_t v : k) {
+        h ^= static_cast<std::size_t>(v);
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  BddRef make(int var, BddRef low, BddRef high);
+  int var_of(BddRef f) const { return nodes_[static_cast<std::size_t>(f)].var; }
+  int top_var(BddRef f, BddRef g, BddRef h) const;
+
+  struct IsopResult {
+    std::vector<Cube> cover;
+    BddRef function;
+  };
+  IsopResult isop_interval(BddRef lower, BddRef upper);
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::array<std::int64_t, 3>, BddRef, TripleHash> unique_;
+  std::unordered_map<std::array<std::int64_t, 3>, BddRef, TripleHash> ite_cache_;
+  std::unordered_map<BddRef, BddRef> dual_cache_;
+  std::unordered_map<BddRef, double> count_cache_;
+};
+
+}  // namespace ftl::logic

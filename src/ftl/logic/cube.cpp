@@ -1,0 +1,92 @@
+#include "ftl/logic/cube.hpp"
+
+#include <bit>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+
+Cube Cube::from_literals(const std::vector<Literal>& literals) {
+  Cube c;
+  for (const Literal& lit : literals) c.add(lit);
+  return c;
+}
+
+void Cube::add(Literal lit) {
+  if (lit.var < 0 || lit.var >= kMaxVars) {
+    throw ftl::Error("Cube: variable index out of range: " + std::to_string(lit.var));
+  }
+  const std::uint64_t bit = std::uint64_t{1} << lit.var;
+  if (lit.positive) {
+    if (neg_ & bit) throw ftl::Error("Cube: contradictory literal for variable " + std::to_string(lit.var));
+    pos_ |= bit;
+  } else {
+    if (pos_ & bit) throw ftl::Error("Cube: contradictory literal for variable " + std::to_string(lit.var));
+    neg_ |= bit;
+  }
+}
+
+bool Cube::mentions(int var) const {
+  FTL_EXPECTS(var >= 0 && var < kMaxVars);
+  const std::uint64_t bit = std::uint64_t{1} << var;
+  return ((pos_ | neg_) & bit) != 0;
+}
+
+std::optional<bool> Cube::polarity(int var) const {
+  FTL_EXPECTS(var >= 0 && var < kMaxVars);
+  const std::uint64_t bit = std::uint64_t{1} << var;
+  if (pos_ & bit) return true;
+  if (neg_ & bit) return false;
+  return std::nullopt;
+}
+
+int Cube::size() const {
+  return std::popcount(pos_) + std::popcount(neg_);
+}
+
+bool Cube::evaluate(std::uint64_t assignment) const {
+  return (assignment & pos_) == pos_ && (~assignment & neg_) == neg_;
+}
+
+bool Cube::covers(const Cube& other) const {
+  return (pos_ & other.pos_) == pos_ && (neg_ & other.neg_) == neg_;
+}
+
+std::vector<Literal> Cube::shared_literals(const Cube& other) const {
+  std::vector<Literal> out;
+  std::uint64_t both_pos = pos_ & other.pos_;
+  std::uint64_t both_neg = neg_ & other.neg_;
+  for (int v = 0; v < kMaxVars; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (both_pos & bit) out.push_back({v, true});
+    if (both_neg & bit) out.push_back({v, false});
+  }
+  return out;
+}
+
+std::vector<Literal> Cube::literals() const {
+  std::vector<Literal> out;
+  for (int v = 0; v < kMaxVars; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (pos_ & bit) out.push_back({v, true});
+    if (neg_ & bit) out.push_back({v, false});
+  }
+  return out;
+}
+
+std::string Cube::to_string(const std::vector<std::string>& names) const {
+  if (empty()) return "1";
+  std::string out;
+  for (const Literal& lit : literals()) {
+    if (!out.empty()) out += ' ';
+    if (static_cast<std::size_t>(lit.var) < names.size()) {
+      out += names[static_cast<std::size_t>(lit.var)];
+    } else {
+      out += 'x' + std::to_string(lit.var);
+    }
+    if (!lit.positive) out += '\'';
+  }
+  return out;
+}
+
+}  // namespace ftl::logic

@@ -1,0 +1,80 @@
+#pragma once
+// Product terms (cubes) over up to 64 Boolean variables.
+//
+// A cube is a conjunction of literals; each variable appears positively,
+// negatively, or not at all. Cubes are the currency of the lattice synthesis
+// path: the Altun–Riedel method intersects products of a function with
+// products of its dual to pick the literal placed on each lattice cell.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftl::logic {
+
+/// A single literal: variable index plus polarity.
+struct Literal {
+  int var = 0;
+  bool positive = true;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+/// Conjunction of literals over variables 0..63. The empty cube is the
+/// constant-1 product.
+class Cube {
+ public:
+  static constexpr int kMaxVars = 64;
+
+  Cube() = default;
+
+  /// Builds a cube from literals; throws ftl::Error on a contradictory pair
+  /// (x and !x) or an out-of-range variable index.
+  static Cube from_literals(const std::vector<Literal>& literals);
+
+  /// Adds one literal; throws ftl::Error on contradiction/out-of-range.
+  void add(Literal lit);
+
+  /// True when the variable appears (either polarity).
+  bool mentions(int var) const;
+
+  /// Polarity of `var` if present.
+  std::optional<bool> polarity(int var) const;
+
+  /// Number of literals.
+  int size() const;
+
+  bool empty() const { return pos_ == 0 && neg_ == 0; }
+
+  std::uint64_t positive_mask() const { return pos_; }
+  std::uint64_t negative_mask() const { return neg_; }
+
+  /// Evaluates under `assignment`, where bit v gives the value of variable v.
+  bool evaluate(std::uint64_t assignment) const;
+
+  /// True when every literal of *this also appears in `other` — i.e. *this
+  /// covers (absorbs) `other` as a product term.
+  bool covers(const Cube& other) const;
+
+  /// Literals common to both cubes (same variable, same polarity).
+  std::vector<Literal> shared_literals(const Cube& other) const;
+
+  /// All literals in ascending variable order.
+  std::vector<Literal> literals() const;
+
+  /// Renders with the given variable names, e.g. "a b' c". `names` may be
+  /// empty, in which case x0, x1, ... are used.
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+
+  /// Lexicographic order for canonical SOP sorting.
+  friend auto operator<=>(const Cube& a, const Cube& b) = default;
+
+ private:
+  std::uint64_t pos_ = 0;
+  std::uint64_t neg_ = 0;
+};
+
+}  // namespace ftl::logic

@@ -1,0 +1,193 @@
+#include "ftl/logic/expr_parser.hpp"
+
+#include <cctype>
+#include <memory>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+namespace {
+
+enum class NodeKind { kVar, kConst, kNot, kAnd, kOr };
+
+struct Node {
+  NodeKind kind;
+  int var = -1;        // kVar
+  bool value = false;  // kConst
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::vector<std::string> names, bool fixed)
+      : text_(text), names_(std::move(names)), fixed_names_(fixed) {}
+
+  NodePtr parse() {
+    NodePtr root = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ftl::Error("expression: unexpected character '" +
+                       std::string(1, text_[pos_]) + "' at offset " +
+                       std::to_string(pos_));
+    }
+    return root;
+  }
+
+  std::vector<std::string> take_names() { return std::move(names_); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool at_factor_start() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '(' || c == '!';
+  }
+
+  NodePtr parse_or() {
+    NodePtr lhs = parse_and();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '|')) {
+        ++pos_;
+        NodePtr rhs = parse_and();
+        auto node = std::make_unique<Node>();
+        node->kind = NodeKind::kOr;
+        node->lhs = std::move(lhs);
+        node->rhs = std::move(rhs);
+        lhs = std::move(node);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parse_and() {
+    NodePtr lhs = parse_factor();
+    for (;;) {
+      skip_ws();
+      bool explicit_op = false;
+      if (pos_ < text_.size() && (text_[pos_] == '*' || text_[pos_] == '&')) {
+        ++pos_;
+        explicit_op = true;
+      }
+      if (!explicit_op && !at_factor_start()) return lhs;
+      NodePtr rhs = parse_factor();
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  NodePtr parse_factor() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw ftl::Error("expression: unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::kNot;
+      node->lhs = parse_factor();
+      return node;
+    }
+    NodePtr atom;
+    if (c == '(') {
+      ++pos_;
+      atom = parse_or();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        throw ftl::Error("expression: missing ')'");
+      }
+      ++pos_;
+    } else if (c == '0' || c == '1') {
+      ++pos_;
+      atom = std::make_unique<Node>();
+      atom->kind = NodeKind::kConst;
+      atom->value = (c == '1');
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = pos_ + 1;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) != 0 ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      const std::string name(text_.substr(pos_, end - pos_));
+      pos_ = end;
+      atom = std::make_unique<Node>();
+      atom->kind = NodeKind::kVar;
+      atom->var = lookup(name);
+    } else {
+      throw ftl::Error("expression: unexpected character '" + std::string(1, c) +
+                       "' at offset " + std::to_string(pos_));
+    }
+    // Postfix complement(s).
+    while (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      auto node = std::make_unique<Node>();
+      node->kind = NodeKind::kNot;
+      node->lhs = std::move(atom);
+      atom = std::move(node);
+    }
+    return atom;
+  }
+
+  int lookup(const std::string& name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    if (fixed_names_) {
+      throw ftl::Error("expression: unknown variable '" + name + "'");
+    }
+    if (names_.size() >= TruthTable::kMaxVars) {
+      throw ftl::Error("expression: too many variables (max 26)");
+    }
+    names_.push_back(name);
+    return static_cast<int>(names_.size()) - 1;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> names_;
+  bool fixed_names_;
+};
+
+bool evaluate(const Node& node, std::uint64_t assignment) {
+  switch (node.kind) {
+    case NodeKind::kVar: return ((assignment >> node.var) & 1) != 0;
+    case NodeKind::kConst: return node.value;
+    case NodeKind::kNot: return !evaluate(*node.lhs, assignment);
+    case NodeKind::kAnd:
+      return evaluate(*node.lhs, assignment) && evaluate(*node.rhs, assignment);
+    case NodeKind::kOr:
+      return evaluate(*node.lhs, assignment) || evaluate(*node.rhs, assignment);
+  }
+  throw ftl::Error("expression: corrupt AST");
+}
+
+}  // namespace
+
+ParsedFunction parse_expression(std::string_view text,
+                                std::vector<std::string> var_names) {
+  const bool fixed = !var_names.empty();
+  Parser parser(text, std::move(var_names), fixed);
+  const NodePtr root = parser.parse();
+  ParsedFunction out;
+  out.var_names = parser.take_names();
+  out.table = TruthTable::from_function(
+      static_cast<int>(out.var_names.size()),
+      [&root](std::uint64_t m) { return evaluate(*root, m); });
+  return out;
+}
+
+}  // namespace ftl::logic

@@ -1,0 +1,33 @@
+#pragma once
+// Boolean expression parser for examples and tests.
+//
+// Grammar (whitespace-insensitive except as a product separator):
+//   expr   := term ('+' | '|') term ...
+//   term   := factor (('*' | '&' | whitespace) factor) ...
+//   factor := '!' factor | atom | atom '\''...     (postfix ' = complement)
+//   atom   := identifier | '0' | '1' | '(' expr ')'
+//   identifier := [A-Za-z][A-Za-z0-9_]*
+//
+// Example: "a b' c + a' b c' " or "x1*x2 + !x3".
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::logic {
+
+struct ParsedFunction {
+  TruthTable table;
+  std::vector<std::string> var_names;  ///< index = variable index in table
+};
+
+/// Parses `text` into a truth table. When `var_names` is non-empty it fixes
+/// the variable ordering (unknown identifiers are an error); otherwise
+/// variables are numbered in order of first appearance.
+/// Throws ftl::Error on syntax errors or more than 26 variables.
+ParsedFunction parse_expression(std::string_view text,
+                                std::vector<std::string> var_names = {});
+
+}  // namespace ftl::logic

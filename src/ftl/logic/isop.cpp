@@ -1,0 +1,85 @@
+#include "ftl/logic/isop.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+namespace {
+
+struct IsopResult {
+  std::vector<Cube> cover;
+  TruthTable function;  // the Boolean function of the cover
+};
+
+/// Core recursion: returns a cover F with L <= F <= U (as sets of minterms).
+IsopResult isop_interval(const TruthTable& lower, const TruthTable& upper,
+                         int from_var) {
+  const int n = lower.num_vars();
+  if (lower.is_zero()) {
+    return {{}, TruthTable::constant(n, false)};
+  }
+  if (upper.is_one()) {
+    return {{Cube{}}, TruthTable::constant(n, true)};
+  }
+
+  // Find a variable either bound depends on. One must exist: otherwise both
+  // are constants, and the constant cases were handled above.
+  int var = -1;
+  for (int v = from_var; v < n; ++v) {
+    if (lower.depends_on(v) || upper.depends_on(v)) {
+      var = v;
+      break;
+    }
+  }
+  FTL_ENSURES(var >= 0);
+
+  const TruthTable l0 = lower.cofactor(var, false);
+  const TruthTable l1 = lower.cofactor(var, true);
+  const TruthTable u0 = upper.cofactor(var, false);
+  const TruthTable u1 = upper.cofactor(var, true);
+
+  // Minterms that can only be covered by a cube containing the literal.
+  IsopResult r0 = isop_interval(l0 & ~u1, u0, var + 1);
+  IsopResult r1 = isop_interval(l1 & ~u0, u1, var + 1);
+
+  // Onset still uncovered after the literal cubes; cover it variable-free.
+  const TruthTable remaining = (l0 & ~r0.function) | (l1 & ~r1.function);
+  IsopResult r2 = isop_interval(remaining, u0 & u1, var + 1);
+
+  IsopResult out;
+  out.cover.reserve(r0.cover.size() + r1.cover.size() + r2.cover.size());
+  for (Cube& c : r0.cover) {
+    c.add({var, false});
+    out.cover.push_back(std::move(c));
+  }
+  for (Cube& c : r1.cover) {
+    c.add({var, true});
+    out.cover.push_back(std::move(c));
+  }
+  for (Cube& c : r2.cover) out.cover.push_back(std::move(c));
+
+  const TruthTable xv = TruthTable::variable(n, var);
+  out.function = (~xv & r0.function) | (xv & r1.function) | r2.function;
+  return out;
+}
+
+}  // namespace
+
+Sop isop(const TruthTable& onset, const TruthTable& dontcare) {
+  FTL_EXPECTS(onset.num_vars() == dontcare.num_vars());
+  IsopResult r = isop_interval(onset, onset | dontcare, 0);
+  FTL_ENSURES(onset.implies(r.function));
+  FTL_ENSURES(r.function.implies(onset | dontcare));
+  Sop out(onset.num_vars(), std::move(r.cover));
+  out.canonicalize();
+  return out;
+}
+
+Sop isop(const TruthTable& function) {
+  return isop(function, TruthTable::constant(function.num_vars(), false));
+}
+
+Sop isop_of_dual(const TruthTable& function) {
+  return isop(function.dual());
+}
+
+}  // namespace ftl::logic

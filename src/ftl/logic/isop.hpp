@@ -1,0 +1,25 @@
+#pragma once
+// Minato–Morreale irredundant sum-of-products extraction.
+//
+// The lattice synthesis of [Altun & Riedel, IEEE TC 2012] — which §II of the
+// paper builds on — consumes an ISOP of the target function f and an ISOP of
+// its dual f^D. This implements the classic recursive interval algorithm
+// ISOP(L, U) producing a cover F of primes with L <= F <= U.
+
+#include "ftl/logic/sop.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::logic {
+
+/// Irredundant SOP cover of `onset`, optionally widened by a don't-care set.
+/// The result evaluates to 1 on every onset minterm, to 0 everywhere outside
+/// onset ∪ dontcare, and no cube can be dropped without uncovering onset.
+Sop isop(const TruthTable& onset, const TruthTable& dontcare);
+
+/// ISOP of a completely specified function.
+Sop isop(const TruthTable& function);
+
+/// ISOP of the Boolean dual f^D(x) = ¬f(¬x).
+Sop isop_of_dual(const TruthTable& function);
+
+}  // namespace ftl::logic

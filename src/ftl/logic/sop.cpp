@@ -1,0 +1,75 @@
+#include "ftl/logic/sop.hpp"
+
+#include <algorithm>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+
+Sop::Sop(int num_vars) : num_vars_(num_vars) {
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= Cube::kMaxVars);
+}
+
+Sop::Sop(int num_vars, std::vector<Cube> cubes) : Sop(num_vars) {
+  for (Cube& c : cubes) add(std::move(c));
+}
+
+void Sop::add(Cube cube) {
+  const std::uint64_t used = cube.positive_mask() | cube.negative_mask();
+  const std::uint64_t allowed =
+      num_vars_ >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << num_vars_) - 1);
+  if ((used & ~allowed) != 0) {
+    throw ftl::Error("Sop: cube mentions a variable >= num_vars");
+  }
+  cubes_.push_back(std::move(cube));
+}
+
+bool Sop::evaluate(std::uint64_t assignment) const {
+  for (const Cube& c : cubes_) {
+    if (c.evaluate(assignment)) return true;
+  }
+  return false;
+}
+
+void Sop::absorb() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < cubes_.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].covers(cubes_[i])) {
+        // Equal cubes absorb each other; keep only the first occurrence.
+        if (cubes_[j] == cubes_[i]) {
+          absorbed = j < i;
+        } else {
+          absorbed = true;
+        }
+      }
+    }
+    if (!absorbed) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+void Sop::canonicalize() {
+  std::sort(cubes_.begin(), cubes_.end());
+}
+
+bool Sop::has_constant_one() const {
+  return std::any_of(cubes_.begin(), cubes_.end(),
+                     [](const Cube& c) { return c.empty(); });
+}
+
+std::string Sop::to_string(const std::vector<std::string>& names) const {
+  if (cubes_.empty()) return "0";
+  std::string out;
+  for (const Cube& c : cubes_) {
+    if (!out.empty()) out += " + ";
+    out += c.to_string(names);
+  }
+  return out;
+}
+
+}  // namespace ftl::logic

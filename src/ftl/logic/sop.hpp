@@ -1,0 +1,51 @@
+#pragma once
+// Sum-of-products covers built from Cubes, with absorption-based
+// simplification. The lattice function of §II is exactly such a cover: the
+// OR over irredundant top-to-bottom paths of the AND of their control
+// variables.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/logic/cube.hpp"
+
+namespace ftl::logic {
+
+/// Disjunction of cubes over `num_vars` variables.
+class Sop {
+ public:
+  Sop() = default;
+  explicit Sop(int num_vars);
+  Sop(int num_vars, std::vector<Cube> cubes);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  int size() const { return static_cast<int>(cubes_.size()); }
+
+  /// Appends a cube; variables must lie below num_vars().
+  void add(Cube cube);
+
+  /// Evaluates under `assignment` (bit v = value of variable v).
+  bool evaluate(std::uint64_t assignment) const;
+
+  /// Removes cubes covered (absorbed) by another cube of the cover, and
+  /// duplicate cubes. "x + x y = x".
+  void absorb();
+
+  /// Sorts cubes lexicographically for deterministic output.
+  void canonicalize();
+
+  /// True when some cube is the constant-1 product.
+  bool has_constant_one() const;
+
+  /// Renders as "a b' + c", using names or x<i> fallbacks.
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace ftl::logic

@@ -1,0 +1,199 @@
+#include "ftl/logic/truth_table.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::logic {
+namespace {
+
+std::size_t word_count(int num_vars) {
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  return static_cast<std::size_t>((bits + 63) / 64);
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= kMaxVars);
+  words_.assign(word_count(num_vars), 0);
+}
+
+void TruthTable::mask_tail() {
+  if (num_vars_ >= 6) return;
+  const std::uint64_t bits = std::uint64_t{1} << num_vars_;
+  words_[0] &= (bits == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+TruthTable TruthTable::from_function(
+    int num_vars, const std::function<bool(std::uint64_t)>& fn) {
+  TruthTable t(num_vars);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (fn(m)) t.set(m, true);
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_sop(const Sop& sop) {
+  FTL_EXPECTS(sop.num_vars() <= kMaxVars);
+  return from_function(sop.num_vars(),
+                       [&sop](std::uint64_t m) { return sop.evaluate(m); });
+}
+
+TruthTable TruthTable::from_bits(int num_vars, std::uint64_t bits) {
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= 6);
+  TruthTable t(num_vars);
+  t.words_[0] = bits;
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::constant(int num_vars, bool value) {
+  TruthTable t(num_vars);
+  if (value) {
+    for (auto& w : t.words_) w = ~std::uint64_t{0};
+    t.mask_tail();
+  }
+  return t;
+}
+
+TruthTable TruthTable::variable(int num_vars, int var) {
+  FTL_EXPECTS(var >= 0 && var < num_vars);
+  return from_function(num_vars, [var](std::uint64_t m) {
+    return ((m >> var) & 1) != 0;
+  });
+}
+
+bool TruthTable::get(std::uint64_t minterm) const {
+  FTL_EXPECTS(minterm < num_minterms());
+  return ((words_[minterm >> 6] >> (minterm & 63)) & 1) != 0;
+}
+
+void TruthTable::set(std::uint64_t minterm, bool value) {
+  FTL_EXPECTS(minterm < num_minterms());
+  const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
+  if (value) {
+    words_[minterm >> 6] |= bit;
+  } else {
+    words_[minterm >> 6] &= ~bit;
+  }
+}
+
+bool TruthTable::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_one() const {
+  return count_ones() == num_minterms();
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t acc = 0;
+  for (std::uint64_t w : words_) acc += static_cast<std::uint64_t>(std::popcount(w));
+  return acc;
+}
+
+bool TruthTable::depends_on(int var) const {
+  FTL_EXPECTS(var >= 0 && var < num_vars_);
+  return !(cofactor(var, false) == cofactor(var, true));
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  FTL_EXPECTS(var >= 0 && var < num_vars_);
+  TruthTable out(num_vars_);
+  if (var >= 6) {
+    // Whole-word block copy: blocks of 2^(var-6) words alternate var=0/var=1.
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t base = 0; base < words_.size(); base += 2 * block) {
+      const std::size_t src = base + (value ? block : 0);
+      for (std::size_t i = 0; i < block; ++i) {
+        out.words_[base + i] = words_[src + i];
+        out.words_[base + block + i] = words_[src + i];
+      }
+    }
+  } else {
+    // In-word shuffle via masks.
+    const int shift = 1 << var;
+    std::uint64_t mask = 0;
+    for (std::uint64_t m = 0; m < 64; ++m) {
+      if (((m >> var) & 1) == 0) mask |= std::uint64_t{1} << m;
+    }
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t src = words_[w];
+      std::uint64_t half;
+      if (value) {
+        half = (src >> shift) & mask;  // var=1 slice moved into var=0 slots
+      } else {
+        half = src & mask;
+      }
+      out.words_[w] = half | (half << shift);
+    }
+    out.mask_tail();
+  }
+  return out;
+}
+
+TruthTable TruthTable::dual() const {
+  const std::uint64_t all = num_minterms() - 1;
+  TruthTable out(num_vars_);
+  for (std::uint64_t m = 0; m <= all; ++m) {
+    out.set(m, !get(~m & all));
+  }
+  return out;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable out(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.mask_tail();
+  return out;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& rhs) const {
+  FTL_EXPECTS(num_vars_ == rhs.num_vars_);
+  TruthTable out(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = words_[i] & rhs.words_[i];
+  return out;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& rhs) const {
+  FTL_EXPECTS(num_vars_ == rhs.num_vars_);
+  TruthTable out(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = words_[i] | rhs.words_[i];
+  return out;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& rhs) const {
+  FTL_EXPECTS(num_vars_ == rhs.num_vars_);
+  TruthTable out(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = words_[i] ^ rhs.words_[i];
+  return out;
+}
+
+bool operator==(const TruthTable& a, const TruthTable& b) {
+  return a.num_vars_ == b.num_vars_ && a.words_ == b.words_;
+}
+
+bool TruthTable::implies(const TruthTable& g) const {
+  FTL_EXPECTS(num_vars_ == g.num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~g.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string TruthTable::to_hex() const {
+  std::ostringstream os;
+  os << std::hex;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    os << words_[i];
+    if (i != 0) os << '_';
+  }
+  return os.str();
+}
+
+}  // namespace ftl::logic

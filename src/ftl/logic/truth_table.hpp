@@ -1,0 +1,84 @@
+#pragma once
+// Dense truth tables over up to 26 variables.
+//
+// Truth tables are the semantic ground truth in this project: lattice
+// realizations are checked against them, ISOP extraction runs on them, and
+// the Boolean dual needed by the Altun–Riedel synthesis (f^D(x) = ¬f(¬x)) is
+// a cheap bit permutation here.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ftl/logic/sop.hpp"
+
+namespace ftl::logic {
+
+/// Truth table of a Boolean function of `num_vars` inputs. Bit i of the
+/// table is f(i) where bit v of i is the value of variable v.
+class TruthTable {
+ public:
+  static constexpr int kMaxVars = 26;
+
+  TruthTable() = default;
+
+  /// Constant-0 function of `num_vars` inputs.
+  explicit TruthTable(int num_vars);
+
+  /// Builds from a per-minterm callback.
+  static TruthTable from_function(int num_vars,
+                                  const std::function<bool(std::uint64_t)>& fn);
+
+  /// Builds from an SOP cover.
+  static TruthTable from_sop(const Sop& sop);
+
+  /// Builds from the low 2^num_vars bits of `bits` (num_vars <= 6).
+  static TruthTable from_bits(int num_vars, std::uint64_t bits);
+
+  static TruthTable constant(int num_vars, bool value);
+
+  /// Projection onto a single variable.
+  static TruthTable variable(int num_vars, int var);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t num_minterms() const { return std::uint64_t{1} << num_vars_; }
+
+  bool get(std::uint64_t minterm) const;
+  void set(std::uint64_t minterm, bool value);
+
+  bool is_zero() const;
+  bool is_one() const;
+  std::uint64_t count_ones() const;
+
+  /// True when the function's value depends on variable `var`.
+  bool depends_on(int var) const;
+
+  /// Cofactor with `var` fixed to `value`; the result no longer depends on
+  /// `var` (the fixed slice is replicated across both halves).
+  TruthTable cofactor(int var, bool value) const;
+
+  /// Boolean dual: f^D(x) = ¬f(¬x).
+  TruthTable dual() const;
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& rhs) const;
+  TruthTable operator|(const TruthTable& rhs) const;
+  TruthTable operator^(const TruthTable& rhs) const;
+
+  friend bool operator==(const TruthTable& a, const TruthTable& b);
+
+  /// True when f(x)=1 implies g(x)=1 for all x.
+  bool implies(const TruthTable& g) const;
+
+  /// Hex rendering (LSB minterm last), for diagnostics.
+  std::string to_hex() const;
+
+ private:
+  void mask_tail();
+
+  int num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ftl::logic

@@ -1,0 +1,80 @@
+#include "ftl/spice/circuit.hpp"
+
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+
+namespace ftl::spice {
+namespace {
+
+bool is_ground_name(const std::string& name) {
+  return name == "0" || util::iequals(name, "gnd");
+}
+
+}  // namespace
+
+int Circuit::node(const std::string& name) {
+  if (is_ground_name(name)) return kGround;
+  const auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  const int index = static_cast<int>(node_names_.size());
+  node_index_.emplace(name, index);
+  node_names_.push_back(name);
+  return index;
+}
+
+int Circuit::find_node(const std::string& name) const {
+  if (is_ground_name(name)) return kGround;
+  const auto it = node_index_.find(name);
+  if (it == node_index_.end()) throw ftl::Error("unknown node: " + name);
+  return it->second;
+}
+
+const std::string& Circuit::node_name(int index) const {
+  static const std::string ground = "0";
+  if (index == kGround) return ground;
+  FTL_EXPECTS(index >= 0 && index < node_count());
+  return node_names_[static_cast<std::size_t>(index)];
+}
+
+Device& Circuit::add(std::unique_ptr<Device> device) {
+  FTL_EXPECTS(device != nullptr);
+  if (has_device(device->name())) {
+    throw ftl::Error("duplicate device name: " + device->name());
+  }
+  devices_.push_back(std::move(device));
+  return *devices_.back();
+}
+
+Device& Circuit::device(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return *d;
+  }
+  throw ftl::Error("unknown device: " + name);
+}
+
+bool Circuit::has_device(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return true;
+  }
+  return false;
+}
+
+int Circuit::prepare_unknowns() {
+  int next = node_count();
+  for (const auto& d : devices_) {
+    if (d->branch_count() > 0) {
+      d->set_branch_offset(next);
+      next += d->branch_count();
+    }
+  }
+  return next;
+}
+
+bool Circuit::has_nonlinear_devices() const {
+  for (const auto& d : devices_) {
+    if (d->is_nonlinear()) return true;
+  }
+  return false;
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,95 @@
+#pragma once
+// Circuit model: named nodes, devices, and the MNA sizing bookkeeping.
+// Devices are polymorphic; the analyses in dcop/dcsweep/transient only see
+// the Device interface.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/spice/mna.hpp"
+
+namespace ftl::spice {
+
+/// Base class for all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra MNA unknowns (branch currents) this device adds.
+  virtual int branch_count() const { return 0; }
+
+  /// First branch-unknown index, assigned by the circuit before analysis.
+  void set_branch_offset(int offset) { branch_offset_ = offset; }
+  int branch_offset() const { return branch_offset_; }
+
+  /// Writes the (linearized) companion model at the context's iterate.
+  virtual void stamp(Stamper& stamper, const EvalContext& ctx) const = 0;
+
+  /// True when the device needs Newton iteration.
+  virtual bool is_nonlinear() const { return false; }
+
+  /// Latches reactive state after an accepted transient step.
+  virtual void commit_step(const linalg::Vector& /*solution*/,
+                           const EvalContext& /*ctx*/) {}
+
+  /// Seeds reactive state from the DC operating point before a transient.
+  virtual void initialize_state(const linalg::Vector& /*dc_solution*/) {}
+
+  /// Appends the device's waveform breakpoints in (0, tstop) for the
+  /// transient scheduler (sources override this).
+  virtual void add_breakpoints(double /*tstop*/,
+                               std::vector<double>& /*out*/) const {}
+
+ private:
+  std::string name_;
+  int branch_offset_ = -1;
+};
+
+/// A flat circuit: nodes, devices, ground conventions ("0" and "gnd").
+class Circuit {
+ public:
+  static constexpr int kGround = -1;
+
+  /// Returns the index for a node name, creating it on first use.
+  /// "0" and "gnd" (case-insensitive) map to kGround.
+  int node(const std::string& name);
+
+  /// Looks up an existing node; throws ftl::Error when unknown.
+  int find_node(const std::string& name) const;
+
+  /// Name of a node index (for reporting).
+  const std::string& node_name(int index) const;
+
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+
+  /// Adds a device; returns a reference valid for the circuit's lifetime.
+  Device& add(std::unique_ptr<Device> device);
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  /// Finds a device by name; throws ftl::Error when absent.
+  Device& device(const std::string& name) const;
+
+  bool has_device(const std::string& name) const;
+
+  /// Total unknown count (nodes + branches); assigns branch offsets.
+  int prepare_unknowns();
+
+  /// True when some device needs Newton iteration.
+  bool has_nonlinear_devices() const;
+
+ private:
+  std::unordered_map<std::string, int> node_index_;
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace ftl::spice

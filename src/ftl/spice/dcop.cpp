@@ -1,0 +1,128 @@
+#include "ftl/spice/dcop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/linalg/lu.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
+                      EvalContext ctx, const NewtonOptions& options) {
+  const int n = circuit.prepare_unknowns();
+  OpResult result;
+  result.solution = initial.size() == static_cast<std::size_t>(n)
+                        ? initial
+                        : linalg::Vector(static_cast<std::size_t>(n), 0.0);
+  result.gmin_used = ctx.gmin;
+
+  const int node_count = circuit.node_count();
+  // Step clamping is a nonlinear-convergence aid; a linear system's first
+  // solve is already exact and must not be truncated.
+  const bool clamp_steps = circuit.has_nonlinear_devices();
+  linalg::Matrix a;
+  linalg::Vector z;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    a.assign(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    z.assign(static_cast<std::size_t>(n), 0.0);
+    Stamper stamper(a, z);
+    ctx.solution = &result.solution;
+    for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
+
+    linalg::Vector next;
+    try {
+      next = linalg::solve(std::move(a), z);
+    } catch (const ftl::Error& e) {
+      throw ftl::Error(std::string("DC solve failed (") + e.what() +
+                       "); check for floating nodes");
+    }
+
+    // Clamp the Newton step on node voltages to aid convergence.
+    bool converged = true;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      double delta = next[ui] - result.solution[ui];
+      if (clamp_steps && i < node_count) {
+        delta = std::clamp(delta, -options.max_step, options.max_step);
+      }
+      const double updated = result.solution[ui] + delta;
+      const double tol =
+          options.abstol + options.reltol * std::max(std::fabs(updated),
+                                                     std::fabs(result.solution[ui]));
+      if (std::fabs(delta) > tol) converged = false;
+      result.solution[ui] = updated;
+    }
+    if (converged && iter > 0) {
+      result.converged = true;
+      return result;
+    }
+    if (!circuit.has_nonlinear_devices() && iter == 0) {
+      // Linear circuits land in one solve.
+      result.converged = true;
+      result.iterations = 1;
+      return result;
+    }
+  }
+  return result;
+}
+
+OpResult dc_operating_point(Circuit& circuit, const NewtonOptions& options) {
+  EvalContext ctx;
+  ctx.is_transient = false;
+  ctx.gmin = options.gmin;
+
+  // Plain Newton from a zero start.
+  OpResult direct = newton_solve(circuit, {}, ctx, options);
+  if (direct.converged) return direct;
+
+  // gmin stepping: solve an easier (leakier) circuit, then tighten.
+  linalg::Vector guess;
+  bool have_guess = false;
+  for (double gmin = 1e-2; gmin >= options.gmin; gmin /= 10.0) {
+    EvalContext step_ctx = ctx;
+    step_ctx.gmin = gmin;
+    OpResult r = newton_solve(circuit, have_guess ? guess : linalg::Vector{},
+                              step_ctx, options);
+    if (!r.converged) break;
+    guess = r.solution;
+    have_guess = true;
+    if (gmin <= options.gmin * 10.0) {
+      EvalContext final_ctx = ctx;
+      OpResult final = newton_solve(circuit, guess, final_ctx, options);
+      if (final.converged) return final;
+      break;
+    }
+  }
+
+  // Source stepping from whatever the gmin ladder produced, with an
+  // adaptive step: a failed rung halves the increment and retries from the
+  // last good solution.
+  double scale = 0.0;
+  double step = 0.1;
+  while (scale < 1.0) {
+    const double attempt_scale = std::min(scale + step, 1.0);
+    EvalContext step_ctx = ctx;
+    step_ctx.source_scale = attempt_scale;
+    OpResult r = newton_solve(circuit, have_guess ? guess : linalg::Vector{},
+                              step_ctx, options);
+    if (r.converged) {
+      scale = attempt_scale;
+      guess = r.solution;
+      have_guess = true;
+      step = std::min(step * 2.0, 0.25);
+      if (scale >= 1.0) return r;
+    } else {
+      step /= 2.0;
+      if (step < 1e-4) {
+        throw ftl::Error(
+            "DC operating point: source stepping stalled at scale " +
+            std::to_string(scale));
+      }
+    }
+  }
+  throw ftl::Error("DC operating point: convergence failed");
+}
+
+}  // namespace ftl::spice

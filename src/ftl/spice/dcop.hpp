@@ -1,0 +1,35 @@
+#pragma once
+// Newton–Raphson DC operating point with the two classic SPICE rescue
+// ladders: gmin stepping and source stepping.
+
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  double abstol = 1e-6;      ///< node-voltage absolute tolerance, V
+  double reltol = 1e-3;
+  double max_step = 2.0;     ///< Newton voltage-step clamp, V
+  double gmin = 1e-12;
+};
+
+struct OpResult {
+  linalg::Vector solution;  ///< node voltages then branch currents
+  bool converged = false;
+  int iterations = 0;       ///< Newton iterations of the final ladder rung
+  double gmin_used = 0.0;   ///< final gmin (diagnostic)
+};
+
+/// Computes the DC operating point. Tries plain Newton, then gmin stepping,
+/// then source stepping. Throws ftl::Error on a singular system.
+OpResult dc_operating_point(Circuit& circuit, const NewtonOptions& options = {});
+
+/// One Newton solve at fixed context knobs; used by the steppers, the DC
+/// sweep and the transient engine. `initial` seeds the iteration (may be
+/// empty). `ctx_template` supplies time/integrator/source-scale knobs; the
+/// solver pointer inside it is managed here.
+OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
+                      EvalContext ctx_template, const NewtonOptions& options);
+
+}  // namespace ftl::spice

@@ -1,0 +1,23 @@
+#pragma once
+// DC sweep: repeatedly solves the operating point while stepping one voltage
+// source, warm-starting each point from the previous solution (continuation).
+
+#include <string>
+
+#include "ftl/spice/dcop.hpp"
+
+namespace ftl::spice {
+
+struct DcSweepResult {
+  linalg::Vector sweep_values;
+  std::vector<linalg::Vector> solutions;  ///< one full solution per point
+  bool converged = false;                 ///< all points converged
+};
+
+/// Sweeps the DC value of voltage source `source_name` over `values`.
+/// The source's waveform is restored afterwards.
+DcSweepResult dc_sweep(Circuit& circuit, const std::string& source_name,
+                       const linalg::Vector& values,
+                       const NewtonOptions& options = {});
+
+}  // namespace ftl::spice

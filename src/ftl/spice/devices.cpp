@@ -1,0 +1,72 @@
+#include "ftl/spice/devices.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+Resistor::Resistor(std::string name, int a, int b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  FTL_EXPECTS_MSG(resistance > 0.0, "resistance must be positive");
+}
+
+void Resistor::stamp(Stamper& stamper, const EvalContext&) const {
+  stamper.conductance(a_, b_, 1.0 / resistance_);
+}
+
+double Resistor::current(const linalg::Vector& solution) const {
+  const double va = a_ < 0 ? 0.0 : solution[static_cast<std::size_t>(a_)];
+  const double vb = b_ < 0 ? 0.0 : solution[static_cast<std::size_t>(b_)];
+  return (va - vb) / resistance_;
+}
+
+Capacitor::Capacitor(std::string name, int a, int b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+  FTL_EXPECTS_MSG(capacitance > 0.0, "capacitance must be positive");
+}
+
+double Capacitor::branch_voltage(const linalg::Vector& solution) const {
+  const double va = a_ < 0 ? 0.0 : solution[static_cast<std::size_t>(a_)];
+  const double vb = b_ < 0 ? 0.0 : solution[static_cast<std::size_t>(b_)];
+  return va - vb;
+}
+
+void Capacitor::stamp(Stamper& stamper, const EvalContext& ctx) const {
+  if (!ctx.is_transient || ctx.dt <= 0.0) {
+    // DC: open circuit. A whisper of conductance keeps nodes that hang only
+    // on capacitors from making the operating-point matrix singular.
+    stamper.conductance(a_, b_, 1e-12);
+    return;
+  }
+  double g;
+  double i_eq;  // history current, injected from b to a
+  if (ctx.integrator == Integrator::kBackwardEuler) {
+    g = capacitance_ / ctx.dt;
+    i_eq = g * v_prev_;
+  } else {
+    g = 2.0 * capacitance_ / ctx.dt;
+    i_eq = g * v_prev_ + i_prev_;
+  }
+  stamper.conductance(a_, b_, g);
+  stamper.current_into(a_, i_eq);
+  stamper.current_into(b_, -i_eq);
+}
+
+void Capacitor::commit_step(const linalg::Vector& solution,
+                            const EvalContext& ctx) {
+  const double v_now = branch_voltage(solution);
+  if (ctx.dt > 0.0) {
+    if (ctx.integrator == Integrator::kBackwardEuler) {
+      i_prev_ = capacitance_ * (v_now - v_prev_) / ctx.dt;
+    } else {
+      i_prev_ = 2.0 * capacitance_ * (v_now - v_prev_) / ctx.dt - i_prev_;
+    }
+  }
+  v_prev_ = v_now;
+}
+
+void Capacitor::initialize_state(const linalg::Vector& dc_solution) {
+  v_prev_ = branch_voltage(dc_solution);
+  i_prev_ = 0.0;
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,46 @@
+#pragma once
+// Passive two-terminal devices: resistor and capacitor. The capacitor
+// carries its companion-model state (previous voltage and current) for the
+// backward-Euler / trapezoidal integrators.
+
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::spice {
+
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, int a, int b, double resistance);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+
+  double resistance() const { return resistance_; }
+  double current(const linalg::Vector& solution) const;
+
+ private:
+  int a_;
+  int b_;
+  double resistance_;
+};
+
+class Capacitor : public Device {
+ public:
+  Capacitor(std::string name, int a, int b, double capacitance);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  void commit_step(const linalg::Vector& solution,
+                   const EvalContext& ctx) override;
+  void initialize_state(const linalg::Vector& dc_solution) override;
+
+  double capacitance() const { return capacitance_; }
+
+ private:
+  double branch_voltage(const linalg::Vector& solution) const;
+
+  int a_;
+  int b_;
+  double capacitance_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+}  // namespace ftl::spice

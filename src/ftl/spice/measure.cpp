@@ -1,0 +1,81 @@
+#include "ftl/spice/measure.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+namespace {
+
+std::optional<double> crossing_after(const linalg::Vector& time,
+                                     const linalg::Vector& value, double level,
+                                     bool rising, double after) {
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    if (time[i] <= after) continue;
+    const double a = value[i - 1];
+    const double b = value[i];
+    const bool crosses = rising ? (a < level && b >= level)
+                                : (a > level && b <= level);
+    if (!crosses) continue;
+    const double f = (level - a) / (b - a);
+    const double t = time[i - 1] + f * (time[i] - time[i - 1]);
+    if (t > after) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> rise_time(const linalg::Vector& time,
+                                const linalg::Vector& value, double v_low,
+                                double v_high, double after) {
+  FTL_EXPECTS(time.size() == value.size() && v_high > v_low);
+  const double swing = v_high - v_low;
+  const auto t10 = crossing_after(time, value, v_low + 0.1 * swing, true, after);
+  if (!t10) return std::nullopt;
+  const auto t90 = crossing_after(time, value, v_low + 0.9 * swing, true, *t10);
+  if (!t90) return std::nullopt;
+  return *t90 - *t10;
+}
+
+std::optional<double> fall_time(const linalg::Vector& time,
+                                const linalg::Vector& value, double v_low,
+                                double v_high, double after) {
+  FTL_EXPECTS(time.size() == value.size() && v_high > v_low);
+  const double swing = v_high - v_low;
+  const auto t90 = crossing_after(time, value, v_low + 0.9 * swing, false, after);
+  if (!t90) return std::nullopt;
+  const auto t10 = crossing_after(time, value, v_low + 0.1 * swing, false, *t90);
+  if (!t10) return std::nullopt;
+  return *t10 - *t90;
+}
+
+double settled_value(const linalg::Vector& time, const linalg::Vector& value,
+                     double t0, double t1) {
+  FTL_EXPECTS(time.size() == value.size() && time.size() >= 2 && t1 > t0);
+  double area = 0.0;
+  double span = 0.0;
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    const double a = std::max(time[i - 1], t0);
+    const double b = std::min(time[i], t1);
+    if (b <= a) continue;
+    const double dt_seg = time[i] - time[i - 1];
+    const auto interp = [&](double t) {
+      const double f = dt_seg > 0.0 ? (t - time[i - 1]) / dt_seg : 0.0;
+      return value[i - 1] + f * (value[i] - value[i - 1]);
+    };
+    area += 0.5 * (interp(a) + interp(b)) * (b - a);
+    span += b - a;
+  }
+  FTL_EXPECTS_MSG(span > 0.0, "settled_value window outside waveform");
+  return area / span;
+}
+
+std::optional<double> crossing_time(const linalg::Vector& time,
+                                    const linalg::Vector& value, double level,
+                                    bool rising, double after) {
+  FTL_EXPECTS(time.size() == value.size());
+  return crossing_after(time, value, level, rising, after);
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,32 @@
+#pragma once
+// Waveform measurements used by the §V experiments: 10-90% rise and fall
+// times, settled levels, and threshold-crossing instants.
+
+#include <optional>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::spice {
+
+/// 10%-90% rise time of the first low-to-high transition after `after`,
+/// between the given levels. Returns nullopt when no full transition exists.
+std::optional<double> rise_time(const linalg::Vector& time,
+                                const linalg::Vector& value, double v_low,
+                                double v_high, double after = 0.0);
+
+/// 90%-10% fall time of the first high-to-low transition after `after`.
+std::optional<double> fall_time(const linalg::Vector& time,
+                                const linalg::Vector& value, double v_low,
+                                double v_high, double after = 0.0);
+
+/// Mean value over the window [t0, t1] (trapezoidal average).
+double settled_value(const linalg::Vector& time, const linalg::Vector& value,
+                     double t0, double t1);
+
+/// First instant after `after` at which the signal crosses `level` in the
+/// requested direction.
+std::optional<double> crossing_time(const linalg::Vector& time,
+                                    const linalg::Vector& value, double level,
+                                    bool rising, double after = 0.0);
+
+}  // namespace ftl::spice

@@ -1,0 +1,30 @@
+#include "ftl/spice/mna.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+void Stamper::conductance(int a, int b, double g) {
+  if (a >= 0) a_(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += g;
+  if (b >= 0) a_(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) += g;
+  if (a >= 0 && b >= 0) {
+    a_(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= g;
+    a_(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= g;
+  }
+}
+
+void Stamper::current_into(int node, double i) {
+  if (node >= 0) z_[static_cast<std::size_t>(node)] += i;
+}
+
+void Stamper::entry(int row, int col, double value) {
+  FTL_EXPECTS(row >= 0 && col >= 0);
+  a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+}
+
+void Stamper::rhs(int row, double value) {
+  FTL_EXPECTS(row >= 0);
+  z_[static_cast<std::size_t>(row)] += value;
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,54 @@
+#pragma once
+// Modified nodal analysis plumbing: the stamp interface every device writes
+// through, and the evaluation context handed to devices at each Newton
+// iteration. Node index -1 is ground; branch unknowns (voltage-source
+// currents) live after the node unknowns.
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::spice {
+
+/// Integration method for reactive companion models.
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// State handed to Device::stamp at one Newton iteration.
+struct EvalContext {
+  /// Current iterate: node voltages then branch currents.
+  const linalg::Vector* solution = nullptr;
+  double time = 0.0;       ///< transient time of the step being solved
+  double dt = 0.0;         ///< step size (0 during DC analyses)
+  bool is_transient = false;
+  Integrator integrator = Integrator::kTrapezoidal;
+  double gmin = 1e-12;     ///< conductance to ground at nonlinear terminals
+  double source_scale = 1.0;  ///< source-stepping homotopy factor
+
+  /// Voltage of a node (ground reads 0).
+  double voltage(int node) const {
+    return node < 0 ? 0.0 : (*solution)[static_cast<std::size_t>(node)];
+  }
+};
+
+/// Ground-aware writer into the MNA matrix A and right-hand side z of
+/// A x = z.
+class Stamper {
+ public:
+  Stamper(linalg::Matrix& a, linalg::Vector& z) : a_(a), z_(z) {}
+
+  /// Conductance g between nodes a and b (either may be ground).
+  void conductance(int a, int b, double g);
+
+  /// Current `i` injected INTO node (from the device).
+  void current_into(int node, double i);
+
+  /// Raw matrix entry; both indices must be non-ground unknowns.
+  void entry(int row, int col, double value);
+
+  /// Raw RHS entry.
+  void rhs(int row, double value);
+
+ private:
+  linalg::Matrix& a_;
+  linalg::Vector& z_;
+};
+
+}  // namespace ftl::spice

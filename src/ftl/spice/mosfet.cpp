@@ -1,0 +1,71 @@
+#include "ftl/spice/mosfet.hpp"
+
+#include <algorithm>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+Mosfet::Mosfet(std::string name, int drain, int gate, int source, int bulk,
+               fit::Level1Params params)
+    : Device(std::move(name)), drain_(drain), gate_(gate), source_(source),
+      bulk_(bulk), params_(params) {
+  FTL_EXPECTS(params.width > 0.0 && params.length > 0.0);
+  (void)bulk_;
+}
+
+void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) const {
+  double vd = ctx.voltage(drain_);
+  double vg = ctx.voltage(gate_);
+  double vs = ctx.voltage(source_);
+
+  // The level-1 channel is symmetric: operate on the terminal pair with the
+  // internal drain being the higher-potential side.
+  int d = drain_;
+  int s = source_;
+  if (vd < vs) {
+    std::swap(vd, vs);
+    std::swap(d, s);
+  }
+  const fit::Level1Derivatives lin =
+      fit::level1_derivatives(params_, vg - vs, vd - vs);
+
+  // Newton companion: Id ≈ Id0 + gm (vgs - vgs0) + gds (vds - vds0).
+  const double gm = lin.gm;
+  const double gds = lin.gds + ctx.gmin;
+  const double i_eq = lin.ids - gm * (vg - vs) - gds * (vd - vs);
+
+  // Row d: current Id leaves node d into the channel.
+  if (d >= 0) {
+    stamper.entry(d, d, gds);
+    if (gate_ >= 0) stamper.entry(d, gate_, gm);
+    if (s >= 0) stamper.entry(d, s, -(gm + gds));
+    stamper.rhs(d, -i_eq);
+  }
+  if (s >= 0) {
+    stamper.entry(s, s, gm + gds);
+    if (gate_ >= 0) stamper.entry(s, gate_, -gm);
+    if (d >= 0) stamper.entry(s, d, -gds);
+    stamper.rhs(s, i_eq);
+  }
+  // gmin ties the channel terminals weakly to ground for convergence.
+  stamper.conductance(d, -1, ctx.gmin);
+  stamper.conductance(s, -1, ctx.gmin);
+}
+
+double Mosfet::drain_current(const linalg::Vector& solution) const {
+  const auto v = [&solution](int n) {
+    return n < 0 ? 0.0 : solution[static_cast<std::size_t>(n)];
+  };
+  double vd = v(drain_);
+  const double vg = v(gate_);
+  double vs = v(source_);
+  double sign = 1.0;
+  if (vd < vs) {
+    std::swap(vd, vs);
+    sign = -1.0;
+  }
+  return sign * fit::level1_ids(params_, vg - vs, vd - vs);
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,33 @@
+#pragma once
+// Level-1 NMOS device for the circuit simulator — the model the paper fits
+// to the TCAD data (§IV). The bulk terminal is accepted for netlist
+// compatibility but, as in the paper's usage, it is always grounded and the
+// body effect is not modelled (the fitted Vth already absorbs it).
+
+#include "ftl/fit/mosfet_level1.hpp"
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::spice {
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, int drain, int gate, int source, int bulk,
+         fit::Level1Params params);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
+
+  const fit::Level1Params& params() const { return params_; }
+
+  /// Drain current at a given solution (positive into the drain).
+  double drain_current(const linalg::Vector& solution) const;
+
+ private:
+  int drain_;
+  int gate_;
+  int source_;
+  int bulk_;  // accepted, unused (grounded-body model)
+  fit::Level1Params params_;
+};
+
+}  // namespace ftl::spice

@@ -1,0 +1,66 @@
+#include "ftl/spice/mosfet3.hpp"
+
+#include <algorithm>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+Mosfet3::Mosfet3(std::string name, int drain, int gate, int source, int bulk,
+                 fit::Level3Params params)
+    : Device(std::move(name)), drain_(drain), gate_(gate), source_(source),
+      bulk_(bulk), params_(params) {
+  FTL_EXPECTS(params.width > 0.0 && params.length > 0.0 && params.vc > 0.0);
+  (void)bulk_;
+}
+
+void Mosfet3::stamp(Stamper& stamper, const EvalContext& ctx) const {
+  double vd = ctx.voltage(drain_);
+  double vg = ctx.voltage(gate_);
+  double vs = ctx.voltage(source_);
+
+  int d = drain_;
+  int s = source_;
+  if (vd < vs) {
+    std::swap(vd, vs);
+    std::swap(d, s);
+  }
+  const fit::Level3Derivatives lin =
+      fit::level3_derivatives(params_, vg - vs, vd - vs);
+
+  const double gm = lin.gm;
+  const double gds = lin.gds + ctx.gmin;
+  const double i_eq = lin.ids - gm * (vg - vs) - gds * (vd - vs);
+
+  if (d >= 0) {
+    stamper.entry(d, d, gds);
+    if (gate_ >= 0) stamper.entry(d, gate_, gm);
+    if (s >= 0) stamper.entry(d, s, -(gm + gds));
+    stamper.rhs(d, -i_eq);
+  }
+  if (s >= 0) {
+    stamper.entry(s, s, gm + gds);
+    if (gate_ >= 0) stamper.entry(s, gate_, -gm);
+    if (d >= 0) stamper.entry(s, d, -gds);
+    stamper.rhs(s, i_eq);
+  }
+  stamper.conductance(d, -1, ctx.gmin);
+  stamper.conductance(s, -1, ctx.gmin);
+}
+
+double Mosfet3::drain_current(const linalg::Vector& solution) const {
+  const auto v = [&solution](int n) {
+    return n < 0 ? 0.0 : solution[static_cast<std::size_t>(n)];
+  };
+  double vd = v(drain_);
+  const double vg = v(gate_);
+  double vs = v(source_);
+  double sign = 1.0;
+  if (vd < vs) {
+    std::swap(vd, vs);
+    sign = -1.0;
+  }
+  return sign * fit::level3_ids(params_, vg - vs, vd - vs);
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,31 @@
+#pragma once
+// Level-3 NMOS device for the circuit simulator — the §VI-A "more accurate
+// model" extension. Same grounded-body conventions as the level-1 Mosfet.
+
+#include "ftl/fit/mosfet_level3.hpp"
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::spice {
+
+class Mosfet3 : public Device {
+ public:
+  Mosfet3(std::string name, int drain, int gate, int source, int bulk,
+          fit::Level3Params params);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  bool is_nonlinear() const override { return true; }
+
+  const fit::Level3Params& params() const { return params_; }
+
+  /// Drain current at a given solution (positive into the drain).
+  double drain_current(const linalg::Vector& solution) const;
+
+ private:
+  int drain_;
+  int gate_;
+  int source_;
+  int bulk_;  // accepted, unused (grounded-body model)
+  fit::Level3Params params_;
+};
+
+}  // namespace ftl::spice

@@ -1,0 +1,270 @@
+#include "ftl/spice/netlist_parser.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "ftl/spice/devices.hpp"
+#include "ftl/spice/mosfet.hpp"
+#include "ftl/spice/mosfet3.hpp"
+#include "ftl/spice/sources.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+#include "ftl/util/units.hpp"
+
+namespace ftl::spice {
+namespace {
+
+using util::iequals;
+using util::istarts_with;
+using util::to_lower;
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ftl::Error("netlist line " + std::to_string(line) + ": " + message);
+}
+
+double number(int line, const std::string& token) {
+  const auto v = util::parse_engineering(token);
+  if (!v) fail(line, "malformed number '" + token + "'");
+  return *v;
+}
+
+/// Splits a physical line into tokens, treating parentheses and commas as
+/// whitespace (SPICE function-call syntax is decorative).
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string cleaned = line;
+  for (char& c : cleaned) {
+    if (c == '(' || c == ')' || c == ',') c = ' ';
+  }
+  return util::split(cleaned, " \t");
+}
+
+struct KeyValues {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;  // lower-cased keys
+};
+
+KeyValues classify(const std::vector<std::string>& tokens, std::size_t from) {
+  KeyValues kv;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      kv.positional.push_back(tokens[i]);
+    } else {
+      kv.named[to_lower(tokens[i].substr(0, eq))] = tokens[i].substr(eq + 1);
+    }
+  }
+  return kv;
+}
+
+Waveform parse_source_waveform(int line, const KeyValues& kv) {
+  const auto& p = kv.positional;
+  if (p.empty()) fail(line, "source needs a value or waveform");
+  if (iequals(p[0], "dc")) {
+    if (p.size() < 2) fail(line, "DC needs a value");
+    return Waveform::dc(number(line, p[1]));
+  }
+  if (iequals(p[0], "pulse")) {
+    if (p.size() < 7) fail(line, "PULSE needs v1 v2 delay rise fall width [period]");
+    const double period = p.size() >= 8 ? number(line, p[7]) : 0.0;
+    return Waveform::pulse(number(line, p[1]), number(line, p[2]),
+                           number(line, p[3]), number(line, p[4]),
+                           number(line, p[5]), number(line, p[6]), period);
+  }
+  if (iequals(p[0], "pwl")) {
+    if (p.size() < 3 || (p.size() - 1) % 2 != 0) {
+      fail(line, "PWL needs t/v pairs");
+    }
+    std::vector<std::pair<double, double>> points;
+    for (std::size_t i = 1; i + 1 < p.size(); i += 2) {
+      points.emplace_back(number(line, p[i]), number(line, p[i + 1]));
+    }
+    return Waveform::pwl(std::move(points));
+  }
+  if (iequals(p[0], "sin")) {
+    if (p.size() < 4) fail(line, "SIN needs offset amplitude frequency");
+    const double delay = p.size() >= 5 ? number(line, p[4]) : 0.0;
+    const double damping = p.size() >= 6 ? number(line, p[5]) : 0.0;
+    return Waveform::sin(number(line, p[1]), number(line, p[2]),
+                         number(line, p[3]), delay, damping);
+  }
+  return Waveform::dc(number(line, p[0]));
+}
+
+}  // namespace
+
+ParsedNetlist parse_netlist(const std::string& text) {
+  // Pass 1: strip comments, join + continuations, keep line numbers.
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string_view v = util::trim(raw);
+      if (const auto semi = v.find(';'); semi != std::string_view::npos) {
+        v = util::trim(v.substr(0, semi));
+      }
+      if (v.empty() || v.front() == '*') continue;
+      if (v.front() == '+') {
+        if (lines.empty()) fail(line_no, "continuation without a previous card");
+        lines.back().second += ' ';
+        lines.back().second += std::string(v.substr(1));
+      } else {
+        lines.emplace_back(line_no, std::string(v));
+      }
+    }
+  }
+
+  ParsedNetlist out;
+  bool first_card = true;
+
+  // Pass 2a: collect .model cards first so device order does not matter.
+  struct ModelCard {
+    int level = 1;
+    fit::Level3Params params;  // superset; level-1 ignores theta/vc
+  };
+  std::map<std::string, ModelCard> models;  // lower-cased names
+  for (const auto& [line_no, card] : lines) {
+    if (!istarts_with(card, ".model")) continue;
+    const std::vector<std::string> tokens = tokenize(card);
+    if (tokens.size() < 3 || !iequals(tokens[2], "nmos")) {
+      fail(line_no, ".model supports only NMOS cards");
+    }
+    const KeyValues kv = classify(tokens, 3);
+    ModelCard model;
+    model.params.kp = 2e-5;
+    model.params.vth = 1.0;
+    model.params.lambda = 0.0;
+    model.params.theta = 0.0;
+    model.params.vc = 1e9;
+    model.params.width = 1e-6;
+    model.params.length = 1e-6;
+    for (const auto& [key, value] : kv.named) {
+      const double v = number(line_no, value);
+      if (key == "kp") model.params.kp = v;
+      else if (key == "vto" || key == "vth") model.params.vth = v;
+      else if (key == "lambda") model.params.lambda = v;
+      else if (key == "theta") model.params.theta = v;
+      else if (key == "vc" || key == "vmax") model.params.vc = v;
+      else if (key == "w") model.params.width = v;
+      else if (key == "l") model.params.length = v;
+      else if (key == "level") {
+        if (v != 1.0 && v != 3.0) fail(line_no, "only LEVEL=1 and LEVEL=3 are supported");
+        model.level = static_cast<int>(v);
+      } else {
+        fail(line_no, "unknown .model parameter '" + key + "'");
+      }
+    }
+    if (model.level == 1 && (model.params.theta != 0.0 || model.params.vc != 1e9)) {
+      fail(line_no, "THETA/VC require LEVEL=3");
+    }
+    models[to_lower(tokens[1])] = model;
+  }
+
+  // Pass 2b: elements and directives.
+  for (const auto& [line_no, card] : lines) {
+    const std::vector<std::string> tokens = tokenize(card);
+    const std::string& head = tokens[0];
+
+    if (head[0] == '.') {
+      if (istarts_with(head, ".model") || iequals(head, ".end")) {
+        // models handled above; .end is decorative
+      } else if (iequals(head, ".tran")) {
+        if (tokens.size() < 3) fail(line_no, ".tran needs <dt> <tstop>");
+        TransientOptions tran;
+        tran.dt = number(line_no, tokens[1]);
+        tran.tstop = number(line_no, tokens[2]);
+        out.tran = tran;
+      } else if (iequals(head, ".dc")) {
+        if (tokens.size() < 5) fail(line_no, ".dc needs <source> <start> <stop> <step>");
+        out.dc = DcDirective{tokens[1], number(line_no, tokens[2]),
+                             number(line_no, tokens[3]), number(line_no, tokens[4])};
+      } else {
+        fail(line_no, "unsupported directive '" + head + "'");
+      }
+      first_card = false;
+      continue;
+    }
+
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(head[0])));
+    const bool looks_like_element =
+        (kind == 'r' || kind == 'c' || kind == 'v' || kind == 'i' || kind == 'm');
+    if (first_card && !looks_like_element) {
+      out.title = card;  // conventional SPICE title line
+      first_card = false;
+      continue;
+    }
+    first_card = false;
+    if (!looks_like_element) fail(line_no, "unknown element '" + head + "'");
+
+    switch (kind) {
+      case 'r': {
+        if (tokens.size() < 4) fail(line_no, "R needs 2 nodes and a value");
+        out.circuit.add(std::make_unique<Resistor>(
+            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            number(line_no, tokens[3])));
+        break;
+      }
+      case 'c': {
+        if (tokens.size() < 4) fail(line_no, "C needs 2 nodes and a value");
+        out.circuit.add(std::make_unique<Capacitor>(
+            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            number(line_no, tokens[3])));
+        break;
+      }
+      case 'v': {
+        if (tokens.size() < 4) fail(line_no, "V needs 2 nodes and a waveform");
+        const KeyValues kv = classify(tokens, 3);
+        out.circuit.add(std::make_unique<VoltageSource>(
+            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            parse_source_waveform(line_no, kv)));
+        break;
+      }
+      case 'i': {
+        if (tokens.size() < 4) fail(line_no, "I needs 2 nodes and a waveform");
+        const KeyValues kv = classify(tokens, 3);
+        out.circuit.add(std::make_unique<CurrentSource>(
+            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            parse_source_waveform(line_no, kv)));
+        break;
+      }
+      case 'm': {
+        if (tokens.size() < 6) fail(line_no, "M needs d g s b nodes and a model");
+        const auto model_it = models.find(to_lower(tokens[5]));
+        if (model_it == models.end()) {
+          fail(line_no, "unknown model '" + tokens[5] + "'");
+        }
+        fit::Level3Params params = model_it->second.params;
+        const KeyValues kv = classify(tokens, 6);
+        for (const auto& [key, value] : kv.named) {
+          const double v = number(line_no, value);
+          if (key == "w") params.width = v;
+          else if (key == "l") params.length = v;
+          else fail(line_no, "unknown MOSFET parameter '" + key + "'");
+        }
+        const int d = out.circuit.node(tokens[1]);
+        const int g = out.circuit.node(tokens[2]);
+        const int s = out.circuit.node(tokens[3]);
+        const int b = out.circuit.node(tokens[4]);
+        if (model_it->second.level == 3) {
+          out.circuit.add(std::make_unique<Mosfet3>(head, d, g, s, b, params));
+        } else {
+          fit::Level1Params l1;
+          l1.kp = params.kp;
+          l1.vth = params.vth;
+          l1.lambda = params.lambda;
+          l1.width = params.width;
+          l1.length = params.length;
+          out.circuit.add(std::make_unique<Mosfet>(head, d, g, s, b, l1));
+        }
+        break;
+      }
+      default:
+        fail(line_no, "unreachable element kind");
+    }
+  }
+  return out;
+}
+
+}  // namespace ftl::spice

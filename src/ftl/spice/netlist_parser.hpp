@@ -1,0 +1,45 @@
+#pragma once
+// SPICE-like netlist text parser for flat decks, so examples and tests can
+// describe circuits the way the paper's authors would have:
+//
+//   * four-terminal switch demo
+//   VDD vdd 0 1.2
+//   RPU vdd out 500k
+//   CL  out 0 10f
+//   M1  out g 0 0 FTSW W=0.7u L=0.35u
+//   VIN g 0 PULSE(0 1.2 10n 1n 1n 40n 100n)
+//   .model FTSW NMOS (KP=30u VTO=0.35 LAMBDA=0.02)
+//   .tran 0.1n 100n
+//   .end
+//
+// Supported cards: R, C, V, I, M elements; .model <name> NMOS (...);
+// .tran <dt> <tstop>; .dc <source> <start> <stop> <step>; .end; comments
+// (*, ;), and + continuation lines. Engineering suffixes everywhere.
+
+#include <optional>
+#include <string>
+
+#include "ftl/spice/circuit.hpp"
+#include "ftl/spice/transient.hpp"
+
+namespace ftl::spice {
+
+struct DcDirective {
+  std::string source;
+  double start = 0.0;
+  double stop = 0.0;
+  double step = 0.0;
+};
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::string title;
+  std::optional<TransientOptions> tran;  ///< from .tran (dt, tstop)
+  std::optional<DcDirective> dc;         ///< from .dc
+};
+
+/// Parses a netlist. Throws ftl::Error with a line reference on any
+/// malformed card.
+ParsedNetlist parse_netlist(const std::string& text);
+
+}  // namespace ftl::spice

@@ -1,0 +1,190 @@
+#include "ftl/spice/sources.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.p_[0] = value;
+  return w;
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise,
+                         double fall, double width, double period) {
+  FTL_EXPECTS(rise >= 0.0 && fall >= 0.0 && width >= 0.0);
+  Waveform w;
+  w.kind_ = Kind::kPulse;
+  w.p_[0] = v1;
+  w.p_[1] = v2;
+  w.p_[2] = delay;
+  w.p_[3] = rise;
+  w.p_[4] = fall;
+  w.p_[5] = width;
+  w.p_[6] = period;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  FTL_EXPECTS(!points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    FTL_EXPECTS_MSG(points[i].first > points[i - 1].first,
+                    "PWL times must be strictly increasing");
+  }
+  Waveform w;
+  w.kind_ = Kind::kPwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+Waveform Waveform::sin(double offset, double amplitude, double frequency,
+                       double delay, double damping) {
+  FTL_EXPECTS(frequency > 0.0);
+  Waveform w;
+  w.kind_ = Kind::kSin;
+  w.p_[0] = offset;
+  w.p_[1] = amplitude;
+  w.p_[2] = frequency;
+  w.p_[3] = delay;
+  w.p_[4] = damping;
+  return w;
+}
+
+double Waveform::value(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return p_[0];
+    case Kind::kPulse: {
+      const double v1 = p_[0];
+      const double v2 = p_[1];
+      const double delay = p_[2];
+      const double rise = p_[3];
+      const double fall = p_[4];
+      const double width = p_[5];
+      const double period = p_[6];
+      double local = t - delay;
+      if (local < 0.0) return v1;
+      if (period > 0.0) local = std::fmod(local, period);
+      if (local < rise) {
+        return rise == 0.0 ? v2 : v1 + (v2 - v1) * local / rise;
+      }
+      local -= rise;
+      if (local < width) return v2;
+      local -= width;
+      if (local < fall) {
+        return fall == 0.0 ? v1 : v2 + (v1 - v2) * local / fall;
+      }
+      return v1;
+    }
+    case Kind::kPwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const double t0 = points_[i - 1].first;
+          const double t1 = points_[i].first;
+          const double f = (t - t0) / (t1 - t0);
+          return points_[i - 1].second +
+                 f * (points_[i].second - points_[i - 1].second);
+        }
+      }
+      return points_.back().second;
+    }
+    case Kind::kSin: {
+      const double offset = p_[0];
+      const double ampl = p_[1];
+      const double freq = p_[2];
+      const double delay = p_[3];
+      const double damping = p_[4];
+      if (t < delay) return offset;
+      const double local = t - delay;
+      constexpr double kTwoPi = 6.283185307179586;
+      return offset + ampl * std::exp(-damping * local) *
+                          std::sin(kTwoPi * freq * local);
+    }
+  }
+  return 0.0;
+}
+
+Waveform Waveform::complemented(double vdd) const {
+  Waveform w = *this;
+  switch (kind_) {
+    case Kind::kDc:
+      w.p_[0] = vdd - p_[0];
+      break;
+    case Kind::kPulse:
+      w.p_[0] = vdd - p_[0];
+      w.p_[1] = vdd - p_[1];
+      break;
+    case Kind::kPwl:
+      for (auto& [t, v] : w.points_) v = vdd - v;
+      break;
+    case Kind::kSin:
+      w.p_[0] = vdd - p_[0];  // offset
+      w.p_[1] = -p_[1];       // amplitude
+      break;
+  }
+  return w;
+}
+
+void Waveform::add_breakpoints(double tstop, std::vector<double>& out) const {
+  const auto push = [&out, tstop](double t) {
+    if (t > 0.0 && t < tstop) out.push_back(t);
+  };
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSin:
+      break;  // no slope discontinuities (SIN's delay corner is benign)
+    case Kind::kPulse: {
+      const double delay = p_[2];
+      const double rise = p_[3];
+      const double fall = p_[4];
+      const double width = p_[5];
+      const double period = p_[6];
+      for (double base = delay;; base += period) {
+        push(base);
+        push(base + rise);
+        push(base + rise + width);
+        push(base + rise + width + fall);
+        if (period <= 0.0 || base >= tstop) break;
+      }
+      break;
+    }
+    case Kind::kPwl:
+      for (const auto& [t, v] : points_) push(t);
+      break;
+  }
+}
+
+void VoltageSource::stamp(Stamper& stamper, const EvalContext& ctx) const {
+  const int branch = branch_offset();
+  FTL_EXPECTS(branch >= 0);
+  // Branch current flows from + to - through the source.
+  if (plus_ >= 0) {
+    stamper.entry(plus_, branch, 1.0);
+    stamper.entry(branch, plus_, 1.0);
+  }
+  if (minus_ >= 0) {
+    stamper.entry(minus_, branch, -1.0);
+    stamper.entry(branch, minus_, -1.0);
+  }
+  const double t = ctx.is_transient ? ctx.time : 0.0;
+  stamper.rhs(branch, ctx.source_scale * wave_.value(t));
+}
+
+double VoltageSource::current(const linalg::Vector& solution) const {
+  FTL_EXPECTS(branch_offset() >= 0);
+  return solution[static_cast<std::size_t>(branch_offset())];
+}
+
+void CurrentSource::stamp(Stamper& stamper, const EvalContext& ctx) const {
+  const double t = ctx.is_transient ? ctx.time : 0.0;
+  const double i = ctx.source_scale * wave_.value(t);
+  stamper.current_into(plus_, -i);
+  stamper.current_into(minus_, i);
+}
+
+}  // namespace ftl::spice

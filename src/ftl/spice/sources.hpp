@@ -1,0 +1,100 @@
+#pragma once
+// Independent sources: waveform descriptions (DC / PULSE / PWL / SIN) and
+// the voltage- and current-source devices. Voltage sources carry one branch
+// unknown (their current), as in standard MNA.
+
+#include <vector>
+
+#include "ftl/spice/circuit.hpp"
+
+namespace ftl::spice {
+
+/// Time-dependent source value description.
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+
+  /// SPICE PULSE(v1 v2 delay rise fall width period). period <= 0 disables
+  /// repetition.
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period = 0.0);
+
+  /// Piecewise linear (time, value) points; times strictly increasing.
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// SIN(offset amplitude frequency [delay] [damping]).
+  static Waveform sin(double offset, double amplitude, double frequency,
+                      double delay = 0.0, double damping = 0.0);
+
+  /// Value at time t (DC analyses pass t = 0).
+  double value(double t) const;
+
+  /// Value used for the DC operating point (initial value).
+  double dc_value() const { return value(0.0); }
+
+  /// The logic complement at supply `vdd`: a waveform equal to vdd - value(t)
+  /// for all t. Exact for every waveform kind.
+  Waveform complemented(double vdd) const;
+
+  /// Appends the slope discontinuities in (0, tstop) — PULSE corners and PWL
+  /// vertices. The transient engine lands a step on each and restarts the
+  /// integrator there, the standard SPICE breakpoint treatment.
+  void add_breakpoints(double tstop, std::vector<double>& out) const;
+
+ private:
+  enum class Kind { kDc, kPulse, kPwl, kSin };
+  Kind kind_ = Kind::kDc;
+  // kDc / kPulse / kSin parameter block
+  double p_[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Independent voltage source between nodes plus/minus.
+class VoltageSource : public Device {
+ public:
+  VoltageSource(std::string name, int node_plus, int node_minus, Waveform wave)
+      : Device(std::move(name)), plus_(node_plus), minus_(node_minus),
+        wave_(std::move(wave)) {}
+
+  int branch_count() const override { return 1; }
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  void add_breakpoints(double tstop, std::vector<double>& out) const override {
+    wave_.add_breakpoints(tstop, out);
+  }
+
+  /// Branch current of the last computed solution (positive out of the +
+  /// node through the external circuit... SPICE convention: current flowing
+  /// from + through the source to -).
+  double current(const linalg::Vector& solution) const;
+
+  const Waveform& waveform() const { return wave_; }
+  void set_waveform(Waveform w) { wave_ = std::move(w); }
+
+ private:
+  int plus_;
+  int minus_;
+  Waveform wave_;
+};
+
+/// Independent current source; positive current flows from plus through the
+/// source to minus (i.e. it is pushed into the minus-side network).
+class CurrentSource : public Device {
+ public:
+  CurrentSource(std::string name, int node_plus, int node_minus, Waveform wave)
+      : Device(std::move(name)), plus_(node_plus), minus_(node_minus),
+        wave_(std::move(wave)) {}
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  void set_waveform(Waveform w) { wave_ = std::move(w); }
+  void add_breakpoints(double tstop, std::vector<double>& out) const override {
+    wave_.add_breakpoints(tstop, out);
+  }
+
+ private:
+  int plus_;
+  int minus_;
+  Waveform wave_;
+};
+
+}  // namespace ftl::spice

@@ -1,0 +1,100 @@
+#include "ftl/spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/spice/sources.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+TransientResult transient(Circuit& circuit, const TransientOptions& options) {
+  FTL_EXPECTS_MSG(options.tstop > 0.0 && options.dt > 0.0,
+                  "transient requires positive tstop and dt");
+
+  // Initial condition: DC operating point at t = 0.
+  OpResult op = dc_operating_point(circuit, options.newton);
+  for (const auto& dev : circuit.devices()) dev->initialize_state(op.solution);
+
+  TransientResult result;
+  const auto record = [&](double t, const linalg::Vector& solution) {
+    result.append(t);
+    if (options.record_nodes.empty()) {
+      for (int i = 0; i < circuit.node_count(); ++i) {
+        result.record(circuit.node_name(i),
+                      solution[static_cast<std::size_t>(i)]);
+      }
+    } else {
+      for (const std::string& name : options.record_nodes) {
+        const int node = circuit.find_node(name);
+        result.record(name, node < 0 ? 0.0
+                                     : solution[static_cast<std::size_t>(node)]);
+      }
+    }
+    for (const std::string& name : options.record_source_currents) {
+      const auto& src = dynamic_cast<const VoltageSource&>(circuit.device(name));
+      result.record("I(" + name + ")", src.current(solution));
+    }
+  };
+  record(0.0, op.solution);
+
+  // Breakpoint schedule: source slope discontinuities must coincide with
+  // step boundaries, and the integrator restarts (one backward-Euler step)
+  // after each, or the trapezoidal rule rings across the corner.
+  std::vector<double> breakpoints;
+  for (const auto& dev : circuit.devices()) {
+    dev->add_breakpoints(options.tstop, breakpoints);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  const double bp_tol = 1e-12 * options.tstop;
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
+                                [bp_tol](double a, double b) {
+                                  return b - a <= bp_tol;
+                                }),
+                    breakpoints.end());
+  std::size_t next_bp = 0;
+
+  linalg::Vector state = op.solution;
+  double t = 0.0;
+  bool after_breakpoint = true;  // t = 0 behaves like a breakpoint
+  while (t < options.tstop - 1e-18) {
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + bp_tol) {
+      ++next_bp;
+    }
+    double dt = std::min(options.dt, options.tstop - t);
+    if (next_bp < breakpoints.size()) {
+      dt = std::min(dt, breakpoints[next_bp] - t);
+    }
+    bool stepped = false;
+    for (int attempt = 0; attempt <= options.max_step_halvings; ++attempt) {
+      EvalContext ctx;
+      ctx.is_transient = true;
+      ctx.time = t + dt;
+      ctx.dt = dt;
+      ctx.integrator = after_breakpoint ? Integrator::kBackwardEuler
+                                        : options.integrator;
+      ctx.gmin = options.newton.gmin;
+      OpResult step = newton_solve(circuit, state, ctx, options.newton);
+      if (step.converged) {
+        state = step.solution;
+        for (const auto& dev : circuit.devices()) dev->commit_step(state, ctx);
+        t += dt;
+        // Sub-steps from halving still advance time; record each accepted
+        // solve so waveforms stay faithful.
+        record(t, state);
+        after_breakpoint = next_bp < breakpoints.size() &&
+                           std::fabs(breakpoints[next_bp] - t) <= bp_tol;
+        stepped = true;
+        break;
+      }
+      dt /= 2.0;
+    }
+    if (!stepped) {
+      throw ftl::Error("transient: Newton failed at t = " + std::to_string(t) +
+                       " even after step halving");
+    }
+  }
+  return result;
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,29 @@
+#pragma once
+// Transient analysis: DC operating point for the initial condition, then
+// fixed-step integration (trapezoidal by default, backward Euler available)
+// with a Newton solve per step and automatic step halving when Newton fails.
+
+#include <string>
+#include <vector>
+
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/waveform.hpp"
+
+namespace ftl::spice {
+
+struct TransientOptions {
+  double tstop = 0.0;   ///< end time, s (required, > 0)
+  double dt = 0.0;      ///< nominal step, s (required, > 0)
+  Integrator integrator = Integrator::kTrapezoidal;
+  NewtonOptions newton;
+  int max_step_halvings = 12;  ///< rescue budget per step
+  /// Node names to record; empty = every node. Source branch currents are
+  /// recorded as "I(<source name>)" for the names listed here.
+  std::vector<std::string> record_nodes;
+  std::vector<std::string> record_source_currents;
+};
+
+/// Runs a transient; throws ftl::Error when a step cannot be completed.
+TransientResult transient(Circuit& circuit, const TransientOptions& options);
+
+}  // namespace ftl::spice

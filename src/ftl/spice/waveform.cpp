@@ -1,0 +1,30 @@
+#include "ftl/spice/waveform.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::spice {
+
+const linalg::Vector& TransientResult::signal(const std::string& name) const {
+  const auto it = signals_.find(name);
+  if (it == signals_.end()) throw ftl::Error("unknown signal: " + name);
+  return it->second;
+}
+
+bool TransientResult::has_signal(const std::string& name) const {
+  return signals_.contains(name);
+}
+
+std::vector<std::string> TransientResult::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(signals_.size());
+  for (const auto& [name, _] : signals_) names.push_back(name);
+  return names;
+}
+
+void TransientResult::append(double t) { time_.push_back(t); }
+
+void TransientResult::record(const std::string& name, double value) {
+  signals_[name].push_back(value);
+}
+
+}  // namespace ftl::spice

@@ -1,0 +1,36 @@
+#pragma once
+// Transient result container: sampled node voltages (and source branch
+// currents) over time, queryable by node name.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::spice {
+
+/// Time-indexed samples of every recorded signal.
+class TransientResult {
+ public:
+  const linalg::Vector& time() const { return time_; }
+
+  /// Sampled voltages of a recorded node. Throws ftl::Error when unknown.
+  const linalg::Vector& signal(const std::string& name) const;
+
+  bool has_signal(const std::string& name) const;
+
+  std::vector<std::string> signal_names() const;
+
+  /// Appends a time point (analysis-internal).
+  void append(double t);
+  void record(const std::string& name, double value);
+
+  std::size_t size() const { return time_.size(); }
+
+ private:
+  linalg::Vector time_;
+  std::unordered_map<std::string, linalg::Vector> signals_;
+};
+
+}  // namespace ftl::spice

@@ -1,0 +1,67 @@
+#include "ftl/tcad/bias.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+
+BiasPoint BiasCase::at(double vgs, double vds) const {
+  BiasPoint p;
+  p.gate = vgs;
+  for (std::size_t t = 0; t < 4; ++t) {
+    switch (roles[t]) {
+      case Role::kDrain: p.terminal[t] = vds; break;
+      case Role::kSource: p.terminal[t] = 0.0; break;
+      case Role::kFloat: break;
+    }
+  }
+  return p;
+}
+
+int BiasCase::drain_count() const {
+  int n = 0;
+  for (Role r : roles) n += (r == Role::kDrain) ? 1 : 0;
+  return n;
+}
+
+int BiasCase::source_count() const {
+  int n = 0;
+  for (Role r : roles) n += (r == Role::kSource) ? 1 : 0;
+  return n;
+}
+
+BiasCase parse_bias_case(const std::string& name) {
+  if (name.size() != 4) throw ftl::Error("bias case must have 4 letters: " + name);
+  BiasCase c;
+  c.name = name;
+  for (std::size_t i = 0; i < 4; ++i) {
+    switch (name[i]) {
+      case 'D': case 'd': c.roles[i] = Role::kDrain; break;
+      case 'S': case 's': c.roles[i] = Role::kSource; break;
+      case 'F': case 'f': c.roles[i] = Role::kFloat; break;
+      default:
+        throw ftl::Error("bias case letter must be D, S or F: " + name);
+    }
+  }
+  return c;
+}
+
+const std::vector<BiasCase>& paper_bias_cases() {
+  static const std::vector<BiasCase> cases = [] {
+    const char* names[] = {
+        // 1 drain - 1 source (adjacent and opposite pairs)
+        "DSFF", "SFDF",
+        // 1 drain - 3 sources
+        "DSSS", "SDSS", "SSDS", "SSSD",
+        // 2 drains - 2 sources
+        "DDSS", "SDDS", "DSDS", "DSSD", "SDSD", "SSDD",
+        // 3 drains - 1 source
+        "DDDS", "SDDD", "DDSD", "DSDD",
+    };
+    std::vector<BiasCase> out;
+    for (const char* n : names) out.push_back(parse_bias_case(n));
+    return out;
+  }();
+  return cases;
+}
+
+}  // namespace ftl::tcad

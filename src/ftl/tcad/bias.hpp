@@ -1,0 +1,34 @@
+#pragma once
+// The 16 terminal-role cases of §III-B. Each terminal is a drain (driven at
+// the sweep voltage), a source (driven at 0 V), or floating. The paper's
+// shorthand "DSSS" reads left-to-right over T1..T4.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ftl/tcad/network_solver.hpp"
+
+namespace ftl::tcad {
+
+enum class Role { kDrain, kSource, kFloat };
+
+/// One named terminal-role configuration, e.g. "DSSS".
+struct BiasCase {
+  std::string name;
+  std::array<Role, 4> roles;
+
+  /// Materializes a bias point with all drains at `vd`, sources at 0.
+  BiasPoint at(double vgs, double vds) const;
+
+  int drain_count() const;
+  int source_count() const;
+};
+
+/// Parses "DSFF"-style shorthand. Throws ftl::Error on malformed input.
+BiasCase parse_bias_case(const std::string& name);
+
+/// The paper's 16 cases: 1D-1S (DSFF, SFDF), 1D-3S, 2D-2S, 3D-1S.
+const std::vector<BiasCase>& paper_bias_cases();
+
+}  // namespace ftl::tcad

@@ -1,0 +1,58 @@
+#pragma once
+// Calibration constants of the TCAD substitute — the single place where a
+// physical knob is fixed. Values come from Table II plus textbook physics;
+// none is tuned per figure (see DESIGN.md §5 for the derivations and
+// EXPERIMENTS.md for where the resulting predictions land vs the paper).
+
+namespace ftl::tcad::calibration {
+
+/// Flat-band voltage of the enhancement devices: n+ gate over the 1e17 cm^-3
+/// boron substrate (work-function difference plus small fixed charge).
+/// Reproduces the paper's square-device Vth pair (0.16 V HfO2 / 1.36 V SiO2)
+/// from the textbook threshold equation.
+inline constexpr double kFlatBandEnhancement = -0.88;  // V
+
+/// Flat-band voltage of the junctionless device (n+ gate over n+ wire).
+inline constexpr double kFlatBandJunctionless = 0.0;  // V
+
+/// Narrow-width threshold-shift coefficient: dVth = kNarrowWidth * pi * q *
+/// Na * xd^2 / (2 Cox Wgate). 0.5 accounts for the fringing geometry of a
+/// gate strip; gives +0.09 V (HfO2) / +0.58 V (SiO2) on the 200 nm cross
+/// arms and a negligible shift on the 1000 nm square gate.
+inline constexpr double kNarrowWidth = 0.5;
+
+/// Low-field electron mobility in the enhancement channels (m^2/Vs) and the
+/// first-order mobility-degradation coefficient (1/V). Chosen once so the
+/// square+HfO2 DSSS drain current at Vgs=Vds=5 V lands near the paper's
+/// ~1.2 mA; every other device and material inherits the same pair.
+inline constexpr double kChannelMobility = 0.0080;  // 80 cm^2/Vs
+inline constexpr double kMobilityTheta = 0.10;      // 1/V
+
+/// Electron mobility in the heavily doped (1e20 cm^-3) electrode silicon.
+inline constexpr double kElectrodeMobility = 0.0070;  // 70 cm^2/Vs
+
+/// Junctionless wire: effective donor density and channel thickness of the
+/// gated cross-section. 2e20 cm^-3 / 2 nm puts Vth(HfO2) at -0.59 V
+/// (paper: -0.57 V); the same constants give -2.9 V for SiO2 (paper: -4.8 V,
+/// same sign and magnitude class — recorded as a divergence).
+inline constexpr double kJunctionlessDonors = 2.0e26;   // m^-3
+inline constexpr double kJunctionlessThickness = 2e-9;  // m
+/// Surface/confinement-limited mobility of the 2 nm wire.
+inline constexpr double kJunctionlessMobility = 0.0012; // 12 cm^2/Vs
+
+/// Reverse-bias leakage density of the electrode/substrate pn junctions
+/// (includes GIDL/punch-through contributions at Vds = 5 V); floors the
+/// enhancement off-current near 1 nA, the decade the paper's on/off ratios
+/// imply. The junctionless device sits on SiO2 with no junctions — only a
+/// gate-leakage floor — which reproduces the on/off ordering of §III-B
+/// (junctionless 1e7-1e8 >> enhancement 1e4-1e6). The per-dielectric gate
+/// leak is calibrated to the reported junctionless decade (1e8 HfO2 /
+/// 1e7 SiO2).
+inline constexpr double kJunctionLeakage = 2450.0;      // A/m^2
+inline constexpr double kGateLeakageHfO2 = 3.6e4;       // A/m^2
+inline constexpr double kGateLeakageSiO2 = 3.5e5;       // A/m^2
+
+/// Subthreshold conduction reference: measurement floor of the solver.
+inline constexpr double kMinSheetConductance = 1e-15;  // S/square
+
+}  // namespace ftl::tcad::calibration

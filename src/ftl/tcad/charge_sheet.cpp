@@ -1,0 +1,99 @@
+#include "ftl/tcad/charge_sheet.hpp"
+
+#include <cmath>
+
+#include "ftl/tcad/calibration.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+namespace {
+
+using namespace constants;
+namespace cal = calibration;
+
+/// Numerically safe ln(1 + e^x).
+double softplus(double x) {
+  if (x > 40.0) return x;
+  if (x < -40.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+ChargeSheetModel::ChargeSheetModel(const DeviceSpec& spec) : spec_(spec) {
+  cox_ = oxide_capacitance(spec.dielectric, spec.oxide_thickness);
+
+  if (spec.is_depletion()) {
+    // Planar junctionless depletion-mode threshold:
+    //   Vth = VFB - q Nd t / (2 Cox) - q Nd t^2 / (8 epsSi)
+    const double eps_si = kSiliconPermittivity * kVacuumPermittivity;
+    const double qnd = kElementaryCharge * spec.electrode_donors;
+    const double t = spec.channel_thickness;
+    vth_ = cal::kFlatBandJunctionless - qnd * t / (2.0 * cox_) -
+           qnd * t * t / (8.0 * eps_si);
+    ideality_ = 1.0;  // thin fully depleted body, near-ideal gate coupling
+    full_wire_charge_ = qnd * t;
+    electrode_sheet_ = qnd * t * cal::kJunctionlessMobility /
+                       1.0;  // per square: q Nd mu t
+    const double gate_leak = spec.dielectric == GateDielectric::kHfO2
+                                 ? cal::kGateLeakageHfO2
+                                 : cal::kGateLeakageSiO2;
+    leak_conductance_ = gate_leak * spec.gate_extent * spec.gate_extent / 5.0;
+  } else {
+    const double phi_f = fermi_potential(spec.substrate_acceptors);
+    const double qdep = depletion_charge(spec.substrate_acceptors);
+    const double xd = max_depletion_width(spec.substrate_acceptors);
+    const double eps_si = kSiliconPermittivity * kVacuumPermittivity;
+
+    // Narrow-width shift: extra fringe depletion charge controlled by the
+    // gate strip of width `narrow_width`.
+    narrow_shift_ = 0.0;
+    if (spec.narrow_width > 0.0) {
+      const double pi = 3.14159265358979323846;
+      narrow_shift_ = cal::kNarrowWidth * pi * kElementaryCharge *
+                      spec.substrate_acceptors * xd * xd /
+                      (2.0 * cox_ * spec.narrow_width);
+    }
+    vth_ = cal::kFlatBandEnhancement + 2.0 * phi_f + qdep / cox_ + narrow_shift_;
+
+    const double cdep = eps_si / xd;
+    ideality_ = 1.0 + cdep / cox_;
+    electrode_sheet_ = kElementaryCharge * spec.electrode_donors *
+                       cal::kElectrodeMobility * spec.electrode_thickness;
+    leak_conductance_ =
+        cal::kJunctionLeakage * spec.electrode_junction_area() / 5.0;
+  }
+}
+
+double ChargeSheetModel::mobile_charge(double vg, double v_local) const {
+  const double n_vt = ideality_ * kThermalVoltage;
+  const double overdrive = vg - vth_ - v_local;
+  const double q_raw = cox_ * n_vt * softplus(overdrive / n_vt);
+  if (!spec_.is_depletion()) return q_raw;
+  // The junctionless wire saturates at its full majority charge q Nd t.
+  return full_wire_charge_ * std::tanh(q_raw / full_wire_charge_);
+}
+
+double ChargeSheetModel::sheet_conductance(Region region, double vg,
+                                           double v_local) const {
+  switch (region) {
+    case Region::kOutside:
+      return 0.0;
+    case Region::kConductor:
+      return electrode_sheet_;
+    case Region::kGated: {
+      const double qi = mobile_charge(vg, v_local);
+      double mobility;
+      if (spec_.is_depletion()) {
+        mobility = cal::kJunctionlessMobility;
+      } else {
+        const double overdrive = std::max(vg - vth_ - v_local, 0.0);
+        mobility = cal::kChannelMobility / (1.0 + cal::kMobilityTheta * overdrive);
+      }
+      return mobility * qi + cal::kMinSheetConductance;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace ftl::tcad

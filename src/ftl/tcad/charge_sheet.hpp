@@ -1,0 +1,57 @@
+#pragma once
+// Charge-sheet MOS physics: the per-cell sheet conductance the network
+// solver assembles into a conductance Laplacian. This is the physical layer
+// of the TCAD substitute — threshold voltage from flat-band + depletion
+// charge (plus a narrow-width shift for the cross arms), a unified
+// strong-inversion/subthreshold inversion charge, first-order mobility
+// degradation, and the depletion-mode variant for the junctionless wire.
+
+#include "ftl/tcad/device.hpp"
+#include "ftl/tcad/mesh.hpp"
+
+namespace ftl::tcad {
+
+/// Threshold/transport model derived from a DeviceSpec.
+class ChargeSheetModel {
+ public:
+  explicit ChargeSheetModel(const DeviceSpec& spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Oxide capacitance per area, F/m^2.
+  double cox() const { return cox_; }
+
+  /// Threshold voltage including the narrow-width shift, V. Negative for
+  /// the depletion-type junctionless device.
+  double threshold_voltage() const { return vth_; }
+
+  /// Narrow-width contribution alone, V.
+  double narrow_width_shift() const { return narrow_shift_; }
+
+  /// Subthreshold ideality n = 1 + Cdep/Cox.
+  double ideality() const { return ideality_; }
+
+  /// Sheet conductance (S/square) of a cell of `region` with local channel
+  /// potential `v_local` and gate voltage `vg`.
+  double sheet_conductance(Region region, double vg, double v_local) const;
+
+  /// Inversion (or majority, for junctionless) mobile charge per area at the
+  /// given gate overdrive state, C/m^2.
+  double mobile_charge(double vg, double v_local) const;
+
+  /// Ohmic leak conductance from a driven terminal to ground (junction
+  /// leakage for enhancement devices, gate leakage for junctionless), S.
+  double terminal_leak_conductance() const { return leak_conductance_; }
+
+ private:
+  DeviceSpec spec_;
+  double cox_ = 0.0;
+  double vth_ = 0.0;
+  double narrow_shift_ = 0.0;
+  double ideality_ = 1.0;
+  double electrode_sheet_ = 0.0;  // S/square of n+ regions
+  double full_wire_charge_ = 0.0; // junctionless saturation charge, C/m^2
+  double leak_conductance_ = 0.0;
+};
+
+}  // namespace ftl::tcad

@@ -1,0 +1,78 @@
+#include "ftl/tcad/current_density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+
+double FieldSample::magnitude() const { return std::hypot(jx, jy); }
+
+std::vector<FieldSample> current_density_field(const NetworkSolver& solver,
+                                               const BiasPoint& bias) {
+  const SolveResult sol = solver.solve(bias);
+  const DeviceMesh& mesh = solver.mesh();
+  const int n = mesh.cells_per_side;
+
+  std::vector<FieldSample> field;
+  field.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int iy = 0; iy < n; ++iy) {
+    for (int ix = 0; ix < n; ++ix) {
+      const std::size_t i = static_cast<std::size_t>(mesh.index(ix, iy));
+      if (mesh.region[i] == Region::kOutside) continue;
+      FieldSample s;
+      s.x = (ix + 0.5) * mesh.pitch;
+      s.y = (iy + 0.5) * mesh.pitch;
+      // The solver already accumulates the sheet current density from the
+      // converged edge currents (saturation-exact in u-space).
+      s.jx = sol.jx[i];
+      s.jy = sol.jy[i];
+      field.push_back(s);
+    }
+  }
+  return field;
+}
+
+CrowdingMetrics crowding_metrics(const NetworkSolver& solver,
+                                 const BiasPoint& bias) {
+  const std::vector<FieldSample> field = current_density_field(solver, bias);
+  const DeviceMesh& mesh = solver.mesh();
+
+  // Collect |J| over gated cells only — the channel where crowding matters.
+  std::vector<double> mags;
+  std::size_t k = 0;
+  for (int iy = 0; iy < mesh.cells_per_side; ++iy) {
+    for (int ix = 0; ix < mesh.cells_per_side; ++ix) {
+      const std::size_t i = static_cast<std::size_t>(mesh.index(ix, iy));
+      if (mesh.region[i] == Region::kOutside) continue;
+      const FieldSample& s = field[k++];
+      if (mesh.region[i] == Region::kGated) mags.push_back(s.magnitude());
+    }
+  }
+  FTL_EXPECTS(!mags.empty());
+
+  CrowdingMetrics m;
+  double mean = 0.0;
+  double peak = 0.0;
+  for (double v : mags) {
+    mean += v;
+    peak = std::max(peak, v);
+  }
+  mean /= static_cast<double>(mags.size());
+  m.peak_over_mean = mean > 0.0 ? peak / mean : 0.0;
+
+  // Gini coefficient of the |J| distribution.
+  std::sort(mags.begin(), mags.end());
+  const double n = static_cast<double>(mags.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    weighted += (static_cast<double>(i) + 1.0) * mags[i];
+    total += mags[i];
+  }
+  m.gini = total > 0.0 ? (2.0 * weighted / (n * total)) - (n + 1.0) / n : 0.0;
+  return m;
+}
+
+}  // namespace ftl::tcad

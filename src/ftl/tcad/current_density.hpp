@@ -1,0 +1,36 @@
+#pragma once
+// Current-density vector field over the device plane — the quantitative
+// stand-in for the paper's Fig. 8 vector profiles. Besides the raw field
+// (exportable to CSV), a crowding metric summarizes how uniformly current
+// spreads, which is the property Fig. 8 is cited for (cross gate: uniform;
+// square gate: corner crowding).
+
+#include <vector>
+
+#include "ftl/tcad/network_solver.hpp"
+
+namespace ftl::tcad {
+
+/// Cell-centred current-density vector (A/m, sheet current density).
+struct FieldSample {
+  double x = 0.0;  ///< cell centre, m
+  double y = 0.0;
+  double jx = 0.0;
+  double jy = 0.0;
+  double magnitude() const;
+};
+
+/// Current-density field of a solved bias point.
+std::vector<FieldSample> current_density_field(const NetworkSolver& solver,
+                                               const BiasPoint& bias);
+
+struct CrowdingMetrics {
+  double peak_over_mean = 0.0;  ///< max |J| / mean |J| over conducting cells
+  double gini = 0.0;            ///< 0 = perfectly uniform, 1 = concentrated
+};
+
+/// Crowding statistics over the gated-channel portion of the field.
+CrowdingMetrics crowding_metrics(const NetworkSolver& solver,
+                                 const BiasPoint& bias);
+
+}  // namespace ftl::tcad

@@ -1,0 +1,63 @@
+#include "ftl/tcad/device.hpp"
+
+#include "ftl/tcad/calibration.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+
+std::string to_string(DeviceShape s) {
+  switch (s) {
+    case DeviceShape::kSquare: return "square";
+    case DeviceShape::kCross: return "cross";
+    case DeviceShape::kJunctionless: return "junctionless";
+  }
+  return "?";
+}
+
+DeviceSpec make_device(DeviceShape shape, GateDielectric dielectric) {
+  DeviceSpec spec;
+  spec.shape = shape;
+  spec.dielectric = dielectric;
+  switch (shape) {
+    case DeviceShape::kSquare:
+      spec.footprint = 2400e-9;
+      spec.electrode_width = 700e-9;
+      // Table II gives 200 nm electrode depth; the access region between the
+      // metallurgical electrode and the 1000 nm gate edge is n+ as well, so
+      // the conducting electrode region reaches the gate boundary.
+      spec.electrode_depth = 700e-9;
+      spec.electrode_thickness = 200e-9;
+      spec.gate_extent = 1000e-9;  // 1000x1000 nm gate
+      spec.oxide_thickness = 30e-9;
+      spec.substrate_acceptors = 1e23;  // B, 1e17 cm^-3
+      spec.electrode_donors = 1e26;     // P, 1e20 cm^-3
+      spec.narrow_width = 1000e-9;
+      break;
+    case DeviceShape::kCross:
+      spec.footprint = 2400e-9;
+      spec.electrode_width = 700e-9;
+      spec.electrode_depth = 200e-9;
+      spec.electrode_thickness = 200e-9;
+      spec.gate_extent = 200e-9;  // cross arm width W:200
+      spec.oxide_thickness = 30e-9;
+      spec.substrate_acceptors = 1e23;
+      spec.electrode_donors = 1e26;
+      spec.narrow_width = 200e-9;
+      break;
+    case DeviceShape::kJunctionless:
+      spec.footprint = 24e-9;
+      spec.electrode_width = 2e-9;
+      spec.electrode_depth = 2e-9;
+      spec.electrode_thickness = 2e-9;
+      spec.gate_extent = 4e-9;  // 4x4 nm all-around gate footprint
+      spec.oxide_thickness = 3e-9;
+      spec.substrate_acceptors = 0.0;  // SiO2 substrate, no junctions
+      spec.electrode_donors = calibration::kJunctionlessDonors;
+      spec.channel_thickness = calibration::kJunctionlessThickness;
+      spec.narrow_width = 0.0;  // all-around gate: no narrow-width shift
+      break;
+  }
+  return spec;
+}
+
+}  // namespace ftl::tcad

@@ -1,0 +1,57 @@
+#pragma once
+// The three four-terminal device candidates of §III-A / Table II: the
+// enhancement-type square- and cross-shaped-gate devices and the
+// depletion-type junctionless device. Geometry is the 2-D footprint the
+// charge-sheet solver meshes; the vertical dimension enters through oxide
+// thickness, electrode thickness and (for the junctionless wire) channel
+// thickness.
+
+#include <array>
+#include <string>
+
+#include "ftl/tcad/materials.hpp"
+
+namespace ftl::tcad {
+
+enum class DeviceShape { kSquare, kCross, kJunctionless };
+
+std::string to_string(DeviceShape s);
+
+/// The four terminals have fixed locations (§III-B): T1 north, T2 east,
+/// T3 south, T4 west. DSFF is then an adjacent pair (T1-T2) and SFDF an
+/// opposite pair (T1-T3), matching the paper's 1-drain/1-source cases.
+enum Terminal : int { kT1North = 0, kT2East = 1, kT3South = 2, kT4West = 3 };
+
+inline constexpr std::array<const char*, 4> kTerminalNames = {"T1", "T2", "T3", "T4"};
+
+/// Structural description of one device (Table II), SI units.
+struct DeviceSpec {
+  DeviceShape shape = DeviceShape::kSquare;
+  GateDielectric dielectric = GateDielectric::kHfO2;
+
+  double footprint = 0.0;        ///< side of the square active area, m
+  double electrode_width = 0.0;  ///< electrode extent along its edge, m
+  double electrode_depth = 0.0;  ///< electrode reach toward the centre, m
+  double electrode_thickness = 0.0;  ///< vertical thickness, m
+  double gate_extent = 0.0;      ///< square: gate side; cross: arm width, m
+  double oxide_thickness = 0.0;  ///< m
+
+  double substrate_acceptors = 0.0;  ///< boron, m^-3 (enhancement devices)
+  double electrode_donors = 0.0;     ///< phosphorus, m^-3
+  double channel_thickness = 0.0;    ///< junctionless wire thickness, m
+
+  /// Characteristic gate width entering the narrow-width Vth shift.
+  double narrow_width = 0.0;
+
+  bool is_depletion() const { return shape == DeviceShape::kJunctionless; }
+
+  /// Nominal electrode/substrate junction area (leakage floor), m^2.
+  double electrode_junction_area() const {
+    return electrode_width * electrode_depth;
+  }
+};
+
+/// Builds the Table II description for a shape/dielectric combination.
+DeviceSpec make_device(DeviceShape shape, GateDielectric dielectric);
+
+}  // namespace ftl::tcad

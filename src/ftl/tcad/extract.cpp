@@ -1,0 +1,50 @@
+#include "ftl/tcad/extract.hpp"
+
+#include <cmath>
+
+#include "ftl/linalg/interp.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+
+double threshold_voltage_max_gm(const linalg::Vector& vgs,
+                                const linalg::Vector& id, double vds) {
+  FTL_EXPECTS(vgs.size() == id.size() && vgs.size() >= 3);
+  // Central-difference transconductance; peak location.
+  double best_gm = -1.0;
+  std::size_t best = 1;
+  for (std::size_t i = 1; i + 1 < vgs.size(); ++i) {
+    const double gm = (id[i + 1] - id[i - 1]) / (vgs[i + 1] - vgs[i - 1]);
+    if (gm > best_gm) {
+      best_gm = gm;
+      best = i;
+    }
+  }
+  if (best_gm <= 0.0) throw ftl::Error("threshold extraction: non-increasing Id-Vg curve");
+  // Tangent at the peak crosses Id = 0 at Vg - Id/gm; subtract the linear-
+  // region half-drain correction.
+  return vgs[best] - id[best] / best_gm - vds / 2.0;
+}
+
+double on_off_ratio(const linalg::Vector& vgs, const linalg::Vector& id,
+                    double vg_on, double vg_off) {
+  FTL_EXPECTS(vgs.size() == id.size() && !vgs.empty());
+  const double ion = std::fabs(linalg::interp1(vgs, id, vg_on));
+  const double ioff = std::fabs(linalg::interp1(vgs, id, vg_off));
+  FTL_EXPECTS(ioff > 0.0);
+  return ion / ioff;
+}
+
+double coefficient_of_variation(const linalg::Vector& values) {
+  FTL_EXPECTS(!values.empty());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return std::sqrt(var) / std::fabs(mean);
+}
+
+}  // namespace ftl::tcad

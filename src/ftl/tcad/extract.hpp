@@ -1,0 +1,26 @@
+#pragma once
+// Figure-of-merit extraction from I-V curves: threshold voltage by the
+// maximum-transconductance (linear extrapolation) method, and the on/off
+// ratio of §III-B (Ion at Vgs = 5 V, Ioff at Vgs = 0 V — or at the sweep
+// minimum for the depletion-mode device, which is still ON at 0 V).
+
+#include "ftl/linalg/matrix.hpp"
+
+namespace ftl::tcad {
+
+/// Max-gm threshold extraction on an Id-Vg curve taken at small `vds`:
+/// extrapolates the tangent at peak gm to Id = 0 and subtracts vds/2.
+/// Requires at least 3 points.
+double threshold_voltage_max_gm(const linalg::Vector& vgs,
+                                const linalg::Vector& id, double vds);
+
+/// Ion/Ioff from an Id-Vg curve at Vds = 5 V. Currents are interpolated at
+/// `vg_on` and `vg_off`.
+double on_off_ratio(const linalg::Vector& vgs, const linalg::Vector& id,
+                    double vg_on = 5.0, double vg_off = 0.0);
+
+/// Coefficient of variation (stddev/mean) across values — used to score the
+/// per-terminal symmetry of the 4-terminal I-V characteristics.
+double coefficient_of_variation(const linalg::Vector& values);
+
+}  // namespace ftl::tcad

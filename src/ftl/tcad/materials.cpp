@@ -1,0 +1,52 @@
+#include "ftl/tcad/materials.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+
+double dielectric_constant(GateDielectric d) {
+  switch (d) {
+    case GateDielectric::kSiO2: return 3.9;
+    case GateDielectric::kHfO2: return 25.0;
+  }
+  throw ftl::Error("unknown dielectric");
+}
+
+std::string to_string(GateDielectric d) {
+  switch (d) {
+    case GateDielectric::kSiO2: return "SiO2";
+    case GateDielectric::kHfO2: return "HfO2";
+  }
+  return "?";
+}
+
+double fermi_potential(double acceptor_density) {
+  FTL_EXPECTS(acceptor_density > constants::kSiliconIntrinsic);
+  return constants::kThermalVoltage *
+         std::log(acceptor_density / constants::kSiliconIntrinsic);
+}
+
+double max_depletion_width(double acceptor_density) {
+  const double phi_f = fermi_potential(acceptor_density);
+  const double eps_si =
+      constants::kSiliconPermittivity * constants::kVacuumPermittivity;
+  return std::sqrt(4.0 * eps_si * phi_f /
+                   (constants::kElementaryCharge * acceptor_density));
+}
+
+double depletion_charge(double acceptor_density) {
+  const double phi_f = fermi_potential(acceptor_density);
+  const double eps_si =
+      constants::kSiliconPermittivity * constants::kVacuumPermittivity;
+  return std::sqrt(2.0 * constants::kElementaryCharge * eps_si *
+                   acceptor_density * 2.0 * phi_f);
+}
+
+double oxide_capacitance(GateDielectric d, double tox) {
+  FTL_EXPECTS(tox > 0.0);
+  return dielectric_constant(d) * constants::kVacuumPermittivity / tox;
+}
+
+}  // namespace ftl::tcad

@@ -1,0 +1,46 @@
+#pragma once
+// Physical constants and the material systems of Table II: silicon substrate
+// and electrodes, SiO2 and HfO2 gate dielectrics, boron and phosphorus
+// doping. SI units throughout (doping in m^-3).
+
+#include <string>
+
+namespace ftl::tcad {
+
+/// Physical constants (300 K).
+namespace constants {
+inline constexpr double kElementaryCharge = 1.602176634e-19;  // C
+inline constexpr double kVacuumPermittivity = 8.8541878128e-12;  // F/m
+inline constexpr double kThermalVoltage = 0.025852;  // kT/q at 300 K, V
+inline constexpr double kSiliconIntrinsic = 1.5e16;  // ni, m^-3 at 300 K
+inline constexpr double kSiliconPermittivity = 11.7;
+}  // namespace constants
+
+/// Gate dielectric choice from the paper (§III-A).
+enum class GateDielectric { kSiO2, kHfO2 };
+
+/// Relative permittivity of the dielectric.
+double dielectric_constant(GateDielectric d);
+
+std::string to_string(GateDielectric d);
+
+/// Bulk silicon transport/doping description for a region.
+struct SiliconRegion {
+  double donor_density = 0.0;     // m^-3 (phosphorus)
+  double acceptor_density = 0.0;  // m^-3 (boron)
+  double electron_mobility = 0.0; // m^2/(V s)
+};
+
+/// Fermi potential of a p-type region: phiF = Vt ln(Na / ni).
+double fermi_potential(double acceptor_density);
+
+/// Maximum depletion width at threshold: xd = sqrt(4 epsSi phiF / (q Na)).
+double max_depletion_width(double acceptor_density);
+
+/// Bulk depletion charge per area at threshold: sqrt(2 q epsSi Na · 2phiF).
+double depletion_charge(double acceptor_density);
+
+/// Oxide capacitance per area for thickness `tox`.
+double oxide_capacitance(GateDielectric d, double tox);
+
+}  // namespace ftl::tcad

@@ -1,0 +1,103 @@
+#include "ftl/tcad/mesh.hpp"
+
+#include <cmath>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::tcad {
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+bool in_rect(Point p, double x0, double x1, double y0, double y1) {
+  return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+}
+
+/// Terminal rectangle test. T1 north (y small), T2 east, T3 south, T4 west.
+int electrode_at(const DeviceSpec& s, Point p) {
+  const double c = s.footprint / 2.0;
+  const double hw = s.electrode_width / 2.0;
+  const double d = s.electrode_depth;
+  const double f = s.footprint;
+  if (in_rect(p, c - hw, c + hw, 0.0, d)) return kT1North;
+  if (in_rect(p, f - d, f, c - hw, c + hw)) return kT2East;
+  if (in_rect(p, c - hw, c + hw, f - d, f)) return kT3South;
+  if (in_rect(p, 0.0, d, c - hw, c + hw)) return kT4West;
+  return -1;
+}
+
+/// Union of the two centre strips (the cross arms / the junctionless wire).
+bool in_cross_strips(const DeviceSpec& s, Point p, double strip_width) {
+  const double c = s.footprint / 2.0;
+  const double hw = strip_width / 2.0;
+  return std::fabs(p.x - c) <= hw || std::fabs(p.y - c) <= hw;
+}
+
+bool in_center_square(const DeviceSpec& s, Point p, double side) {
+  const double c = s.footprint / 2.0;
+  const double h = side / 2.0;
+  return std::fabs(p.x - c) <= h && std::fabs(p.y - c) <= h;
+}
+
+}  // namespace
+
+DeviceMesh build_mesh(const DeviceSpec& spec, int cells_per_side) {
+  FTL_EXPECTS(cells_per_side >= 8);
+  DeviceMesh mesh;
+  mesh.cells_per_side = cells_per_side;
+  mesh.pitch = spec.footprint / static_cast<double>(cells_per_side);
+  mesh.region.assign(static_cast<std::size_t>(mesh.cell_count()), Region::kOutside);
+  mesh.terminal.assign(static_cast<std::size_t>(mesh.cell_count()), -1);
+
+  for (int iy = 0; iy < cells_per_side; ++iy) {
+    for (int ix = 0; ix < cells_per_side; ++ix) {
+      const Point p{(ix + 0.5) * mesh.pitch, (iy + 0.5) * mesh.pitch};
+      const std::size_t i = static_cast<std::size_t>(mesh.index(ix, iy));
+
+      switch (spec.shape) {
+        case DeviceShape::kSquare: {
+          const int t = electrode_at(spec, p);
+          if (t >= 0) {
+            mesh.region[i] = Region::kConductor;
+            mesh.terminal[i] = t;
+          } else if (in_center_square(spec, p, spec.gate_extent)) {
+            mesh.region[i] = Region::kGated;
+          }
+          break;
+        }
+        case DeviceShape::kCross: {
+          const int t = electrode_at(spec, p);
+          if (t >= 0) {
+            mesh.region[i] = Region::kConductor;
+            mesh.terminal[i] = t;
+          } else if (in_cross_strips(spec, p, spec.gate_extent)) {
+            mesh.region[i] = Region::kGated;
+          }
+          break;
+        }
+        case DeviceShape::kJunctionless: {
+          if (!in_cross_strips(spec, p, spec.channel_thickness)) break;
+          if (in_center_square(spec, p, spec.gate_extent)) {
+            mesh.region[i] = Region::kGated;
+            break;
+          }
+          mesh.region[i] = Region::kConductor;
+          // Wire ends within electrode_depth of an edge are the contacts.
+          const double f = spec.footprint;
+          const double d = spec.electrode_depth;
+          if (p.y <= d) mesh.terminal[i] = kT1North;
+          else if (p.x >= f - d) mesh.terminal[i] = kT2East;
+          else if (p.y >= f - d) mesh.terminal[i] = kT3South;
+          else if (p.x <= d) mesh.terminal[i] = kT4West;
+          break;
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace ftl::tcad

@@ -1,0 +1,37 @@
+#pragma once
+// Structured 2-D mesh over the device footprint. Each cell is classified by
+// the region it samples; the network solver puts one voltage unknown per
+// conducting cell and one edge conductance per neighbouring pair.
+
+#include <vector>
+
+#include "ftl/tcad/device.hpp"
+
+namespace ftl::tcad {
+
+/// What a mesh cell is made of.
+enum class Region {
+  kOutside,    ///< non-conducting substrate / field oxide
+  kGated,      ///< channel under gate control
+  kConductor,  ///< n+ electrode or ungated n+ wire
+};
+
+struct DeviceMesh {
+  int cells_per_side = 0;
+  double pitch = 0.0;  ///< cell edge length, m
+
+  /// Row-major over y (row) then x (col); size = cells_per_side^2.
+  std::vector<Region> region;
+  /// Terminal owning the cell (0..3), or -1. Only kConductor cells belong
+  /// to terminals; interior conductors (e.g. the ungated wire core) have -1.
+  std::vector<int> terminal;
+
+  int index(int ix, int iy) const { return iy * cells_per_side + ix; }
+  Region region_at(int ix, int iy) const { return region[static_cast<std::size_t>(index(ix, iy))]; }
+  int cell_count() const { return cells_per_side * cells_per_side; }
+};
+
+/// Meshes `spec` with cells_per_side cells along each axis (>= 8).
+DeviceMesh build_mesh(const DeviceSpec& spec, int cells_per_side = 48);
+
+}  // namespace ftl::tcad

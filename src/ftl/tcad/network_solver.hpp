@@ -1,0 +1,71 @@
+#pragma once
+// Nonlinear resistor-network solver: the numerical engine of the TCAD
+// substitute.
+//
+// The gated channel obeys the drift equation div(sigma(V) grad V) = 0 with
+// sigma a fixed function of the local potential once the gate voltage is
+// set. Under the Kirchhoff transform u = Phi(V) = integral of sigma, that
+// equation is exactly Laplace's equation — linear — so the solver iterates
+// two *linear* subproblems to convergence:
+//   (a) a u-space Laplace solve over the gated cells (SPD, solved by CG),
+//   (b) a V-space ohmic solve over the conductor cells (electrodes and
+//       ungated wire), with the channel interface linearized around the
+//       previous pass.
+// This keeps pinch-off/saturation exact (the transform reproduces the
+// level-1 saturation integral) and converges where a conductance-lagged
+// Picard iteration on V oscillates.
+
+#include <array>
+#include <optional>
+
+#include "ftl/linalg/matrix.hpp"
+#include "ftl/tcad/charge_sheet.hpp"
+#include "ftl/tcad/mesh.hpp"
+
+namespace ftl::tcad {
+
+/// One bias point: gate voltage plus a Dirichlet voltage per driven
+/// terminal. A disengaged optional means the terminal floats.
+struct BiasPoint {
+  double gate = 0.0;
+  std::array<std::optional<double>, 4> terminal;
+};
+
+struct SolveResult {
+  /// Channel potential per mesh cell (kOutside cells read 0).
+  linalg::Vector node_voltage;
+  /// Sheet current-density components per cell (A/m); outside cells read 0.
+  linalg::Vector jx;
+  linalg::Vector jy;
+  /// Current entering the device at each terminal, A (positive = into the
+  /// terminal from the external source). Floating terminals read 0.
+  std::array<double, 4> terminal_current{};
+  int nonlinear_iterations = 0;
+  bool converged = false;
+};
+
+struct SolverOptions {
+  int max_passes = 200;       ///< block (u, V) iteration budget
+  double voltage_tol = 1e-6;  ///< max conductor-V / channel-V update, V
+};
+
+/// Solves bias points on a fixed device mesh.
+class NetworkSolver {
+ public:
+  NetworkSolver(DeviceMesh mesh, ChargeSheetModel model);
+
+  const DeviceMesh& mesh() const { return mesh_; }
+  const ChargeSheetModel& model() const { return model_; }
+
+  /// Solves one bias point. `warm_start` (a previous node_voltage vector)
+  /// accelerates sweeps. Throws ftl::Error when no terminal is driven.
+  SolveResult solve(const BiasPoint& bias,
+                    const linalg::Vector* warm_start = nullptr,
+                    const SolverOptions& options = {}) const;
+
+ private:
+  DeviceMesh mesh_;
+  ChargeSheetModel model_;
+};
+
+}  // namespace ftl::tcad

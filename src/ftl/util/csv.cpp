@@ -1,0 +1,37 @@
+#include "ftl/util/csv.hpp"
+
+#include <limits>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  out_.precision(std::numeric_limits<double>::max_digits10);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_row(columns);
+  rows_ = 0;  // header does not count as data
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace ftl::util

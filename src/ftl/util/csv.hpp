@@ -1,0 +1,29 @@
+#pragma once
+// Minimal CSV writer used by benches and examples to dump sweep data.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ftl::util {
+
+/// Writes rows of mixed string/double cells to a CSV file.
+/// Throws ftl::Error when the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far (header excluded).
+  int rows() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  int rows_ = 0;
+};
+
+}  // namespace ftl::util

@@ -1,0 +1,15 @@
+#include "ftl/util/error.hpp"
+
+#include <sstream>
+
+namespace ftl::detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line, const char* msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (msg != nullptr) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace ftl::detail

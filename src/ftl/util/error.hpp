@@ -1,0 +1,54 @@
+#pragma once
+// Error handling and lightweight contracts for the fourterm libraries.
+//
+// All recoverable failures are reported as ftl::Error (a std::runtime_error);
+// programming-contract violations use FTL_EXPECTS / FTL_ENSURES, which throw
+// ftl::ContractViolation with file/line context so tests can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace ftl {
+
+/// Base class for all recoverable errors raised by fourterm libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an FTL_EXPECTS / FTL_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line, const char* msg);
+}  // namespace detail
+
+}  // namespace ftl
+
+/// Precondition check: throws ftl::ContractViolation when `cond` is false.
+#define FTL_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ftl::detail::contract_failed("precondition", #cond, __FILE__,         \
+                                     __LINE__, nullptr);                      \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define FTL_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ftl::detail::contract_failed("precondition", #cond, __FILE__,         \
+                                     __LINE__, (msg));                        \
+  } while (false)
+
+/// Postcondition check: throws ftl::ContractViolation when `cond` is false.
+#define FTL_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ftl::detail::contract_failed("postcondition", #cond, __FILE__,        \
+                                     __LINE__, nullptr);                      \
+  } while (false)

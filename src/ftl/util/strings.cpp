@@ -1,0 +1,57 @@
+#include "ftl/util/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ftl::util {
+namespace {
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+}  // namespace
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    const std::size_t stop = (end == std::string_view::npos) ? text.size() : end;
+    if (stop > start) out.emplace_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = lower(c);
+  return out;
+}
+
+bool istarts_with(std::string_view text, std::string_view prefix) {
+  if (text.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (lower(text[i]) != lower(prefix[i])) return false;
+  }
+  return true;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() && istarts_with(a, b);
+}
+
+std::string format_double(double v, int significant) {
+  std::ostringstream os;
+  os.precision(significant);
+  os << v;
+  return os.str();
+}
+
+}  // namespace ftl::util

@@ -1,0 +1,28 @@
+#pragma once
+// Small string utilities shared across the fourterm libraries.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftl::util {
+
+/// Splits `text` on any character in `delims`, dropping empty tokens.
+std::vector<std::string> split(std::string_view text, std::string_view delims = " \t");
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (netlists are case-insensitive).
+std::string to_lower(std::string_view text);
+
+/// True when `text` starts with `prefix` (case-insensitive).
+bool istarts_with(std::string_view text, std::string_view prefix);
+
+/// Case-insensitive equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// printf-style double formatting with fixed significant digits.
+std::string format_double(double v, int significant = 6);
+
+}  // namespace ftl::util

@@ -1,0 +1,27 @@
+#pragma once
+// Console table rendering for bench output: the benches print the same
+// rows/series the paper reports, side by side with measured values.
+
+#include <string>
+#include <vector>
+
+namespace ftl::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment and a header rule.
+  std::string render() const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftl::util

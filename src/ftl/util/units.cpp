@@ -1,0 +1,103 @@
+#include "ftl/util/units.hpp"
+
+#include <cctype>
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::util {
+namespace {
+
+bool is_unit_letter(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0; }
+
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+
+}  // namespace
+
+std::optional<double> parse_engineering(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double mantissa = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) return std::nullopt;
+
+  std::string_view rest(end);
+  double scale = 1.0;
+  if (!rest.empty()) {
+    if (!is_unit_letter(rest.front())) return std::nullopt;
+    // `meg` must be tested before `m`.
+    if (rest.size() >= 3 && lower(rest[0]) == 'm' && lower(rest[1]) == 'e' &&
+        lower(rest[2]) == 'g') {
+      scale = 1e6;
+      rest.remove_prefix(3);
+    } else {
+      switch (lower(rest.front())) {
+        case 'a': scale = 1e-18; rest.remove_prefix(1); break;
+        case 'f': scale = 1e-15; rest.remove_prefix(1); break;
+        case 'p': scale = 1e-12; rest.remove_prefix(1); break;
+        case 'n': scale = 1e-9;  rest.remove_prefix(1); break;
+        case 'u': scale = 1e-6;  rest.remove_prefix(1); break;
+        case 'm': scale = 1e-3;  rest.remove_prefix(1); break;
+        case 'k': scale = 1e3;   rest.remove_prefix(1); break;
+        case 'g': scale = 1e9;   rest.remove_prefix(1); break;
+        case 't': scale = 1e12;  rest.remove_prefix(1); break;
+        default:
+          // A bare unit such as "3V" or "5Ohm": no scaling.
+          scale = 1.0;
+          break;
+      }
+    }
+    // Whatever remains must be unit letters only ("s", "V", "Ohm", ...).
+    for (char c : rest) {
+      if (!is_unit_letter(c)) return std::nullopt;
+    }
+  }
+  return mantissa * scale;
+}
+
+double parse_engineering_or_throw(std::string_view text) {
+  auto v = parse_engineering(text);
+  if (!v) throw Error("malformed engineering number: '" + std::string(text) + "'");
+  return *v;
+}
+
+std::string format_si(double value, int digits, std::string_view unit) {
+  FTL_EXPECTS(digits >= 1 && digits <= 17);
+  if (value == 0.0 || !std::isfinite(value)) {
+    std::ostringstream os;
+    os << value << unit;
+    return os.str();
+  }
+  struct Band { double scale; const char* prefix; };
+  static constexpr Band kBands[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+      {1e-18, "a"},
+  };
+  const double mag = std::fabs(value);
+  const Band* chosen = &kBands[sizeof(kBands) / sizeof(kBands[0]) - 1];
+  for (const Band& b : kBands) {
+    if (mag >= b.scale) {
+      chosen = &b;
+      break;
+    }
+  }
+  const double mantissa = value / chosen->scale;
+  // Never fall back to scientific notation: a 3-digit mantissa needs at
+  // least 3 significant digits ("200ps", not "2e+02ps").
+  const int integer_digits =
+      std::fabs(mantissa) >= 1.0
+          ? static_cast<int>(std::floor(std::log10(std::fabs(mantissa)))) + 1
+          : 1;
+  std::ostringstream os;
+  os.precision(std::max(digits, integer_digits));
+  os << mantissa << chosen->prefix << unit;
+  return os.str();
+}
+
+}  // namespace ftl::util

@@ -1,0 +1,25 @@
+#pragma once
+// SI-suffixed engineering number parsing and formatting, SPICE-style.
+//
+// Accepts the suffix set used by SPICE netlists: f p n u m k meg g t
+// (case-insensitive; `meg` = 1e6 because `m` is milli). Trailing unit
+// letters after the suffix are ignored, as in "30ns" or "500kOhm".
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftl::util {
+
+/// Parses an engineering-notation value ("1.2k", "10f", "5meg", "30ns").
+/// Returns std::nullopt for malformed input.
+std::optional<double> parse_engineering(std::string_view text);
+
+/// Same as parse_engineering but throws ftl::Error on malformed input.
+double parse_engineering_or_throw(std::string_view text);
+
+/// Formats `value` with an SI suffix and `digits` significant digits,
+/// e.g. format_si(1.13e-8, 3, "s") == "11.3ns".
+std::string format_si(double value, int digits = 4, std::string_view unit = "");
+
+}  // namespace ftl::util

@@ -1,0 +1,103 @@
+// Boolean expression parser tests.
+#include <gtest/gtest.h>
+
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::logic::parse_expression;
+using ftl::logic::TruthTable;
+
+TEST(ExprParser, SingleVariable) {
+  const auto f = parse_expression("a");
+  ASSERT_EQ(f.var_names.size(), 1u);
+  EXPECT_EQ(f.var_names[0], "a");
+  EXPECT_EQ(f.table, TruthTable::variable(1, 0));
+}
+
+TEST(ExprParser, AndOrPrecedence) {
+  // a + b c  must parse as a + (b c).
+  const auto f = parse_expression("a + b c");
+  ASSERT_EQ(f.var_names.size(), 3u);
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable b = TruthTable::variable(3, 1);
+  const TruthTable c = TruthTable::variable(3, 2);
+  EXPECT_EQ(f.table, a | (b & c));
+}
+
+TEST(ExprParser, ExplicitOperatorsAndParens) {
+  const auto f = parse_expression("(a | b) & !c");
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable b = TruthTable::variable(3, 1);
+  const TruthTable c = TruthTable::variable(3, 2);
+  EXPECT_EQ(f.table, (a | b) & ~c);
+}
+
+TEST(ExprParser, PostfixComplement) {
+  const auto f = parse_expression("a b' + a' b");
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ(f.table, a ^ b);
+}
+
+TEST(ExprParser, DoubleComplementCancels) {
+  const auto f = parse_expression("a''");
+  EXPECT_EQ(f.table, TruthTable::variable(1, 0));
+  const auto g = parse_expression("!!a");
+  EXPECT_EQ(g.table, TruthTable::variable(1, 0));
+}
+
+TEST(ExprParser, Constants) {
+  EXPECT_TRUE(parse_expression("0").table.is_zero());
+  EXPECT_TRUE(parse_expression("1").table.is_one());
+  const auto f = parse_expression("a + 1");
+  EXPECT_TRUE(f.table.is_one());
+}
+
+TEST(ExprParser, StarAsAnd) {
+  const auto f = parse_expression("x1*x2 + x3");
+  ASSERT_EQ(f.var_names.size(), 3u);
+  EXPECT_EQ(f.var_names[0], "x1");
+  EXPECT_EQ(f.var_names[2], "x3");
+}
+
+TEST(ExprParser, Xor3Expression) {
+  const auto f = parse_expression("a b c + a b' c' + a' b c' + a' b' c");
+  const TruthTable xor3 = TruthTable::from_function(3, [](std::uint64_t m) {
+    return (((m >> 0) ^ (m >> 1) ^ (m >> 2)) & 1) != 0;
+  });
+  EXPECT_EQ(f.table, xor3);
+}
+
+TEST(ExprParser, FixedVariableOrdering) {
+  const auto f = parse_expression("b", {"a", "b"});
+  EXPECT_EQ(f.table, TruthTable::variable(2, 1));
+  EXPECT_THROW(parse_expression("c", {"a", "b"}), ftl::Error);
+}
+
+TEST(ExprParser, VariableOrderIsFirstAppearance) {
+  const auto f = parse_expression("z + y + x");
+  ASSERT_EQ(f.var_names.size(), 3u);
+  EXPECT_EQ(f.var_names[0], "z");
+  EXPECT_EQ(f.var_names[1], "y");
+  EXPECT_EQ(f.var_names[2], "x");
+}
+
+TEST(ExprParser, SyntaxErrors) {
+  EXPECT_THROW(parse_expression(""), ftl::Error);
+  EXPECT_THROW(parse_expression("a +"), ftl::Error);
+  EXPECT_THROW(parse_expression("(a"), ftl::Error);
+  EXPECT_THROW(parse_expression("a ) b"), ftl::Error);
+  EXPECT_THROW(parse_expression("a # b"), ftl::Error);
+  EXPECT_THROW(parse_expression("+ a"), ftl::Error);
+}
+
+TEST(ExprParser, UnderscoreAndDigitsInNames) {
+  const auto f = parse_expression("in_1 out2'");
+  ASSERT_EQ(f.var_names.size(), 2u);
+  EXPECT_EQ(f.var_names[0], "in_1");
+  EXPECT_EQ(f.var_names[1], "out2");
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Switch-fault analysis tests: fault injection semantics, criticality
+// classification, masking by redundancy, and greedy test-set generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftl/lattice/faults.hpp"
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl::lattice;
+using ftl::logic::TruthTable;
+
+TEST(Faults, InjectionForcesConstants) {
+  Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::of(0));
+
+  const Lattice open = inject_fault(lat, {0, 0, FaultType::kStuckOpen});
+  EXPECT_EQ(open.at(0, 0).kind, CellValue::Kind::kConst0);
+  EXPECT_TRUE(realized_truth_table(open).is_zero());
+
+  const Lattice closed = inject_fault(lat, {0, 0, FaultType::kStuckClosed});
+  EXPECT_EQ(closed.at(0, 0).kind, CellValue::Kind::kConst1);
+  // [1; a] still computes a.
+  EXPECT_EQ(realized_truth_table(closed), TruthTable::variable(1, 0));
+}
+
+TEST(Faults, SingleColumnIsFullyCritical) {
+  // A 2x1 AND column has zero redundancy: every fault changes the function.
+  Lattice lat(2, 1, 2, {"a", "b"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::of(1));
+  const TruthTable f = TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  const FaultAnalysis analysis = analyze_single_faults(lat, f);
+  EXPECT_EQ(analysis.total_faults, 4);
+  EXPECT_EQ(analysis.critical.size(), 4u);
+  EXPECT_TRUE(analysis.masked.empty());
+  EXPECT_DOUBLE_EQ(analysis.masking_ratio(), 0.0);
+}
+
+TEST(Faults, ParallelColumnsMaskStuckOpen) {
+  // Two identical columns [a; b] in parallel: losing one column (stuck-open)
+  // is masked; a stuck-closed fault can still change the function.
+  Lattice lat(2, 2, 2, {"a", "b"});
+  for (int c = 0; c < 2; ++c) {
+    lat.set(0, c, CellValue::of(0));
+    lat.set(1, c, CellValue::of(1));
+  }
+  const TruthTable f = TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  ASSERT_TRUE(realizes(lat, f));
+  const FaultAnalysis analysis = analyze_single_faults(lat, f);
+  // All four stuck-open faults are masked by the twin column.
+  int open_masked = 0;
+  for (const Fault& fault : analysis.masked) {
+    if (fault.type == FaultType::kStuckOpen) ++open_masked;
+  }
+  EXPECT_EQ(open_masked, 4);
+}
+
+TEST(Faults, CountsAreConsistent) {
+  const Lattice lat = xor3_lattice_3x3();
+  const TruthTable f = xor3_truth_table();
+  const FaultAnalysis analysis = analyze_single_faults(lat, f);
+  EXPECT_EQ(analysis.total_faults, 2 * lat.cell_count());
+  EXPECT_EQ(analysis.critical.size() + analysis.masked.size(),
+            static_cast<std::size_t>(analysis.total_faults));
+}
+
+TEST(Faults, MaskedFaultsReallyPreserveTheFunction) {
+  const Lattice lat = xor3_lattice_3x4();
+  const TruthTable f = xor3_truth_table();
+  const FaultAnalysis analysis = analyze_single_faults(lat, f);
+  for (const Fault& fault : analysis.masked) {
+    EXPECT_TRUE(realizes(inject_fault(lat, fault), f));
+  }
+  for (const Fault& fault : analysis.critical) {
+    EXPECT_FALSE(realizes(inject_fault(lat, fault), f));
+  }
+}
+
+TEST(Faults, GreedyTestSetDetectsEveryCriticalFault) {
+  for (const Lattice& lat : {xor3_lattice_3x3(), xor3_lattice_3x4()}) {
+    const TruthTable f = xor3_truth_table();
+    const std::vector<std::uint64_t> tests = greedy_test_set(lat, f);
+    const FaultAnalysis analysis = analyze_single_faults(lat, f);
+    for (const Fault& fault : analysis.critical) {
+      const Lattice faulty = inject_fault(lat, fault);
+      bool detected = false;
+      for (std::uint64_t code : tests) {
+        detected = detected || faulty.evaluate(code) != f.get(code);
+      }
+      EXPECT_TRUE(detected) << "fault at (" << fault.row << "," << fault.col
+                            << ") " << to_string(fault.type);
+    }
+    // The test set is no larger than the input space (and usually tiny).
+    EXPECT_LE(tests.size(), f.num_minterms());
+    EXPECT_FALSE(tests.empty());
+  }
+}
+
+TEST(Faults, TestSetIsEmptyWhenNothingIsCritical) {
+  // A 1x2 lattice [a a] realizing a: one cell stuck-open is masked by the
+  // twin; stuck-closed turns the function into constant 1 -> critical.
+  // Construct instead a fully redundant case: both cells constant 1,
+  // realizing constant 1; stuck-closed faults are no-ops, stuck-open is
+  // masked by the parallel cell.
+  Lattice lat(1, 2, 1, {"a"});
+  lat.set(0, 0, CellValue::one());
+  lat.set(0, 1, CellValue::one());
+  const TruthTable one = TruthTable::constant(1, true);
+  ASSERT_TRUE(realizes(lat, one));
+  const FaultAnalysis analysis = analyze_single_faults(lat, one);
+  EXPECT_TRUE(analysis.critical.empty());
+  EXPECT_TRUE(greedy_test_set(lat, one).empty());
+}
+
+TEST(Faults, MismatchedVariableCountThrows) {
+  const Lattice lat = xor3_lattice_3x3();
+  EXPECT_THROW(analyze_single_faults(lat, TruthTable(2)),
+               ftl::ContractViolation);
+}
+
+}  // namespace

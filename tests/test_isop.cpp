@@ -1,0 +1,139 @@
+// Minato–Morreale ISOP tests: exact cover of the onset, containment within
+// onset ∪ don't-care, irredundancy, and the product/dual-product shared-
+// literal lemma that the Altun–Riedel synthesis rests on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/logic/isop.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::logic::Cube;
+using ftl::logic::isop;
+using ftl::logic::isop_of_dual;
+using ftl::logic::Sop;
+using ftl::logic::TruthTable;
+
+TruthTable random_table(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TruthTable f(n);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) f.set(m, bit(rng) == 1);
+  return f;
+}
+
+TEST(Isop, ConstantFunctions) {
+  EXPECT_TRUE(isop(TruthTable::constant(3, false)).empty());
+  const Sop one = isop(TruthTable::constant(3, true));
+  ASSERT_EQ(one.size(), 1);
+  EXPECT_TRUE(one.has_constant_one());
+}
+
+TEST(Isop, SingleVariable) {
+  const Sop s = isop(TruthTable::variable(4, 2));
+  ASSERT_EQ(s.size(), 1);
+  EXPECT_EQ(s.to_string(), "x2");
+}
+
+TEST(Isop, Xor2HasTwoProducts) {
+  const Sop s = isop(TruthTable::from_bits(2, 0b0110));
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(TruthTable::from_sop(s), TruthTable::from_bits(2, 0b0110));
+}
+
+TEST(Isop, Xor3HasFourProducts) {
+  const TruthTable xor3 = TruthTable::from_function(3, [](std::uint64_t m) {
+    return (((m >> 0) ^ (m >> 1) ^ (m >> 2)) & 1) != 0;
+  });
+  const Sop s = isop(xor3);
+  EXPECT_EQ(s.size(), 4);  // the minimal SOP of 3-input parity
+  EXPECT_EQ(TruthTable::from_sop(s), xor3);
+}
+
+struct IsopCase {
+  int num_vars;
+  unsigned seed;
+};
+
+class IsopRandom : public ::testing::TestWithParam<IsopCase> {};
+
+TEST_P(IsopRandom, CoverEqualsFunction) {
+  const auto p = GetParam();
+  const TruthTable f = random_table(p.num_vars, p.seed);
+  const Sop cover = isop(f);
+  EXPECT_EQ(TruthTable::from_sop(cover), f);
+}
+
+TEST_P(IsopRandom, EveryCubeIsAnImplicant) {
+  const auto p = GetParam();
+  const TruthTable f = random_table(p.num_vars, p.seed + 1000);
+  const Sop cover = isop(f);
+  for (const Cube& c : cover.cubes()) {
+    Sop single(p.num_vars);
+    single.add(c);
+    EXPECT_TRUE(TruthTable::from_sop(single).implies(f));
+  }
+}
+
+TEST_P(IsopRandom, CoverIsIrredundant) {
+  const auto p = GetParam();
+  const TruthTable f = random_table(p.num_vars, p.seed + 2000);
+  const Sop cover = isop(f);
+  // Dropping any single cube must uncover part of the onset.
+  for (int skip = 0; skip < cover.size(); ++skip) {
+    Sop reduced(p.num_vars);
+    for (int i = 0; i < cover.size(); ++i) {
+      if (i != skip) reduced.add(cover.cubes()[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_NE(TruthTable::from_sop(reduced), f)
+        << "cube " << skip << " is redundant";
+  }
+}
+
+TEST_P(IsopRandom, DontCaresAreRespected) {
+  const auto p = GetParam();
+  const TruthTable on = random_table(p.num_vars, p.seed + 3000);
+  const TruthTable dc_raw = random_table(p.num_vars, p.seed + 4000);
+  const TruthTable dc = dc_raw & ~on;  // disjoint don't-care set
+  const Sop cover = isop(on, dc);
+  const TruthTable realized = TruthTable::from_sop(cover);
+  EXPECT_TRUE(on.implies(realized));         // covers every onset minterm
+  EXPECT_TRUE(realized.implies(on | dc));    // stays inside onset ∪ dc
+}
+
+TEST_P(IsopRandom, ProductAndDualProductShareALiteral) {
+  // The Altun–Riedel construction requires every (product, dual product)
+  // pair to intersect in a literal.
+  const auto p = GetParam();
+  TruthTable f = random_table(p.num_vars, p.seed + 5000);
+  if (f.is_zero() || f.is_one()) return;
+  const Sop products = isop(f);
+  const Sop duals = isop_of_dual(f);
+  for (const Cube& q : duals.cubes()) {
+    for (const Cube& pr : products.cubes()) {
+      EXPECT_FALSE(q.shared_literals(pr).empty())
+          << "q=" << q.to_string() << " p=" << pr.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFunctions, IsopRandom,
+    ::testing::Values(IsopCase{1, 1}, IsopCase{2, 1}, IsopCase{2, 2},
+                      IsopCase{3, 1}, IsopCase{3, 2}, IsopCase{3, 3},
+                      IsopCase{4, 1}, IsopCase{4, 2}, IsopCase{4, 3},
+                      IsopCase{5, 1}, IsopCase{5, 2}, IsopCase{6, 1},
+                      IsopCase{7, 1}, IsopCase{8, 1}));
+
+TEST(Isop, DualOfDualCoverIsOriginalFunction) {
+  for (unsigned seed = 10; seed < 15; ++seed) {
+    const TruthTable f = random_table(4, seed);
+    if (f.is_zero() || f.is_one()) continue;
+    const Sop dual_cover = isop_of_dual(f);
+    EXPECT_EQ(TruthTable::from_sop(dual_cover), f.dual());
+  }
+}
+
+}  // namespace

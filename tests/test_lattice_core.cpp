@@ -1,0 +1,146 @@
+// Lattice model and connectivity tests: cell semantics, top-bottom
+// connectivity, and the monotonicity property of the switching model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/lattice/connectivity.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::lattice::CellValue;
+using ftl::lattice::connectivity_lut;
+using ftl::lattice::Lattice;
+using ftl::lattice::top_bottom_connected;
+using ftl::lattice::top_bottom_connected_bits;
+
+TEST(CellValue, Semantics) {
+  EXPECT_FALSE(CellValue::zero().evaluate(0b111));
+  EXPECT_TRUE(CellValue::one().evaluate(0));
+  EXPECT_TRUE(CellValue::of(1).evaluate(0b010));
+  EXPECT_FALSE(CellValue::of(1).evaluate(0b101));
+  EXPECT_TRUE(CellValue::of(1, false).evaluate(0b101));
+  EXPECT_EQ(CellValue::of(0, false).to_string({"a"}), "a'");
+  EXPECT_EQ(CellValue::one().to_string(), "1");
+}
+
+TEST(Lattice, ConstructionAndDefaultNames) {
+  Lattice lat(2, 3, 2);
+  EXPECT_EQ(lat.rows(), 2);
+  EXPECT_EQ(lat.cols(), 3);
+  EXPECT_EQ(lat.cell_count(), 6);
+  EXPECT_EQ(lat.var_names()[1], "x1");
+  EXPECT_EQ(lat.at(0, 0).kind, CellValue::Kind::kConst0);
+}
+
+TEST(Lattice, SetRejectsOutOfRange) {
+  Lattice lat(2, 2, 1);
+  EXPECT_THROW(lat.set(2, 0, CellValue::one()), ftl::ContractViolation);
+  EXPECT_THROW(lat.set(0, 0, CellValue::of(3)), ftl::ContractViolation);
+}
+
+TEST(Lattice, EvaluateSingleColumn) {
+  // 2x1 lattice [a; b]: f = a AND b.
+  Lattice lat(2, 1, 2, {"a", "b"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::of(1));
+  EXPECT_FALSE(lat.evaluate(0b00));
+  EXPECT_FALSE(lat.evaluate(0b01));
+  EXPECT_FALSE(lat.evaluate(0b10));
+  EXPECT_TRUE(lat.evaluate(0b11));
+}
+
+TEST(Lattice, EvaluateSingleRow) {
+  // 1x2 lattice [a b]: each cell touches both plates: f = a OR b.
+  Lattice lat(1, 2, 2, {"a", "b"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(0, 1, CellValue::of(1));
+  EXPECT_FALSE(lat.evaluate(0b00));
+  EXPECT_TRUE(lat.evaluate(0b01));
+  EXPECT_TRUE(lat.evaluate(0b10));
+  EXPECT_TRUE(lat.evaluate(0b11));
+}
+
+TEST(Connectivity, StraightColumn) {
+  // 3x3, only middle column ON.
+  std::vector<bool> s(9, false);
+  s[1] = s[4] = s[7] = true;
+  EXPECT_TRUE(top_bottom_connected(s, 3, 3));
+  s[4] = false;  // break the column
+  EXPECT_FALSE(top_bottom_connected(s, 3, 3));
+}
+
+TEST(Connectivity, SnakePath) {
+  // Fig. 2c's x1 x4 x5 x6 x9 path: (0,0),(1,0),(1,1),(1,2),(2,2).
+  std::vector<bool> s(9, false);
+  s[0] = s[3] = s[4] = s[5] = s[8] = true;
+  EXPECT_TRUE(top_bottom_connected(s, 3, 3));
+}
+
+TEST(Connectivity, DiagonalDoesNotConduct) {
+  // Diagonal adjacency is not connectivity in a 4-neighbour lattice.
+  std::vector<bool> s(4, false);
+  s[0] = s[3] = true;  // (0,0) and (1,1)
+  EXPECT_FALSE(top_bottom_connected(s, 2, 2));
+}
+
+TEST(Connectivity, AllOffAndAllOn) {
+  EXPECT_FALSE(top_bottom_connected(std::vector<bool>(12, false), 3, 4));
+  EXPECT_TRUE(top_bottom_connected(std::vector<bool>(12, true), 3, 4));
+}
+
+TEST(Connectivity, BitsVariantAgreesWithVectorVariant) {
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<std::uint64_t> dist(0, (1u << 12) - 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t pattern = dist(rng);
+    std::vector<bool> s(12);
+    for (int i = 0; i < 12; ++i) s[static_cast<std::size_t>(i)] = ((pattern >> i) & 1) != 0;
+    EXPECT_EQ(top_bottom_connected(s, 3, 4),
+              top_bottom_connected_bits(pattern, 3, 4))
+        << pattern;
+  }
+}
+
+TEST(Connectivity, LutMatchesDirectEvaluation) {
+  const auto lut = connectivity_lut(2, 3);
+  ASSERT_EQ(lut.size(), 64u);
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(lut[static_cast<std::size_t>(p)], top_bottom_connected_bits(p, 2, 3)) << p;
+  }
+}
+
+TEST(Connectivity, MonotoneInSwitchStates) {
+  // Turning ON one more switch can never disconnect the plates.
+  std::mt19937 rng(23);
+  std::uniform_int_distribution<std::uint64_t> dist(0, (1u << 12) - 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t p = dist(rng);
+    if (!top_bottom_connected_bits(p, 4, 3)) continue;
+    for (int extra = 0; extra < 12; ++extra) {
+      EXPECT_TRUE(top_bottom_connected_bits(p | (std::uint64_t{1} << extra), 4, 3));
+    }
+  }
+}
+
+TEST(Connectivity, ContractViolations) {
+  EXPECT_THROW(top_bottom_connected(std::vector<bool>(5, true), 2, 3),
+               ftl::ContractViolation);
+  EXPECT_THROW(connectivity_lut(5, 5), ftl::ContractViolation);
+}
+
+TEST(Lattice, ToStringShowsGrid) {
+  Lattice lat(2, 2, 2, {"a", "b"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(0, 1, CellValue::of(1));
+  lat.set(1, 0, CellValue::of(1, false));
+  lat.set(1, 1, CellValue::one());
+  const std::string s = lat.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("b'"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Lattice function derivation: the semantic (connectivity) route and the
+// symbolic (path substitution + absorption) route must agree.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace {
+
+using ftl::lattice::CellValue;
+using ftl::lattice::Lattice;
+using ftl::lattice::realized_sop;
+using ftl::lattice::realized_truth_table;
+using ftl::lattice::realizes;
+using ftl::logic::TruthTable;
+
+Lattice random_lattice(int rows, int cols, int num_vars, unsigned seed,
+                       bool with_constants) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> choice(0, 2 * num_vars + (with_constants ? 1 : -1));
+  Lattice lat(rows, cols, num_vars);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int pick = choice(rng);
+      if (pick < 2 * num_vars) {
+        lat.set(r, c, CellValue::of(pick / 2, pick % 2 == 0));
+      } else if (pick == 2 * num_vars) {
+        lat.set(r, c, CellValue::zero());
+      } else {
+        lat.set(r, c, CellValue::one());
+      }
+    }
+  }
+  return lat;
+}
+
+TEST(LatticeFunction, AndOfColumnCells) {
+  Lattice lat(3, 1, 3, {"a", "b", "c"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::of(1));
+  lat.set(2, 0, CellValue::of(2));
+  const TruthTable expected = TruthTable::variable(3, 0) &
+                              TruthTable::variable(3, 1) &
+                              TruthTable::variable(3, 2);
+  EXPECT_EQ(realized_truth_table(lat), expected);
+  EXPECT_TRUE(realizes(lat, expected));
+  EXPECT_FALSE(realizes(lat, ~expected));
+}
+
+TEST(LatticeFunction, ConstantZeroCellKillsPath) {
+  Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::zero());
+  EXPECT_TRUE(realized_truth_table(lat).is_zero());
+  EXPECT_TRUE(realized_sop(lat).empty());
+}
+
+TEST(LatticeFunction, ConstantOneColumn) {
+  Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, CellValue::one());
+  lat.set(1, 0, CellValue::one());
+  EXPECT_TRUE(realized_truth_table(lat).is_one());
+  EXPECT_TRUE(realized_sop(lat).has_constant_one());
+}
+
+TEST(LatticeFunction, ContradictoryPathDropsOut) {
+  // Column [a; a']: never conducts.
+  Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, CellValue::of(0, true));
+  lat.set(1, 0, CellValue::of(0, false));
+  EXPECT_TRUE(realized_truth_table(lat).is_zero());
+  EXPECT_TRUE(realized_sop(lat).empty());
+}
+
+TEST(LatticeFunction, RepeatedLiteralCollapsesInProduct) {
+  // Column [a; a]: f = a (not a*a as two literals).
+  Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, CellValue::of(0));
+  lat.set(1, 0, CellValue::of(0));
+  const auto sop = realized_sop(lat);
+  ASSERT_EQ(sop.size(), 1);
+  EXPECT_EQ(sop.to_string({"a"}), "a");
+}
+
+struct RandomLatticeCase {
+  int rows;
+  int cols;
+  int num_vars;
+  unsigned seed;
+  bool with_constants;
+};
+
+class LatticeFunctionRandom
+    : public ::testing::TestWithParam<RandomLatticeCase> {};
+
+TEST_P(LatticeFunctionRandom, SymbolicAgreesWithSemantic) {
+  const auto p = GetParam();
+  const Lattice lat =
+      random_lattice(p.rows, p.cols, p.num_vars, p.seed, p.with_constants);
+  const TruthTable semantic = realized_truth_table(lat);
+  const TruthTable symbolic =
+      TruthTable::from_sop(realized_sop(lat));
+  EXPECT_EQ(symbolic, semantic) << lat.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLattices, LatticeFunctionRandom,
+    ::testing::Values(RandomLatticeCase{2, 2, 2, 1, false},
+                      RandomLatticeCase{2, 2, 2, 2, true},
+                      RandomLatticeCase{3, 3, 3, 1, false},
+                      RandomLatticeCase{3, 3, 3, 2, true},
+                      RandomLatticeCase{3, 3, 3, 3, true},
+                      RandomLatticeCase{3, 4, 3, 4, true},
+                      RandomLatticeCase{4, 3, 3, 5, true},
+                      RandomLatticeCase{4, 4, 4, 6, false},
+                      RandomLatticeCase{4, 4, 4, 7, true},
+                      RandomLatticeCase{2, 5, 3, 8, true},
+                      RandomLatticeCase{5, 2, 3, 9, true},
+                      RandomLatticeCase{4, 4, 2, 10, true}));
+
+TEST(LatticeFunction, KnownXor3MappingsRealizeXor3) {
+  const TruthTable xor3 = ftl::lattice::xor3_truth_table();
+  EXPECT_TRUE(realizes(ftl::lattice::xor3_lattice_3x3(), xor3));
+  EXPECT_TRUE(realizes(ftl::lattice::xor3_lattice_3x4(), xor3));
+  // And via the symbolic route too.
+  EXPECT_EQ(TruthTable::from_sop(realized_sop(ftl::lattice::xor3_lattice_3x3())),
+            xor3);
+}
+
+TEST(LatticeFunction, Xor3MappingSizesMatchPaper) {
+  const auto small = ftl::lattice::xor3_lattice_3x3();
+  EXPECT_EQ(small.rows(), 3);
+  EXPECT_EQ(small.cols(), 3);
+  const auto large = ftl::lattice::xor3_lattice_3x4();
+  EXPECT_EQ(large.rows(), 3);
+  EXPECT_EQ(large.cols(), 4);
+}
+
+}  // namespace

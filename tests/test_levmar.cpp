@@ -1,0 +1,117 @@
+// Levenberg–Marquardt tests: parameter recovery on known models, bounds,
+// and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ftl/linalg/levmar.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::linalg::LevMarOptions;
+using ftl::linalg::levenberg_marquardt;
+using ftl::linalg::Vector;
+
+TEST(LevMar, FitsLineExactly) {
+  // y = 2x + 1 on 10 points.
+  const auto fn = [](const Vector& p, Vector& r) {
+    for (int i = 0; i < 10; ++i) {
+      const double x = i * 0.1;
+      r[static_cast<std::size_t>(i)] = (p[0] * x + p[1]) - (2.0 * x + 1.0);
+    }
+  };
+  const auto result = levenberg_marquardt(fn, {0.0, 0.0}, 10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.parameters[0], 2.0, 1e-8);
+  EXPECT_NEAR(result.parameters[1], 1.0, 1e-8);
+  EXPECT_NEAR(result.rms, 0.0, 1e-8);
+}
+
+TEST(LevMar, FitsExponentialDecay) {
+  // y = 3 exp(-1.7 x): nonlinear in the rate parameter.
+  const auto fn = [](const Vector& p, Vector& r) {
+    for (int i = 0; i < 20; ++i) {
+      const double x = i * 0.15;
+      r[static_cast<std::size_t>(i)] =
+          p[0] * std::exp(-p[1] * x) - 3.0 * std::exp(-1.7 * x);
+    }
+  };
+  const auto result = levenberg_marquardt(fn, {1.0, 0.5}, 20);
+  EXPECT_NEAR(result.parameters[0], 3.0, 1e-5);
+  EXPECT_NEAR(result.parameters[1], 1.7, 1e-5);
+}
+
+struct QuadraticCase {
+  double a;
+  double b;
+  double c;
+};
+
+class LevMarQuadratic : public ::testing::TestWithParam<QuadraticCase> {};
+
+TEST_P(LevMarQuadratic, RecoversCoefficients) {
+  const auto target = GetParam();
+  const auto fn = [&target](const Vector& p, Vector& r) {
+    for (int i = 0; i < 15; ++i) {
+      const double x = -1.0 + i * 0.15;
+      const double y = target.a * x * x + target.b * x + target.c;
+      r[static_cast<std::size_t>(i)] = (p[0] * x * x + p[1] * x + p[2]) - y;
+    }
+  };
+  const auto result = levenberg_marquardt(fn, {0.1, 0.1, 0.1}, 15);
+  EXPECT_NEAR(result.parameters[0], target.a, 1e-6);
+  EXPECT_NEAR(result.parameters[1], target.b, 1e-6);
+  EXPECT_NEAR(result.parameters[2], target.c, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coefficients, LevMarQuadratic,
+    ::testing::Values(QuadraticCase{1.0, 0.0, 0.0}, QuadraticCase{-2.0, 3.0, 1.0},
+                      QuadraticCase{0.5, -0.5, 10.0}, QuadraticCase{4.0, 4.0, -4.0}));
+
+TEST(LevMar, RespectsBounds) {
+  // True minimum at p = 5, but the upper bound caps it at 2.
+  const auto fn = [](const Vector& p, Vector& r) { r[0] = p[0] - 5.0; };
+  LevMarOptions options;
+  options.lower_bounds = {0.0};
+  options.upper_bounds = {2.0};
+  const auto result = levenberg_marquardt(fn, {1.0}, 1, options);
+  EXPECT_LE(result.parameters[0], 2.0 + 1e-12);
+  EXPECT_NEAR(result.parameters[0], 2.0, 1e-6);
+}
+
+TEST(LevMar, NoisyDataStillCloses) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.05;
+    ys.push_back(2.5 * x + 0.7 + noise(rng));
+  }
+  const auto fn = [&ys](const Vector& p, Vector& r) {
+    for (int i = 0; i < 50; ++i) {
+      const double x = i * 0.05;
+      r[static_cast<std::size_t>(i)] = (p[0] * x + p[1]) - ys[static_cast<std::size_t>(i)];
+    }
+  };
+  const auto result = levenberg_marquardt(fn, {0.0, 0.0}, 50);
+  EXPECT_NEAR(result.parameters[0], 2.5, 0.05);
+  EXPECT_NEAR(result.parameters[1], 0.7, 0.05);
+  EXPECT_LT(result.rms, 0.05);
+}
+
+TEST(LevMar, BadBoundSizesThrow) {
+  const auto fn = [](const Vector& p, Vector& r) { r[0] = p[0]; };
+  LevMarOptions options;
+  options.lower_bounds = {0.0, 0.0};  // two bounds for one parameter
+  EXPECT_THROW(levenberg_marquardt(fn, {1.0}, 1, options), ftl::Error);
+}
+
+TEST(LevMar, RequiresEnoughResiduals) {
+  const auto fn = [](const Vector&, Vector&) {};
+  EXPECT_THROW(levenberg_marquardt(fn, {1.0, 2.0}, 1), ftl::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for dense linear algebra: matrix kernels, LU factorization and
+// solve, interpolation, and crossing detection.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/linalg/interp.hpp"
+#include "ftl/linalg/lu.hpp"
+#include "ftl/linalg/matrix.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::linalg::Matrix;
+using ftl::linalg::Vector;
+
+TEST(Matrix, BasicAccessAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), ftl::ContractViolation);
+  EXPECT_THROW(m(0, 2), ftl::ContractViolation);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6; 15]
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  const Vector y = m.multiply({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, GramIsTransposeTimesSelf) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(5, 3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = dist(rng);
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double expected = 0.0;
+      for (std::size_t r = 0; r < 5; ++r) expected += m(r, i) * m(r, j);
+      EXPECT_NEAR(g(i, j), expected, 1e-14);
+      EXPECT_NEAR(g(i, j), g(j, i), 1e-14);  // symmetric
+    }
+  }
+}
+
+TEST(VectorOps, NormsAndDot) {
+  EXPECT_DOUBLE_EQ(ftl::linalg::norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::norm_inf({-7.0, 2.0}), 7.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_THROW(ftl::linalg::dot({1.0}, {1.0, 2.0}), ftl::ContractViolation);
+}
+
+TEST(VectorOps, Linspace) {
+  const Vector v = ftl::linalg::linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  const Vector single = ftl::linalg::linspace(3.0, 9.0, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 3.0);
+}
+
+TEST(Lu, SolvesIdentity) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  const Vector x = ftl::linalg::solve(eye, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  Matrix m(2, 2);
+  m(0, 0) = 0.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 1.0;
+  const Vector x = ftl::linalg::solve(m, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 4.0;
+  EXPECT_THROW(ftl::linalg::solve(m, {1.0, 1.0}), ftl::Error);
+}
+
+TEST(Lu, Determinant) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 4.0;
+  m(1, 1) = 2.0;
+  EXPECT_NEAR(ftl::linalg::LuFactorization(m).determinant(), 2.0, 1e-12);
+}
+
+class LuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandom, ReconstructsRandomSystems) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) {
+      a(r, c) = dist(rng);
+    }
+    a(r, r) += static_cast<double>(n);  // diagonally dominant: solvable
+  }
+  Vector x_true(static_cast<std::size_t>(n));
+  for (double& v : x_true) v = dist(rng);
+  const Vector b = a.multiply(x_true);
+  const Vector x = ftl::linalg::solve(a, b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandom,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60, 120));
+
+TEST(Interp, EndpointsClampAndMidpointsInterpolate) {
+  const Vector xs{0.0, 1.0, 2.0};
+  const Vector ys{0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(ftl::linalg::interp1(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::interp1(xs, ys, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::interp1(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::interp1(xs, ys, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(ftl::linalg::interp1(xs, ys, 1.0), 10.0);
+}
+
+TEST(Interp, FirstCrossingFindsLinearIntersection) {
+  const Vector xs{0.0, 1.0, 2.0, 3.0};
+  const Vector ys{0.0, 2.0, 2.0, 0.0};
+  const auto up = ftl::linalg::first_crossing(xs, ys, 1.0, true);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_DOUBLE_EQ(*up, 0.5);
+  const auto down = ftl::linalg::first_crossing(xs, ys, 1.0, false);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_DOUBLE_EQ(*down, 2.5);
+  EXPECT_FALSE(ftl::linalg::first_crossing(xs, ys, 5.0, true).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for cubes, SOP covers and truth tables — the Boolean substrate of
+// lattice synthesis.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/logic/cube.hpp"
+#include "ftl/logic/sop.hpp"
+#include "ftl/logic/truth_table.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::logic::Cube;
+using ftl::logic::Literal;
+using ftl::logic::Sop;
+using ftl::logic::TruthTable;
+
+TEST(Cube, EmptyCubeIsConstantOne) {
+  const Cube c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_TRUE(c.evaluate(0));
+  EXPECT_TRUE(c.evaluate(0b1011));
+  EXPECT_EQ(c.to_string(), "1");
+}
+
+TEST(Cube, LiteralEvaluation) {
+  const Cube c = Cube::from_literals({{0, true}, {2, false}});
+  EXPECT_TRUE(c.evaluate(0b001));   // x0=1, x2=0
+  EXPECT_FALSE(c.evaluate(0b000));  // x0=0
+  EXPECT_FALSE(c.evaluate(0b101));  // x2=1
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_TRUE(c.mentions(0));
+  EXPECT_TRUE(c.mentions(2));
+  EXPECT_FALSE(c.mentions(1));
+  EXPECT_EQ(c.polarity(0), std::optional<bool>(true));
+  EXPECT_EQ(c.polarity(2), std::optional<bool>(false));
+  EXPECT_FALSE(c.polarity(1).has_value());
+}
+
+TEST(Cube, ContradictionThrows) {
+  Cube c;
+  c.add({3, true});
+  EXPECT_THROW(c.add({3, false}), ftl::Error);
+  EXPECT_THROW(c.add({-1, true}), ftl::Error);
+  EXPECT_THROW(c.add({64, true}), ftl::Error);
+}
+
+TEST(Cube, CoversIsLiteralSubset) {
+  const Cube x = Cube::from_literals({{0, true}});
+  const Cube xy = Cube::from_literals({{0, true}, {1, true}});
+  const Cube xny = Cube::from_literals({{0, true}, {1, false}});
+  EXPECT_TRUE(x.covers(xy));   // x absorbs x y
+  EXPECT_TRUE(x.covers(xny));  // x absorbs x y'
+  EXPECT_FALSE(xy.covers(x));
+  EXPECT_FALSE(xy.covers(xny));  // different polarity on y
+  EXPECT_TRUE(Cube().covers(x));  // constant 1 covers everything
+}
+
+TEST(Cube, SharedLiterals) {
+  const Cube a = Cube::from_literals({{0, true}, {1, false}, {2, true}});
+  const Cube b = Cube::from_literals({{0, true}, {1, true}, {2, true}});
+  const auto shared = a.shared_literals(b);
+  ASSERT_EQ(shared.size(), 2u);
+  EXPECT_EQ(shared[0], (Literal{0, true}));
+  EXPECT_EQ(shared[1], (Literal{2, true}));
+}
+
+TEST(Cube, ToStringWithNames) {
+  const Cube c = Cube::from_literals({{0, true}, {1, false}});
+  EXPECT_EQ(c.to_string({"a", "b"}), "a b'");
+  EXPECT_EQ(c.to_string(), "x0 x1'");
+}
+
+TEST(Sop, AbsorptionLaw) {
+  // x + x y + x y z -> x
+  Sop sop(3);
+  sop.add(Cube::from_literals({{0, true}}));
+  sop.add(Cube::from_literals({{0, true}, {1, true}}));
+  sop.add(Cube::from_literals({{0, true}, {1, true}, {2, true}}));
+  sop.absorb();
+  EXPECT_EQ(sop.size(), 1);
+  EXPECT_EQ(sop.to_string({"x", "y", "z"}), "x");
+}
+
+TEST(Sop, DuplicatesCollapseToOne) {
+  Sop sop(2);
+  sop.add(Cube::from_literals({{0, true}}));
+  sop.add(Cube::from_literals({{0, true}}));
+  sop.absorb();
+  EXPECT_EQ(sop.size(), 1);
+}
+
+TEST(Sop, AbsorptionPreservesFunction) {
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Sop sop(4);
+    std::uniform_int_distribution<int> ncubes(1, 6);
+    std::uniform_int_distribution<int> pol(0, 2);
+    const int k = ncubes(rng);
+    for (int i = 0; i < k; ++i) {
+      Cube c;
+      for (int v = 0; v < 4; ++v) {
+        const int p = pol(rng);
+        if (p != 2) c.add({v, p == 1});
+      }
+      sop.add(std::move(c));
+    }
+    const TruthTable before = TruthTable::from_sop(sop);
+    sop.absorb();
+    EXPECT_EQ(TruthTable::from_sop(sop), before) << "trial " << trial;
+  }
+}
+
+TEST(Sop, EmptyIsConstantZeroAndConstantOneDetected) {
+  Sop sop(2);
+  EXPECT_FALSE(sop.evaluate(0));
+  EXPECT_EQ(sop.to_string(), "0");
+  sop.add(Cube{});
+  EXPECT_TRUE(sop.has_constant_one());
+  EXPECT_TRUE(sop.evaluate(3));
+}
+
+TEST(Sop, RejectsOutOfRangeVariables) {
+  Sop sop(2);
+  EXPECT_THROW(sop.add(Cube::from_literals({{5, true}})), ftl::Error);
+}
+
+TEST(TruthTable, FromBitsAndGet) {
+  // XOR2: table 0110.
+  const TruthTable t = TruthTable::from_bits(2, 0b0110);
+  EXPECT_FALSE(t.get(0));
+  EXPECT_TRUE(t.get(1));
+  EXPECT_TRUE(t.get(2));
+  EXPECT_FALSE(t.get(3));
+  EXPECT_EQ(t.count_ones(), 2u);
+}
+
+TEST(TruthTable, ConstantsAndVariables) {
+  EXPECT_TRUE(TruthTable::constant(3, false).is_zero());
+  EXPECT_TRUE(TruthTable::constant(3, true).is_one());
+  const TruthTable x1 = TruthTable::variable(3, 1);
+  EXPECT_EQ(x1.count_ones(), 4u);
+  EXPECT_TRUE(x1.get(0b010));
+  EXPECT_FALSE(x1.get(0b101));
+}
+
+TEST(TruthTable, BooleanOperators) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).count_ones(), 1u);
+  EXPECT_EQ((a | b).count_ones(), 3u);
+  EXPECT_EQ((a ^ b), TruthTable::from_bits(2, 0b0110));
+  EXPECT_EQ((~a).count_ones(), 2u);
+  EXPECT_TRUE((a & b).implies(a));
+  EXPECT_FALSE(a.implies(a & b));
+}
+
+class TruthTableVars : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruthTableVars, CofactorMatchesDefinition) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 5 + 2);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TruthTable f(n);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) f.set(m, bit(rng) == 1);
+
+  for (int v = 0; v < n; ++v) {
+    for (bool value : {false, true}) {
+      const TruthTable cof = f.cofactor(v, value);
+      for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+        std::uint64_t probe = m;
+        if (value) probe |= (std::uint64_t{1} << v);
+        else probe &= ~(std::uint64_t{1} << v);
+        EXPECT_EQ(cof.get(m), f.get(probe))
+            << "n=" << n << " v=" << v << " val=" << value << " m=" << m;
+      }
+      EXPECT_FALSE(cof.depends_on(v));
+    }
+  }
+}
+
+TEST_P(TruthTableVars, DualIsAnInvolution) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 7 + 3);
+  std::uniform_int_distribution<int> bit(0, 1);
+  TruthTable f(n);
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) f.set(m, bit(rng) == 1);
+  EXPECT_EQ(f.dual().dual(), f);
+}
+
+TEST_P(TruthTableVars, DualOfAndIsOr) {
+  const int n = GetParam();
+  if (n < 2) return;
+  const TruthTable a = TruthTable::variable(n, 0);
+  const TruthTable b = TruthTable::variable(n, 1);
+  EXPECT_EQ((a & b).dual(), (a | b));
+  EXPECT_EQ((a | b).dual(), (a & b));
+}
+
+INSTANTIATE_TEST_SUITE_P(VarCounts, TruthTableVars,
+                         ::testing::Values(1, 2, 3, 4, 6, 7, 8, 10));
+
+TEST(TruthTable, Xor3IsSelfDual) {
+  const TruthTable xor3 = TruthTable::from_function(3, [](std::uint64_t m) {
+    return (((m >> 0) ^ (m >> 1) ^ (m >> 2)) & 1) != 0;
+  });
+  EXPECT_EQ(xor3.dual(), xor3);
+}
+
+TEST(TruthTable, FromSopAgreesWithSopEvaluate) {
+  Sop sop(3);
+  sop.add(Cube::from_literals({{0, true}, {1, false}}));
+  sop.add(Cube::from_literals({{2, true}}));
+  const TruthTable t = TruthTable::from_sop(sop);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(t.get(m), sop.evaluate(m)) << m;
+  }
+}
+
+}  // namespace

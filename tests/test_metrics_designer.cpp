@@ -1,0 +1,160 @@
+// Tests for the §VI-A extensions: complementary lattice circuits, the
+// gate-metrics engine, and the automated design explorer.
+#include <gtest/gtest.h>
+
+#include "ftl/bridge/metrics.hpp"
+#include "ftl/designer/designer.hpp"
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl;
+
+logic::TruthTable maj3() {
+  return logic::parse_expression("a b + b c + a c").table;
+}
+
+class ComplementaryTruth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplementaryTruth, OutputSwingsRailToRail) {
+  const int code = GetParam();
+  const logic::TruthTable f = maj3();
+  const lattice::Lattice pdn = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  const lattice::Lattice pun = lattice::altun_riedel_synthesis(~f, {"a", "b", "c"});
+
+  std::map<int, spice::Waveform> drives;
+  for (int v = 0; v < 3; ++v) {
+    drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? 1.2 : 0.0);
+  }
+  bridge::LatticeCircuit lc =
+      bridge::build_complementary_lattice_circuit(pdn, pun, drives);
+  const spice::OpResult op = spice::dc_operating_point(lc.circuit);
+  ASSERT_TRUE(op.converged);
+  const double out =
+      op.solution[static_cast<std::size_t>(lc.circuit.find_node("out"))];
+  if (f.get(static_cast<std::uint64_t>(code))) {
+    // Pull-down active: a hard 0 (no resistive divider).
+    EXPECT_LT(out, 0.05) << "code " << code;
+  } else {
+    // Pull-up active through n-type switches: VDD minus a threshold-ish drop.
+    EXPECT_GT(out, 1.0) << "code " << code;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, ComplementaryTruth, ::testing::Range(0, 8));
+
+TEST(Complementary, RejectsNonComplementaryPullup) {
+  const logic::TruthTable f = maj3();
+  const lattice::Lattice pdn = lattice::altun_riedel_synthesis(f);
+  // Pull-up realizing f itself (not its complement) must be rejected.
+  EXPECT_THROW(bridge::build_complementary_lattice_circuit(pdn, pdn, {}),
+               ftl::Error);
+}
+
+TEST(Metrics, ResistorGateOnMaj3) {
+  const logic::TruthTable f = maj3();
+  const lattice::Lattice lat = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  const bridge::GateMetrics m = bridge::measure_resistor_gate(lat, f);
+  EXPECT_TRUE(m.functional);
+  EXPECT_EQ(m.switch_count, lat.cell_count());
+  // Resistor pull-up: static power when the lattice conducts is roughly
+  // VDD^2 / Rpullup (on-resistance is small against 500k).
+  EXPECT_NEAR(m.static_power_worst, 1.2 * 1.2 / 500e3, 1.0e-6);
+  EXPECT_GT(m.rise_time, 0.0);
+  EXPECT_GT(m.fall_time, 0.0);
+  EXPECT_GT(m.rise_time, m.fall_time);  // the §V pull-up asymmetry
+  EXPECT_GT(m.propagation_delay, 0.0);
+  EXPECT_GT(m.max_frequency, 0.0);
+  EXPECT_GT(m.energy_per_transition, 0.0);
+  EXPECT_GT(m.output_high_min, 1.1);
+  EXPECT_LT(m.output_low_max, 0.2);
+}
+
+TEST(Metrics, ComplementaryCutsStaticPower) {
+  const logic::TruthTable f = maj3();
+  const lattice::Lattice pdn = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  const lattice::Lattice pun = lattice::altun_riedel_synthesis(~f, {"a", "b", "c"});
+  const bridge::GateMetrics resistor = bridge::measure_resistor_gate(pdn, f);
+  const bridge::GateMetrics comp =
+      bridge::measure_complementary_gate(pdn, pun, f);
+  EXPECT_TRUE(comp.functional);
+  EXPECT_LT(comp.static_power_worst, 0.01 * resistor.static_power_worst);
+  EXPECT_LT(comp.propagation_delay, resistor.propagation_delay);
+  EXPECT_EQ(comp.switch_count, pdn.cell_count() + pun.cell_count());
+}
+
+TEST(Metrics, BrokenGateIsFlaggedNonFunctional) {
+  // A lattice realizing the WRONG function must fail the functional check.
+  const logic::TruthTable f = maj3();
+  const lattice::Lattice wrong =
+      lattice::altun_riedel_synthesis(~f, {"a", "b", "c"});
+  const bridge::GateMetrics m = bridge::measure_resistor_gate(wrong, f);
+  EXPECT_FALSE(m.functional);
+}
+
+TEST(Designer, ExploresXor3) {
+  const auto xor3 = lattice::xor3_truth_table();
+  const auto candidates = designer::explore_designs(xor3, {"a", "b", "c"});
+  ASSERT_GE(candidates.size(), 2u);
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(c.metrics.functional) << c.method;
+    EXPECT_TRUE(lattice::realizes(c.pulldown, xor3)) << c.method;
+    if (c.pullup) {
+      EXPECT_TRUE(lattice::realizes(*c.pullup, ~xor3)) << c.method;
+    }
+  }
+  // The baseline A-R candidate comes first.
+  EXPECT_EQ(candidates.front().method, "altun-riedel");
+  // The complementary candidate exists and is the only one with a pull-up.
+  int complementary = 0;
+  for (const auto& c : candidates) complementary += c.is_complementary() ? 1 : 0;
+  EXPECT_EQ(complementary, 1);
+}
+
+TEST(Designer, AreaWeightPicksSmallest) {
+  const auto f = maj3();
+  const auto candidates = designer::explore_designs(f, {"a", "b", "c"});
+  designer::DesignWeights area_only;
+  area_only.area = 1.0;
+  area_only.delay = 0.0;
+  area_only.static_power = 0.0;
+  area_only.energy = 0.0;
+  const std::size_t best = designer::pick_best(candidates, area_only);
+  for (const auto& c : candidates) {
+    if (!c.metrics.functional) continue;
+    EXPECT_LE(candidates[best].metrics.switch_count, c.metrics.switch_count);
+  }
+}
+
+TEST(Designer, PowerWeightPicksComplementary) {
+  const auto f = maj3();
+  const auto candidates = designer::explore_designs(f, {"a", "b", "c"});
+  designer::DesignWeights power_only;
+  power_only.area = 0.0;
+  power_only.delay = 0.0;
+  power_only.static_power = 1.0;
+  power_only.energy = 0.0;
+  const std::size_t best = designer::pick_best(candidates, power_only);
+  EXPECT_TRUE(candidates[best].is_complementary());
+}
+
+TEST(Designer, ReportListsEveryCandidate) {
+  const auto candidates = designer::explore_designs(maj3(), {"a", "b", "c"});
+  const std::string report = designer::render_report(candidates);
+  for (const auto& c : candidates) {
+    EXPECT_NE(report.find(c.method), std::string::npos);
+  }
+}
+
+TEST(Designer, RejectsConstantsAndWideFunctions) {
+  EXPECT_THROW(designer::explore_designs(logic::TruthTable::constant(2, true)),
+               ftl::Error);
+  EXPECT_THROW(designer::explore_designs(logic::TruthTable(7)), ftl::Error);
+}
+
+}  // namespace

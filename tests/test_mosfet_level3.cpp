@@ -1,0 +1,206 @@
+// Level-3 model tests: equations, limits, the SPICE device, and parameter
+// recovery through the level-3 fitting path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ftl/fit/extract.hpp"
+#include "ftl/fit/mosfet_level3.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/devices.hpp"
+#include "ftl/spice/mosfet3.hpp"
+#include "ftl/spice/sources.hpp"
+
+namespace {
+
+using namespace ftl::fit;
+
+Level3Params base_params() {
+  Level3Params p;
+  p.kp = 1e-4;
+  p.vth = 0.5;
+  p.lambda = 0.02;
+  p.theta = 0.2;
+  p.vc = 3.0;
+  p.width = 1e-6;
+  p.length = 1e-6;
+  return p;
+}
+
+TEST(Level3, CutoffIsZero) {
+  const Level3Params p = base_params();
+  EXPECT_DOUBLE_EQ(level3_ids(p, 0.4, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(level3_ids(p, 0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(level3_vdsat(p, 0.3), 0.0);
+}
+
+TEST(Level3, DegeneratesToLevel1) {
+  // theta = 0, vc -> infinity and lambda = 0 recovers the level-1 square
+  // law exactly. (With lambda != 0 the two saturation CLM factorizations
+  // differ at O(lambda^2 Vov Vds) by design — level-1 applies
+  // (1 + lambda Vds) to the Vdsat current directly, level-3 compounds
+  // (1 + lambda Vdsat)(1 + lambda (Vds - Vdsat)).)
+  Level3Params p3 = base_params();
+  p3.theta = 0.0;
+  p3.vc = 1e12;
+  p3.lambda = 0.0;
+  Level1Params p1;
+  p1.kp = p3.kp;
+  p1.vth = p3.vth;
+  p1.lambda = 0.0;
+  p1.width = p3.width;
+  p1.length = p3.length;
+  for (double vgs = 0.0; vgs <= 5.0; vgs += 0.5) {
+    for (double vds = 0.0; vds <= 5.0; vds += 0.5) {
+      EXPECT_NEAR(level3_ids(p3, vgs, vds), level1_ids(p1, vgs, vds),
+                  1e-9 * std::max(level1_ids(p1, vgs, vds), 1e-9))
+          << vgs << "," << vds;
+    }
+  }
+  // And with lambda on, the discrepancy stays at the documented O(lambda^2).
+  p3.lambda = 0.02;
+  p1.lambda = 0.02;
+  for (double vds = 0.0; vds <= 5.0; vds += 1.0) {
+    const double i3 = level3_ids(p3, 2.0, vds);
+    const double i1 = level1_ids(p1, 2.0, vds);
+    EXPECT_NEAR(i3, i1, 0.02 * 0.02 * 2.0 * 5.0 * std::max(i1, 1e-12));
+  }
+}
+
+TEST(Level3, VdsatBelowOverdrive) {
+  const Level3Params p = base_params();
+  for (double vgs = 1.0; vgs <= 5.0; vgs += 0.5) {
+    const double vov = vgs - p.vth;
+    const double vdsat = level3_vdsat(p, vgs);
+    EXPECT_GT(vdsat, 0.0);
+    EXPECT_LT(vdsat, vov);  // velocity saturation pulls Vdsat in
+  }
+}
+
+TEST(Level3, ContinuousAtVdsat) {
+  const Level3Params p = base_params();
+  for (double vgs = 1.0; vgs <= 5.0; vgs += 1.0) {
+    const double vdsat = level3_vdsat(p, vgs);
+    const double below = level3_ids(p, vgs, vdsat * (1.0 - 1e-9));
+    const double above = level3_ids(p, vgs, vdsat * (1.0 + 1e-9));
+    EXPECT_NEAR(below, above, 1e-6 * below);
+  }
+}
+
+TEST(Level3, MobilityDegradationReducesCurrent) {
+  Level3Params lo = base_params();
+  Level3Params hi = base_params();
+  hi.theta = 1.0;
+  EXPECT_LT(level3_ids(hi, 5.0, 5.0), level3_ids(lo, 5.0, 5.0));
+}
+
+TEST(Level3, VelocitySaturationReducesCurrent) {
+  Level3Params fast = base_params();
+  fast.vc = 100.0;
+  Level3Params slow = base_params();
+  slow.vc = 1.0;
+  EXPECT_LT(level3_ids(slow, 5.0, 5.0), level3_ids(fast, 5.0, 5.0));
+}
+
+TEST(Level3, MonotoneInBias) {
+  const Level3Params p = base_params();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 5.0; vgs += 0.25) {
+    const double i = level3_ids(p, vgs, 5.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+  prev = -1.0;
+  for (double vds = 0.0; vds <= 5.0; vds += 0.25) {
+    const double i = level3_ids(p, 5.0, vds);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Level3, DerivativesArePhysical) {
+  const Level3Params p = base_params();
+  for (double vgs : {1.0, 2.0, 5.0}) {
+    for (double vds : {0.2, 1.0, 4.0}) {
+      const Level3Derivatives d = level3_derivatives(p, vgs, vds);
+      EXPECT_GE(d.gm, 0.0);
+      EXPECT_GE(d.gds, 0.0);
+      EXPECT_NEAR(d.ids, level3_ids(p, vgs, vds), 1e-15);
+    }
+  }
+}
+
+TEST(Mosfet3Device, OperatingPointMatchesEquation) {
+  using namespace ftl::spice;
+  Circuit c;
+  c.add(std::make_unique<VoltageSource>("VD", c.node("d"), Circuit::kGround,
+                                        Waveform::dc(3.0)));
+  c.add(std::make_unique<VoltageSource>("VG", c.node("g"), Circuit::kGround,
+                                        Waveform::dc(2.0)));
+  auto& m = static_cast<Mosfet3&>(c.add(std::make_unique<Mosfet3>(
+      "M1", c.node("d"), c.node("g"), Circuit::kGround, Circuit::kGround,
+      base_params())));
+  const OpResult op = dc_operating_point(c);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(m.drain_current(op.solution),
+              level3_ids(base_params(), 2.0, 3.0), 1e-12);
+}
+
+TEST(Mosfet3Device, ResistorLoadCircuitSolves) {
+  using namespace ftl::spice;
+  Circuit c;
+  c.add(std::make_unique<VoltageSource>("VDD", c.node("vdd"), Circuit::kGround,
+                                        Waveform::dc(5.0)));
+  c.add(std::make_unique<VoltageSource>("VG", c.node("g"), Circuit::kGround,
+                                        Waveform::dc(3.0)));
+  c.add(std::make_unique<Resistor>("RD", c.node("vdd"), c.node("d"), 10000.0));
+  c.add(std::make_unique<Mosfet3>("M1", c.node("d"), c.node("g"),
+                                  Circuit::kGround, Circuit::kGround,
+                                  base_params()));
+  const OpResult op = dc_operating_point(c);
+  ASSERT_TRUE(op.converged);
+  // KCL at the drain must balance to numerical tolerance.
+  const double vd = op.solution[static_cast<std::size_t>(c.find_node("d"))];
+  const double i_r = (5.0 - vd) / 10000.0;
+  EXPECT_NEAR(i_r, level3_ids(base_params(), 3.0, vd), 1e-7);
+}
+
+TEST(Fit3, RecoversSyntheticLevel3Parameters) {
+  const Level3Params truth = base_params();
+  std::vector<IvSample> samples;
+  for (double vg = 0.0; vg <= 5.0; vg += 0.25) {
+    samples.push_back({vg, 5.0, level3_ids(truth, vg, 5.0)});
+  }
+  for (double vd = 0.0; vd <= 5.0; vd += 0.25) {
+    samples.push_back({5.0, vd, level3_ids(truth, 5.0, vd)});
+  }
+  Level1Params seed;
+  seed.kp = 5e-5;
+  seed.vth = 0.3;
+  seed.width = truth.width;
+  seed.length = truth.length;
+  const Fit3Result fit = fit_level3(samples, seed);
+  EXPECT_LT(fit.rms, 0.02 * level3_ids(truth, 5.0, 5.0));
+  EXPECT_NEAR(fit.params.vth, truth.vth, 0.15);
+  EXPECT_NEAR(fit.params.kp, truth.kp, 0.3 * truth.kp);
+}
+
+TEST(Fit3, BeatsLevel1OnDegradedData) {
+  // Data with strong mobility degradation: the extra parameters must help.
+  Level3Params truth = base_params();
+  truth.theta = 0.6;
+  std::vector<IvSample> samples;
+  for (double vg = 0.0; vg <= 5.0; vg += 0.2) {
+    samples.push_back({vg, 5.0, level3_ids(truth, vg, 5.0)});
+  }
+  for (double vd = 0.0; vd <= 5.0; vd += 0.2) {
+    samples.push_back({5.0, vd, level3_ids(truth, 5.0, vd)});
+  }
+  Level1Params seed = initial_guess(samples, truth.width, truth.length);
+  const FitResult l1 = fit_level1(samples, seed);
+  const Fit3Result l3 = fit_level3(samples, seed);
+  EXPECT_LT(l3.rms, 0.5 * l1.rms);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Irredundant-path enumeration tests — the engine behind Table I. The full
+// sub-table for 2 <= m,n <= 6 is checked exactly against the paper, plus
+// structural properties of every enumerated path.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::lattice::all_products;
+using ftl::lattice::count_products;
+using ftl::lattice::enumerate_products;
+
+// Table I of the paper, rows m = 2..9, columns n = 2..9.
+constexpr std::uint64_t kTable1[8][8] = {
+    {2, 3, 4, 5, 6, 7, 8, 9},
+    {4, 9, 16, 25, 36, 49, 64, 81},
+    {6, 17, 36, 67, 118, 203, 344, 575},
+    {10, 37, 94, 205, 436, 957, 2146, 4773},
+    {16, 77, 236, 621, 1668, 4883, 14880, 44331},
+    {26, 163, 602, 1905, 6562, 26317, 110838, 446595},
+    {42, 343, 1528, 5835, 25686, 139231, 797048, 4288707},
+    {68, 723, 3882, 17873, 100294, 723153, 5509834, 38930447},
+};
+
+struct GridSize {
+  int rows;
+  int cols;
+};
+
+class Table1Small : public ::testing::TestWithParam<GridSize> {};
+
+TEST_P(Table1Small, MatchesPaperCount) {
+  const auto g = GetParam();
+  EXPECT_EQ(count_products(g.rows, g.cols),
+            kTable1[g.rows - 2][g.cols - 2])
+      << g.rows << "x" << g.cols;
+}
+
+std::vector<GridSize> small_grid_sizes() {
+  std::vector<GridSize> sizes;
+  for (int m = 2; m <= 6; ++m) {
+    for (int n = 2; n <= 6; ++n) sizes.push_back({m, n});
+  }
+  return sizes;
+}
+
+INSTANTIATE_TEST_SUITE_P(UpTo6x6, Table1Small,
+                         ::testing::ValuesIn(small_grid_sizes()));
+
+TEST(Table1, SpotChecksOnLargerLattices) {
+  // A few asymmetric entries from the larger rows/columns of Table I.
+  EXPECT_EQ(count_products(2, 9), 9u);
+  EXPECT_EQ(count_products(9, 2), 68u);
+  EXPECT_EQ(count_products(7, 3), 163u);
+  EXPECT_EQ(count_products(3, 7), 49u);
+  EXPECT_EQ(count_products(8, 4), 1528u);
+  EXPECT_EQ(count_products(4, 8), 344u);
+  EXPECT_EQ(count_products(7, 7), 26317u);
+}
+
+TEST(Table1, PaperHighlightedComparisons) {
+  // §II singles these out: f6x8 vs f7x7 and f6x6 vs f9x4.
+  EXPECT_EQ(count_products(6, 8), 14880u);
+  EXPECT_EQ(count_products(7, 7), 26317u);
+  EXPECT_EQ(count_products(6, 6), 1668u);
+  EXPECT_EQ(count_products(9, 4), 3882u);
+}
+
+TEST(Paths, ClosedFormRows) {
+  // Structural identities visible in Table I, checked well past it:
+  // a 2-row lattice has exactly n straight columns...
+  for (int n = 2; n <= 12; ++n) {
+    EXPECT_EQ(count_products(2, n), static_cast<std::uint64_t>(n));
+  }
+  // ...and a 3-row lattice has exactly n^2 irredundant paths.
+  for (int n = 2; n <= 12; ++n) {
+    EXPECT_EQ(count_products(3, n), static_cast<std::uint64_t>(n) * n);
+  }
+}
+
+TEST(Paths, TwoColumnLatticesFollowFibonacci) {
+  // The n=2 column of Table I (2, 4, 6, 10, 16, 26, 42, 68) is twice the
+  // Fibonacci numbers: count(m, 2) = 2 F(m) with F(2)=1, F(3)=2, ...
+  std::uint64_t fib_prev = 1;  // F(2)
+  std::uint64_t fib = 2;       // F(3)
+  EXPECT_EQ(count_products(2, 2), 2u * fib_prev);
+  for (int m = 3; m <= 14; ++m) {
+    EXPECT_EQ(count_products(m, 2), 2u * fib) << "m=" << m;
+    const std::uint64_t next = fib + fib_prev;
+    fib_prev = fib;
+    fib = next;
+  }
+}
+
+TEST(Paths, DegenerateSizes) {
+  EXPECT_EQ(count_products(1, 1), 1u);
+  EXPECT_EQ(count_products(1, 5), 5u);  // each top=bottom cell is a path
+  EXPECT_EQ(count_products(5, 1), 1u);  // the single column
+  EXPECT_EQ(count_products(2, 2), 2u);
+}
+
+TEST(Paths, EnumerationAgreesWithCount) {
+  for (int m = 1; m <= 5; ++m) {
+    for (int n = 1; n <= 5; ++n) {
+      std::uint64_t seen = 0;
+      const std::uint64_t total = enumerate_products(
+          m, n, [&seen](const std::vector<int>&) { ++seen; });
+      EXPECT_EQ(total, count_products(m, n)) << m << "x" << n;
+      EXPECT_EQ(seen, total);
+    }
+  }
+}
+
+TEST(Paths, MaxPathsLimitStopsEnumeration) {
+  std::uint64_t seen = 0;
+  const std::uint64_t total = enumerate_products(
+      5, 5, [&seen](const std::vector<int>&) { ++seen; }, 10);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(Paths, F3x3MatchesFig2c) {
+  // Fig. 2c lists the nine products of f3x3 (x1..x9 are cells 0..8).
+  const std::set<std::set<int>> expected = {
+      {0, 3, 6}, {1, 4, 7}, {2, 5, 8},
+      {0, 3, 4, 7}, {1, 4, 3, 6}, {1, 4, 5, 8}, {2, 5, 4, 7},
+      {0, 3, 4, 5, 8}, {2, 5, 4, 3, 6},
+  };
+  std::set<std::set<int>> actual;
+  for (const auto& path : all_products(3, 3)) {
+    actual.insert(std::set<int>(path.begin(), path.end()));
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Paths, EveryPathIsAValidIrredundantPath) {
+  for (const GridSize g : {GridSize{3, 4}, GridSize{4, 3}, GridSize{4, 4}}) {
+    const int cols = g.cols;
+    for (const auto& path : all_products(g.rows, g.cols)) {
+      ASSERT_FALSE(path.empty());
+      // Starts in the top row, ends in the bottom row.
+      EXPECT_LT(path.front(), cols);
+      EXPECT_GE(path.back(), (g.rows - 1) * cols);
+      // Exactly one top-row and one bottom-row cell.
+      int top_cells = 0;
+      int bottom_cells = 0;
+      for (int cell : path) {
+        top_cells += (cell < cols) ? 1 : 0;
+        bottom_cells += (cell >= (g.rows - 1) * cols) ? 1 : 0;
+      }
+      EXPECT_EQ(top_cells, 1);
+      EXPECT_EQ(bottom_cells, 1);
+      // Consecutive cells adjacent; no duplicates; chordless.
+      const auto adjacent = [cols](int a, int b) {
+        const int ra = a / cols, ca = a % cols;
+        const int rb = b / cols, cb = b % cols;
+        return std::abs(ra - rb) + std::abs(ca - cb) == 1;
+      };
+      std::set<int> unique(path.begin(), path.end());
+      EXPECT_EQ(unique.size(), path.size());
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(adjacent(path[i], path[i + 1]));
+      }
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        for (std::size_t j = i + 2; j < path.size(); ++j) {
+          EXPECT_FALSE(adjacent(path[i], path[j]))
+              << "chord between positions " << i << " and " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Paths, NoProductAbsorbsAnother) {
+  // Irredundancy across the whole cover: no path's cell set contains
+  // another's.
+  for (const GridSize g : {GridSize{3, 3}, GridSize{3, 4}, GridSize{4, 4}}) {
+    const auto paths = all_products(g.rows, g.cols);
+    std::vector<std::set<int>> sets;
+    sets.reserve(paths.size());
+    for (const auto& p : paths) sets.emplace_back(p.begin(), p.end());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      for (std::size_t j = 0; j < sets.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(std::includes(sets[j].begin(), sets[j].end(),
+                                   sets[i].begin(), sets[i].end()))
+            << "product " << i << " absorbs " << j;
+      }
+    }
+  }
+}
+
+TEST(Paths, GridFunctionHasTableOneProducts) {
+  const auto sop = ftl::lattice::grid_function(3, 3);
+  EXPECT_EQ(sop.size(), 9);
+  // The lattice function of the all-ON assignment evaluates to 1, of the
+  // all-OFF assignment to 0.
+  EXPECT_TRUE(sop.evaluate((1u << 9) - 1));
+  EXPECT_FALSE(sop.evaluate(0));
+}
+
+TEST(Paths, RejectsOversizedGrids) {
+  EXPECT_THROW(count_products(12, 11), ftl::ContractViolation);
+  EXPECT_THROW(ftl::lattice::grid_function(9, 9), ftl::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Sparse-matrix and conjugate-gradient tests, including agreement with the
+// dense LU solver on random SPD systems and grid Laplacians (the exact
+// workload of the TCAD network solver).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ftl/linalg/cg.hpp"
+#include "ftl/linalg/lu.hpp"
+#include "ftl/linalg/sparse.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::linalg::conjugate_gradient;
+using ftl::linalg::Matrix;
+using ftl::linalg::SparseMatrix;
+using ftl::linalg::TripletList;
+using ftl::linalg::Vector;
+
+TEST(Sparse, SumsDuplicatesAndDropsZeros) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(1, 1, 5.0);
+  t.add(0, 1, 0.0);  // dropped
+  t.add(1, 0, 3.0);
+  t.add(1, 0, -3.0);  // cancels to zero -> dropped at build
+  const SparseMatrix m(t);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  const Vector y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(Sparse, DiagonalExtraction) {
+  TripletList t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(1, 2, 9.0);
+  t.add(2, 2, 4.0);
+  const Vector d = SparseMatrix(t).diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+  TripletList t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), ftl::ContractViolation);
+}
+
+TEST(Cg, SolvesDiagonalSystemInstantly) {
+  TripletList t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(1, 1, 4.0);
+  t.add(2, 2, 8.0);
+  const auto r = conjugate_gradient(SparseMatrix(t), {2.0, 4.0, 8.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-10);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-10);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  const auto r = conjugate_gradient(SparseMatrix(t), {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+}
+
+class CgVsLu : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgVsLu, AgreesOnRandomSpdSystems) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 13 + 1);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+  // SPD by construction: A = B^T B + n I.
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r)
+    for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) b(r, c) = dist(rng);
+  Matrix a = b.gram();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) a(i, i) += n;
+
+  TripletList t(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r)
+    for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) t.add(r, c, a(r, c));
+
+  Vector rhs(static_cast<std::size_t>(n));
+  for (double& v : rhs) v = dist(rng);
+
+  const auto cg = conjugate_gradient(SparseMatrix(t), rhs);
+  const Vector lu = ftl::linalg::solve(a, rhs);
+  ASSERT_TRUE(cg.converged);
+  for (std::size_t i = 0; i < lu.size(); ++i) {
+    EXPECT_NEAR(cg.x[i], lu[i], 1e-7) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgVsLu, ::testing::Values(2, 5, 10, 40, 100));
+
+TEST(Cg, GridLaplacianDirichletProblem) {
+  // 1-D chain of 50 unit conductances with the ends pinned at 0 and 1
+  // (folded into the RHS): interior solution is linear in position.
+  const int n = 49;  // interior nodes
+  TripletList t(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Vector rhs(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i), 2.0);
+    if (i > 0) t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1), -1.0);
+    if (i + 1 < n) t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i + 1), -1.0);
+  }
+  rhs[static_cast<std::size_t>(n - 1)] = 1.0;  // right boundary at 1 V
+  const auto r = conjugate_gradient(SparseMatrix(t), rhs);
+  ASSERT_TRUE(r.converged);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(i)], (i + 1) / 50.0, 1e-8);
+  }
+}
+
+TEST(Cg, WarmStartReducesIterations) {
+  const int n = 60;
+  TripletList t(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Vector rhs(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i), 2.1);
+    if (i > 0) t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1), -1.0);
+    if (i + 1 < n) t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i + 1), -1.0);
+    rhs[static_cast<std::size_t>(i)] = 1.0;
+  }
+  const SparseMatrix a(t);
+  const auto cold = conjugate_gradient(a, rhs);
+  ASSERT_TRUE(cold.converged);
+  const auto warm = conjugate_gradient(a, rhs, cold.x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 2);
+}
+
+}  // namespace

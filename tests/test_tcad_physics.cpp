@@ -1,0 +1,170 @@
+// Materials and charge-sheet physics tests: the textbook quantities behind
+// Table II and the §III-B threshold voltages.
+#include <gtest/gtest.h>
+
+#include "ftl/tcad/charge_sheet.hpp"
+#include "ftl/tcad/device.hpp"
+#include "ftl/tcad/materials.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl::tcad;
+
+TEST(Materials, DielectricConstants) {
+  EXPECT_DOUBLE_EQ(dielectric_constant(GateDielectric::kSiO2), 3.9);
+  EXPECT_DOUBLE_EQ(dielectric_constant(GateDielectric::kHfO2), 25.0);
+  EXPECT_EQ(to_string(GateDielectric::kHfO2), "HfO2");
+}
+
+TEST(Materials, FermiPotentialOfTableIIDoping) {
+  // Na = 1e17 cm^-3 -> phiF ≈ 0.407 V at 300 K.
+  EXPECT_NEAR(fermi_potential(1e23), 0.407, 0.005);
+  // Higher doping moves the Fermi level further.
+  EXPECT_GT(fermi_potential(1e24), fermi_potential(1e23));
+  EXPECT_THROW(fermi_potential(1e10), ftl::ContractViolation);
+}
+
+TEST(Materials, DepletionQuantities) {
+  // Textbook values for Na = 1e17 cm^-3.
+  EXPECT_NEAR(max_depletion_width(1e23), 103e-9, 5e-9);
+  EXPECT_NEAR(depletion_charge(1e23), 1.64e-3, 0.05e-3);
+}
+
+TEST(Materials, OxideCapacitance) {
+  // 30 nm HfO2: Cox = 25 * eps0 / 30 nm ≈ 7.38 mF/m^2.
+  EXPECT_NEAR(oxide_capacitance(GateDielectric::kHfO2, 30e-9), 7.38e-3, 0.05e-3);
+  EXPECT_NEAR(oxide_capacitance(GateDielectric::kSiO2, 30e-9), 1.15e-3, 0.02e-3);
+  // HfO2 beats SiO2 by the ratio of dielectric constants.
+  EXPECT_NEAR(oxide_capacitance(GateDielectric::kHfO2, 30e-9) /
+                  oxide_capacitance(GateDielectric::kSiO2, 30e-9),
+              25.0 / 3.9, 1e-9);
+  EXPECT_THROW(oxide_capacitance(GateDielectric::kSiO2, 0.0),
+               ftl::ContractViolation);
+}
+
+TEST(Device, TableIIGeometry) {
+  const DeviceSpec sq = make_device(DeviceShape::kSquare, GateDielectric::kHfO2);
+  EXPECT_DOUBLE_EQ(sq.footprint, 2400e-9);
+  EXPECT_DOUBLE_EQ(sq.gate_extent, 1000e-9);
+  EXPECT_DOUBLE_EQ(sq.oxide_thickness, 30e-9);
+  EXPECT_DOUBLE_EQ(sq.substrate_acceptors, 1e23);
+  EXPECT_FALSE(sq.is_depletion());
+
+  const DeviceSpec cr = make_device(DeviceShape::kCross, GateDielectric::kSiO2);
+  EXPECT_DOUBLE_EQ(cr.gate_extent, 200e-9);  // W:200 arm
+  EXPECT_DOUBLE_EQ(cr.narrow_width, 200e-9);
+
+  const DeviceSpec jl = make_device(DeviceShape::kJunctionless, GateDielectric::kHfO2);
+  EXPECT_DOUBLE_EQ(jl.footprint, 24e-9);
+  EXPECT_TRUE(jl.is_depletion());
+  EXPECT_DOUBLE_EQ(jl.substrate_acceptors, 0.0);  // SiO2 substrate
+}
+
+struct VthCase {
+  DeviceShape shape;
+  GateDielectric dielectric;
+  double paper_vth;
+  double tolerance;
+};
+
+class ThresholdVoltages : public ::testing::TestWithParam<VthCase> {};
+
+TEST_P(ThresholdVoltages, AnalyticVthTracksPaper) {
+  const auto p = GetParam();
+  const ChargeSheetModel model(make_device(p.shape, p.dielectric));
+  EXPECT_NEAR(model.threshold_voltage(), p.paper_vth, p.tolerance)
+      << to_string(p.shape) << "/" << to_string(p.dielectric);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperValues, ThresholdVoltages,
+    ::testing::Values(
+        // §III-B reports: square 0.16/1.36, cross 0.27/1.76, JL -0.57/-4.8.
+        VthCase{DeviceShape::kSquare, GateDielectric::kHfO2, 0.16, 0.05},
+        VthCase{DeviceShape::kSquare, GateDielectric::kSiO2, 1.36, 0.15},
+        VthCase{DeviceShape::kCross, GateDielectric::kHfO2, 0.27, 0.06},
+        VthCase{DeviceShape::kCross, GateDielectric::kSiO2, 1.76, 0.25},
+        VthCase{DeviceShape::kJunctionless, GateDielectric::kHfO2, -0.57, 0.05},
+        // Known divergence (DESIGN.md §7): same sign and magnitude class.
+        VthCase{DeviceShape::kJunctionless, GateDielectric::kSiO2, -4.8, 2.1}));
+
+TEST(ChargeSheet, VthOrderingAcrossDevices) {
+  const auto vth = [](DeviceShape s, GateDielectric d) {
+    return ChargeSheetModel(make_device(s, d)).threshold_voltage();
+  };
+  // HfO2 always below SiO2 (bigger Cox absorbs the depletion charge).
+  EXPECT_LT(vth(DeviceShape::kSquare, GateDielectric::kHfO2),
+            vth(DeviceShape::kSquare, GateDielectric::kSiO2));
+  // The narrow cross arms raise Vth relative to the square gate.
+  EXPECT_GT(vth(DeviceShape::kCross, GateDielectric::kHfO2),
+            vth(DeviceShape::kSquare, GateDielectric::kHfO2));
+  EXPECT_GT(vth(DeviceShape::kCross, GateDielectric::kSiO2),
+            vth(DeviceShape::kSquare, GateDielectric::kSiO2));
+  // Depletion device: negative threshold.
+  EXPECT_LT(vth(DeviceShape::kJunctionless, GateDielectric::kHfO2), 0.0);
+  EXPECT_LT(vth(DeviceShape::kJunctionless, GateDielectric::kSiO2),
+            vth(DeviceShape::kJunctionless, GateDielectric::kHfO2));
+}
+
+TEST(ChargeSheet, MobileChargeMonotoneInGateVoltage) {
+  const ChargeSheetModel model(
+      make_device(DeviceShape::kSquare, GateDielectric::kHfO2));
+  double prev = -1.0;
+  for (double vg = -1.0; vg <= 5.0; vg += 0.25) {
+    const double q = model.mobile_charge(vg, 0.0);
+    EXPECT_GT(q, 0.0);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChargeSheet, MobileChargeDecreasesWithChannelPotential) {
+  const ChargeSheetModel model(
+      make_device(DeviceShape::kSquare, GateDielectric::kHfO2));
+  double prev = 1e9;
+  for (double v = 0.0; v <= 5.0; v += 0.5) {
+    const double q = model.mobile_charge(5.0, v);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChargeSheet, StrongInversionChargeIsCoxTimesOverdrive) {
+  const ChargeSheetModel model(
+      make_device(DeviceShape::kSquare, GateDielectric::kHfO2));
+  const double vth = model.threshold_voltage();
+  const double q = model.mobile_charge(5.0, 0.0);
+  EXPECT_NEAR(q, model.cox() * (5.0 - vth), 0.05 * q);
+}
+
+TEST(ChargeSheet, JunctionlessChargeSaturatesAtFullWire) {
+  const auto spec = make_device(DeviceShape::kJunctionless, GateDielectric::kHfO2);
+  const ChargeSheetModel model(spec);
+  const double q_full = ftl::tcad::constants::kElementaryCharge *
+                        spec.electrode_donors * spec.channel_thickness;
+  EXPECT_LE(model.mobile_charge(20.0, 0.0), q_full * (1.0 + 1e-9));
+  EXPECT_GT(model.mobile_charge(20.0, 0.0), 0.95 * q_full);
+}
+
+TEST(ChargeSheet, SheetConductanceByRegion) {
+  const ChargeSheetModel model(
+      make_device(DeviceShape::kSquare, GateDielectric::kHfO2));
+  EXPECT_DOUBLE_EQ(model.sheet_conductance(Region::kOutside, 5.0, 0.0), 0.0);
+  EXPECT_GT(model.sheet_conductance(Region::kConductor, 5.0, 0.0), 1e-3);
+  const double on = model.sheet_conductance(Region::kGated, 5.0, 0.0);
+  const double off = model.sheet_conductance(Region::kGated, -1.0, 0.0);
+  EXPECT_GT(on / off, 1e6);  // gate control spans many decades
+}
+
+TEST(ChargeSheet, IdealityAboveOneForEnhancement) {
+  const ChargeSheetModel hfo2(
+      make_device(DeviceShape::kSquare, GateDielectric::kHfO2));
+  const ChargeSheetModel sio2(
+      make_device(DeviceShape::kSquare, GateDielectric::kSiO2));
+  EXPECT_GT(hfo2.ideality(), 1.0);
+  // The thinner the EOT (bigger Cox), the closer to ideal.
+  EXPECT_LT(hfo2.ideality(), sio2.ideality());
+}
+
+}  // namespace
