@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_complementary"
+  "../bench/bench_ablation_complementary.pdb"
+  "CMakeFiles/bench_ablation_complementary.dir/bench_ablation_complementary.cpp.o"
+  "CMakeFiles/bench_ablation_complementary.dir/bench_ablation_complementary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_complementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mesh"
+  "../bench/bench_ablation_mesh.pdb"
+  "CMakeFiles/bench_ablation_mesh.dir/bench_ablation_mesh.cpp.o"
+  "CMakeFiles/bench_ablation_mesh.dir/bench_ablation_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bias_cases"
+  "../bench/bench_bias_cases.pdb"
+  "CMakeFiles/bench_bias_cases.dir/bench_bias_cases.cpp.o"
+  "CMakeFiles/bench_bias_cases.dir/bench_bias_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bias_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_curve_fit"
+  "../bench/bench_fig10_curve_fit.pdb"
+  "CMakeFiles/bench_fig10_curve_fit.dir/bench_fig10_curve_fit.cpp.o"
+  "CMakeFiles/bench_fig10_curve_fit.dir/bench_fig10_curve_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_curve_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_xor3_synthesis"
+  "../bench/bench_fig3_xor3_synthesis.pdb"
+  "CMakeFiles/bench_fig3_xor3_synthesis.dir/bench_fig3_xor3_synthesis.cpp.o"
+  "CMakeFiles/bench_fig3_xor3_synthesis.dir/bench_fig3_xor3_synthesis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_xor3_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_cross_iv"
+  "../bench/bench_fig6_cross_iv.pdb"
+  "CMakeFiles/bench_fig6_cross_iv.dir/bench_fig6_cross_iv.cpp.o"
+  "CMakeFiles/bench_fig6_cross_iv.dir/bench_fig6_cross_iv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cross_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

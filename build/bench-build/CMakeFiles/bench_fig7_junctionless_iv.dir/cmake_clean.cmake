@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_junctionless_iv"
+  "../bench/bench_fig7_junctionless_iv.pdb"
+  "CMakeFiles/bench_fig7_junctionless_iv.dir/bench_fig7_junctionless_iv.cpp.o"
+  "CMakeFiles/bench_fig7_junctionless_iv.dir/bench_fig7_junctionless_iv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_junctionless_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_core.cpp" "bench-build/CMakeFiles/bench_perf_core.dir/bench_perf_core.cpp.o" "gcc" "bench-build/CMakeFiles/bench_perf_core.dir/bench_perf_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_level1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

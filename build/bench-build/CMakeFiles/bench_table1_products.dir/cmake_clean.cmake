@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_products"
+  "../bench/bench_table1_products.pdb"
+  "CMakeFiles/bench_table1_products.dir/bench_table1_products.cpp.o"
+  "CMakeFiles/bench_table1_products.dir/bench_table1_products.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

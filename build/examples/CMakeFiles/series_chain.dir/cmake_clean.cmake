@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_chain.dir/series_chain.cpp.o"
+  "CMakeFiles/series_chain.dir/series_chain.cpp.o.d"
+  "series_chain"
+  "series_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_function.dir/synthesize_function.cpp.o"
+  "CMakeFiles/synthesize_function.dir/synthesize_function.cpp.o.d"
+  "synthesize_function"
+  "synthesize_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_function.dir/wide_function.cpp.o"
+  "CMakeFiles/wide_function.dir/wide_function.cpp.o.d"
+  "wide_function"
+  "wide_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor3_transient.dir/xor3_transient.cpp.o"
+  "CMakeFiles/xor3_transient.dir/xor3_transient.cpp.o.d"
+  "xor3_transient"
+  "xor3_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor3_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xor3_transient.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/chain_netlist.cpp.o"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/chain_netlist.cpp.o.d"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/lattice_netlist.cpp.o"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/lattice_netlist.cpp.o.d"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/metrics.cpp.o"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/metrics.cpp.o.d"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/switch_model.cpp.o"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/switch_model.cpp.o.d"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/variability.cpp.o"
+  "CMakeFiles/ftl_bridge.dir/ftl/bridge/variability.cpp.o.d"
+  "libftl_bridge.a"
+  "libftl_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_designer.dir/ftl/designer/designer.cpp.o"
+  "CMakeFiles/ftl_designer.dir/ftl/designer/designer.cpp.o.d"
+  "libftl_designer.a"
+  "libftl_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_fit.dir/ftl/fit/extract.cpp.o"
+  "CMakeFiles/ftl_fit.dir/ftl/fit/extract.cpp.o.d"
+  "libftl_fit.a"
+  "libftl_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

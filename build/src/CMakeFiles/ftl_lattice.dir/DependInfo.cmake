@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/lattice/connectivity.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/connectivity.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/connectivity.cpp.o.d"
+  "/root/repo/src/ftl/lattice/faults.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/faults.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/faults.cpp.o.d"
+  "/root/repo/src/ftl/lattice/function.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/function.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/function.cpp.o.d"
+  "/root/repo/src/ftl/lattice/known_mappings.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/known_mappings.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/known_mappings.cpp.o.d"
+  "/root/repo/src/ftl/lattice/lattice.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/lattice.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/lattice.cpp.o.d"
+  "/root/repo/src/ftl/lattice/paths.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/paths.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/paths.cpp.o.d"
+  "/root/repo/src/ftl/lattice/synthesis.cpp" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/synthesis.cpp.o" "gcc" "src/CMakeFiles/ftl_lattice.dir/ftl/lattice/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

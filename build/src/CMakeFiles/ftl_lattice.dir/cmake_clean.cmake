@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/connectivity.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/connectivity.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/faults.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/faults.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/function.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/function.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/known_mappings.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/known_mappings.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/lattice.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/lattice.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/paths.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/paths.cpp.o.d"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/synthesis.cpp.o"
+  "CMakeFiles/ftl_lattice.dir/ftl/lattice/synthesis.cpp.o.d"
+  "libftl_lattice.a"
+  "libftl_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

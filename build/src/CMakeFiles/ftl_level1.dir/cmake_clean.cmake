@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_level1.dir/ftl/fit/mosfet_level1.cpp.o"
+  "CMakeFiles/ftl_level1.dir/ftl/fit/mosfet_level1.cpp.o.d"
+  "CMakeFiles/ftl_level1.dir/ftl/fit/mosfet_level3.cpp.o"
+  "CMakeFiles/ftl_level1.dir/ftl/fit/mosfet_level3.cpp.o.d"
+  "libftl_level1.a"
+  "libftl_level1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_level1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftl_level1.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/linalg/cg.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/cg.cpp.o.d"
+  "/root/repo/src/ftl/linalg/interp.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/interp.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/interp.cpp.o.d"
+  "/root/repo/src/ftl/linalg/levmar.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/levmar.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/levmar.cpp.o.d"
+  "/root/repo/src/ftl/linalg/lu.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/lu.cpp.o.d"
+  "/root/repo/src/ftl/linalg/matrix.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/matrix.cpp.o.d"
+  "/root/repo/src/ftl/linalg/sparse.cpp" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/ftl_linalg.dir/ftl/linalg/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

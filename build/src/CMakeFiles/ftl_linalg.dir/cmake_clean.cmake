@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/cg.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/cg.cpp.o.d"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/interp.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/interp.cpp.o.d"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/levmar.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/levmar.cpp.o.d"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/lu.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/lu.cpp.o.d"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/matrix.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/matrix.cpp.o.d"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/sparse.cpp.o"
+  "CMakeFiles/ftl_linalg.dir/ftl/linalg/sparse.cpp.o.d"
+  "libftl_linalg.a"
+  "libftl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

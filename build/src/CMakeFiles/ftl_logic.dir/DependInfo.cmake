@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/logic/bdd.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/bdd.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/bdd.cpp.o.d"
+  "/root/repo/src/ftl/logic/cube.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/cube.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/cube.cpp.o.d"
+  "/root/repo/src/ftl/logic/expr_parser.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/expr_parser.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/expr_parser.cpp.o.d"
+  "/root/repo/src/ftl/logic/isop.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/isop.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/isop.cpp.o.d"
+  "/root/repo/src/ftl/logic/sop.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/sop.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/sop.cpp.o.d"
+  "/root/repo/src/ftl/logic/truth_table.cpp" "src/CMakeFiles/ftl_logic.dir/ftl/logic/truth_table.cpp.o" "gcc" "src/CMakeFiles/ftl_logic.dir/ftl/logic/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_logic.dir/ftl/logic/bdd.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/bdd.cpp.o.d"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/cube.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/cube.cpp.o.d"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/expr_parser.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/expr_parser.cpp.o.d"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/isop.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/isop.cpp.o.d"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/sop.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/sop.cpp.o.d"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/truth_table.cpp.o"
+  "CMakeFiles/ftl_logic.dir/ftl/logic/truth_table.cpp.o.d"
+  "libftl_logic.a"
+  "libftl_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

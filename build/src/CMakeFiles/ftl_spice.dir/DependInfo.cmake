@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/spice/circuit.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/circuit.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/circuit.cpp.o.d"
+  "/root/repo/src/ftl/spice/dcop.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/dcop.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/dcop.cpp.o.d"
+  "/root/repo/src/ftl/spice/dcsweep.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/dcsweep.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/dcsweep.cpp.o.d"
+  "/root/repo/src/ftl/spice/devices.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/devices.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/devices.cpp.o.d"
+  "/root/repo/src/ftl/spice/measure.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/measure.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/measure.cpp.o.d"
+  "/root/repo/src/ftl/spice/mna.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mna.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mna.cpp.o.d"
+  "/root/repo/src/ftl/spice/mosfet.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mosfet.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mosfet.cpp.o.d"
+  "/root/repo/src/ftl/spice/mosfet3.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mosfet3.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/mosfet3.cpp.o.d"
+  "/root/repo/src/ftl/spice/netlist_parser.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/netlist_parser.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/netlist_parser.cpp.o.d"
+  "/root/repo/src/ftl/spice/sources.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/sources.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/sources.cpp.o.d"
+  "/root/repo/src/ftl/spice/transient.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/transient.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/transient.cpp.o.d"
+  "/root/repo/src/ftl/spice/waveform.cpp" "src/CMakeFiles/ftl_spice.dir/ftl/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/ftl_spice.dir/ftl/spice/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_level1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_spice.dir/ftl/spice/circuit.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/circuit.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/dcop.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/dcop.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/dcsweep.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/dcsweep.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/devices.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/devices.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/measure.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/measure.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mna.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mna.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mosfet.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mosfet.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mosfet3.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/mosfet3.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/netlist_parser.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/netlist_parser.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/sources.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/sources.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/transient.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/transient.cpp.o.d"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/waveform.cpp.o"
+  "CMakeFiles/ftl_spice.dir/ftl/spice/waveform.cpp.o.d"
+  "libftl_spice.a"
+  "libftl_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/tcad/bias.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/bias.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/bias.cpp.o.d"
+  "/root/repo/src/ftl/tcad/charge_sheet.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/charge_sheet.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/charge_sheet.cpp.o.d"
+  "/root/repo/src/ftl/tcad/current_density.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/current_density.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/current_density.cpp.o.d"
+  "/root/repo/src/ftl/tcad/device.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/device.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/device.cpp.o.d"
+  "/root/repo/src/ftl/tcad/extract.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/extract.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/extract.cpp.o.d"
+  "/root/repo/src/ftl/tcad/materials.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/materials.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/materials.cpp.o.d"
+  "/root/repo/src/ftl/tcad/mesh.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/mesh.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/mesh.cpp.o.d"
+  "/root/repo/src/ftl/tcad/network_solver.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/network_solver.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/network_solver.cpp.o.d"
+  "/root/repo/src/ftl/tcad/sweep.cpp" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/sweep.cpp.o" "gcc" "src/CMakeFiles/ftl_tcad.dir/ftl/tcad/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

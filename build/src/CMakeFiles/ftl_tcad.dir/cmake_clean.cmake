@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/bias.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/bias.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/charge_sheet.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/charge_sheet.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/current_density.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/current_density.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/device.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/device.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/extract.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/extract.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/materials.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/materials.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/mesh.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/mesh.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/network_solver.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/network_solver.cpp.o.d"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/sweep.cpp.o"
+  "CMakeFiles/ftl_tcad.dir/ftl/tcad/sweep.cpp.o.d"
+  "libftl_tcad.a"
+  "libftl_tcad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_tcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/util/csv.cpp" "src/CMakeFiles/ftl_util.dir/ftl/util/csv.cpp.o" "gcc" "src/CMakeFiles/ftl_util.dir/ftl/util/csv.cpp.o.d"
+  "/root/repo/src/ftl/util/error.cpp" "src/CMakeFiles/ftl_util.dir/ftl/util/error.cpp.o" "gcc" "src/CMakeFiles/ftl_util.dir/ftl/util/error.cpp.o.d"
+  "/root/repo/src/ftl/util/strings.cpp" "src/CMakeFiles/ftl_util.dir/ftl/util/strings.cpp.o" "gcc" "src/CMakeFiles/ftl_util.dir/ftl/util/strings.cpp.o.d"
+  "/root/repo/src/ftl/util/table.cpp" "src/CMakeFiles/ftl_util.dir/ftl/util/table.cpp.o" "gcc" "src/CMakeFiles/ftl_util.dir/ftl/util/table.cpp.o.d"
+  "/root/repo/src/ftl/util/units.cpp" "src/CMakeFiles/ftl_util.dir/ftl/util/units.cpp.o" "gcc" "src/CMakeFiles/ftl_util.dir/ftl/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

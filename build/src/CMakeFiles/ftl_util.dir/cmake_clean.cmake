@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_util.dir/ftl/util/csv.cpp.o"
+  "CMakeFiles/ftl_util.dir/ftl/util/csv.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/ftl/util/error.cpp.o"
+  "CMakeFiles/ftl_util.dir/ftl/util/error.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/ftl/util/strings.cpp.o"
+  "CMakeFiles/ftl_util.dir/ftl/util/strings.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/ftl/util/table.cpp.o"
+  "CMakeFiles/ftl_util.dir/ftl/util/table.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/ftl/util/units.cpp.o"
+  "CMakeFiles/ftl_util.dir/ftl/util/units.cpp.o.d"
+  "libftl_util.a"
+  "libftl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_core.dir/test_lattice_core.cpp.o"
+  "CMakeFiles/test_lattice_core.dir/test_lattice_core.cpp.o.d"
+  "test_lattice_core"
+  "test_lattice_core.pdb"
+  "test_lattice_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

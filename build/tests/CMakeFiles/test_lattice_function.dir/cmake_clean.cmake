@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_function.dir/test_lattice_function.cpp.o"
+  "CMakeFiles/test_lattice_function.dir/test_lattice_function.cpp.o.d"
+  "test_lattice_function"
+  "test_lattice_function.pdb"
+  "test_lattice_function[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

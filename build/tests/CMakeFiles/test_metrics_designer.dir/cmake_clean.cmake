@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_designer.dir/test_metrics_designer.cpp.o"
+  "CMakeFiles/test_metrics_designer.dir/test_metrics_designer.cpp.o.d"
+  "test_metrics_designer"
+  "test_metrics_designer.pdb"
+  "test_metrics_designer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

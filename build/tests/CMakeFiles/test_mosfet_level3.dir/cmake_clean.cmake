@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosfet_level3.dir/test_mosfet_level3.cpp.o"
+  "CMakeFiles/test_mosfet_level3.dir/test_mosfet_level3.cpp.o.d"
+  "test_mosfet_level3"
+  "test_mosfet_level3.pdb"
+  "test_mosfet_level3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosfet_level3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

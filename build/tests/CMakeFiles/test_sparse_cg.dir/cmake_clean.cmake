@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_cg.dir/test_sparse_cg.cpp.o"
+  "CMakeFiles/test_sparse_cg.dir/test_sparse_cg.cpp.o.d"
+  "test_sparse_cg"
+  "test_sparse_cg.pdb"
+  "test_sparse_cg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

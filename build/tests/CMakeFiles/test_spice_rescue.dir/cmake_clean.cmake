@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_rescue.dir/test_spice_rescue.cpp.o"
+  "CMakeFiles/test_spice_rescue.dir/test_spice_rescue.cpp.o.d"
+  "test_spice_rescue"
+  "test_spice_rescue.pdb"
+  "test_spice_rescue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

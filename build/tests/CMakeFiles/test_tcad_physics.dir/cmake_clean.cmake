@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcad_physics.dir/test_tcad_physics.cpp.o"
+  "CMakeFiles/test_tcad_physics.dir/test_tcad_physics.cpp.o.d"
+  "test_tcad_physics"
+  "test_tcad_physics.pdb"
+  "test_tcad_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcad_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcad_solver.dir/test_tcad_solver.cpp.o"
+  "CMakeFiles/test_tcad_solver.dir/test_tcad_solver.cpp.o.d"
+  "test_tcad_solver"
+  "test_tcad_solver.pdb"
+  "test_tcad_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcad_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_levmar[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_isop[1]_include.cmake")
+include("/root/repo/build/tests/test_expr_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_lattice_core[1]_include.cmake")
+include("/root/repo/build/tests/test_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_lattice_function[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_tcad_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_tcad_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_fit[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_nonlinear[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mosfet_level3[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_designer[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_variability[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_rescue[1]_include.cmake")
