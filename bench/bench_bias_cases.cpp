@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "ftl/tcad/bias.hpp"
 #include "ftl/tcad/network_solver.hpp"
@@ -37,8 +38,18 @@ int main() {
       {"case", "class", "I(T1) [A]", "I(T2) [A]", "I(T3) [A]", "I(T4) [A]",
        "total drain [A]"});
   std::map<std::string, std::vector<double>> class_currents;
-  for (const BiasCase& bias : paper_bias_cases()) {
-    const SolveResult r = solver.solve(bias.at(5.0, 5.0));
+
+  // The 16 cases are independent solves on the same const solver: fan them
+  // across the thread pool, one result slot per case, then render in order.
+  std::vector<SolveResult> results(paper_bias_cases().size());
+  for_each_paper_bias_case(
+      [&](std::size_t i, const BiasCase& bias) {
+        results[i] = solver.solve(bias.at(5.0, 5.0));
+      });
+
+  for (std::size_t c = 0; c < paper_bias_cases().size(); ++c) {
+    const BiasCase& bias = paper_bias_cases()[c];
+    const SolveResult& r = results[c];
     double drain_total = 0.0;
     for (std::size_t t = 0; t < 4; ++t) {
       if (bias.roles[t] == Role::kDrain) drain_total += r.terminal_current[t];

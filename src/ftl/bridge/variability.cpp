@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <random>
+#include <vector>
 
 #include "ftl/spice/dcop.hpp"
 #include "ftl/util/error.hpp"
+#include "ftl/util/thread_pool.hpp"
 
 namespace ftl::bridge {
+namespace {
+
+/// splitmix64: decorrelates the per-trial seeds derived from (seed, trial).
+/// Seeding mt19937_64 with `seed + trial` directly would hand adjacent
+/// trials nearly identical initial states.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t trial) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct TrialOutcome {
+  bool pass = false;
+  double worst_low = 0.0;
+  double worst_high = 0.0;
+};
+
+}  // namespace
 
 VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
                                     const logic::TruthTable& target,
@@ -14,67 +35,86 @@ VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
   FTL_EXPECTS(lattice.num_vars() == target.num_vars());
   FTL_EXPECTS(options.trials >= 1);
   FTL_EXPECTS(options.sigma_vth >= 0.0 && options.sigma_kp_rel >= 0.0);
+  FTL_EXPECTS(options.max_threads >= 0);
 
   const double vdd = options.circuit.vdd;
   const double v_low_limit = options.low_fraction * vdd;
   const double v_high_limit = options.high_fraction * vdd;
 
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
+  // Each trial is an independent die: its own RNG stream (derived from the
+  // global seed and the trial index, NOT a shared sequential stream) and its
+  // own result slot. That makes the outcome a pure function of (options,
+  // lattice, target) — identical whether the trials run serially or fanned
+  // across the thread pool in any schedule.
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(options.trials));
+  util::parallel_for(
+      static_cast<std::size_t>(options.trials),
+      [&](std::size_t trial) {
+        std::mt19937_64 rng(mix_seed(options.seed, trial));
+        std::normal_distribution<double> gauss(0.0, 1.0);
+
+        // One fixed perturbation per switch site for this trial; the same
+        // die is then evaluated on every input code.
+        std::vector<double> dvth(static_cast<std::size_t>(lattice.cell_count()));
+        std::vector<double> dkp(static_cast<std::size_t>(lattice.cell_count()));
+        for (int i = 0; i < lattice.cell_count(); ++i) {
+          dvth[static_cast<std::size_t>(i)] = options.sigma_vth * gauss(rng);
+          dkp[static_cast<std::size_t>(i)] =
+              std::max(1.0 + options.sigma_kp_rel * gauss(rng), 0.05);
+        }
+
+        LatticeCircuitOptions circuit_options = options.circuit;
+        circuit_options.switch_param_fn =
+            [&](int row, int col, const SwitchModelParams& nominal) {
+              SwitchModelParams p = nominal;
+              const std::size_t i =
+                  static_cast<std::size_t>(row * lattice.cols() + col);
+              p.vth = nominal.vth + dvth[i];
+              p.kp = nominal.kp * dkp[i];
+              return p;
+            };
+
+        TrialOutcome& outcome = outcomes[trial];
+        outcome.pass = true;
+        outcome.worst_low = 0.0;
+        outcome.worst_high = vdd;
+        for (std::uint64_t code = 0;
+             code < target.num_minterms() && outcome.pass; ++code) {
+          std::map<int, spice::Waveform> drives;
+          for (int v = 0; v < target.num_vars(); ++v) {
+            drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+          }
+          LatticeCircuit lc =
+              build_lattice_circuit(lattice, drives, circuit_options);
+          spice::OpResult op;
+          try {
+            op = spice::dc_operating_point(lc.circuit);
+          } catch (const ftl::Error&) {
+            // A die whose operating point cannot be found is a failing die.
+            outcome.pass = false;
+            break;
+          }
+          const double out = op.solution[static_cast<std::size_t>(
+              lc.circuit.find_node(lc.output_node))];
+          if (target.get(code)) {
+            outcome.worst_low = std::max(outcome.worst_low, out);
+            outcome.pass = op.converged && out < v_low_limit;
+          } else {
+            outcome.worst_high = std::min(outcome.worst_high, out);
+            outcome.pass = op.converged && out > v_high_limit;
+          }
+        }
+      },
+      static_cast<std::size_t>(options.max_threads));
 
   VariabilityResult result;
   result.trials = options.trials;
   result.worst_low = 0.0;
   result.worst_high = vdd;
-
-  for (int trial = 0; trial < options.trials; ++trial) {
-    // One fixed perturbation per switch site for this trial; the same die
-    // is then evaluated on every input code.
-    std::vector<double> dvth(static_cast<std::size_t>(lattice.cell_count()));
-    std::vector<double> dkp(static_cast<std::size_t>(lattice.cell_count()));
-    for (int i = 0; i < lattice.cell_count(); ++i) {
-      dvth[static_cast<std::size_t>(i)] = options.sigma_vth * gauss(rng);
-      dkp[static_cast<std::size_t>(i)] =
-          std::max(1.0 + options.sigma_kp_rel * gauss(rng), 0.05);
-    }
-
-    LatticeCircuitOptions circuit_options = options.circuit;
-    circuit_options.switch_param_fn =
-        [&](int row, int col, const SwitchModelParams& nominal) {
-          SwitchModelParams p = nominal;
-          const std::size_t i =
-              static_cast<std::size_t>(row * lattice.cols() + col);
-          p.vth = nominal.vth + dvth[i];
-          p.kp = nominal.kp * dkp[i];
-          return p;
-        };
-
-    bool pass = true;
-    for (std::uint64_t code = 0; code < target.num_minterms() && pass; ++code) {
-      std::map<int, spice::Waveform> drives;
-      for (int v = 0; v < target.num_vars(); ++v) {
-        drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
-      }
-      LatticeCircuit lc = build_lattice_circuit(lattice, drives, circuit_options);
-      spice::OpResult op;
-      try {
-        op = spice::dc_operating_point(lc.circuit);
-      } catch (const ftl::Error&) {
-        // A die whose operating point cannot be found is a failing die.
-        pass = false;
-        break;
-      }
-      const double out = op.solution[static_cast<std::size_t>(
-          lc.circuit.find_node(lc.output_node))];
-      if (target.get(code)) {
-        result.worst_low = std::max(result.worst_low, out);
-        pass = op.converged && out < v_low_limit;
-      } else {
-        result.worst_high = std::min(result.worst_high, out);
-        pass = op.converged && out > v_high_limit;
-      }
-    }
-    if (pass) ++result.passing;
+  for (const TrialOutcome& outcome : outcomes) {
+    if (outcome.pass) ++result.passing;
+    result.worst_low = std::max(result.worst_low, outcome.worst_low);
+    result.worst_high = std::min(result.worst_high, outcome.worst_high);
   }
   return result;
 }

@@ -17,6 +17,10 @@ struct VariabilityOptions {
   double sigma_kp_rel = 0.0;  ///< relative std-dev of per-switch Kp
   int trials = 200;
   std::uint64_t seed = 1;
+  /// Thread fan-out across trials: 0 = hardware concurrency, 1 = serial.
+  /// The result is identical for every setting — each trial derives its own
+  /// RNG stream from (seed, trial index) and results reduce in trial order.
+  int max_threads = 0;
   LatticeCircuitOptions circuit;
   /// Logic thresholds as fractions of VDD for the pass/fail decision.
   double low_fraction = 1.0 / 3.0;

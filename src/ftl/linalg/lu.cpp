@@ -8,9 +8,20 @@
 namespace ftl::linalg {
 
 LuFactorization::LuFactorization(Matrix a, double pivot_floor)
-    : lu_(std::move(a)), perm_(lu_.rows()) {
+    : lu_(std::move(a)) {
+  factorize(pivot_floor);
+}
+
+void LuFactorization::refactor(const Matrix& a, double pivot_floor) {
+  lu_ = a;  // copy-assign reuses the existing allocation when sizes match
+  factorize(pivot_floor);
+}
+
+void LuFactorization::factorize(double pivot_floor) {
   FTL_EXPECTS(lu_.rows() == lu_.cols());
   const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  sign_ = 1;
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
   double* m = lu_.data();
 
@@ -45,11 +56,17 @@ LuFactorization::LuFactorization(Matrix a, double pivot_floor)
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve(b, x);
+  return x;
+}
+
+void LuFactorization::solve(const Vector& b, Vector& x) const {
   const std::size_t n = lu_.rows();
   FTL_EXPECTS(b.size() == n);
   const double* m = lu_.data();
 
-  Vector x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
 
   // Forward substitution with unit lower triangle.
@@ -64,7 +81,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= m[ii * n + j] * x[j];
     x[ii] = acc / m[ii * n + ii];
   }
-  return x;
 }
 
 double LuFactorization::determinant() const {

@@ -13,12 +13,22 @@ namespace ftl::linalg {
 /// Construction factors immediately; throws ftl::Error on a singular matrix.
 class LuFactorization {
  public:
+  /// Empty factorization; factor with refactor() before solving.
+  LuFactorization() = default;
+
   /// Factors `a` (square). `pivot_floor` is the smallest acceptable absolute
   /// pivot; below it the matrix is reported singular.
   explicit LuFactorization(Matrix a, double pivot_floor = 1e-300);
 
+  /// Factors a fresh matrix, reusing this object's storage (no allocation
+  /// when the size is unchanged) — the Newton-loop path, where the matrix
+  /// is refilled every iteration. Throws ftl::Error when singular.
+  void refactor(const Matrix& a, double pivot_floor = 1e-300);
+
   /// Solves A x = b for one right-hand side.
   Vector solve(const Vector& b) const;
+  /// Solve variant writing into a caller-owned vector (hoists allocation).
+  void solve(const Vector& b, Vector& x) const;
 
   std::size_t size() const { return lu_.rows(); }
 
@@ -26,6 +36,8 @@ class LuFactorization {
   double determinant() const;
 
  private:
+  void factorize(double pivot_floor);
+
   Matrix lu_;
   std::vector<std::size_t> perm_;
   int sign_ = 1;

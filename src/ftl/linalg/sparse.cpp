@@ -8,10 +8,12 @@ namespace ftl::linalg {
 
 void TripletList::add(std::size_t r, std::size_t c, double v) {
   FTL_EXPECTS(r < rows_ && c < cols_);
-  if (v != 0.0) entries_.push_back({r, c, v});
+  // Structural zeros are recorded too: under ZeroPolicy::kKeep the position
+  // set must reflect every stamped location, value or no value.
+  entries_.push_back({r, c, v});
 }
 
-SparseMatrix::SparseMatrix(const TripletList& triplets)
+SparseMatrix::SparseMatrix(const TripletList& triplets, ZeroPolicy policy)
     : rows_(triplets.rows()), cols_(triplets.cols()) {
   std::vector<TripletList::Entry> sorted = triplets.entries();
   std::sort(sorted.begin(), sorted.end(),
@@ -30,7 +32,7 @@ SparseMatrix::SparseMatrix(const TripletList& triplets)
       acc += sorted[j].value;
       ++j;
     }
-    if (acc != 0.0) {
+    if (acc != 0.0 || policy == ZeroPolicy::kKeep) {
       col_index_.push_back(sorted[i].col);
       values_.push_back(acc);
       ++row_start_[sorted[i].row + 1];
@@ -38,6 +40,26 @@ SparseMatrix::SparseMatrix(const TripletList& triplets)
     i = j;
   }
   for (std::size_t r = 0; r < rows_; ++r) row_start_[r + 1] += row_start_[r];
+}
+
+CsrView SparseMatrix::view() const {
+  FTL_EXPECTS(rows_ == cols_);
+  CsrView v;
+  v.n = rows_;
+  v.row_start = row_start_.data();
+  v.col_index = col_index_.data();
+  v.values = values_.data();
+  return v;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      m(r, col_index_[k]) += values_[k];
+    }
+  }
+  return m;
 }
 
 Vector SparseMatrix::multiply(const Vector& x) const {

@@ -1,7 +1,8 @@
 #pragma once
-// Compressed-sparse-row matrix for the TCAD resistor-network solver. The
-// network Laplacians there are symmetric positive definite after Dirichlet
-// elimination, so they pair with the conjugate-gradient solver in cg.hpp.
+// Compressed-sparse-row matrix shared by the TCAD resistor-network solver
+// (SPD Laplacians paired with CG) and the circuit simulator's sparse MNA
+// path (unsymmetric systems paired with the Gilbert-Peierls LU in
+// sparse_lu.hpp).
 
 #include <cstddef>
 #include <vector>
@@ -33,23 +34,51 @@ class TripletList {
   std::vector<Entry> entries_;
 };
 
+/// Non-owning view of a CSR matrix — the handoff format between the MNA
+/// assembly buffers and the sparse factorization.
+struct CsrView {
+  std::size_t n = 0;  ///< square dimension
+  const std::size_t* row_start = nullptr;  ///< n + 1 entries
+  const std::size_t* col_index = nullptr;
+  const double* values = nullptr;
+  std::size_t nonzeros() const { return row_start ? row_start[n] : 0; }
+};
+
 /// CSR sparse matrix.
 class SparseMatrix {
  public:
+  /// Whether positions that sum to exactly zero are kept in the stored
+  /// pattern. kKeep makes the pattern a function of structure alone, which
+  /// factorization reuse across value changes depends on.
+  enum class ZeroPolicy { kDrop, kKeep };
+
   SparseMatrix() = default;
 
-  /// Builds from triplets, summing duplicates and dropping explicit zeros.
-  explicit SparseMatrix(const TripletList& triplets);
+  /// Builds from triplets, summing duplicates. kDrop (the default) also
+  /// prunes entries that cancel to zero.
+  explicit SparseMatrix(const TripletList& triplets,
+                        ZeroPolicy policy = ZeroPolicy::kDrop);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nonzeros() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_start() const { return row_start_; }
+  const std::vector<std::size_t>& col_index() const { return col_index_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// CSR view of a square matrix (FTL_EXPECTS rows == cols).
+  CsrView view() const;
 
   /// y = A * x
   Vector multiply(const Vector& x) const;
 
   /// Diagonal entries (zero where absent) — the Jacobi preconditioner.
   Vector diagonal() const;
+
+  /// Dense copy (tests and small-system fallbacks).
+  Matrix to_dense() const;
 
  private:
   std::size_t rows_ = 0;

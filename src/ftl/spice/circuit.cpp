@@ -1,5 +1,6 @@
 #include "ftl/spice/circuit.hpp"
 
+#include "ftl/spice/linear_solver.hpp"
 #include "ftl/util/error.hpp"
 #include "ftl/util/strings.hpp"
 
@@ -11,6 +12,19 @@ bool is_ground_name(const std::string& name) {
 }
 
 }  // namespace
+
+Circuit::Circuit() : linear_solver_(std::make_unique<MnaLinearSolver>()) {}
+
+Circuit::~Circuit() = default;
+
+Circuit::Circuit(Circuit&&) noexcept = default;
+Circuit& Circuit::operator=(Circuit&&) noexcept = default;
+
+MnaLinearSolver& Circuit::linear_solver() {
+  // Re-created lazily so a moved-from circuit stays usable.
+  if (!linear_solver_) linear_solver_ = std::make_unique<MnaLinearSolver>();
+  return *linear_solver_;
+}
 
 int Circuit::node(const std::string& name) {
   if (is_ground_name(name)) return kGround;
@@ -42,6 +56,7 @@ Device& Circuit::add(std::unique_ptr<Device> device) {
     throw ftl::Error("duplicate device name: " + device->name());
   }
   devices_.push_back(std::move(device));
+  if (linear_solver_) linear_solver_->invalidate();  // MNA structure changed
   return *devices_.back();
 }
 

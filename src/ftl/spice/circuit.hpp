@@ -53,10 +53,17 @@ class Device {
   int branch_offset_ = -1;
 };
 
+class MnaLinearSolver;
+
 /// A flat circuit: nodes, devices, ground conventions ("0" and "gnd").
 class Circuit {
  public:
   static constexpr int kGround = -1;
+
+  Circuit();
+  ~Circuit();
+  Circuit(Circuit&&) noexcept;
+  Circuit& operator=(Circuit&&) noexcept;
 
   /// Returns the index for a node name, creating it on first use.
   /// "0" and "gnd" (case-insensitive) map to kGround.
@@ -86,10 +93,17 @@ class Circuit {
   /// True when some device needs Newton iteration.
   bool has_nonlinear_devices() const;
 
+  /// Per-circuit assemble/factor/solve pipeline. Lives with the circuit so
+  /// the MNA sparsity pattern and symbolic factorization are computed once
+  /// and reused across Newton iterations, sweep points, and transient
+  /// steps; add() invalidates it.
+  MnaLinearSolver& linear_solver();
+
  private:
   std::unordered_map<std::string, int> node_index_;
   std::vector<std::string> node_names_;
   std::vector<std::unique_ptr<Device>> devices_;
+  std::unique_ptr<MnaLinearSolver> linear_solver_;
 };
 
 }  // namespace ftl::spice

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "ftl/linalg/lu.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::spice {
@@ -20,20 +19,21 @@ OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
   const int node_count = circuit.node_count();
   // Step clamping is a nonlinear-convergence aid; a linear system's first
   // solve is already exact and must not be truncated.
-  const bool clamp_steps = circuit.has_nonlinear_devices();
-  linalg::Matrix a;
-  linalg::Vector z;
+  const bool nonlinear = circuit.has_nonlinear_devices();
+  const bool clamp_steps = nonlinear;
+
+  // The circuit-held pipeline keeps the assembly buffers, the cached MNA
+  // sparsity pattern, and the factorization workspaces alive across
+  // iterations AND across the sweep/transient steps that call back in here.
+  MnaLinearSolver& solver = circuit.linear_solver();
+  solver.prepare(n, options.matrix_mode);
+
+  linalg::Vector next;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    a.assign(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
-    z.assign(static_cast<std::size_t>(n), 0.0);
-    Stamper stamper(a, z);
     ctx.solution = &result.solution;
-    for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
-
-    linalg::Vector next;
     try {
-      next = linalg::solve(std::move(a), z);
+      solver.solve_iteration(circuit, ctx, next);
     } catch (const ftl::Error& e) {
       throw ftl::Error(std::string("DC solve failed (") + e.what() +
                        "); check for floating nodes");
@@ -54,12 +54,15 @@ OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
       if (std::fabs(delta) > tol) converged = false;
       result.solution[ui] = updated;
     }
-    if (converged && iter > 0) {
+    // A linear system's first solve is exact: accept it at iter 0 instead
+    // of burning a second assemble+factor+solve to "confirm" convergence.
+    // Nonlinear systems still require one confirming iteration.
+    if (converged && (iter > 0 || !nonlinear)) {
       result.converged = true;
       return result;
     }
-    if (!circuit.has_nonlinear_devices() && iter == 0) {
-      // Linear circuits land in one solve.
+    if (!nonlinear && iter == 0) {
+      // Linear circuits land in one solve even when the update was large.
       result.converged = true;
       result.iterations = 1;
       return result;

@@ -3,6 +3,7 @@
 // ladders: gmin stepping and source stepping.
 
 #include "ftl/spice/circuit.hpp"
+#include "ftl/spice/linear_solver.hpp"
 
 namespace ftl::spice {
 
@@ -12,6 +13,9 @@ struct NewtonOptions {
   double reltol = 1e-3;
   double max_step = 2.0;     ///< Newton voltage-step clamp, V
   double gmin = 1e-12;
+  /// Linear-system backend; kAuto sizes the choice per circuit. kDense and
+  /// kSparse force a backend for differential testing.
+  MatrixMode matrix_mode = MatrixMode::kAuto;
 };
 
 struct OpResult {

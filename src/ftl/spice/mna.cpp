@@ -1,30 +1,108 @@
 #include "ftl/spice/mna.hpp"
 
+#include <algorithm>
+
 #include "ftl/util/error.hpp"
 
 namespace ftl::spice {
 
-void Stamper::conductance(int a, int b, double g) {
-  if (a >= 0) a_(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += g;
-  if (b >= 0) a_(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) += g;
-  if (a >= 0 && b >= 0) {
-    a_(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= g;
-    a_(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= g;
+void DenseAssembly::reset(std::size_t n) {
+  if (a_.rows() != n || a_.cols() != n) {
+    a_.assign(n, n);
+    z_.assign(n, 0.0);
+  } else {
+    a_.fill(0.0);
+    std::fill(z_.begin(), z_.end(), 0.0);
   }
 }
 
-void Stamper::current_into(int node, double i) {
-  if (node >= 0) z_[static_cast<std::size_t>(node)] += i;
+void SparseAssembly::reset(std::size_t n) {
+  if (n != n_) {
+    n_ = n;
+    has_pattern_ = false;
+    row_start_.clear();
+    col_index_.clear();
+    values_.clear();
+    seq_.clear();
+    z_.assign(n, 0.0);
+  } else {
+    std::fill(values_.begin(), values_.end(), 0.0);
+    std::fill(z_.begin(), z_.end(), 0.0);
+  }
+  seq_cursor_ = 0;
+  pending_.clear();
+}
+
+void SparseAssembly::add_slow(std::size_t row, std::size_t col, double value) {
+  FTL_EXPECTS(row < n_ && col < n_);
+  if (has_pattern_) {
+    // Binary search inside the row's (sorted) column segment; MNA rows hold
+    // only a handful of entries, so this is a couple of comparisons.
+    const std::size_t* first = col_index_.data() + row_start_[row];
+    const std::size_t* last = col_index_.data() + row_start_[row + 1];
+    const std::size_t* it = std::lower_bound(first, last, col);
+    if (it != last && *it == col) {
+      const std::size_t slot = static_cast<std::size_t>(it - col_index_.data());
+      values_[slot] += value;
+      // Re-record the sequence from this point on; the rest of the pass
+      // keeps correcting entries so the NEXT pass replays on the fast path.
+      if (seq_cursor_ < seq_.size()) {
+        seq_[seq_cursor_] = {row, col, slot};
+      } else {
+        seq_.push_back({row, col, slot});
+      }
+      ++seq_cursor_;
+      return;
+    }
+  }
+  pending_.push_back({row, col, value});
+}
+
+bool SparseAssembly::finalize() {
+  if (has_pattern_ && pending_.empty()) return false;
+
+  // Merge the cached pattern's current values with the pending stamps and
+  // rebuild the CSR arrays (positions deduplicated, structural zeros kept).
+  linalg::TripletList triplets(n_, n_);
+  if (has_pattern_) {
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+        triplets.add(r, col_index_[k], values_[k]);
+      }
+    }
+  }
+  for (const auto& e : pending_) triplets.add(e.row, e.col, e.value);
+  pending_.clear();
+
+  const linalg::SparseMatrix merged(triplets,
+                                    linalg::SparseMatrix::ZeroPolicy::kKeep);
+  row_start_ = merged.row_start();
+  col_index_ = merged.col_index();
+  values_ = merged.values();
+  has_pattern_ = true;
+  seq_.clear();  // slots moved: the memoized add sequence is stale
+  seq_cursor_ = 0;
+  return true;
+}
+
+linalg::CsrView SparseAssembly::matrix() const {
+  FTL_EXPECTS(has_pattern_);
+  linalg::CsrView v;
+  v.n = n_;
+  v.row_start = row_start_.data();
+  v.col_index = col_index_.data();
+  v.values = values_.data();
+  return v;
 }
 
 void Stamper::entry(int row, int col, double value) {
   FTL_EXPECTS(row >= 0 && col >= 0);
-  a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+  add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), value);
 }
 
 void Stamper::rhs(int row, double value) {
   FTL_EXPECTS(row >= 0);
-  z_[static_cast<std::size_t>(row)] += value;
+  add_rhs(static_cast<std::size_t>(row), value);
 }
 
 }  // namespace ftl::spice

@@ -1,10 +1,15 @@
 #pragma once
 // Modified nodal analysis plumbing: the stamp interface every device writes
-// through, and the evaluation context handed to devices at each Newton
-// iteration. Node index -1 is ground; branch unknowns (voltage-source
-// currents) live after the node unknowns.
+// through, the evaluation context handed to devices at each Newton
+// iteration, and the assembly backends the stamps land in (dense matrix or
+// pattern-cached sparse CSR). Node index -1 is ground; branch unknowns
+// (voltage-source currents) live after the node unknowns.
+
+#include <cstddef>
+#include <vector>
 
 #include "ftl/linalg/matrix.hpp"
+#include "ftl/linalg/sparse.hpp"
 
 namespace ftl::spice {
 
@@ -28,17 +33,133 @@ struct EvalContext {
   }
 };
 
-/// Ground-aware writer into the MNA matrix A and right-hand side z of
-/// A x = z.
+/// Destination of device stamps for one assembly pass: matrix entries of A
+/// and RHS entries of z in A x = z. Indices are non-ground unknowns.
+class MnaAssembly {
+ public:
+  virtual ~MnaAssembly() = default;
+  virtual void add(std::size_t row, std::size_t col, double value) = 0;
+  virtual void add_rhs(std::size_t row, double value) = 0;
+};
+
+/// Dense backend: the classic n x n matrix, reused across iterations.
+class DenseAssembly final : public MnaAssembly {
+ public:
+  /// Sizes (first call) or zeroes (later calls) the reused buffers.
+  void reset(std::size_t n);
+
+  /// Non-virtual fast path used by Stamper's typed constructor.
+  void add_fast(std::size_t row, std::size_t col, double value) {
+    a_(row, col) += value;
+  }
+  void add_rhs_fast(std::size_t row, double value) { z_[row] += value; }
+
+  void add(std::size_t row, std::size_t col, double value) override {
+    add_fast(row, col, value);
+  }
+  void add_rhs(std::size_t row, double value) override {
+    add_rhs_fast(row, value);
+  }
+
+  const linalg::Matrix& matrix() const { return a_; }
+  const linalg::Vector& rhs() const { return z_; }
+
+ private:
+  linalg::Matrix a_;
+  linalg::Vector z_;
+};
+
+/// Sparse backend with pattern caching. The first assembly records every
+/// stamped position (structural zeros included) and freezes a CSR pattern;
+/// later assemblies rewrite values in place with zero allocation. A stamp
+/// landing outside the cached pattern is absorbed into a pending list and
+/// merged at finalize(), which reports the pattern change so downstream
+/// symbolic reuse (SparseLu) can reset.
+class SparseAssembly final : public MnaAssembly {
+ public:
+  /// Starts an assembly pass for an n-unknown system. Changing n drops the
+  /// cached pattern.
+  void reset(std::size_t n);
+
+  /// Non-virtual fast path. Device stamps replay in (nearly) the same order
+  /// every pass, so the previous pass's (row, col) -> slot sequence is a
+  /// memoized search: one position compare in the common case. A mismatch
+  /// (e.g. a MOSFET's voltage-dependent drain/source stamp-order swap)
+  /// falls back to binary search and self-heals the recorded sequence —
+  /// the cache is only ever a hint, never a correctness dependency.
+  void add_fast(std::size_t row, std::size_t col, double value) {
+    if (seq_cursor_ < seq_.size()) {
+      const SeqEntry& e = seq_[seq_cursor_];
+      if (e.row == row && e.col == col) {
+        values_[e.slot] += value;
+        ++seq_cursor_;
+        return;
+      }
+    }
+    add_slow(row, col, value);
+  }
+  void add_rhs_fast(std::size_t row, double value) { z_[row] += value; }
+
+  void add(std::size_t row, std::size_t col, double value) override {
+    add_fast(row, col, value);
+  }
+  void add_rhs(std::size_t row, double value) override {
+    add_rhs_fast(row, value);
+  }
+
+  /// Ends the pass, merging any out-of-pattern stamps. Returns true when
+  /// the sparsity pattern changed (first pass or new positions).
+  bool finalize();
+
+  std::size_t size() const { return n_; }
+  linalg::CsrView matrix() const;
+  const linalg::Vector& rhs() const { return z_; }
+
+ private:
+  void add_slow(std::size_t row, std::size_t col, double value);
+
+  std::size_t n_ = 0;
+  bool has_pattern_ = false;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+  linalg::Vector z_;
+  /// First pass: every stamp. Cached passes: pattern misses only.
+  std::vector<linalg::TripletList::Entry> pending_;
+  /// Memoized add sequence of the previous pass (see add_fast).
+  struct SeqEntry {
+    std::size_t row, col, slot;
+  };
+  std::vector<SeqEntry> seq_;
+  std::size_t seq_cursor_ = 0;
+};
+
+/// Ground-aware writer used by Device::stamp; forwards to the assembly
+/// backend after dropping ground rows/columns. The typed constructors
+/// bypass the virtual MnaAssembly dispatch — stamps are the hot inner loop
+/// of every Newton iteration, and a predictable branch beats an indirect
+/// call there. The MnaAssembly& constructor remains for tests and custom
+/// sinks.
 class Stamper {
  public:
-  Stamper(linalg::Matrix& a, linalg::Vector& z) : a_(a), z_(z) {}
+  explicit Stamper(MnaAssembly& assembly) : generic_(&assembly) {}
+  explicit Stamper(DenseAssembly& dense) : dense_(&dense) {}
+  explicit Stamper(SparseAssembly& sparse) : sparse_(&sparse) {}
 
   /// Conductance g between nodes a and b (either may be ground).
-  void conductance(int a, int b, double g);
+  void conductance(int a, int b, double g) {
+    if (a >= 0) add(static_cast<std::size_t>(a), static_cast<std::size_t>(a), g);
+    if (b >= 0) add(static_cast<std::size_t>(b), static_cast<std::size_t>(b), g);
+    if (a >= 0 && b >= 0) {
+      add(static_cast<std::size_t>(a), static_cast<std::size_t>(b), -g);
+      add(static_cast<std::size_t>(b), static_cast<std::size_t>(a), -g);
+    }
+  }
 
   /// Current `i` injected INTO node (from the device).
-  void current_into(int node, double i);
+  void current_into(int node, double i) {
+    if (node >= 0) add_rhs(static_cast<std::size_t>(node), i);
+  }
 
   /// Raw matrix entry; both indices must be non-ground unknowns.
   void entry(int row, int col, double value);
@@ -47,8 +168,28 @@ class Stamper {
   void rhs(int row, double value);
 
  private:
-  linalg::Matrix& a_;
-  linalg::Vector& z_;
+  void add(std::size_t row, std::size_t col, double value) {
+    if (dense_ != nullptr) {
+      dense_->add_fast(row, col, value);
+    } else if (sparse_ != nullptr) {
+      sparse_->add_fast(row, col, value);
+    } else {
+      generic_->add(row, col, value);
+    }
+  }
+  void add_rhs(std::size_t row, double value) {
+    if (dense_ != nullptr) {
+      dense_->add_rhs_fast(row, value);
+    } else if (sparse_ != nullptr) {
+      sparse_->add_rhs_fast(row, value);
+    } else {
+      generic_->add_rhs(row, value);
+    }
+  }
+
+  DenseAssembly* dense_ = nullptr;
+  SparseAssembly* sparse_ = nullptr;
+  MnaAssembly* generic_ = nullptr;
 };
 
 }  // namespace ftl::spice

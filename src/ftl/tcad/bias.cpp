@@ -1,6 +1,7 @@
 #include "ftl/tcad/bias.hpp"
 
 #include "ftl/util/error.hpp"
+#include "ftl/util/thread_pool.hpp"
 
 namespace ftl::tcad {
 
@@ -62,6 +63,14 @@ const std::vector<BiasCase>& paper_bias_cases() {
     return out;
   }();
   return cases;
+}
+
+void for_each_paper_bias_case(
+    const std::function<void(std::size_t, const BiasCase&)>& fn,
+    std::size_t max_threads) {
+  const std::vector<BiasCase>& cases = paper_bias_cases();
+  util::parallel_for(
+      cases.size(), [&](std::size_t i) { fn(i, cases[i]); }, max_threads);
 }
 
 }  // namespace ftl::tcad

@@ -4,6 +4,7 @@
 // shorthand "DSSS" reads left-to-right over T1..T4.
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,5 +31,13 @@ BiasCase parse_bias_case(const std::string& name);
 
 /// The paper's 16 cases: 1D-1S (DSFF, SFDF), 1D-3S, 2D-2S, 3D-1S.
 const std::vector<BiasCase>& paper_bias_cases();
+
+/// Applies `fn(case_index, bias_case)` to all 16 paper cases, fanning the
+/// independent cases across the thread pool. `fn` must only write state
+/// owned by its case index (e.g. a result slot in a pre-sized vector).
+/// `max_threads` = 0 uses the hardware concurrency; 1 runs serially.
+void for_each_paper_bias_case(
+    const std::function<void(std::size_t, const BiasCase&)>& fn,
+    std::size_t max_threads = 0);
 
 }  // namespace ftl::tcad

@@ -5,6 +5,7 @@
 
 #include "ftl/linalg/cg.hpp"
 #include "ftl/linalg/interp.hpp"
+#include "ftl/linalg/sparse_lu.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::tcad {
@@ -135,41 +136,65 @@ SolveResult NetworkSolver::solve(const BiasPoint& bias,
   }
 
   // --- Block iteration ----------------------------------------------------
+  const bool use_lu = options.backend == LinearBackend::kSparseLu;
+
+  // (a-setup) The u-space Laplace matrix is CONSTANT across block passes:
+  // unit edge conductances (a square-cell drift edge carries exactly
+  // u_a - u_b) plus the tiny regularizing diagonal. Only the RHS — the
+  // conductor boundary terms — moves with the iteration, so assemble once
+  // here and, on the direct backend, factor once for the whole solve.
+  linalg::SparseMatrix u_matrix;
+  linalg::SparseLu u_lu;
+  if (!gated_cells.empty()) {
+    linalg::TripletList trip(gated_cells.size(), gated_cells.size());
+    for (const Edge& e : edges) {
+      const int ga = gated_index[static_cast<std::size_t>(e.a)];
+      const int gb = gated_index[static_cast<std::size_t>(e.b)];
+      if (ga >= 0 && gb >= 0) {
+        trip.add(static_cast<std::size_t>(ga), static_cast<std::size_t>(ga), 1.0);
+        trip.add(static_cast<std::size_t>(gb), static_cast<std::size_t>(gb), 1.0);
+        trip.add(static_cast<std::size_t>(ga), static_cast<std::size_t>(gb), -1.0);
+        trip.add(static_cast<std::size_t>(gb), static_cast<std::size_t>(ga), -1.0);
+      } else if (ga >= 0 || gb >= 0) {
+        // Boundary to conductor material: treat the edge as channel
+        // material at the conductor's potential (the conductor's own drop
+        // is negligible at the interface). The potential lands in the RHS;
+        // the matrix only sees the unit edge conductance.
+        const int g = ga >= 0 ? ga : gb;
+        trip.add(static_cast<std::size_t>(g), static_cast<std::size_t>(g), 1.0);
+      }
+    }
+    for (std::size_t k = 0; k < gated_cells.size(); ++k) trip.add(k, k, 1e-18);
+    u_matrix = linalg::SparseMatrix(trip);
+    if (use_lu) u_lu.factor(u_matrix);
+  }
+
+  linalg::SparseLu v_lu;
   linalg::Vector u_warm = u;
   linalg::Vector v_warm;
   for (int pass = 0; pass < options.max_passes; ++pass) {
     result.nonlinear_iterations = pass + 1;
 
-    // (a) u-space Laplace over the gated cells. Unit edge conductance: a
-    // square-cell drift edge carries exactly u_a - u_b.
-    {
-      linalg::TripletList trip(gated_cells.size(), gated_cells.size());
+    // (a) u-space Laplace over the gated cells: refresh the boundary RHS
+    // and back-substitute against the factorization hoisted above.
+    if (!gated_cells.empty()) {
       linalg::Vector rhs(gated_cells.size(), 0.0);
       for (const Edge& e : edges) {
         const int ga = gated_index[static_cast<std::size_t>(e.a)];
         const int gb = gated_index[static_cast<std::size_t>(e.b)];
-        if (ga >= 0 && gb >= 0) {
-          trip.add(static_cast<std::size_t>(ga), static_cast<std::size_t>(ga), 1.0);
-          trip.add(static_cast<std::size_t>(gb), static_cast<std::size_t>(gb), 1.0);
-          trip.add(static_cast<std::size_t>(ga), static_cast<std::size_t>(gb), -1.0);
-          trip.add(static_cast<std::size_t>(gb), static_cast<std::size_t>(ga), -1.0);
-        } else if (ga >= 0 || gb >= 0) {
+        if ((ga >= 0) != (gb >= 0)) {
           const int g = ga >= 0 ? ga : gb;
           const int other = ga >= 0 ? e.b : e.a;
-          // Boundary to conductor material: treat the edge as channel
-          // material at the conductor's potential (the conductor's own drop
-          // is negligible at the interface).
-          trip.add(static_cast<std::size_t>(g), static_cast<std::size_t>(g), 1.0);
           rhs[static_cast<std::size_t>(g)] += phi.forward(conductor_v(other));
         }
       }
-      if (!gated_cells.empty()) {
-        for (std::size_t k = 0; k < gated_cells.size(); ++k) trip.add(k, k, 1e-18);
-        const linalg::SparseMatrix a(trip);
-        const linalg::CgResult cg = linalg::conjugate_gradient(a, rhs, u_warm);
+      if (use_lu) {
+        u_lu.solve(rhs, u);
+      } else {
+        const linalg::CgResult cg = linalg::conjugate_gradient(u_matrix, rhs, u_warm);
         u = cg.x;
-        u_warm = u;
       }
+      u_warm = u;
     }
 
     // (b) V-space ohmic solve over non-Dirichlet conductor cells. Channel
@@ -210,19 +235,31 @@ SolveResult NetworkSolver::solve(const BiasPoint& bias,
         }
       }
       for (std::size_t k = 0; k < cond_cells.size(); ++k) trip.add(k, k, 1e-18);
-      const linalg::SparseMatrix a(trip);
-      if (v_warm.size() != cond_cells.size()) {
-        v_warm.assign(cond_cells.size(), 0.0);
-        for (std::size_t k = 0; k < cond_cells.size(); ++k) {
-          v_warm[k] = conductor_v(cond_cells[k]);
+      // kKeep freezes the pattern as a function of mesh structure alone, so
+      // every pass produces the same pattern and the numeric-only refactor
+      // below stays valid even if an interface conductance cancels.
+      const linalg::SparseMatrix a(trip, linalg::SparseMatrix::ZeroPolicy::kKeep);
+      linalg::Vector v_new;
+      if (use_lu) {
+        // Same pattern every pass, values move with the linearization
+        // point: numeric-only refactorization, full factor as fallback.
+        if (!v_lu.factored() || !v_lu.refactor(a)) v_lu.factor(a);
+        v_new = v_lu.solve(rhs);
+      } else {
+        if (v_warm.size() != cond_cells.size()) {
+          v_warm.assign(cond_cells.size(), 0.0);
+          for (std::size_t k = 0; k < cond_cells.size(); ++k) {
+            v_warm[k] = conductor_v(cond_cells[k]);
+          }
         }
+        const linalg::CgResult cg = linalg::conjugate_gradient(a, rhs, v_warm);
+        v_new = cg.x;
+        v_warm = v_new;
       }
-      const linalg::CgResult cg = linalg::conjugate_gradient(a, rhs, v_warm);
-      v_warm = cg.x;
       for (std::size_t k = 0; k < cond_cells.size(); ++k) {
         const std::size_t cell = static_cast<std::size_t>(cond_cells[k]);
-        max_change = std::max(max_change, std::fabs(cg.x[k] - v_of[cell]));
-        v_of[cell] = cg.x[k];
+        max_change = std::max(max_change, std::fabs(v_new[k] - v_of[cell]));
+        v_of[cell] = v_new[k];
       }
     }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ftl/util/error.hpp"
+#include "ftl/util/thread_pool.hpp"
 
 namespace ftl::tcad {
 
@@ -61,10 +62,18 @@ IvCurve sweep_drain(const NetworkSolver& solver, const BiasCase& bias,
 
 SweepSetups run_paper_setups(const NetworkSolver& solver, const BiasCase& bias,
                              double vg_min, double vg_max, int points) {
+  // The three set-ups are independent solves over the same (const, hence
+  // shareable) solver, so they fan out as whole sweeps. The warm-start
+  // continuation chain lives INSIDE each sweep — points within one sweep
+  // stay sequential, which is what makes the chain worth having.
   SweepSetups s;
-  s.idvg_low = sweep_gate(solver, bias, 0.010, vg_min, vg_max, points);
-  s.idvg_high = sweep_gate(solver, bias, 5.0, vg_min, vg_max, points);
-  s.idvd = sweep_drain(solver, bias, 5.0, 0.0, 5.0, points);
+  util::parallel_for(3, [&](std::size_t i) {
+    switch (i) {
+      case 0: s.idvg_low = sweep_gate(solver, bias, 0.010, vg_min, vg_max, points); break;
+      case 1: s.idvg_high = sweep_gate(solver, bias, 5.0, vg_min, vg_max, points); break;
+      case 2: s.idvd = sweep_drain(solver, bias, 5.0, 0.0, 5.0, points); break;
+    }
+  });
   return s;
 }
 

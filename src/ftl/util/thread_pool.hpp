@@ -1,0 +1,47 @@
+#pragma once
+// Small fixed-size thread pool for the embarrassingly parallel outer loops:
+// terminal-role bias cases, per-device I-V sweeps, and Monte-Carlo
+// variability trials. Work is handed out as an index range; every index
+// writes its own result slot, so results are bit-identical to a serial run
+// regardless of scheduling order.
+
+#include <cstddef>
+#include <functional>
+
+namespace ftl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 picks the hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1; the calling thread also participates in jobs).
+  std::size_t size() const;
+
+  /// Runs fn(i) for every i in [0, count), fanning indices across the
+  /// workers, and blocks until all complete. The first exception thrown by
+  /// any task is rethrown here after the job drains. Nested calls from
+  /// inside a task run inline (serially) to avoid deadlock.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized from FTL_THREADS (when set and positive) or
+  /// the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience wrapper over ThreadPool::global(). `max_threads` caps the
+/// effective parallelism for this job (0 = no cap); with a cap of 1 the loop
+/// runs serially on the calling thread.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t max_threads = 0);
+
+}  // namespace ftl::util

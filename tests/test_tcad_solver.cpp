@@ -261,4 +261,35 @@ TEST(CurrentDensity, FieldCoversActiveCellsOnly) {
   EXPECT_EQ(static_cast<int>(field.size()), active);
 }
 
+TEST(Solver, SparseLuBackendMatchesCg) {
+  // The direct backend (factor-once u-block, refactored V-block) must land
+  // on the same fixed point as the default CG backend, terminal currents
+  // included — that is what keeps it trustworthy as a differential check.
+  const NetworkSolver solver = make_solver(DeviceShape::kSquare,
+                                           GateDielectric::kHfO2, 24);
+  SolverOptions cg_opts;
+  cg_opts.backend = LinearBackend::kCg;
+  SolverOptions lu_opts;
+  lu_opts.backend = LinearBackend::kSparseLu;
+  for (const char* name : {"DSSS", "DSDS", "DSFF"}) {
+    const BiasPoint bias = parse_bias_case(name).at(5.0, 5.0);
+    const SolveResult rc = solver.solve(bias, nullptr, cg_opts);
+    const SolveResult rl = solver.solve(bias, nullptr, lu_opts);
+    ASSERT_TRUE(rc.converged);
+    ASSERT_TRUE(rl.converged);
+    double vmax = 1e-30;
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < rc.node_voltage.size(); ++i) {
+      vmax = std::max(vmax, std::fabs(rc.node_voltage[i]));
+      dmax = std::max(dmax, std::fabs(rc.node_voltage[i] - rl.node_voltage[i]));
+    }
+    EXPECT_LT(dmax / vmax, 1e-9) << name;
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_NEAR(rl.terminal_current[t], rc.terminal_current[t],
+                  1e-9 * std::max(std::fabs(rc.terminal_current[t]), 1e-12))
+          << name << " T" << t + 1;
+    }
+  }
+}
+
 }  // namespace

@@ -1,0 +1,77 @@
+// Thread pool: full index coverage, exception propagation, nested calls,
+// and the serial escape hatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "ftl/util/thread_pool.hpp"
+
+namespace {
+
+using namespace ftl;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  util::parallel_for(count, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ResultSlotsAreScheduleIndependent) {
+  const std::size_t count = 257;
+  std::vector<double> out(count, 0.0);
+  util::parallel_for(count, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 3.0 + 1.0;
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 3.0 + 1.0);
+  }
+}
+
+TEST(ThreadPool, SerialWhenMaxThreadsIsOne) {
+  // max_threads = 1 must run inline on the caller, in index order.
+  std::vector<std::size_t> order;
+  util::parallel_for(
+      10, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  EXPECT_THROW(
+      util::parallel_for(64,
+                         [&](std::size_t i) {
+                           if (i == 13) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> total{0};
+  util::parallel_for(8, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  // A task that itself calls parallel_for must not deadlock waiting for
+  // pool workers it is occupying; the inner loop runs inline.
+  std::vector<std::atomic<int>> hits(64);
+  util::parallel_for(8, [&](std::size_t outer) {
+    util::parallel_for(8, [&](std::size_t inner) {
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  bool touched = false;
+  util::parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace

@@ -38,6 +38,27 @@ TEST(Variability, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.worst_high, b.worst_high);
 }
 
+TEST(Variability, ParallelMatchesSerialForFixedSeed) {
+  // The per-trial RNG derivation makes the result a pure function of the
+  // options: fanning trials across the pool must change nothing, bit for
+  // bit, relative to a serial run.
+  const auto f = logic::parse_expression("a b + c").table;
+  const auto lat = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  bridge::VariabilityOptions serial;
+  serial.sigma_vth = 0.2;
+  serial.sigma_kp_rel = 0.1;
+  serial.trials = 24;
+  serial.seed = 7;
+  serial.max_threads = 1;
+  bridge::VariabilityOptions parallel = serial;
+  parallel.max_threads = 4;
+  const auto a = bridge::monte_carlo_yield(lat, f, serial);
+  const auto b = bridge::monte_carlo_yield(lat, f, parallel);
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_DOUBLE_EQ(a.worst_low, b.worst_low);
+  EXPECT_DOUBLE_EQ(a.worst_high, b.worst_high);
+}
+
 TEST(Variability, LargeSpreadCostsYield) {
   const auto lat = lattice::xor3_lattice_3x3();
   const auto xor3 = lattice::xor3_truth_table();
