@@ -4,9 +4,12 @@
 // operating point.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <random>
 
 #include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/jobs/pipeline.hpp"
+#include "ftl/jobs/scheduler.hpp"
 #include "ftl/lattice/known_mappings.hpp"
 #include "ftl/lattice/paths.hpp"
 #include "ftl/linalg/lu.hpp"
@@ -170,6 +173,73 @@ void BM_SparseLuRefactor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseLuRefactor)->Arg(6)->Arg(12)->Arg(24);
+
+// Scheduler overhead: a linear chain of empty jobs measures the per-job
+// bookkeeping cost (graph state, telemetry hooks, digesting empty
+// artifacts) with zero useful work — the floor every pipeline pays.
+void BM_SchedulerEmptyJobThroughput(benchmark::State& state) {
+  using namespace ftl;
+  const int n = static_cast<int>(state.range(0));
+  const bool serial = state.range(1) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    jobs::JobGraph g;
+    jobs::JobId prev = -1;
+    for (int i = 0; i < n; ++i) {
+      jobs::JobDesc d;
+      d.name = "j" + std::to_string(i);
+      if (prev >= 0) d.deps = {prev};
+      d.fn = [](jobs::JobContext&) { return jobs::Artifact{}; };
+      prev = g.add(std::move(d));
+    }
+    state.ResumeTiming();
+    jobs::RunOptions options;
+    options.jobs = serial ? 1 : 0;
+    benchmark::DoNotOptimize(jobs::run_graph(g, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(serial ? "serial" : "pool");
+}
+BENCHMARK(BM_SchedulerEmptyJobThroughput)
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->Args({1000, 1});
+
+// Cold-vs-warm paper pipeline at reduced size: the cold run computes every
+// TCAD/fit/SPICE stage, the warm run serves them all from the content-
+// addressed cache. The ratio is the cache's headline win.
+void BM_PipelineColdVsWarm(benchmark::State& state) {
+  using namespace ftl;
+  const bool warm = state.range(0) != 0;
+  jobs::PipelineOptions po;
+  po.mesh = 12;
+  po.sweep_points = 7;
+  po.chain_max = 4;
+  po.transient_dt = 1e-9;
+  po.transient_periods = 2;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ftl_bench_pipeline_cache";
+  if (warm) {
+    // Prime once so every timed iteration is all-hits.
+    const jobs::PaperPipeline p = jobs::build_paper_pipeline(po);
+    jobs::RunOptions options;
+    options.cache_dir = dir.string();
+    jobs::run_graph(p.graph, options);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!warm) std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    const jobs::PaperPipeline p = jobs::build_paper_pipeline(po);
+    jobs::RunOptions options;
+    options.cache_dir = dir.string();
+    const jobs::RunResult r = jobs::run_graph(p.graph, options);
+    if (!r.ok()) state.SkipWithError("pipeline run failed");
+  }
+  std::filesystem::remove_all(dir);
+  state.SetLabel(warm ? "warm" : "cold");
+}
+BENCHMARK(BM_PipelineColdVsWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -34,6 +34,11 @@ SwitchModelParams paper_switch_model();
 /// Builds the switch-model parameters from a completed level-1 fit.
 SwitchModelParams switch_model_from_fit(const fit::FitResult& fit);
 
+/// Same, from a bare level-1 parameter set — the entry point the jobs
+/// pipeline uses when the fit arrives as a cached artifact rather than a
+/// live FitResult.
+SwitchModelParams switch_model_from_level1(const fit::Level1Params& params);
+
 /// Instantiates one four-terminal switch into `circuit`.
 /// `terminals` are the N/E/S/W node names; `gate` the control node.
 /// Device names are derived from `prefix` (must be unique per switch).

@@ -111,23 +111,33 @@ Level1Params initial_guess(const std::vector<IvSample>& samples, double width,
   return Level1Params{kp, vth, 0.01, width, length};
 }
 
-FitResult extract_from_device(const tcad::NetworkSolver& solver,
-                              const tcad::BiasCase& bias, double width,
-                              double length) {
+FitSweepData paper_fit_sweeps(const tcad::NetworkSolver& solver,
+                              const tcad::BiasCase& bias, int points) {
+  FitSweepData data;
   // Scenario 1: Vds = 5 V on the drain, Vgs swept 0..5.
-  const tcad::IvCurve idvg = tcad::sweep_gate(solver, bias, 5.0, 0.0, 5.0, 26);
+  data.idvg = tcad::sweep_gate(solver, bias, 5.0, 0.0, 5.0, points);
   // Scenario 2: Vgs = 5 V, Vds swept 0..5.
-  const tcad::IvCurve idvd = tcad::sweep_drain(solver, bias, 5.0, 0.0, 5.0, 26);
-
-  int drain = 0;
+  data.idvd = tcad::sweep_drain(solver, bias, 5.0, 0.0, 5.0, points);
   for (std::size_t t = 0; t < 4; ++t) {
-    if (bias.roles[t] == tcad::Role::kDrain) drain = static_cast<int>(t);
+    if (bias.roles[t] == tcad::Role::kDrain) data.drain = static_cast<int>(t);
   }
-  const std::vector<IvSample> samples =
-      samples_from_curves(idvg, 5.0, idvd, 5.0, drain);
+  return data;
+}
+
+FitResult fit_level1_paper(const std::vector<IvSample>& samples, double width,
+                           double length) {
   FitOptions options;
   options.vth_min = 0.0;  // enhancement devices: the switch must open at 0 V
   return fit_level1(samples, initial_guess(samples, width, length), options);
+}
+
+FitResult extract_from_device(const tcad::NetworkSolver& solver,
+                              const tcad::BiasCase& bias, double width,
+                              double length) {
+  const FitSweepData data = paper_fit_sweeps(solver, bias);
+  return fit_level1_paper(
+      samples_from_curves(data.idvg, 5.0, data.idvd, 5.0, data.drain), width,
+      length);
 }
 
 Fit3Result fit_level3(const std::vector<IvSample>& samples,

@@ -58,6 +58,24 @@ std::vector<IvSample> samples_from_curves(const tcad::IvCurve& idvg,
 Level1Params initial_guess(const std::vector<IvSample>& samples, double width,
                            double length);
 
+/// The two TCAD sweeps of the paper's §IV recipe (Id-Vg at Vds = 5 V and
+/// Id-Vd at Vgs = 5 V on the given terminal-role case), separated from the
+/// fit itself so a job pipeline can cache the sweep data and re-fit without
+/// re-simulating.
+struct FitSweepData {
+  tcad::IvCurve idvg;  ///< Vgs swept 0..5 V at Vds = 5 V
+  tcad::IvCurve idvd;  ///< Vds swept 0..5 V at Vgs = 5 V
+  int drain = 0;       ///< drain-role terminal index the samples use
+};
+
+FitSweepData paper_fit_sweeps(const tcad::NetworkSolver& solver,
+                              const tcad::BiasCase& bias, int points = 26);
+
+/// The §IV level-1 fit applied to previously captured sweep samples
+/// (enhancement-device recipe: Vth floored at 0).
+FitResult fit_level1_paper(const std::vector<IvSample>& samples, double width,
+                           double length);
+
 /// Full paper pipeline: runs the DSFF (adjacent-pair) sweeps on a device
 /// solver, extracts the level-1 parameters. `length` is the effective
 /// channel length assigned to the fitted transistor (Type A: 0.35 um,

@@ -1,0 +1,178 @@
+#include "ftl/jobs/artifact.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ftl/jobs/digest.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::jobs {
+
+namespace {
+
+constexpr const char* kMagic = "ftl-artifact";
+constexpr const char* kVersion = "1";
+
+// %.17g: max_digits10 for double — strtod recovers the exact bit pattern.
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_value(const std::string& cell, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') {
+    throw Error(std::string("artifact: malformed ") + what + ": '" + cell + "'");
+  }
+  return v;
+}
+
+void check_clean(const std::string& text, const char* what) {
+  if (text.find(',') != std::string::npos ||
+      text.find('\n') != std::string::npos) {
+    throw Error(std::string("artifact: ") + what +
+                " must not contain commas or newlines: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+void Artifact::set_columns(std::vector<std::string> names) {
+  for (const std::string& n : names) check_clean(n, "column name");
+  if (!rows.empty() && names.size() != columns.size()) {
+    throw Error("artifact: cannot change column count under existing rows");
+  }
+  columns = std::move(names);
+}
+
+void Artifact::add_row(std::vector<double> row) {
+  if (row.size() != columns.size()) {
+    throw Error("artifact: row width " + std::to_string(row.size()) +
+                " does not match " + std::to_string(columns.size()) +
+                " columns");
+  }
+  rows.push_back(std::move(row));
+}
+
+double Artifact::scalar(const std::string& name) const {
+  const auto it = scalars.find(name);
+  if (it == scalars.end()) throw Error("artifact: no scalar '" + name + "'");
+  return it->second;
+}
+
+double Artifact::scalar_or(const std::string& name, double fallback) const {
+  const auto it = scalars.find(name);
+  return it == scalars.end() ? fallback : it->second;
+}
+
+const std::string& Artifact::note(const std::string& name) const {
+  const auto it = notes.find(name);
+  if (it == notes.end()) throw Error("artifact: no note '" + name + "'");
+  return it->second;
+}
+
+std::vector<double> Artifact::column(const std::string& name) const {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == name) {
+      std::vector<double> out;
+      out.reserve(rows.size());
+      for (const std::vector<double>& row : rows) out.push_back(row[c]);
+      return out;
+    }
+  }
+  throw Error("artifact: no column '" + name + "'");
+}
+
+std::string Artifact::serialize() const {
+  std::string out;
+  out += kMagic;
+  out += ',';
+  out += kVersion;
+  out += '\n';
+  for (const auto& [name, value] : scalars) {
+    check_clean(name, "scalar name");
+    out += "s,";
+    out += name;
+    out += ',';
+    out += format_value(value);
+    out += '\n';
+  }
+  for (const auto& [name, text] : notes) {
+    check_clean(name, "note name");
+    check_clean(text, "note text");
+    out += "n,";
+    out += name;
+    out += ',';
+    out += text;
+    out += '\n';
+  }
+  if (!columns.empty()) {
+    out += 'c';
+    for (const std::string& name : columns) {
+      out += ',';
+      out += name;
+    }
+    out += '\n';
+    for (const std::vector<double>& row : rows) {
+      out += 'r';
+      for (const double v : row) {
+        out += ',';
+        out += format_value(v);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Artifact Artifact::deserialize(std::string_view text) {
+  const std::vector<std::vector<std::string>> lines = util::parse_csv(text);
+  if (lines.empty() || lines[0].size() != 2 || lines[0][0] != kMagic) {
+    throw Error("artifact: missing header");
+  }
+  if (lines[0][1] != kVersion) {
+    throw Error("artifact: unsupported version '" + lines[0][1] + "'");
+  }
+  Artifact out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string>& cells = lines[i];
+    if (cells.empty() || cells[0].size() != 1) {
+      throw Error("artifact: malformed line " + std::to_string(i + 1));
+    }
+    switch (cells[0][0]) {
+      case 's':
+        if (cells.size() != 3) throw Error("artifact: malformed scalar line");
+        out.scalars[cells[1]] = parse_value(cells[2], "scalar");
+        break;
+      case 'n':
+        if (cells.size() != 3) throw Error("artifact: malformed note line");
+        out.notes[cells[1]] = cells[2];
+        break;
+      case 'c':
+        out.columns.assign(cells.begin() + 1, cells.end());
+        break;
+      case 'r': {
+        if (cells.size() != out.columns.size() + 1) {
+          throw Error("artifact: row width does not match columns");
+        }
+        std::vector<double> row;
+        row.reserve(cells.size() - 1);
+        for (std::size_t c = 1; c < cells.size(); ++c) {
+          row.push_back(parse_value(cells[c], "row value"));
+        }
+        out.rows.push_back(std::move(row));
+        break;
+      }
+      default:
+        throw Error("artifact: unknown record type '" + cells[0] + "'");
+    }
+  }
+  return out;
+}
+
+std::uint64_t Artifact::content_digest() const { return fnv1a64(serialize()); }
+
+}  // namespace ftl::jobs

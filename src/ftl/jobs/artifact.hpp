@@ -1,0 +1,53 @@
+#pragma once
+// The typed result a job produces and its dependents consume: one numeric
+// table plus named scalars and string notes. An artifact has exactly one
+// canonical serialization (CSV rows, doubles printed with %.17g so they
+// round-trip bit-exactly), which makes "bit-identical" a meaningful property
+// across serial/parallel runs and is what the content digest is taken over.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftl::jobs {
+
+struct Artifact {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;     ///< each row matches `columns`
+  std::map<std::string, double> scalars;     ///< named figures of merit
+  std::map<std::string, std::string> notes;  ///< small string metadata
+
+  /// Sets the table header. Column names must be comma/newline-free.
+  void set_columns(std::vector<std::string> names);
+
+  /// Appends a row; throws ftl::Error when the width does not match.
+  void add_row(std::vector<double> row);
+
+  /// Named scalar; throws ftl::Error when absent.
+  double scalar(const std::string& name) const;
+  double scalar_or(const std::string& name, double fallback) const;
+
+  /// Named note; throws ftl::Error when absent.
+  const std::string& note(const std::string& name) const;
+
+  /// One table column by name; throws ftl::Error when unknown.
+  std::vector<double> column(const std::string& name) const;
+
+  std::size_t row_count() const { return rows.size(); }
+
+  /// Canonical byte representation (see file comment). Deterministic:
+  /// scalars and notes serialize in sorted (std::map) order.
+  std::string serialize() const;
+
+  /// Inverse of serialize(); throws ftl::Error on malformed input.
+  static Artifact deserialize(std::string_view text);
+
+  /// FNV-1a digest of serialize() — the artifact's content address.
+  std::uint64_t content_digest() const;
+
+  bool operator==(const Artifact& other) const = default;
+};
+
+}  // namespace ftl::jobs

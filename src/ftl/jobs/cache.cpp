@@ -1,0 +1,75 @@
+#include "ftl/jobs/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "ftl/jobs/digest.hpp"
+#include "ftl/util/csv.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::jobs {
+
+namespace fs = std::filesystem;
+
+std::uint64_t cache_key(const std::string& job_name, std::uint64_t param_digest,
+                        const std::vector<std::uint64_t>& dep_digests) {
+  Digest d;
+  d.str("ftl-cache-v1");
+  d.str(job_name);
+  d.u64(param_digest);
+  d.u64(dep_digests.size());
+  for (const std::uint64_t dep : dep_digests) d.u64(dep);
+  return d.value();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw Error("cannot create cache directory: " + dir_);
+  }
+}
+
+std::string ResultCache::path_for(const std::string& job_name,
+                                  std::uint64_t key) const {
+  return (fs::path(dir_) / (job_name + "." + digest_hex(key) + ".art"))
+      .string();
+}
+
+std::optional<Artifact> ResultCache::load(const std::string& job_name,
+                                          std::uint64_t key) const {
+  const std::string path = path_for(job_name, key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;
+  try {
+    return Artifact::deserialize(util::read_text_file(path));
+  } catch (const Error&) {
+    return std::nullopt;  // corrupt entry: recompute and overwrite
+  }
+}
+
+void ResultCache::store(const std::string& job_name, std::uint64_t key,
+                        const Artifact& artifact) const {
+  const std::string path = path_for(job_name, key);
+  // Thread-unique temp name: two runs racing on the same entry each rename
+  // their own complete file; last writer wins with identical bytes anyway.
+  const std::string tmp =
+      path + ".tmp" +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!out) throw Error("cannot write cache entry: " + tmp);
+    out << artifact.serialize();
+    if (!out.flush()) throw Error("cannot write cache entry: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("cannot publish cache entry: " + path);
+  }
+}
+
+}  // namespace ftl::jobs

@@ -1,0 +1,50 @@
+#pragma once
+// Content-addressed on-disk result cache. A job's cache key is the FNV
+// digest of its name, parameter digest (which the pipeline seeds with the
+// calibration-constant digest) and the *content* digests of its dependency
+// artifacts — so an upstream edit only invalidates a job when it actually
+// changed the bytes that job consumes, and re-running the pipeline after
+// touching only the SPICE stage skips every TCAD sweep.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftl/jobs/artifact.hpp"
+
+namespace ftl::jobs {
+
+/// Cache key recipe (see DESIGN.md §9): format version, job name, the job's
+/// parameter digest, and each dependency's artifact content digest in
+/// declaration order.
+std::uint64_t cache_key(const std::string& job_name, std::uint64_t param_digest,
+                        const std::vector<std::uint64_t>& dep_digests);
+
+class ResultCache {
+ public:
+  /// Creates `dir` (and parents) when missing; throws ftl::Error when the
+  /// directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Cache file path for a (job, key) pair; the job name is in the filename
+  /// purely for human browsability — the key alone addresses the entry.
+  std::string path_for(const std::string& job_name, std::uint64_t key) const;
+
+  /// Loads a cached artifact; disengaged on miss. A corrupt entry is
+  /// treated as a miss (the job recomputes and overwrites it).
+  std::optional<Artifact> load(const std::string& job_name,
+                               std::uint64_t key) const;
+
+  /// Stores an artifact atomically (temp file + rename), so a crashed or
+  /// concurrent run never leaves a torn entry behind.
+  void store(const std::string& job_name, std::uint64_t key,
+             const Artifact& artifact) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ftl::jobs

@@ -1,0 +1,52 @@
+#include "ftl/jobs/digest.hpp"
+
+#include <cstring>
+
+namespace ftl::jobs {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}
+
+Digest& Digest::bytes(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Digest& Digest::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Digest& Digest::u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+
+Digest& Digest::i64(std::int64_t v) { return bytes(&v, sizeof v); }
+
+Digest& Digest::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return u64(bits);
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  Digest d;
+  d.bytes(s.data(), s.size());
+  return d.value();
+}
+
+std::string digest_hex(std::uint64_t v) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ftl::jobs

@@ -1,0 +1,34 @@
+#pragma once
+// FNV-1a 64-bit content digest used for job cache keys and artifact content
+// addresses. The hash is a pure function of the bytes fed in, so a cache key
+// built from (job name, parameter digest, calibration digest, dependency
+// content digests) is stable across runs, processes and thread schedules.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ftl::jobs {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Digest {
+ public:
+  Digest& bytes(const void* data, std::size_t size);
+  Digest& str(std::string_view s);  ///< hashes length then bytes
+  Digest& u64(std::uint64_t v);
+  Digest& i64(std::int64_t v);
+  Digest& f64(double v);  ///< bit pattern, so -0.0 != +0.0 but NaNs are stable
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// One-shot convenience over a string.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// Fixed-width lowercase hex rendering of a digest (16 chars).
+std::string digest_hex(std::uint64_t v);
+
+}  // namespace ftl::jobs

@@ -1,0 +1,85 @@
+#include "ftl/jobs/graph.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::jobs {
+
+const Artifact& JobContext::input(std::size_t i) const {
+  if (i >= inputs_.size()) {
+    throw Error("job context: input index " + std::to_string(i) +
+                " out of range (" + std::to_string(inputs_.size()) +
+                " dependencies)");
+  }
+  return *inputs_[i];
+}
+
+void JobContext::counter(const std::string& name, double value) {
+  counters_[name] += value;
+}
+
+JobId JobGraph::add(JobDesc desc) {
+  if (desc.name.empty()) throw Error("job graph: job name must not be empty");
+  if (by_name_.count(desc.name) != 0) {
+    throw Error("job graph: duplicate job name '" + desc.name + "'");
+  }
+  if (!desc.fn) throw Error("job graph: job '" + desc.name + "' has no function");
+  const JobId id = static_cast<JobId>(jobs_.size());
+  for (const JobId dep : desc.deps) {
+    if (dep < 0 || dep >= id) {
+      throw Error("job graph: job '" + desc.name +
+                  "' depends on unknown job id " + std::to_string(dep) +
+                  " (dependencies must be added first)");
+    }
+  }
+  by_name_[desc.name] = id;
+  jobs_.push_back(std::move(desc));
+  return id;
+}
+
+const JobDesc& JobGraph::job(JobId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+    throw Error("job graph: unknown job id " + std::to_string(id));
+  }
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+JobId JobGraph::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::vector<std::vector<JobId>> JobGraph::reverse_edges() const {
+  std::vector<std::vector<JobId>> out(jobs_.size());
+  for (std::size_t id = 0; id < jobs_.size(); ++id) {
+    for (const JobId dep : jobs_[id].deps) {
+      out[static_cast<std::size_t>(dep)].push_back(static_cast<JobId>(id));
+    }
+  }
+  return out;
+}
+
+std::vector<char> JobGraph::closure(const std::vector<JobId>& targets) const {
+  std::vector<char> in(jobs_.size(), 0);
+  if (targets.empty()) {
+    for (char& f : in) f = 1;
+    return in;
+  }
+  std::vector<JobId> stack;
+  for (const JobId t : targets) {
+    job(t);  // validates the id
+    stack.push_back(t);
+  }
+  while (!stack.empty()) {
+    const JobId id = stack.back();
+    stack.pop_back();
+    char& flag = in[static_cast<std::size_t>(id)];
+    if (flag) continue;
+    flag = 1;
+    for (const JobId dep : jobs_[static_cast<std::size_t>(id)].deps) {
+      stack.push_back(dep);
+    }
+  }
+  return in;
+}
+
+}  // namespace ftl::jobs

@@ -1,0 +1,83 @@
+#pragma once
+// Dependency-graph job declarations. A job names its inputs (dependency job
+// ids), a parameter digest (everything that should invalidate its cached
+// result besides its inputs), and a function from dependency artifacts to
+// its own artifact. Jobs must be added dependencies-first, so a dependency
+// id is always smaller than the id of any job that consumes it — ascending
+// id order is a topological order by construction.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftl/jobs/artifact.hpp"
+
+namespace ftl::jobs {
+
+using JobId = int;
+
+/// Execution-time view a job function receives: its dependency artifacts
+/// (in declaration order) plus a counter channel surfaced into telemetry.
+class JobContext {
+ public:
+  const Artifact& input(std::size_t i) const;
+  std::size_t input_count() const { return inputs_.size(); }
+
+  /// 1-based attempt number (> 1 only on retries of transient jobs).
+  int attempt() const { return attempt_; }
+
+  /// Adds `value` to the named per-job counter (e.g. solver iterations);
+  /// counters ride on the job_finish telemetry event and the summary.
+  void counter(const std::string& name, double value);
+  const std::map<std::string, double>& counters() const { return counters_; }
+
+ private:
+  friend class Scheduler;
+  std::vector<std::shared_ptr<const Artifact>> inputs_;
+  std::map<std::string, double> counters_;
+  int attempt_ = 1;
+};
+
+struct JobDesc {
+  std::string name;  ///< unique within a graph
+  /// Digest of the job's parameter struct and any constants its output
+  /// depends on (the paper pipeline folds the calibration digest in here).
+  std::uint64_t param_digest = 0;
+  std::vector<JobId> deps;
+  std::function<Artifact(JobContext&)> fn;
+  /// Transient jobs are retried on failure (up to `max_retries` extra
+  /// attempts); non-transient jobs fail on the first exception.
+  bool transient = false;
+  int max_retries = 2;
+  /// Non-cacheable jobs always recompute (e.g. report-only jobs).
+  bool cacheable = true;
+};
+
+class JobGraph {
+ public:
+  /// Registers a job. Throws ftl::Error on an empty/duplicate name, a
+  /// missing function, or a dependency id that has not been added yet.
+  JobId add(JobDesc desc);
+
+  std::size_t size() const { return jobs_.size(); }
+  const JobDesc& job(JobId id) const;
+
+  /// Job id by name; -1 when absent.
+  JobId find(const std::string& name) const;
+
+  /// Reverse adjacency: for each job, the jobs that depend on it.
+  std::vector<std::vector<JobId>> reverse_edges() const;
+
+  /// The given targets plus all their transitive dependencies, as a
+  /// per-job inclusion mask. Empty `targets` selects every job.
+  std::vector<char> closure(const std::vector<JobId>& targets) const;
+
+ private:
+  std::vector<JobDesc> jobs_;
+  std::map<std::string, JobId> by_name_;
+};
+
+}  // namespace ftl::jobs

@@ -1,0 +1,52 @@
+#pragma once
+// The paper's experiment DAG as a job graph. The real dependency structure
+// of §III-§V, made explicit:
+//
+//   tcad_<shape>_<diel>  (6x, DSSS sweep set-ups) ──> fig5/fig6/fig7 metrics
+//   fig8 (current-density crowding, 3 devices)        [independent branch]
+//   tcad_fit_dsff / tcad_fit_sfdf (§IV sweep recipe)
+//        └─> fit_type_a / fit_type_b (level-1 LM fit, Fig. 10 / Table III)
+//              ├─> fig10 (data-vs-fit overlay)
+//              ├─> table3 (fitted parameter table)
+//              ├─> fig11_dc ──> fig11_transient (§V XOR3 bench)
+//              └─> fig12a ──> fig12b (series-chain drive capability)
+//
+// Every job's parameter digest folds in the calibration-constant digest, so
+// touching a physical knob invalidates exactly the simulation results that
+// depend on it, while an untouched TCAD stage is served from cache.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/jobs/graph.hpp"
+
+namespace ftl::jobs {
+
+struct PipelineOptions {
+  int mesh = 48;          ///< TCAD mesh resolution (paper figures: 48)
+  int sweep_points = 26;  ///< points per I-V sweep (paper figures: 26)
+  int chain_max = 21;     ///< Fig. 12 longest series chain
+  double transient_dt = 0.2e-9;  ///< Fig. 11 transient step, s
+  int transient_periods = 8;     ///< Fig. 11 stimulus periods of 40 ns
+};
+
+struct PaperPipeline {
+  JobGraph graph;
+  std::vector<JobId> all;  ///< every registered job id, insertion order
+};
+
+/// Digest over every tcad::calibration constant — part of each TCAD-derived
+/// job's cache key, so editing a calibration value is a cache miss.
+std::uint64_t calibration_digest();
+
+/// Builds the Figs. 5-12 + Table III job graph.
+PaperPipeline build_paper_pipeline(const PipelineOptions& options = {});
+
+/// Resolves CLI target names against the pipeline: exact job name, or a
+/// prefix group ("fig11" selects fig11_dc and fig11_transient, "all" selects
+/// everything). Throws ftl::Error on an unknown name.
+std::vector<JobId> resolve_targets(const PaperPipeline& pipeline,
+                                   const std::vector<std::string>& names);
+
+}  // namespace ftl::jobs

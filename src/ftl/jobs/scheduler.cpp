@@ -1,0 +1,400 @@
+#include "ftl/jobs/scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "ftl/jobs/cache.hpp"
+#include "ftl/jobs/digest.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/table.hpp"
+#include "ftl/util/thread_pool.hpp"
+
+namespace ftl::jobs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t this_thread_id() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kNotRun: return "not-run";
+    case JobStatus::kSucceeded: return "ok";
+    case JobStatus::kCacheHit: return "cache-hit";
+    case JobStatus::kFailed: return "FAILED";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+// Executes one graph run. Lifetime: one run() call; shared state is guarded
+// by m_ (worker threads only touch it inside finish_job / the ready queue).
+class Scheduler {
+ public:
+  Scheduler(const JobGraph& graph, const RunOptions& options)
+      : graph_(graph), options_(options) {}
+
+  RunResult run();
+
+ private:
+  void emit(Event event) {
+    if (options_.sink == nullptr) return;
+    event.t_ms = ms_between(start_, Clock::now());
+    options_.sink->emit(event);
+  }
+
+  /// Runs one job end-to-end (cache probe, attempts, cache store) and
+  /// records its terminal state. Called with all dependencies terminal-good.
+  void run_job(JobId id);
+
+  /// Under m_: records a terminal state, updates successor bookkeeping and
+  /// cancels the downstream cone on failure.
+  void finish_job(JobId id, JobStatus status);
+
+  void run_serial();
+  void run_parallel();
+  void assign_cancellation_causes(RunResult& result);
+
+  enum class NodeState : char {
+    kUnscheduled, kPending, kSucceeded, kCacheHit, kFailed, kCancelled,
+  };
+  static bool terminal_good(NodeState s) {
+    return s == NodeState::kSucceeded || s == NodeState::kCacheHit;
+  }
+
+  const JobGraph& graph_;
+  const RunOptions& options_;
+  std::optional<ResultCache> cache_;
+  Clock::time_point start_;
+
+  std::vector<NodeState> state_;
+  std::vector<int> waiting_;  ///< unmet scheduled-dependency count
+  std::vector<std::vector<JobId>> reverse_;
+  std::vector<JobReport> reports_;
+  std::vector<std::uint64_t> content_;  ///< artifact content digest per job
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<JobId> ready_;
+  int outstanding_ = 0;  ///< scheduled jobs not yet terminal
+  std::size_t in_flight_ = 0;
+};
+
+void Scheduler::run_job(JobId id) {
+  const JobDesc& desc = graph_.job(id);
+  JobReport& report = reports_[static_cast<std::size_t>(id)];
+  const Clock::time_point job_start = Clock::now();
+
+  // Dependency artifacts and the content-addressed cache key. Dependency
+  // reports were finalized before this job became ready (and the handoff
+  // went through m_), so reading them here is race-free.
+  JobContext ctx;
+  std::vector<std::uint64_t> dep_digests;
+  dep_digests.reserve(desc.deps.size());
+  for (const JobId dep : desc.deps) {
+    ctx.inputs_.push_back(reports_[static_cast<std::size_t>(dep)].artifact);
+    dep_digests.push_back(content_[static_cast<std::size_t>(dep)]);
+  }
+  const std::uint64_t key = cache_key(desc.name, desc.param_digest, dep_digests);
+  report.cache_key = key;
+
+  const bool cache_enabled = cache_.has_value() && options_.use_cache && desc.cacheable;
+  if (cache_enabled) {
+    if (std::optional<Artifact> hit = cache_->load(desc.name, key)) {
+      report.artifact = std::make_shared<const Artifact>(*std::move(hit));
+      content_[static_cast<std::size_t>(id)] = report.artifact->content_digest();
+      report.wall_ms = ms_between(job_start, Clock::now());
+      Event e;
+      e.type = "cache_hit";
+      e.job = desc.name;
+      e.wall_ms = report.wall_ms;
+      e.thread = this_thread_id();
+      e.cache_key = digest_hex(key);
+      emit(std::move(e));
+      finish_job(id, JobStatus::kCacheHit);
+      return;
+    }
+  }
+
+  const int max_attempts = desc.transient ? 1 + std::max(0, desc.max_retries) : 1;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ctx.attempt_ = attempt;
+    ++report.attempts;
+    {
+      Event e;
+      e.type = "job_start";
+      e.job = desc.name;
+      e.attempt = attempt;
+      e.thread = this_thread_id();
+      emit(std::move(e));
+    }
+    try {
+      Artifact artifact = desc.fn(ctx);
+      report.artifact = std::make_shared<const Artifact>(std::move(artifact));
+      content_[static_cast<std::size_t>(id)] = report.artifact->content_digest();
+      report.counters = ctx.counters();
+      report.wall_ms = ms_between(job_start, Clock::now());
+      if (cache_enabled) {
+        try {
+          cache_->store(desc.name, key, *report.artifact);
+        } catch (const Error&) {
+          // A full/read-only cache disk must not fail the computation.
+        }
+      }
+      Event e;
+      e.type = "job_finish";
+      e.job = desc.name;
+      e.detail = "succeeded";
+      e.attempt = attempt;
+      e.wall_ms = report.wall_ms;
+      e.thread = this_thread_id();
+      e.cache_key = digest_hex(key);
+      e.counters = report.counters;
+      emit(std::move(e));
+      finish_job(id, JobStatus::kSucceeded);
+      return;
+    } catch (const std::exception& ex) {
+      report.error = ex.what();
+    } catch (...) {
+      report.error = "unknown exception";
+    }
+    if (attempt < max_attempts) {
+      Event e;
+      e.type = "retry";
+      e.job = desc.name;
+      e.detail = report.error;
+      e.attempt = attempt;
+      e.thread = this_thread_id();
+      emit(std::move(e));
+    }
+  }
+
+  report.counters = ctx.counters();
+  report.wall_ms = ms_between(job_start, Clock::now());
+  Event e;
+  e.type = "job_finish";
+  e.job = desc.name;
+  e.detail = "failed: " + report.error;
+  e.attempt = report.attempts;
+  e.wall_ms = report.wall_ms;
+  e.thread = this_thread_id();
+  emit(std::move(e));
+  finish_job(id, JobStatus::kFailed);
+}
+
+void Scheduler::finish_job(JobId id, JobStatus status) {
+  std::lock_guard<std::mutex> lock(m_);
+  NodeState& node = state_[static_cast<std::size_t>(id)];
+  node = status == JobStatus::kSucceeded ? NodeState::kSucceeded
+         : status == JobStatus::kCacheHit ? NodeState::kCacheHit
+                                          : NodeState::kFailed;
+  reports_[static_cast<std::size_t>(id)].status = status;
+  --outstanding_;
+  if (in_flight_ > 0) --in_flight_;
+
+  if (terminal_good(node)) {
+    for (const JobId next : reverse_[static_cast<std::size_t>(id)]) {
+      if (state_[static_cast<std::size_t>(next)] != NodeState::kPending) continue;
+      if (--waiting_[static_cast<std::size_t>(next)] == 0) {
+        ready_.push_back(next);
+      }
+    }
+  } else {
+    // Failure isolation: cancel exactly the downstream cone. Every node in
+    // it is still pending (none of them can have run without this job).
+    std::vector<JobId> stack(reverse_[static_cast<std::size_t>(id)]);
+    while (!stack.empty()) {
+      const JobId down = stack.back();
+      stack.pop_back();
+      NodeState& ds = state_[static_cast<std::size_t>(down)];
+      if (ds != NodeState::kPending) continue;
+      ds = NodeState::kCancelled;
+      reports_[static_cast<std::size_t>(down)].status = JobStatus::kCancelled;
+      --outstanding_;
+      for (const JobId next : reverse_[static_cast<std::size_t>(down)]) {
+        stack.push_back(next);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::run_serial() {
+  // Ascending id is a topological order (the graph enforces deps-first
+  // insertion), so this is the canonical deterministic schedule.
+  for (std::size_t id = 0; id < graph_.size(); ++id) {
+    if (state_[id] != NodeState::kPending) continue;
+    bool deps_good = true;
+    for (const JobId dep : graph_.job(static_cast<JobId>(id)).deps) {
+      deps_good = deps_good && terminal_good(state_[static_cast<std::size_t>(dep)]);
+    }
+    if (deps_good) run_job(static_cast<JobId>(id));
+    // On failure, finish_job already cancelled the cone.
+  }
+}
+
+void Scheduler::run_parallel() {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::size_t cap = options_.jobs;  // 0 = uncapped
+  std::vector<std::future<void>> futures;
+  std::unique_lock<std::mutex> lock(m_);
+  for (std::size_t id = 0; id < graph_.size(); ++id) {
+    if (state_[id] == NodeState::kPending && waiting_[id] == 0) {
+      ready_.push_back(static_cast<JobId>(id));
+    }
+  }
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return outstanding_ == 0 ||
+             (!ready_.empty() && (cap == 0 || in_flight_ < cap));
+    });
+    if (outstanding_ == 0) break;
+    while (!ready_.empty() && (cap == 0 || in_flight_ < cap)) {
+      const JobId id = ready_.front();
+      ready_.pop_front();
+      ++in_flight_;
+      lock.unlock();
+      // With no pool workers, submit runs the job inline right here; with
+      // workers, the driver only enqueues and the pool does the running.
+      futures.push_back(pool.submit([this, id] { run_job(id); }));
+      lock.lock();
+    }
+  }
+  lock.unlock();
+  for (std::future<void>& f : futures) f.get();
+}
+
+void Scheduler::assign_cancellation_causes(RunResult& result) {
+  // Deterministic attribution, independent of which failure raced first:
+  // walk ids ascending (deps first) and blame the first bad dependency in
+  // declaration order, propagating the original failed ancestor's name.
+  for (std::size_t id = 0; id < graph_.size(); ++id) {
+    JobReport& report = result.reports[id];
+    if (report.status != JobStatus::kCancelled) continue;
+    for (const JobId dep : graph_.job(static_cast<JobId>(id)).deps) {
+      const JobReport& dep_report = result.reports[static_cast<std::size_t>(dep)];
+      if (dep_report.status == JobStatus::kFailed) {
+        report.error = graph_.job(dep).name;
+        break;
+      }
+      if (dep_report.status == JobStatus::kCancelled) {
+        report.error = dep_report.error;  // already the root ancestor
+        break;
+      }
+    }
+    Event e;
+    e.type = "job_cancelled";
+    e.job = graph_.job(static_cast<JobId>(id)).name;
+    e.detail = report.error;
+    emit(std::move(e));
+  }
+}
+
+RunResult Scheduler::run() {
+  start_ = Clock::now();
+  if (!options_.cache_dir.empty() && options_.use_cache) {
+    cache_.emplace(options_.cache_dir);
+  }
+
+  const std::vector<char> scheduled = graph_.closure(options_.targets);
+  reverse_ = graph_.reverse_edges();
+  state_.assign(graph_.size(), NodeState::kUnscheduled);
+  waiting_.assign(graph_.size(), 0);
+  reports_.assign(graph_.size(), JobReport{});
+  content_.assign(graph_.size(), 0);
+  outstanding_ = 0;
+  for (std::size_t id = 0; id < graph_.size(); ++id) {
+    if (!scheduled[id]) continue;
+    state_[id] = NodeState::kPending;
+    waiting_[id] = static_cast<int>(graph_.job(static_cast<JobId>(id)).deps.size());
+    ++outstanding_;
+  }
+
+  {
+    Event e;
+    e.type = "run_start";
+    e.detail = std::to_string(outstanding_) + " job(s)";
+    emit(std::move(e));
+  }
+
+  if (options_.jobs == 1) {
+    run_serial();
+  } else {
+    run_parallel();
+  }
+
+  RunResult result;
+  result.reports = std::move(reports_);
+  assign_cancellation_causes(result);
+  for (const JobReport& report : result.reports) {
+    switch (report.status) {
+      case JobStatus::kSucceeded: ++result.succeeded; break;
+      case JobStatus::kCacheHit: ++result.cache_hits; break;
+      case JobStatus::kFailed: ++result.failed; break;
+      case JobStatus::kCancelled: ++result.cancelled; break;
+      case JobStatus::kNotRun: break;
+    }
+  }
+  result.wall_ms = ms_between(start_, Clock::now());
+
+  Event e;
+  e.type = "run_finish";
+  char detail[128];
+  std::snprintf(detail, sizeof detail,
+                "ok=%d cache_hits=%d failed=%d cancelled=%d",
+                result.succeeded, result.cache_hits, result.failed,
+                result.cancelled);
+  e.detail = detail;
+  e.wall_ms = result.wall_ms;
+  emit(std::move(e));
+  return result;
+}
+
+std::string RunResult::summary_table(const JobGraph& graph) const {
+  util::ConsoleTable table(
+      {"job", "status", "wall [ms]", "attempts", "counters"});
+  for (std::size_t id = 0; id < reports.size(); ++id) {
+    const JobReport& report = reports[id];
+    if (report.status == JobStatus::kNotRun) continue;
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.1f", report.wall_ms);
+    std::string counters;
+    for (const auto& [name, value] : report.counters) {
+      if (!counters.empty()) counters += ' ';
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%s=%g", name.c_str(), value);
+      counters += cell;
+    }
+    if (report.status == JobStatus::kFailed && !report.error.empty()) {
+      counters = report.error.substr(0, 48);
+    }
+    table.add_row({graph.job(static_cast<JobId>(id)).name,
+                   to_string(report.status), wall,
+                   std::to_string(report.attempts), counters});
+  }
+  return table.render();
+}
+
+RunResult run_graph(const JobGraph& graph, const RunOptions& options) {
+  Scheduler scheduler(graph, options);
+  return scheduler.run();
+}
+
+}  // namespace ftl::jobs

@@ -1,0 +1,72 @@
+#pragma once
+// DAG execution over util::ThreadPool. Ready jobs fan out across the pool
+// via submit(); each job runs once all its dependencies succeeded. Failure
+// is isolated: a failed job cancels exactly its downstream cone, while
+// independent branches keep running, and the resulting per-job statuses are
+// deterministic (they depend only on the graph, never on thread timing).
+// Artifacts are likewise bit-identical between serial and parallel runs.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftl/jobs/graph.hpp"
+#include "ftl/jobs/telemetry.hpp"
+
+namespace ftl::jobs {
+
+enum class JobStatus {
+  kNotRun,     ///< outside the requested target closure
+  kSucceeded,  ///< computed this run
+  kCacheHit,   ///< loaded from the result cache
+  kFailed,     ///< threw on every permitted attempt
+  kCancelled,  ///< a (transitive) dependency failed
+};
+
+const char* to_string(JobStatus status);
+
+struct JobReport {
+  JobStatus status = JobStatus::kNotRun;
+  int attempts = 0;
+  double wall_ms = 0.0;
+  std::uint64_t cache_key = 0;
+  std::string error;  ///< failure text, or failed ancestor for kCancelled
+  std::map<std::string, double> counters;
+  std::shared_ptr<const Artifact> artifact;  ///< null unless succeeded/hit
+};
+
+struct RunOptions {
+  /// Parallelism: 0 = use the global pool as-is, 1 = serial on the calling
+  /// thread in ascending-id (topological) order, N > 1 = cap the fan-out.
+  std::size_t jobs = 0;
+  /// On-disk cache directory; empty disables the cache entirely.
+  std::string cache_dir;
+  /// When false, the cache is neither probed nor written (forced cold run).
+  bool use_cache = true;
+  /// Telemetry destination; may be null.
+  EventSink* sink = nullptr;
+  /// Jobs to run (plus their transitive dependencies); empty = all.
+  std::vector<JobId> targets;
+};
+
+struct RunResult {
+  std::vector<JobReport> reports;  ///< indexed by JobId
+  int succeeded = 0;
+  int cache_hits = 0;
+  int failed = 0;
+  int cancelled = 0;
+  double wall_ms = 0.0;
+
+  bool ok() const { return failed == 0 && cancelled == 0; }
+
+  /// End-of-run summary: one row per scheduled job (status, wall time,
+  /// attempts, counters), rendered with util::ConsoleTable.
+  std::string summary_table(const JobGraph& graph) const;
+};
+
+/// Executes the graph (or the target closure) and returns per-job reports.
+RunResult run_graph(const JobGraph& graph, const RunOptions& options = {});
+
+}  // namespace ftl::jobs

@@ -1,0 +1,134 @@
+#include "ftl/jobs/telemetry.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::jobs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const Event& event) {
+  std::string out = "{\"ev\":";
+  append_json_string(out, event.type);
+  if (!event.job.empty()) {
+    out += ",\"job\":";
+    append_json_string(out, event.job);
+  }
+  if (!event.detail.empty()) {
+    out += ",\"detail\":";
+    append_json_string(out, event.detail);
+  }
+  if (event.attempt > 0) {
+    out += ",\"attempt\":" + std::to_string(event.attempt);
+  }
+  out += ",\"t_ms\":";
+  append_number(out, event.t_ms);
+  if (event.wall_ms > 0.0) {
+    out += ",\"wall_ms\":";
+    append_number(out, event.wall_ms);
+  }
+  if (event.thread != 0) {
+    out += ",\"thread\":" + std::to_string(event.thread);
+  }
+  if (!event.cache_key.empty()) {
+    out += ",\"key\":";
+    append_json_string(out, event.cache_key);
+  }
+  if (!event.counters.empty()) {
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : event.counters) {
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name);
+      out += ':';
+      append_number(out, value);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+struct JsonlSink::Impl {
+  std::ofstream out;
+  std::mutex m;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    throw Error("cannot open telemetry file for writing: " + path);
+  }
+}
+
+JsonlSink::~JsonlSink() { delete impl_; }
+
+void JsonlSink::emit(const Event& event) {
+  const std::string line = to_json(event);
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->out << line << '\n';
+  impl_->out.flush();  // events must survive a crash mid-run
+}
+
+void CaptureSink::emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(event);
+}
+
+std::vector<Event> CaptureSink::events() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return events_;
+}
+
+int CaptureSink::count(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(m_);
+  int n = 0;
+  for (const Event& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+void TeeSink::add(EventSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void TeeSink::emit(const Event& event) {
+  for (EventSink* sink : sinks_) sink->emit(event);
+}
+
+}  // namespace ftl::jobs

@@ -1,0 +1,75 @@
+#pragma once
+// Structured run telemetry: the scheduler emits one Event per lifecycle
+// transition (run/job start and finish, cache hit, retry, cancellation) and
+// sinks render them. JsonlSink writes one JSON object per line — grep-able,
+// tail-able, and trivially ingested by any log pipeline; CaptureSink keeps
+// events in memory for tests and for the end-of-run summary.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ftl::jobs {
+
+struct Event {
+  std::string type;  ///< run_start, run_finish, job_start, job_finish,
+                     ///< cache_hit, retry, job_cancelled
+  std::string job;     ///< job name; empty for run_* events
+  std::string detail;  ///< status ("succeeded"/"failed"), error text, or the
+                       ///< name of the failed ancestor for job_cancelled
+  int attempt = 0;     ///< 1-based attempt number (job_* and retry events)
+  double t_ms = 0.0;   ///< milliseconds since run start
+  double wall_ms = 0.0;        ///< job duration (finish/cache_hit events)
+  std::uint64_t thread = 0;    ///< hashed std::thread::id of the executor
+  std::string cache_key;       ///< hex cache key (job_finish/cache_hit)
+  std::map<std::string, double> counters;  ///< per-job solver counters
+};
+
+/// Renders an event as a single-line JSON object (no trailing newline).
+std::string to_json(const Event& event);
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Must be safe to call from multiple scheduler threads.
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Appends JSON-lines to a file. Throws ftl::Error when the file cannot be
+/// opened; emit() is internally locked.
+class JsonlSink : public EventSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void emit(const Event& event) override;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Collects events in memory (tests, summaries); internally locked.
+class CaptureSink : public EventSink {
+ public:
+  void emit(const Event& event) override;
+  std::vector<Event> events() const;
+  int count(const std::string& type) const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<Event> events_;
+};
+
+/// Broadcasts to several sinks (e.g. JSONL file + in-memory summary).
+class TeeSink : public EventSink {
+ public:
+  void add(EventSink* sink);  ///< not owned; ignored when null
+  void emit(const Event& event) override;
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace ftl::jobs

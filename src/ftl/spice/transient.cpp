@@ -17,6 +17,7 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
   for (const auto& dev : circuit.devices()) dev->initialize_state(op.solution);
 
   TransientResult result;
+  result.add_newton_iterations(op.iterations);
   const auto record = [&](double t, const linalg::Vector& solution) {
     result.append(t);
     if (options.record_nodes.empty()) {
@@ -75,6 +76,7 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
                                         : options.integrator;
       ctx.gmin = options.newton.gmin;
       OpResult step = newton_solve(circuit, state, ctx, options.newton);
+      result.add_newton_iterations(step.iterations);
       if (step.converged) {
         state = step.solution;
         for (const auto& dev : circuit.devices()) dev->commit_step(state, ctx);

@@ -28,9 +28,16 @@ class TransientResult {
 
   std::size_t size() const { return time_.size(); }
 
+  /// Total Newton iterations spent across the run (operating point plus
+  /// every accepted or halved step) — the solver-cost counter the jobs
+  /// telemetry surfaces per transient job.
+  int newton_iterations() const { return newton_iterations_; }
+  void add_newton_iterations(int n) { newton_iterations_ += n; }
+
  private:
   linalg::Vector time_;
   std::unordered_map<std::string, linalg::Vector> signals_;
+  int newton_iterations_ = 0;
 };
 
 }  // namespace ftl::spice

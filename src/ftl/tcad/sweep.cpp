@@ -39,6 +39,7 @@ IvCurve sweep_gate(const NetworkSolver& solver, const BiasCase& bias,
     const SolveResult r = solver.solve(p, warm.empty() ? nullptr : &warm);
     warm = r.node_voltage;
     curve.terminal_currents.push_back(r.terminal_current);
+    curve.solver_passes += r.nonlinear_iterations;
   }
   return curve;
 }
@@ -56,6 +57,7 @@ IvCurve sweep_drain(const NetworkSolver& solver, const BiasCase& bias,
     const SolveResult r = solver.solve(p, warm.empty() ? nullptr : &warm);
     warm = r.node_voltage;
     curve.terminal_currents.push_back(r.terminal_current);
+    curve.solver_passes += r.nonlinear_iterations;
   }
   return curve;
 }

@@ -20,6 +20,9 @@ struct IvCurve {
   std::string sweep_variable;  ///< "Vgs" or "Vds"
   linalg::Vector sweep_values;
   std::vector<std::array<double, 4>> terminal_currents;
+  /// Total nonlinear block-iteration passes spent across the sweep — the
+  /// solver-cost counter the jobs telemetry surfaces per TCAD job.
+  int solver_passes = 0;
 
   /// |I| of one terminal along the sweep.
   linalg::Vector terminal_magnitude(int terminal) const;

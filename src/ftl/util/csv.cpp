@@ -1,6 +1,7 @@
 #include "ftl/util/csv.hpp"
 
 #include <limits>
+#include <sstream>
 
 #include "ftl/util/error.hpp"
 
@@ -32,6 +33,39 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   }
   out_ << '\n';
   ++rows_;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t line_start = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::vector<std::string> cells;
+    std::size_t cell_start = 0;
+    for (;;) {
+      const std::size_t comma = line.find(',', cell_start);
+      if (comma == std::string_view::npos) {
+        cells.emplace_back(line.substr(cell_start));
+        break;
+      }
+      cells.emplace_back(line.substr(cell_start, comma - cell_start));
+      cell_start = comma + 1;
+    }
+    rows.push_back(std::move(cells));
+    line_start = line_end + 1;
+  }
+  return rows;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
 }
 
 }  // namespace ftl::util

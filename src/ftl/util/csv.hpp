@@ -1,9 +1,11 @@
 #pragma once
-// Minimal CSV writer used by benches and examples to dump sweep data.
+// Minimal CSV writer used by benches and examples to dump sweep data, and
+// the matching reader used by the jobs subsystem to load cached artifacts.
 
 #include <fstream>
 #include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ftl::util {
@@ -25,5 +27,13 @@ class CsvWriter {
   std::ofstream out_;
   int rows_ = 0;
 };
+
+/// Splits CSV text (the format CsvWriter emits: comma-separated cells, no
+/// quoting) into rows of string cells. Empty cells are preserved; a trailing
+/// newline does not produce an empty final row.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+/// Reads an entire file; throws ftl::Error when it cannot be opened.
+std::string read_text_file(const std::string& path);
 
 }  // namespace ftl::util

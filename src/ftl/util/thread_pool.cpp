@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ftl::util {
@@ -48,6 +50,9 @@ struct ThreadPool::Impl {
   // Serializes concurrent parallel_for callers onto the single job slot.
   std::mutex job_guard;
 
+  // Queued single tasks (submit); drained by workers alongside index jobs.
+  std::deque<std::function<void()>> tasks;
+
   void run_indices() {
     t_inside_pool_task = true;
     for (;;) {
@@ -68,9 +73,19 @@ struct ThreadPool::Impl {
     for (;;) {
       std::unique_lock<std::mutex> lock(m);
       cv_work.wait(lock, [&] {
-        return stop || (fn != nullptr && generation != last_generation);
+        return stop || !tasks.empty() ||
+               (fn != nullptr && generation != last_generation);
       });
       if (stop) return;
+      if (!tasks.empty()) {
+        std::function<void()> task = std::move(tasks.front());
+        tasks.pop_front();
+        lock.unlock();
+        t_inside_pool_task = true;
+        task();  // packaged_task: exceptions land in the caller's future
+        t_inside_pool_task = false;
+        continue;
+      }
       last_generation = generation;
       if (joined >= max_extra) continue;  // admission cap reached
       ++joined;
@@ -100,7 +115,24 @@ ThreadPool::~ThreadPool() {
   }
   impl_->cv_work.notify_all();
   for (std::thread& t : impl_->workers) t.join();
+  // Satisfy the futures of any tasks the workers never picked up.
+  for (std::function<void()>& task : impl_->tasks) task();
   delete impl_;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  // Inline cases: a workerless pool has nobody to hand the task to, and a
+  // submit from inside a pool task must not wait on workers the caller may
+  // itself be occupying.
+  if (impl_->workers.empty() || t_inside_pool_task) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->tasks.push_back(std::move(task));
+  }
+  impl_->cv_work.notify_one();
 }
 
 std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }

@@ -1,12 +1,19 @@
 #pragma once
 // Small fixed-size thread pool for the embarrassingly parallel outer loops:
 // terminal-role bias cases, per-device I-V sweeps, and Monte-Carlo
-// variability trials. Work is handed out as an index range; every index
-// writes its own result slot, so results are bit-identical to a serial run
-// regardless of scheduling order.
+// variability trials. Work is handed out two ways:
+//  - parallel_for: an index range; every index writes its own result slot,
+//    so results are bit-identical to a serial run regardless of scheduling
+//    order.
+//  - submit: a single task with a future, used by the jobs::run_graph
+//    scheduler to fan independent DAG nodes across the workers.
 
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace ftl::util {
 
@@ -29,11 +36,29 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Schedules `fn` to run on a pool worker and returns a future for its
+  /// result. Exceptions thrown by the task are captured in the future. A
+  /// submit from inside a pool task runs inline before returning (the
+  /// future is already ready), so a task may submit-and-wait without
+  /// deadlocking the pool; the same applies when the pool has no workers.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
   /// Process-wide pool, sized from FTL_THREADS (when set and positive) or
   /// the hardware concurrency.
   static ThreadPool& global();
 
  private:
+  /// Queues a type-erased task (or runs it inline when called from inside a
+  /// pool task or on a workerless pool).
+  void enqueue(std::function<void()> task);
+
   struct Impl;
   Impl* impl_;
 };

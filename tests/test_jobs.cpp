@@ -1,0 +1,319 @@
+// Job graph + scheduler: construction invariants, topological execution,
+// failure-cone isolation, bounded retry, serial/parallel artifact identity,
+// and the telemetry event stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ftl/jobs/graph.hpp"
+#include "ftl/jobs/scheduler.hpp"
+#include "ftl/jobs/telemetry.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl;
+
+jobs::Artifact scalar_artifact(const std::string& name, double value) {
+  jobs::Artifact a;
+  a.scalars[name] = value;
+  return a;
+}
+
+jobs::JobDesc make_job(const std::string& name, std::vector<jobs::JobId> deps,
+                       std::function<jobs::Artifact(jobs::JobContext&)> fn) {
+  jobs::JobDesc d;
+  d.name = name;
+  d.deps = std::move(deps);
+  d.fn = std::move(fn);
+  return d;
+}
+
+TEST(JobGraph, RejectsBadDeclarations) {
+  jobs::JobGraph g;
+  const auto noop = [](jobs::JobContext&) { return jobs::Artifact{}; };
+  EXPECT_THROW(g.add(make_job("", {}, noop)), ftl::Error);   // empty name
+  EXPECT_THROW(g.add(make_job("a", {0}, noop)), ftl::Error); // dep not added
+  EXPECT_THROW(g.add(make_job("a", {}, nullptr)), ftl::Error);
+  g.add(make_job("a", {}, noop));
+  EXPECT_THROW(g.add(make_job("a", {}, noop)), ftl::Error);  // duplicate
+}
+
+TEST(JobGraph, ClosurePullsTransitiveDeps) {
+  jobs::JobGraph g;
+  const auto noop = [](jobs::JobContext&) { return jobs::Artifact{}; };
+  const jobs::JobId a = g.add(make_job("a", {}, noop));
+  const jobs::JobId b = g.add(make_job("b", {a}, noop));
+  const jobs::JobId c = g.add(make_job("c", {b}, noop));
+  const jobs::JobId d = g.add(make_job("d", {}, noop));
+  const std::vector<char> mask = g.closure({c});
+  EXPECT_TRUE(mask[static_cast<std::size_t>(a)]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(b)]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(c)]);
+  EXPECT_FALSE(mask[static_cast<std::size_t>(d)]);
+}
+
+TEST(Scheduler, RunsDependenciesBeforeDependents) {
+  jobs::JobGraph g;
+  std::vector<std::string> order;
+  std::mutex m;
+  const auto record = [&](const std::string& name) {
+    return [&, name](jobs::JobContext&) {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(name);
+      return jobs::Artifact{};
+    };
+  };
+  const jobs::JobId a = g.add(make_job("a", {}, record("a")));
+  const jobs::JobId b = g.add(make_job("b", {a}, record("b")));
+  g.add(make_job("c", {a, b}, record("c")));
+
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{0}}) {
+    order.clear();
+    jobs::RunOptions options;
+    options.jobs = parallelism;
+    const jobs::RunResult result = jobs::run_graph(g, options);
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(order.size(), 3u);
+    const auto pos = [&](const std::string& n) {
+      return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    EXPECT_LT(pos("a"), pos("b"));
+    EXPECT_LT(pos("b"), pos("c"));
+  }
+}
+
+TEST(Scheduler, DependencyArtifactsArriveInDeclarationOrder) {
+  jobs::JobGraph g;
+  const jobs::JobId a = g.add(make_job(
+      "a", {}, [](jobs::JobContext&) { return scalar_artifact("v", 1.0); }));
+  const jobs::JobId b = g.add(make_job(
+      "b", {}, [](jobs::JobContext&) { return scalar_artifact("v", 2.0); }));
+  g.add(make_job("sum", {b, a}, [](jobs::JobContext& ctx) {
+    EXPECT_EQ(ctx.input_count(), 2u);
+    // deps were declared {b, a}: input 0 is b's artifact.
+    EXPECT_DOUBLE_EQ(ctx.input(0).scalar("v"), 2.0);
+    EXPECT_DOUBLE_EQ(ctx.input(1).scalar("v"), 1.0);
+    return scalar_artifact("sum",
+                           ctx.input(0).scalar("v") + ctx.input(1).scalar("v"));
+  }));
+  const jobs::RunResult result = jobs::run_graph(g, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.reports.back().artifact->scalar("sum"), 3.0);
+}
+
+TEST(Scheduler, FailureCancelsOnlyDownstreamCone) {
+  //      bad ──> mid ──> leaf        (all cancelled past bad)
+  //      ok  ──> side                (must still run)
+  jobs::JobGraph g;
+  const jobs::JobId bad = g.add(make_job("bad", {}, [](jobs::JobContext&) {
+    throw ftl::Error("intentional failure");
+    return jobs::Artifact{};  // unreachable
+  }));
+  const jobs::JobId mid = g.add(make_job(
+      "mid", {bad}, [](jobs::JobContext&) { return jobs::Artifact{}; }));
+  const jobs::JobId leaf = g.add(make_job(
+      "leaf", {mid}, [](jobs::JobContext&) { return jobs::Artifact{}; }));
+  const jobs::JobId ok = g.add(make_job(
+      "ok", {}, [](jobs::JobContext&) { return scalar_artifact("x", 1.0); }));
+  const jobs::JobId side = g.add(make_job(
+      "side", {ok}, [](jobs::JobContext&) { return scalar_artifact("y", 2.0); }));
+
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{0}}) {
+    jobs::CaptureSink sink;
+    jobs::RunOptions options;
+    options.jobs = parallelism;
+    options.sink = &sink;
+    const jobs::RunResult result = jobs::run_graph(g, options);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.failed, 1);
+    EXPECT_EQ(result.cancelled, 2);
+    EXPECT_EQ(result.succeeded, 2);
+    const auto status = [&](jobs::JobId id) {
+      return result.reports[static_cast<std::size_t>(id)].status;
+    };
+    EXPECT_EQ(status(bad), jobs::JobStatus::kFailed);
+    EXPECT_EQ(status(mid), jobs::JobStatus::kCancelled);
+    EXPECT_EQ(status(leaf), jobs::JobStatus::kCancelled);
+    EXPECT_EQ(status(ok), jobs::JobStatus::kSucceeded);
+    EXPECT_EQ(status(side), jobs::JobStatus::kSucceeded);
+    // Cancellation blames the failed ancestor, deterministically.
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(mid)].error, "bad");
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(leaf)].error, "bad");
+    EXPECT_EQ(sink.count("job_cancelled"), 2);
+    EXPECT_EQ(sink.count("job_finish"), 3);  // bad, ok, side
+  }
+}
+
+TEST(Scheduler, TransientJobsRetryUpToBound) {
+  jobs::JobGraph g;
+  std::atomic<int> calls{0};
+  jobs::JobDesc flaky = make_job("flaky", {}, [&](jobs::JobContext& ctx) {
+    ++calls;
+    if (ctx.attempt() < 3) throw ftl::Error("transient glitch");
+    return scalar_artifact("attempt", ctx.attempt());
+  });
+  flaky.transient = true;
+  flaky.max_retries = 2;  // 3 attempts total
+  g.add(std::move(flaky));
+
+  jobs::CaptureSink sink;
+  jobs::RunOptions options;
+  options.sink = &sink;
+  const jobs::RunResult result = jobs::run_graph(g, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(result.reports[0].attempts, 3);
+  EXPECT_DOUBLE_EQ(result.reports[0].artifact->scalar("attempt"), 3.0);
+  EXPECT_EQ(sink.count("retry"), 2);
+}
+
+TEST(Scheduler, TransientRetryBoundIsEnforced) {
+  jobs::JobGraph g;
+  std::atomic<int> calls{0};
+  jobs::JobDesc flaky = make_job("hopeless", {}, [&](jobs::JobContext&) {
+    ++calls;
+    throw ftl::Error("always fails");
+    return jobs::Artifact{};
+  });
+  flaky.transient = true;
+  flaky.max_retries = 2;
+  g.add(std::move(flaky));
+  const jobs::RunResult result = jobs::run_graph(g, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(result.reports[0].status, jobs::JobStatus::kFailed);
+  // Non-transient jobs never retry.
+  jobs::JobGraph g2;
+  std::atomic<int> calls2{0};
+  g2.add(make_job("once", {}, [&](jobs::JobContext&) {
+    ++calls2;
+    throw ftl::Error("fatal");
+    return jobs::Artifact{};
+  }));
+  jobs::run_graph(g2, {});
+  EXPECT_EQ(calls2.load(), 1);
+}
+
+TEST(Scheduler, TargetsRestrictExecutionToClosure) {
+  jobs::JobGraph g;
+  const auto noop = [](jobs::JobContext&) { return jobs::Artifact{}; };
+  const jobs::JobId a = g.add(make_job("a", {}, noop));
+  const jobs::JobId b = g.add(make_job("b", {a}, noop));
+  const jobs::JobId other = g.add(make_job("other", {}, noop));
+  jobs::RunOptions options;
+  options.targets = {b};
+  const jobs::RunResult result = jobs::run_graph(g, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.succeeded, 2);
+  EXPECT_EQ(result.reports[static_cast<std::size_t>(other)].status,
+            jobs::JobStatus::kNotRun);
+}
+
+TEST(Scheduler, ParallelArtifactsBitIdenticalToSerial) {
+  // A diamond whose payloads are real floating-point tables; serialized
+  // bytes must match between --jobs 1 and the pooled run.
+  const auto build = [] {
+    jobs::JobGraph g;
+    const jobs::JobId src = g.add(make_job("src", {}, [](jobs::JobContext&) {
+      jobs::Artifact a;
+      a.set_columns({"i", "x"});
+      for (int i = 0; i < 50; ++i) {
+        a.add_row({static_cast<double>(i), 0.1 * i * i - 3.7e-9 * i});
+      }
+      return a;
+    }));
+    const jobs::JobId left = g.add(make_job("left", {src}, [](jobs::JobContext& c) {
+      jobs::Artifact a;
+      a.set_columns({"sum"});
+      double s = 0.0;
+      for (const auto& row : c.input(0).rows) s += row[1];
+      a.add_row({s});
+      return a;
+    }));
+    const jobs::JobId right = g.add(make_job("right", {src}, [](jobs::JobContext& c) {
+      jobs::Artifact a;
+      double s = 0.0;
+      for (const auto& row : c.input(0).rows) s += row[1] * row[1];
+      a.scalars["ss"] = s;
+      return a;
+    }));
+    g.add(make_job("join", {left, right}, [](jobs::JobContext& c) {
+      jobs::Artifact a;
+      a.scalars["combined"] =
+          c.input(0).rows[0][0] + c.input(1).scalar("ss") / 3.0;
+      return a;
+    }));
+    return g;
+  };
+  const jobs::JobGraph g = build();
+
+  jobs::RunOptions serial;
+  serial.jobs = 1;
+  const jobs::RunResult r1 = jobs::run_graph(g, serial);
+  jobs::RunOptions pooled;
+  pooled.jobs = 0;
+  const jobs::RunResult r2 = jobs::run_graph(g, pooled);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (std::size_t i = 0; i < r1.reports.size(); ++i) {
+    ASSERT_TRUE(r1.reports[i].artifact && r2.reports[i].artifact);
+    EXPECT_EQ(r1.reports[i].artifact->serialize(),
+              r2.reports[i].artifact->serialize())
+        << "job " << i;
+    EXPECT_EQ(r1.reports[i].cache_key, r2.reports[i].cache_key);
+  }
+}
+
+TEST(Scheduler, EmitsLifecycleEvents) {
+  jobs::JobGraph g;
+  const jobs::JobId a = g.add(make_job("a", {}, [](jobs::JobContext& ctx) {
+    ctx.counter("widgets", 4);
+    return jobs::Artifact{};
+  }));
+  g.add(make_job("b", {a}, [](jobs::JobContext&) { return jobs::Artifact{}; }));
+  jobs::CaptureSink sink;
+  jobs::RunOptions options;
+  options.sink = &sink;
+  const jobs::RunResult result = jobs::run_graph(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sink.count("run_start"), 1);
+  EXPECT_EQ(sink.count("run_finish"), 1);
+  EXPECT_EQ(sink.count("job_start"), 2);
+  EXPECT_EQ(sink.count("job_finish"), 2);
+  bool saw_counter = false;
+  for (const jobs::Event& e : sink.events()) {
+    if (e.type == "job_finish" && e.job == "a") {
+      saw_counter = e.counters.count("widgets") != 0u &&
+                    e.counters.at("widgets") == 4.0;
+      EXPECT_FALSE(e.cache_key.empty());
+      EXPECT_GE(e.wall_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  // Counters also land on the report and in the summary table.
+  EXPECT_DOUBLE_EQ(
+      result.reports[static_cast<std::size_t>(a)].counters.at("widgets"), 4.0);
+  const std::string table = result.summary_table(g);
+  EXPECT_NE(table.find("widgets=4"), std::string::npos);
+}
+
+TEST(Telemetry, EventJsonIsWellFormed) {
+  jobs::Event e;
+  e.type = "job_finish";
+  e.job = "tcad\"quote";
+  e.detail = "line\nbreak";
+  e.attempt = 2;
+  e.t_ms = 12.5;
+  e.counters["n"] = 3.0;
+  const std::string json = jobs::to_json(e);
+  EXPECT_NE(json.find("\"ev\":\"job_finish\""), std::string::npos);
+  EXPECT_NE(json.find("tcad\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+}  // namespace

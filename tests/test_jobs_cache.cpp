@@ -1,0 +1,250 @@
+// Content-addressed result cache: artifact serialization round trips
+// bit-exactly, identical keys hit with identical bytes, perturbed parameter
+// or dependency digests miss, and an upstream recompute that reproduces the
+// same bytes keeps every downstream job a cache hit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ftl/jobs/artifact.hpp"
+#include "ftl/jobs/cache.hpp"
+#include "ftl/jobs/digest.hpp"
+#include "ftl/jobs/graph.hpp"
+#include "ftl/jobs/scheduler.hpp"
+#include "ftl/jobs/telemetry.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl;
+
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / ("ftl_jobs_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+jobs::Artifact sample_artifact() {
+  jobs::Artifact a;
+  a.set_columns({"v", "i"});
+  a.add_row({0.1, 1.0 / 3.0});
+  a.add_row({0.2, 6.02214076e23});
+  a.add_row({-5.5, -1.7e-308});
+  a.scalars["vth"] = 0.123456789012345678;
+  a.notes["device"] = "square HfO2";
+  return a;
+}
+
+TEST(Digest, IsOrderAndTypeSensitive) {
+  jobs::Digest a;
+  a.str("ab");
+  jobs::Digest b;
+  b.str("a");
+  b.str("b");
+  // Length-prefixed hashing: "ab" != "a" + "b".
+  EXPECT_NE(a.value(), b.value());
+  jobs::Digest c;
+  c.f64(1.0);
+  jobs::Digest d;
+  d.f64(-1.0);
+  EXPECT_NE(c.value(), d.value());
+  EXPECT_EQ(jobs::digest_hex(0).size(), 16u);
+}
+
+TEST(Artifact, SerializationRoundTripsBitExactly) {
+  const jobs::Artifact a = sample_artifact();
+  const jobs::Artifact b = jobs::Artifact::deserialize(a.serialize());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_EQ(a.content_digest(), b.content_digest());
+}
+
+TEST(Artifact, RejectsMalformedInput) {
+  EXPECT_THROW(jobs::Artifact::deserialize("not an artifact"), ftl::Error);
+  jobs::Artifact a;
+  a.set_columns({"x"});
+  EXPECT_THROW(a.add_row({1.0, 2.0}), ftl::Error);  // width mismatch
+  EXPECT_THROW(a.scalar("absent"), ftl::Error);
+}
+
+TEST(CacheKey, SensitiveToEveryComponent) {
+  const std::uint64_t base = jobs::cache_key("job", 1, {10, 20});
+  EXPECT_NE(base, jobs::cache_key("other", 1, {10, 20}));   // name
+  EXPECT_NE(base, jobs::cache_key("job", 2, {10, 20}));     // params
+  EXPECT_NE(base, jobs::cache_key("job", 1, {20, 10}));     // dep order
+  EXPECT_NE(base, jobs::cache_key("job", 1, {10}));         // dep count
+  EXPECT_EQ(base, jobs::cache_key("job", 1, {10, 20}));     // deterministic
+}
+
+TEST(ResultCache, StoreThenLoadIsBitIdentical) {
+  jobs::ResultCache cache(fresh_dir("roundtrip"));
+  const jobs::Artifact a = sample_artifact();
+  const std::uint64_t key = jobs::cache_key("j", 7, {});
+  EXPECT_FALSE(cache.load("j", key).has_value());
+  cache.store("j", key, a);
+  const std::optional<jobs::Artifact> hit = cache.load("j", key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->serialize(), a.serialize());
+  // A different key does not alias onto the same entry.
+  EXPECT_FALSE(cache.load("j", key + 1).has_value());
+}
+
+TEST(ResultCache, CorruptEntryIsAMiss) {
+  jobs::ResultCache cache(fresh_dir("corrupt"));
+  const std::uint64_t key = jobs::cache_key("j", 1, {});
+  cache.store("j", key, sample_artifact());
+  {
+    std::ofstream out(cache.path_for("j", key), std::ios::trunc);
+    out << "garbage bytes\n";
+  }
+  EXPECT_FALSE(cache.load("j", key).has_value());
+}
+
+// ---- scheduler-level cache behavior ---------------------------------------
+
+struct CountingGraph {
+  jobs::JobGraph graph;
+  std::shared_ptr<int> src_runs = std::make_shared<int>(0);
+  std::shared_ptr<int> sink_runs = std::make_shared<int>(0);
+};
+
+/// src -> sink, where src's output bytes and both jobs' param digests are
+/// injectable. `src_value` flows into src's artifact; `src_param` models a
+/// calibration constant folded into src's parameter digest.
+CountingGraph make_counting_graph(double src_value, std::uint64_t src_param) {
+  CountingGraph cg;
+  jobs::JobDesc src;
+  src.name = "src";
+  src.param_digest = src_param;
+  auto src_runs = cg.src_runs;
+  src.fn = [src_value, src_runs](jobs::JobContext&) {
+    ++*src_runs;
+    jobs::Artifact a;
+    a.scalars["x"] = src_value;
+    return a;
+  };
+  const jobs::JobId src_id = cg.graph.add(std::move(src));
+
+  jobs::JobDesc sink;
+  sink.name = "sink";
+  sink.param_digest = 99;
+  sink.deps = {src_id};
+  auto sink_runs = cg.sink_runs;
+  sink.fn = [sink_runs](jobs::JobContext& ctx) {
+    ++*sink_runs;
+    jobs::Artifact a;
+    a.scalars["doubled"] = 2.0 * ctx.input(0).scalar("x");
+    return a;
+  };
+  cg.graph.add(std::move(sink));
+  return cg;
+}
+
+TEST(SchedulerCache, SecondRunHitsWithBitIdenticalArtifacts) {
+  const std::string dir = fresh_dir("warm");
+  jobs::RunOptions options;
+  options.cache_dir = dir;
+
+  const CountingGraph cold = make_counting_graph(1.5, 42);
+  const jobs::RunResult r1 = jobs::run_graph(cold.graph, options);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*cold.src_runs, 1);
+  EXPECT_EQ(r1.cache_hits, 0);
+
+  const CountingGraph warm = make_counting_graph(1.5, 42);
+  jobs::CaptureSink sink;
+  options.sink = &sink;
+  const jobs::RunResult r2 = jobs::run_graph(warm.graph, options);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*warm.src_runs, 0);
+  EXPECT_EQ(*warm.sink_runs, 0);
+  EXPECT_EQ(r2.cache_hits, 2);
+  EXPECT_EQ(sink.count("cache_hit"), 2);
+  EXPECT_EQ(sink.count("job_start"), 0);
+  for (std::size_t i = 0; i < r1.reports.size(); ++i) {
+    EXPECT_EQ(r1.reports[i].artifact->serialize(),
+              r2.reports[i].artifact->serialize());
+  }
+}
+
+TEST(SchedulerCache, PerturbedParamDigestMissesAndRecomputes) {
+  const std::string dir = fresh_dir("perturb_param");
+  jobs::RunOptions options;
+  options.cache_dir = dir;
+  const CountingGraph first = make_counting_graph(1.5, 42);
+  ASSERT_TRUE(jobs::run_graph(first.graph, options).ok());
+
+  // Same output value, different parameter digest (a touched calibration
+  // constant): src must recompute. Its artifact bytes come out identical,
+  // so the downstream job still hits — content addressing at work.
+  const CountingGraph touched = make_counting_graph(1.5, 43);
+  jobs::CaptureSink sink;
+  options.sink = &sink;
+  const jobs::RunResult r = jobs::run_graph(touched.graph, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*touched.src_runs, 1);
+  EXPECT_EQ(*touched.sink_runs, 0);
+  EXPECT_EQ(r.cache_hits, 1);
+  EXPECT_EQ(sink.count("cache_hit"), 1);
+}
+
+TEST(SchedulerCache, ChangedDependencyBytesInvalidateDownstream) {
+  const std::string dir = fresh_dir("perturb_dep");
+  jobs::RunOptions options;
+  options.cache_dir = dir;
+  const CountingGraph first = make_counting_graph(1.5, 42);
+  ASSERT_TRUE(jobs::run_graph(first.graph, options).ok());
+
+  // src's parameters AND bytes change: both jobs recompute (sink's key
+  // folds in src's content digest).
+  const CountingGraph changed = make_counting_graph(2.5, 43);
+  const jobs::RunResult r = jobs::run_graph(changed.graph, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*changed.src_runs, 1);
+  EXPECT_EQ(*changed.sink_runs, 1);
+  EXPECT_EQ(r.cache_hits, 0);
+  EXPECT_DOUBLE_EQ(r.reports.back().artifact->scalar("doubled"), 5.0);
+}
+
+TEST(SchedulerCache, UseCacheFalseForcesColdRun) {
+  const std::string dir = fresh_dir("nocache");
+  jobs::RunOptions options;
+  options.cache_dir = dir;
+  const CountingGraph first = make_counting_graph(1.0, 1);
+  ASSERT_TRUE(jobs::run_graph(first.graph, options).ok());
+
+  options.use_cache = false;
+  const CountingGraph again = make_counting_graph(1.0, 1);
+  const jobs::RunResult r = jobs::run_graph(again.graph, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*again.src_runs, 1);
+  EXPECT_EQ(*again.sink_runs, 1);
+  EXPECT_EQ(r.cache_hits, 0);
+}
+
+TEST(SchedulerCache, NonCacheableJobAlwaysRecomputes) {
+  const std::string dir = fresh_dir("noncacheable");
+  const auto build = [](std::shared_ptr<int> runs) {
+    jobs::JobGraph g;
+    jobs::JobDesc d;
+    d.name = "report";
+    d.cacheable = false;
+    d.fn = [runs](jobs::JobContext&) {
+      ++*runs;
+      return jobs::Artifact{};
+    };
+    g.add(std::move(d));
+    return g;
+  };
+  jobs::RunOptions options;
+  options.cache_dir = dir;
+  auto runs = std::make_shared<int>(0);
+  ASSERT_TRUE(jobs::run_graph(build(runs), options).ok());
+  ASSERT_TRUE(jobs::run_graph(build(runs), options).ok());
+  EXPECT_EQ(*runs, 2);
+}
+
+}  // namespace

@@ -74,4 +74,68 @@ TEST(ThreadPool, ZeroCountIsANoOp) {
   EXPECT_FALSE(touched);
 }
 
+TEST(ThreadPoolSubmit, ReturnsResultThroughFuture) {
+  util::ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolSubmit, ManyTasksAllComplete) {
+  util::ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolSubmit, ExceptionIsCapturedInFuture) {
+  util::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool must still be usable afterwards.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolSubmit, NestedSubmitDoesNotDeadlock) {
+  // A task that submits and waits on the same pool must not deadlock even
+  // when every worker is busy: the nested submit runs inline.
+  util::ThreadPool pool(2);
+  std::vector<std::future<int>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(pool.submit([&pool, i] {
+      auto inner = pool.submit([i] { return i * 10; });
+      return inner.get() + 1;
+    }));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(outer[static_cast<std::size_t>(i)].get(), i * 10 + 1);
+  }
+}
+
+TEST(ThreadPoolSubmit, NestedParallelForInsideSubmitRunsInline) {
+  util::ThreadPool pool(2);
+  auto f = pool.submit([] {
+    std::atomic<int> total{0};
+    util::parallel_for(16, [&](std::size_t) { ++total; });
+    return total.load();
+  });
+  EXPECT_EQ(f.get(), 16);
+}
+
+TEST(ThreadPoolSubmit, WorkerlessPoolRunsInline) {
+  // threads = 1 means "the caller participates": no dedicated workers, so
+  // submit degrades to inline execution with an already-ready future.
+  util::ThreadPool pool(1);
+  auto f = pool.submit([] { return std::string("inline"); });
+  EXPECT_EQ(f.get(), "inline");
+}
+
+TEST(ThreadPoolSubmit, GlobalPoolAcceptsSubmit) {
+  auto f = util::ThreadPool::global().submit([] { return 3.5; });
+  EXPECT_DOUBLE_EQ(f.get(), 3.5);
+}
+
 }  // namespace
