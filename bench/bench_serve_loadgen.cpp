@@ -1,0 +1,97 @@
+// Serve-path throughput baseline: an in-process ftl::serve server on an
+// ephemeral port, cache warmed, hammered by the loadgen over real sockets.
+// Emits the loadgen report (throughput + latency percentiles) as JSON —
+// BENCH_pr3.json by default — so the bench harness can diff regressions.
+//
+//   bench_serve_loadgen [out.json] [requests] [connections]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "ftl/serve/client.hpp"
+#include "ftl/serve/json.hpp"
+#include "ftl/serve/loadgen.hpp"
+#include "ftl/serve/server.hpp"
+#include "ftl/serve/service.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using ftl::serve::JsonValue;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr3.json";
+  std::size_t requests = 20000;
+  std::size_t connections = 8;
+  if (argc > 2) {
+    requests = static_cast<std::size_t>(
+        ftl::util::parse_long_in(argv[2], 1, 100000000).value_or(0));
+  }
+  if (argc > 3) {
+    connections = static_cast<std::size_t>(
+        ftl::util::parse_long_in(argv[3], 1, 1024).value_or(0));
+  }
+  if (requests == 0 || connections == 0) {
+    std::fprintf(stderr, "usage: bench_serve_loadgen [out.json] [requests] [connections]\n");
+    return 2;
+  }
+
+  try {
+    ftl::serve::Service service({.workers = 4, .queue_depth = 512});
+    ftl::serve::Server server(service, {.port = 0});
+    server.start();
+
+    ftl::serve::LoadgenOptions options;
+    options.port = server.port();
+    options.connections = connections;
+    options.requests = requests;
+    options.mix = {
+        R"({"op":"eval","expr":"a b + b c + a c"})",
+        R"({"op":"synth","expr":"a b + b c + a c"})",
+        R"({"op":"eval","expr":"a b' + a' b"})",
+        R"({"op":"paths","rows":4,"cols":4})",
+    };
+
+    // Warm pass: every mix entry computes once, so the measured run serves
+    // from the response cache (the steady state a repeated client sees).
+    {
+      ftl::serve::Client client("127.0.0.1", server.port());
+      for (const std::string& line : options.mix) {
+        const JsonValue r = JsonValue::parse(client.call_line(line));
+        if (!r.bool_or("ok", false)) {
+          std::fprintf(stderr, "warmup request failed: %s\n", r.dump().c_str());
+          return 1;
+        }
+      }
+    }
+
+    const ftl::serve::LoadgenReport report = ftl::serve::run_loadgen(options);
+    std::printf("%s", report.to_string().c_str());
+
+    JsonValue out = JsonValue::object();
+    out.set("bench", JsonValue::str("serve_loadgen_cached"));
+    out.set("workers", JsonValue::number(static_cast<double>(
+                           service.options().workers)));
+    out.set("report", report.to_json());
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    file << out.dump() << '\n';
+    std::printf("wrote %s\n", out_path.c_str());
+
+    server.stop();
+    if (report.errors != 0) return 1;
+    if (report.throughput_rps < 1000.0) {
+      std::fprintf(stderr, "throughput %.0f req/s below the 1000 req/s bar\n",
+                   report.throughput_rps);
+      return 1;
+    }
+    return 0;
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "bench_serve_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,129 @@
+// ftl_loadgen — concurrent load generator for a running ftl_serve.
+//
+//   ftl_loadgen --port 7440 --connections 8 --requests 10000
+//   ftl_loadgen --port 7440 --mix eval --expr "a b + b c + a c" --json out.json
+//
+// Each connection fires its share of the request mix back-to-back; the tool
+// reports aggregate throughput and exact latency percentiles, optionally as
+// a JSON file for benchmark harnesses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "ftl/serve/json.hpp"
+#include "ftl/serve/loadgen.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: ftl_loadgen [options]\n"
+      "  --host H         server host (default 127.0.0.1)\n"
+      "  --port P         server port (default 7440)\n"
+      "  --connections N  concurrent connections (default 4)\n"
+      "  --requests N     total requests (default 1000)\n"
+      "  --mix OPS        comma-separated ops to cycle: ping,eval,synth,paths\n"
+      "                   (default eval,synth)\n"
+      "  --expr E         target function for eval/synth requests\n"
+      "                   (default \"a b + b c + a c\")\n"
+      "  --json F         also write the report as JSON to F\n");
+}
+
+long parse_flag(const char* flag, const char* value, long min_value,
+                long max_value) {
+  const std::optional<long> parsed =
+      ftl::util::parse_long_in(value, min_value, max_value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "ftl_loadgen: %s needs an integer in [%ld, %ld], got '%s'\n",
+                 flag, min_value, max_value, value);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+std::string request_for(const std::string& op, const std::string& expr) {
+  using ftl::serve::JsonValue;
+  JsonValue req = JsonValue::object();
+  req.set("op", JsonValue::str(op));
+  if (op == "eval" || op == "synth") {
+    req.set("expr", JsonValue::str(expr));
+  } else if (op == "paths") {
+    req.set("rows", JsonValue::number(4));
+    req.set("cols", JsonValue::number(4));
+  }
+  return req.dump();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftl::serve::LoadgenOptions options;
+  options.port = 7440;
+  std::string mix = "eval,synth";
+  std::string expr = "a b + b c + a c";
+  std::string json_path;
+
+  const auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "ftl_loadgen: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage();
+      return 0;
+    } else if (std::strcmp(arg, "--host") == 0) {
+      options.host = next_arg(i);
+    } else if (std::strcmp(arg, "--port") == 0) {
+      options.port =
+          static_cast<int>(parse_flag("--port", next_arg(i), 1, 65535));
+    } else if (std::strcmp(arg, "--connections") == 0) {
+      options.connections = static_cast<std::size_t>(
+          parse_flag("--connections", next_arg(i), 1, 1024));
+    } else if (std::strcmp(arg, "--requests") == 0) {
+      options.requests = static_cast<std::size_t>(
+          parse_flag("--requests", next_arg(i), 1, 100000000));
+    } else if (std::strcmp(arg, "--mix") == 0) {
+      mix = next_arg(i);
+    } else if (std::strcmp(arg, "--expr") == 0) {
+      expr = next_arg(i);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = next_arg(i);
+    } else {
+      std::fprintf(stderr, "ftl_loadgen: unknown option %s\n", arg);
+      print_usage();
+      return 2;
+    }
+  }
+
+  for (const std::string& op : ftl::util::split(mix, ",")) {
+    options.mix.push_back(request_for(op, expr));
+  }
+
+  try {
+    const ftl::serve::LoadgenReport report = ftl::serve::run_loadgen(options);
+    std::printf("%s", report.to_string().c_str());
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "ftl_loadgen: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      out << report.to_json().dump() << '\n';
+    }
+    return report.errors == 0 ? 0 : 1;
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "ftl_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

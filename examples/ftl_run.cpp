@@ -20,8 +20,23 @@
 #include "ftl/jobs/scheduler.hpp"
 #include "ftl/jobs/telemetry.hpp"
 #include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
 
 namespace {
+
+// Numeric flag values go through util::parse_long so "--jobs banana" and
+// "--mesh 0x" are rejected instead of silently becoming 0.
+long parse_flag(const char* flag, const char* value, long min_value,
+                long max_value) {
+  const std::optional<long> parsed =
+      ftl::util::parse_long_in(value, min_value, max_value);
+  if (!parsed) {
+    std::fprintf(stderr, "ftl_run: %s needs an integer in [%ld, %ld], got '%s'\n",
+                 flag, min_value, max_value, value);
+    std::exit(2);
+  }
+  return *parsed;
+}
 
 void print_usage() {
   std::printf(
@@ -77,7 +92,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
-      run_options.jobs = static_cast<std::size_t>(std::atoi(next_arg(i)));
+      run_options.jobs =
+          static_cast<std::size_t>(parse_flag("--jobs", next_arg(i), 0, 4096));
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       run_options.cache_dir = next_arg(i);
     } else if (std::strcmp(arg, "--no-cache") == 0) {
@@ -85,9 +101,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--events") == 0) {
       events_path = next_arg(i);
     } else if (std::strcmp(arg, "--mesh") == 0) {
-      pipeline_options.mesh = std::atoi(next_arg(i));
+      pipeline_options.mesh =
+          static_cast<int>(parse_flag("--mesh", next_arg(i), 12, 4096));
     } else if (std::strcmp(arg, "--points") == 0) {
-      pipeline_options.sweep_points = std::atoi(next_arg(i));
+      pipeline_options.sweep_points =
+          static_cast<int>(parse_flag("--points", next_arg(i), 2, 100000));
     } else if (std::strcmp(arg, "--quick") == 0) {
       // Mesh 12 is the floor: coarser meshes lose the junctionless
       // device's terminal pads entirely.

@@ -1,0 +1,130 @@
+// ftl_serve — the lattice-evaluation daemon.
+//
+//   ftl_serve --port 7440 --workers 8 --queue-depth 128 \
+//             --cache-dir .ftl-serve-cache --access-log access.jsonl
+//
+// Speaks one JSON object per line over TCP (see DESIGN.md §10):
+//
+//   echo '{"op":"synth","expr":"a b + b c + a c"}' | nc 127.0.0.1 7440
+//
+// SIGINT (or a client's {"op":"shutdown"}) triggers a graceful drain: stop
+// accepting, finish in-flight requests, flush the access log, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "ftl/jobs/telemetry.hpp"
+#include "ftl/serve/server.hpp"
+#include "ftl/serve/service.hpp"
+#include "ftl/util/error.hpp"
+#include "ftl/util/strings.hpp"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_sigint(int) { g_interrupted.store(true); }
+
+void print_usage() {
+  std::printf(
+      "usage: ftl_serve [options]\n"
+      "  --port P        TCP port (default 7440; 0 = ephemeral, printed)\n"
+      "  --workers N     request worker threads (default 4)\n"
+      "  --queue-depth N admission high-water mark (default 64)\n"
+      "  --cache-dir D   on-disk response cache (default: memory only)\n"
+      "  --access-log F  append per-request JSONL events to F\n");
+}
+
+long parse_flag(const char* flag, const char* value, long min_value,
+                long max_value) {
+  const std::optional<long> parsed =
+      ftl::util::parse_long_in(value, min_value, max_value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "ftl_serve: %s needs an integer in [%ld, %ld], got '%s'\n",
+                 flag, min_value, max_value, value);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftl::serve::ServiceOptions service_options;
+  ftl::serve::ServerOptions server_options;
+  server_options.port = 7440;
+  std::string access_log_path;
+
+  const auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "ftl_serve: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage();
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      server_options.port =
+          static_cast<int>(parse_flag("--port", next_arg(i), 0, 65535));
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      service_options.workers = static_cast<std::size_t>(
+          parse_flag("--workers", next_arg(i), 1, 1024));
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      service_options.queue_depth = static_cast<std::size_t>(
+          parse_flag("--queue-depth", next_arg(i), 1, 1 << 20));
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      service_options.cache_dir = next_arg(i);
+    } else if (std::strcmp(arg, "--access-log") == 0) {
+      access_log_path = next_arg(i);
+    } else {
+      std::fprintf(stderr, "ftl_serve: unknown option %s\n", arg);
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    std::unique_ptr<ftl::jobs::JsonlSink> access_log;
+    if (!access_log_path.empty()) {
+      access_log = std::make_unique<ftl::jobs::JsonlSink>(access_log_path);
+      service_options.access_log = access_log.get();
+    }
+
+    ftl::serve::Service service(service_options);
+    ftl::serve::Server server(service, server_options);
+
+    struct sigaction sa{};
+    sa.sa_handler = on_sigint;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    server.start();
+    std::printf("ftl_serve: listening on 127.0.0.1:%d (%zu workers, queue %zu%s%s)\n",
+                server.port(), service.options().workers,
+                service.options().queue_depth,
+                service_options.cache_dir.empty() ? "" : ", cache ",
+                service_options.cache_dir.c_str());
+    std::fflush(stdout);
+
+    server.wait(&g_interrupted);
+    std::printf("ftl_serve: draining (%zu in flight)\n", service.in_flight());
+    server.stop();
+    std::printf("ftl_serve: served %llu requests, bye\n",
+                static_cast<unsigned long long>(service.stats().total_requests()));
+    return 0;
+  } catch (const ftl::Error& e) {
+    std::fprintf(stderr, "ftl_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,90 @@
+#include "ftl/serve/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::serve {
+
+Client::Client(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &result);
+  if (rc != 0) {
+    throw Error("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      fd_ = fd;
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  if (fd_ < 0) {
+    throw Error("connect " + host + ":" + std::to_string(port) + ": " +
+                last_error);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rxbuf_(std::move(other.rxbuf_)) {}
+
+JsonValue Client::call(const JsonValue& request) {
+  return JsonValue::parse(call_line(request.dump()));
+}
+
+std::string Client::call_line(const std::string& line) {
+  std::string tx = line;
+  tx += '\n';
+  const char* data = tx.data();
+  std::size_t size = tx.size();
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("send: " + std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t eol = rxbuf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string response = rxbuf_.substr(0, eol);
+      rxbuf_.erase(0, eol + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("server closed the connection");
+    rxbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace ftl::serve

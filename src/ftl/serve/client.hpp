@@ -1,0 +1,36 @@
+#pragma once
+// Minimal blocking client for the serve protocol: one TCP connection, one
+// JSON-lines request/response exchange per call. Used by ftl_loadgen, the
+// tests, and anyone scripting against ftl_serve from C++.
+
+#include <string>
+
+#include "ftl/serve/json.hpp"
+
+namespace ftl::serve {
+
+class Client {
+ public:
+  /// Connects to host:port (numeric IPv4 or a resolvable name); throws
+  /// ftl::Error on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  /// Sends one request object and blocks for its response line.
+  JsonValue call(const JsonValue& request);
+
+  /// Raw variant: sends `line` (newline appended) and returns the response
+  /// line without its newline. Throws ftl::Error when the server closes the
+  /// connection mid-exchange.
+  std::string call_line(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string rxbuf_;
+};
+
+}  // namespace ftl::serve

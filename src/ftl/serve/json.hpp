@@ -1,0 +1,86 @@
+#pragma once
+// Minimal JSON value model for the serve protocol (the repo deliberately has
+// no external JSON dependency). One class covers both directions:
+//  - JsonValue::parse() — strict RFC-8259 subset parser with positioned
+//    errors and a recursion-depth limit (server input is untrusted);
+//  - dump() — canonical single-line rendering: object members keep insertion
+//    order, integral numbers print without an exponent, and doubles print
+//    with %.17g so values round-trip bit-exactly. Deterministic dumps are
+//    what makes "concurrent responses byte-identical to serial" testable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftl::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructed value is JSON null.
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue str(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each throws ftl::Error when the kind does not match.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object lookup; nullptr when absent (or when not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed object lookups with fallbacks. Throw ftl::Error when the key is
+  /// present but has the wrong type (silent coercion would hide client bugs).
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  /// Object member insert-or-replace (keeps first-insertion order). Returns
+  /// *this so response construction chains.
+  JsonValue& set(std::string key, JsonValue value);
+
+  /// Array append.
+  JsonValue& push(JsonValue value);
+
+  /// Canonical single-line rendering (see file comment).
+  std::string dump() const;
+
+  /// Parses exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed). Throws ftl::Error with a byte offset on malformed
+  /// input or nesting deeper than 64 levels.
+  static JsonValue parse(std::string_view text);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escaped, quoted JSON string rendering (shared with dump()).
+std::string json_quote(std::string_view s);
+
+}  // namespace ftl::serve

@@ -1,0 +1,137 @@
+#include "ftl/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "ftl/serve/client.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double exact_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank on the sorted sample.
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp(std::ceil(rank) - 1.0, 0.0,
+                 static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+}  // namespace
+
+JsonValue LoadgenReport::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("sent", JsonValue::number(static_cast<double>(sent)));
+  out.set("ok", JsonValue::number(static_cast<double>(ok)));
+  out.set("errors", JsonValue::number(static_cast<double>(errors)));
+  out.set("wall_s", JsonValue::number(wall_s));
+  out.set("throughput_rps", JsonValue::number(throughput_rps));
+  out.set("mean_us", JsonValue::number(mean_us));
+  out.set("p50_us", JsonValue::number(p50_us));
+  out.set("p95_us", JsonValue::number(p95_us));
+  out.set("p99_us", JsonValue::number(p99_us));
+  out.set("max_us", JsonValue::number(max_us));
+  return out;
+}
+
+std::string LoadgenReport::to_string() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "requests  %zu sent, %zu ok, %zu errors\n"
+                "wall      %.3f s  (%.0f req/s)\n"
+                "latency   mean %.0f us  p50 %.0f us  p95 %.0f us  "
+                "p99 %.0f us  max %.0f us\n",
+                sent, ok, errors, wall_s, throughput_rps, mean_us, p50_us,
+                p95_us, p99_us, max_us);
+  return buf;
+}
+
+LoadgenReport run_loadgen(const LoadgenOptions& options) {
+  if (options.mix.empty()) throw Error("loadgen: empty request mix");
+  if (options.connections == 0 || options.requests == 0) {
+    throw Error("loadgen: connections and requests must be positive");
+  }
+
+  const std::size_t connections =
+      std::min(options.connections, options.requests);
+  // Connect up front so a refused endpoint fails fast instead of skewing
+  // the measurement window.
+  std::vector<Client> clients;
+  clients.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    clients.emplace_back(options.host, options.port);
+  }
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::size_t> oks(connections, 0);
+  std::vector<std::size_t> fails(connections, 0);
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    // Split the total evenly; the first (requests % connections) take one extra.
+    const std::size_t quota = options.requests / connections +
+                              (c < options.requests % connections ? 1 : 0);
+    threads.emplace_back([&, c, quota] {
+      Client& client = clients[c];
+      latencies[c].reserve(quota);
+      for (std::size_t i = 0; i < quota; ++i) {
+        const std::string& line = options.mix[(c + i) % options.mix.size()];
+        const Clock::time_point start = Clock::now();
+        try {
+          const std::string response = client.call_line(line);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count();
+          latencies[c].push_back(us);
+          const JsonValue parsed = JsonValue::parse(response);
+          if (parsed.bool_or("ok", false)) {
+            ++oks[c];
+          } else {
+            ++fails[c];
+          }
+        } catch (const std::exception&) {
+          ++fails[c];
+          return;  // transport is gone; stop this connection
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadgenReport report;
+  std::vector<double> merged;
+  for (std::size_t c = 0; c < connections; ++c) {
+    report.ok += oks[c];
+    report.errors += fails[c];
+    merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+  }
+  report.sent = report.ok + report.errors;
+  report.wall_s = wall_s;
+  report.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+  std::sort(merged.begin(), merged.end());
+  if (!merged.empty()) {
+    double sum = 0.0;
+    for (const double v : merged) sum += v;
+    report.mean_us = sum / static_cast<double>(merged.size());
+    report.p50_us = exact_percentile(merged, 50.0);
+    report.p95_us = exact_percentile(merged, 95.0);
+    report.p99_us = exact_percentile(merged, 99.0);
+    report.max_us = merged.back();
+  }
+  return report;
+}
+
+}  // namespace ftl::serve

@@ -1,0 +1,43 @@
+#pragma once
+// Concurrent load generator for a running serve endpoint: N connections
+// each fire a cycled mix of request lines as fast as responses come back,
+// and the merged per-request latencies yield throughput and exact
+// percentiles. Shared by the ftl_loadgen CLI and the serve benchmark.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftl/serve/json.hpp"
+
+namespace ftl::serve {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 4;  ///< concurrent client connections
+  std::size_t requests = 1000;  ///< total requests across all connections
+  std::vector<std::string> mix;  ///< request lines, cycled round-robin
+};
+
+struct LoadgenReport {
+  std::size_t sent = 0;
+  std::size_t ok = 0;      ///< responses with "ok": true
+  std::size_t errors = 0;  ///< protocol errors or transport failures
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  JsonValue to_json() const;
+  std::string to_string() const;  ///< human-readable summary block
+};
+
+/// Runs the load; throws ftl::Error when options are empty/invalid or no
+/// connection can be established.
+LoadgenReport run_loadgen(const LoadgenOptions& options);
+
+}  // namespace ftl::serve

@@ -1,0 +1,213 @@
+#include "ftl/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::serve {
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Service& service;
+  ServerOptions opts;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::thread accept_thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+
+  std::mutex conns_m;
+  std::list<Connection> conns;  // stable addresses for the threads
+
+  Impl(Service& svc, ServerOptions options)
+      : service(svc), opts(options) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd);
+      throw Error("bind(port " + std::to_string(opts.port) + "): " + err);
+    }
+    if (::listen(listen_fd, opts.backlog) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd);
+      throw Error("listen(): " + err);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port = ntohs(addr.sin_port);
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  void accept_loop() {
+    while (!stopping.load()) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listening socket shut down (stop()) or fatal error
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      reap_finished();
+      std::lock_guard<std::mutex> lock(conns_m);
+      if (stopping.load()) {
+        ::close(fd);
+        break;
+      }
+      Connection& conn = conns.emplace_back();
+      conn.fd = fd;
+      conn.thread = std::thread([this, &conn] { connection_loop(conn); });
+    }
+  }
+
+  void connection_loop(Connection& conn) {
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF, error, or shutdown(fd)
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      const auto too_long = [&] {
+        const std::string err =
+            "{\"ok\":false,\"error\":\"bad_request\","
+            "\"message\":\"request line too long\"}\n";
+        write_all(conn.fd, err.data(), err.size());
+        open = false;
+      };
+      if (buffer.size() > opts.max_line && buffer.find('\n') == std::string::npos) {
+        too_long();
+        break;
+      }
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t eol = buffer.find('\n', start);
+        if (eol == std::string::npos) break;
+        std::string line = buffer.substr(start, eol - start);
+        start = eol + 1;
+        if (line.size() > opts.max_line) {
+          too_long();
+          break;
+        }
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        std::string response = service.submit(std::move(line)).get();
+        response += '\n';
+        if (!write_all(conn.fd, response.data(), response.size())) {
+          open = false;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+    }
+    conn.done.store(true);
+  }
+
+  /// Joins and discards connections whose loop has ended (called from the
+  /// accept thread so an idle long-lived server does not accumulate fds).
+  void reap_finished() {
+    std::lock_guard<std::mutex> lock(conns_m);
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done.load()) {
+        it->thread.join();
+        ::close(it->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+Server::Server(Service& service, ServerOptions options)
+    : impl_(new Impl(service, options)) {}
+
+Server::~Server() { stop(); }
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::start() {
+  if (impl_->started.exchange(true)) return;
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+void Server::stop() {
+  Impl& impl = *impl_;
+  if (impl.stopped.exchange(true)) return;
+  impl.stopping.store(true);
+  // Unblock accept(); the loop then observes `stopping` and exits.
+  ::shutdown(impl.listen_fd, SHUT_RDWR);
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(impl.conns_m);
+    for (Impl::Connection& conn : impl.conns) {
+      ::shutdown(conn.fd, SHUT_RDWR);  // recv() returns; in-flight request
+                                       // still completes and is answered
+    }
+  }
+  for (Impl::Connection& conn : impl.conns) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
+  }
+  impl.conns.clear();
+  impl.service.drain();
+}
+
+bool Server::stop_requested() const {
+  return impl_->stopping.load() || impl_->service.shutdown_requested();
+}
+
+void Server::wait(const std::atomic<bool>* interrupt) const {
+  while (!stop_requested() && (interrupt == nullptr || !interrupt->load())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace ftl::serve

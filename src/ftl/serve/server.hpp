@@ -1,0 +1,58 @@
+#pragma once
+// POSIX TCP front-end for the Service: accepts connections on a listening
+// socket, reads newline-delimited JSON requests, pushes them through the
+// Service's admission queue, and writes one response line per request (in
+// request order per connection; concurrency comes from concurrent
+// connections sharing the worker pool).
+//
+// Lifecycle: the constructor binds and listens (port 0 picks an ephemeral
+// port, reported by port()); start() launches the accept loop; stop() is the
+// graceful drain — stop accepting, shut down the per-connection sockets,
+// join their threads, then Service::drain() finishes in-flight requests.
+
+#include <atomic>
+#include <memory>
+
+#include "ftl/serve/service.hpp"
+
+namespace ftl::serve {
+
+struct ServerOptions {
+  int port = 0;          ///< TCP port; 0 = ephemeral (see Server::port())
+  int backlog = 64;      ///< listen(2) backlog
+  std::size_t max_line = 1 << 20;  ///< request line cap; longer closes the
+                                   ///< connection after an error response
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1:port; throws ftl::Error on failure.
+  Server(Service& service, ServerOptions options = {});
+  ~Server();  ///< stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with port 0).
+  int port() const;
+
+  /// Launches the accept loop; returns immediately.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain connections and the Service.
+  /// Idempotent; safe to call while connections are active.
+  void stop();
+
+  /// True once stop() ran or a client served a "shutdown" request.
+  bool stop_requested() const;
+
+  /// Blocks until stop is requested (shutdown op) or `*interrupt` becomes
+  /// true (e.g. a SIGINT flag); polls at ~50 ms. Does not call stop().
+  void wait(const std::atomic<bool>* interrupt = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftl::serve

@@ -1,0 +1,820 @@
+#include "ftl/serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/bridge/metrics.hpp"
+#include "ftl/designer/designer.hpp"
+#include "ftl/jobs/artifact.hpp"
+#include "ftl/jobs/cache.hpp"
+#include "ftl/jobs/digest.hpp"
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/serve/json.hpp"
+#include "ftl/util/thread_pool.hpp"
+
+namespace ftl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Wall-clock budget of one request, measured from its submission. check()
+/// is called at dequeue and between pipeline stages (parse -> synthesize ->
+/// simulate -> serialize), so an expired request stops at the next stage
+/// boundary instead of holding a worker for its full cost.
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(double budget_ms, Clock::time_point start) {
+    if (budget_ms > 0.0) {
+      limited_ = true;
+      end_ = start + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(budget_ms));
+    }
+  }
+
+  bool expired() const { return limited_ && Clock::now() >= end_; }
+
+  void check(const char* stage) const {
+    if (expired()) throw DeadlineExceeded(stage);
+  }
+
+ private:
+  bool limited_ = false;
+  Clock::time_point end_{};
+};
+
+// ---------------------------------------------------------------------------
+// Request helpers
+
+double require_number(const JsonValue& req, std::string_view key) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw Error("field '" + std::string(key) + "' (number) is required");
+  }
+  return v->as_number();
+}
+
+std::string require_string(const JsonValue& req, std::string_view key) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw Error("field '" + std::string(key) + "' (string) is required");
+  }
+  return v->as_string();
+}
+
+int require_int(const JsonValue& req, std::string_view key, int min_value,
+                int max_value) {
+  const double raw = require_number(req, key);
+  if (raw != std::floor(raw) || raw < min_value || raw > max_value) {
+    throw Error("field '" + std::string(key) + "' must be an integer in [" +
+                std::to_string(min_value) + ", " + std::to_string(max_value) +
+                "]");
+  }
+  return static_cast<int>(raw);
+}
+
+std::vector<std::string> string_array_or(const JsonValue& req,
+                                         std::string_view key) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr || v->is_null()) return {};
+  if (!v->is_array()) {
+    throw Error("field '" + std::string(key) + "' must be an array of strings");
+  }
+  std::vector<std::string> out;
+  for (const JsonValue& item : v->items()) {
+    if (!item.is_string()) {
+      throw Error("field '" + std::string(key) + "' must contain only strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+lattice::CellValue parse_cell(const std::string& token,
+                              const std::vector<std::string>& vars) {
+  if (token == "0") return lattice::CellValue::zero();
+  if (token == "1") return lattice::CellValue::one();
+  std::string name = token;
+  bool positive = true;
+  if (!name.empty() && name.front() == '!') {
+    positive = false;
+    name.erase(name.begin());
+  }
+  if (!name.empty() && name.back() == '\'') {
+    positive = !positive;
+    name.pop_back();
+  }
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == name) {
+      return lattice::CellValue::of(static_cast<int>(i), positive);
+    }
+  }
+  throw Error("cell '" + token + "' names a variable not in 'vars'");
+}
+
+JsonValue lattice_json(const lattice::Lattice& lat) {
+  JsonValue out = JsonValue::object();
+  out.set("rows", JsonValue::number(lat.rows()));
+  out.set("cols", JsonValue::number(lat.cols()));
+  out.set("num_vars", JsonValue::number(lat.num_vars()));
+  JsonValue vars = JsonValue::array();
+  for (const std::string& name : lat.var_names()) vars.push(JsonValue::str(name));
+  out.set("vars", std::move(vars));
+  JsonValue cells = JsonValue::array();
+  for (int r = 0; r < lat.rows(); ++r) {
+    for (int c = 0; c < lat.cols(); ++c) {
+      cells.push(JsonValue::str(lat.at(r, c).to_string(lat.var_names())));
+    }
+  }
+  out.set("cells", std::move(cells));
+  return out;
+}
+
+/// A request either spells out a lattice ("rows"/"cols"/"vars"/"cells") or
+/// names a target function ("expr", optionally "vars"), in which case the
+/// Altun-Riedel construction supplies the lattice. The parsed target table
+/// is returned when it came from an expression (metrics reuses it).
+struct LatticeSpec {
+  lattice::Lattice lat;
+  std::optional<logic::TruthTable> target;
+};
+
+LatticeSpec lattice_from_request(const JsonValue& req) {
+  if (req.find("cells") != nullptr) {
+    const int rows = require_int(req, "rows", 1, 16);
+    const int cols = require_int(req, "cols", 1, 16);
+    std::vector<std::string> vars = string_array_or(req, "vars");
+    if (vars.empty() && req.find("vars") != nullptr) {
+      throw Error("'vars' must be a non-empty array when 'cells' is given");
+    }
+    const JsonValue& cells = *req.find("cells");
+    if (!cells.is_array() ||
+        cells.items().size() != static_cast<std::size_t>(rows * cols)) {
+      throw Error("'cells' must be a row-major array of rows*cols strings");
+    }
+    lattice::Lattice lat(rows, cols, static_cast<int>(vars.size()), vars);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const JsonValue& cell = cells.items()[static_cast<std::size_t>(r * cols + c)];
+        if (!cell.is_string()) throw Error("'cells' entries must be strings");
+        lat.set(r, c, parse_cell(cell.as_string(), vars));
+      }
+    }
+    return {std::move(lat), std::nullopt};
+  }
+  if (req.find("expr") != nullptr) {
+    const logic::ParsedFunction parsed = logic::parse_expression(
+        require_string(req, "expr"), string_array_or(req, "vars"));
+    lattice::Lattice lat =
+        lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
+    return {std::move(lat), parsed.table};
+  }
+  throw Error("request needs either 'expr' or 'rows'/'cols'/'vars'/'cells'");
+}
+
+bridge::MeasureOptions measure_options_from(const JsonValue& req) {
+  bridge::MeasureOptions opts;
+  const double phase_ns = req.number_or("phase_ns", 40.0);
+  const double dt_ns = req.number_or("dt_ns", 0.2);
+  if (!(dt_ns > 0.0) || !(phase_ns >= 4.0 * dt_ns) || phase_ns > 1e6) {
+    throw Error("'phase_ns'/'dt_ns' must satisfy 0 < dt_ns <= phase_ns/4 <= 250000");
+  }
+  opts.phase_time = phase_ns * 1e-9;
+  opts.dt = dt_ns * 1e-9;
+  return opts;
+}
+
+JsonValue metrics_json(const bridge::GateMetrics& m) {
+  JsonValue out = JsonValue::object();
+  out.set("functional", JsonValue::boolean(m.functional));
+  out.set("switch_count", JsonValue::number(m.switch_count));
+  out.set("output_low_max_v", JsonValue::number(m.output_low_max));
+  out.set("output_high_min_v", JsonValue::number(m.output_high_min));
+  out.set("static_power_worst_w", JsonValue::number(m.static_power_worst));
+  out.set("static_power_mean_w", JsonValue::number(m.static_power_mean));
+  out.set("rise_time_s", JsonValue::number(m.rise_time));
+  out.set("fall_time_s", JsonValue::number(m.fall_time));
+  out.set("propagation_delay_s", JsonValue::number(m.propagation_delay));
+  out.set("max_frequency_hz", JsonValue::number(m.max_frequency));
+  out.set("energy_per_transition_j", JsonValue::number(m.energy_per_transition));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Handlers. Each returns the response body *without* the echoed id, with
+// "op" and "ok" first, so pure-op bodies are cacheable verbatim.
+
+JsonValue body_for(const std::string& op, bool ok = true) {
+  JsonValue body = JsonValue::object();
+  body.set("op", JsonValue::str(op));
+  body.set("ok", JsonValue::boolean(ok));
+  return body;
+}
+
+JsonValue handle_ping(const JsonValue&, const Deadline&) {
+  JsonValue body = body_for("ping");
+  body.set("pong", JsonValue::boolean(true));
+  return body;
+}
+
+JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
+  const logic::ParsedFunction parsed = logic::parse_expression(
+      require_string(req, "expr"), string_array_or(req, "vars"));
+  const std::string method = req.string_or("method", "altun");
+  deadline.check("synthesis");
+
+  std::optional<lattice::Lattice> lat;
+  if (method == "altun") {
+    lat = lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
+  } else if (method == "exhaustive" || method == "search") {
+    const int rows = require_int(req, "rows", 1, 8);
+    const int cols = require_int(req, "cols", 1, 8);
+    lattice::SearchOptions search;
+    search.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+    if (method == "exhaustive") {
+      lat = lattice::exhaustive_synthesis(parsed.table, rows, cols, search,
+                                          parsed.var_names);
+    } else {
+      lat = lattice::local_search_synthesis(parsed.table, rows, cols, search,
+                                            parsed.var_names);
+    }
+  } else {
+    throw Error("unknown method '" + method +
+                "' (expected altun, exhaustive, or search)");
+  }
+  deadline.check("serialization");
+
+  JsonValue body = body_for("synth");
+  body.set("method", JsonValue::str(method));
+  body.set("found", JsonValue::boolean(lat.has_value()));
+  if (lat) {
+    body.set("lattice", lattice_json(*lat));
+    body.set("switch_count", JsonValue::number(lat->rows() * lat->cols()));
+    body.set("paths", JsonValue::number(static_cast<double>(
+                          lattice::count_products(lat->rows(), lat->cols()))));
+    body.set("realizes", JsonValue::boolean(lattice::realizes(*lat, parsed.table)));
+  }
+  return body;
+}
+
+JsonValue handle_eval(const JsonValue& req, const Deadline& deadline) {
+  LatticeSpec spec = lattice_from_request(req);
+  const lattice::Lattice& lat = spec.lat;
+  deadline.check("evaluation");
+
+  JsonValue body = body_for("eval");
+  body.set("rows", JsonValue::number(lat.rows()));
+  body.set("cols", JsonValue::number(lat.cols()));
+  body.set("num_vars", JsonValue::number(lat.num_vars()));
+
+  const JsonValue* assignments = req.find("assignments");
+  if (assignments != nullptr) {
+    if (!assignments->is_array()) {
+      throw Error("'assignments' must be an array of minterm indices");
+    }
+    const double limit =
+        lat.num_vars() >= 63 ? 9e18 : std::ldexp(1.0, lat.num_vars());
+    JsonValue outputs = JsonValue::array();
+    for (const JsonValue& a : assignments->items()) {
+      if (!a.is_number() || a.as_number() != std::floor(a.as_number()) ||
+          a.as_number() < 0.0 || a.as_number() >= limit) {
+        throw Error("'assignments' entries must be integers in [0, 2^num_vars)");
+      }
+      outputs.push(JsonValue::number(
+          lat.evaluate(static_cast<std::uint64_t>(a.as_number())) ? 1 : 0));
+    }
+    body.set("outputs", std::move(outputs));
+  } else {
+    if (lat.num_vars() > 16) {
+      throw Error("full truth-table eval needs num_vars <= 16; pass 'assignments'");
+    }
+    const logic::TruthTable table = lattice::realized_truth_table(lat);
+    deadline.check("serialization");
+    body.set("minterms", JsonValue::number(static_cast<double>(table.num_minterms())));
+    body.set("ones", JsonValue::number(static_cast<double>(table.count_ones())));
+    if (lat.num_vars() <= 12) {
+      JsonValue on_set = JsonValue::array();
+      for (std::uint64_t m = 0; m < table.num_minterms(); ++m) {
+        if (table.get(m)) on_set.push(JsonValue::number(static_cast<double>(m)));
+      }
+      body.set("on_set", std::move(on_set));
+    }
+  }
+  if (req.bool_or("sop", false)) {
+    if (lat.cell_count() > 12) {
+      throw Error("'sop' rendering is limited to lattices of <= 12 cells");
+    }
+    deadline.check("sop");
+    body.set("sop", JsonValue::str(
+                        lattice::realized_sop(lat).to_string(lat.var_names())));
+  }
+  return body;
+}
+
+JsonValue handle_paths(const JsonValue& req, const Deadline& deadline) {
+  const int rows = require_int(req, "rows", 1, 12);
+  const int cols = require_int(req, "cols", 1, 12);
+  const int list_limit = req.find("list_limit") != nullptr
+                             ? require_int(req, "list_limit", 0, 10000)
+                             : 0;
+  deadline.check("enumeration");
+
+  JsonValue body = body_for("paths");
+  body.set("rows", JsonValue::number(rows));
+  body.set("cols", JsonValue::number(cols));
+  body.set("count", JsonValue::number(
+                        static_cast<double>(lattice::count_products(rows, cols))));
+  if (list_limit > 0) {
+    JsonValue paths = JsonValue::array();
+    lattice::enumerate_products(
+        rows, cols,
+        [&](const std::vector<int>& cells) {
+          JsonValue path = JsonValue::array();
+          for (const int cell : cells) path.push(JsonValue::number(cell));
+          paths.push(std::move(path));
+        },
+        static_cast<std::uint64_t>(list_limit));
+    body.set("paths", std::move(paths));
+  }
+  return body;
+}
+
+JsonValue handle_metrics(const JsonValue& req, const Deadline& deadline) {
+  LatticeSpec spec = lattice_from_request(req);
+  if (spec.lat.num_vars() > 6) {
+    throw Error("metrics characterization needs num_vars <= 6");
+  }
+  const bridge::MeasureOptions opts = measure_options_from(req);
+  deadline.check("target function");
+  const logic::TruthTable target =
+      spec.target ? *spec.target : lattice::realized_truth_table(spec.lat);
+  deadline.check("simulation");
+  const bridge::GateMetrics metrics =
+      bridge::measure_resistor_gate(spec.lat, target, opts);
+  deadline.check("serialization");
+
+  JsonValue body = body_for("metrics");
+  body.set("rows", JsonValue::number(spec.lat.rows()));
+  body.set("cols", JsonValue::number(spec.lat.cols()));
+  body.set("metrics", metrics_json(metrics));
+  return body;
+}
+
+JsonValue handle_explore(const JsonValue& req, const Deadline& deadline) {
+  const logic::ParsedFunction parsed = logic::parse_expression(
+      require_string(req, "expr"), string_array_or(req, "vars"));
+
+  designer::DesignOptions options;
+  options.try_smaller_lattices = req.bool_or("try_smaller", true);
+  options.include_complementary = req.bool_or("complementary", true);
+  options.max_search_cells = req.find("max_cells") != nullptr
+                                 ? require_int(req, "max_cells", 1, 16)
+                                 : options.max_search_cells;
+  options.search_seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+  options.measure = measure_options_from(req);
+
+  designer::DesignWeights weights;
+  if (const JsonValue* w = req.find("weights")) {
+    weights.area = w->number_or("area", weights.area);
+    weights.delay = w->number_or("delay", weights.delay);
+    weights.static_power = w->number_or("power", weights.static_power);
+    weights.energy = w->number_or("energy", weights.energy);
+  }
+  deadline.check("exploration");
+
+  const std::vector<designer::CandidateDesign> candidates =
+      designer::explore_designs(parsed.table, parsed.var_names, options);
+  deadline.check("serialization");
+
+  JsonValue body = body_for("explore");
+  JsonValue list = JsonValue::array();
+  for (const designer::CandidateDesign& c : candidates) {
+    JsonValue entry = JsonValue::object();
+    entry.set("method", JsonValue::str(c.method));
+    entry.set("rows", JsonValue::number(c.pulldown.rows()));
+    entry.set("cols", JsonValue::number(c.pulldown.cols()));
+    entry.set("complementary", JsonValue::boolean(c.is_complementary()));
+    entry.set("metrics", metrics_json(c.metrics));
+    list.push(std::move(entry));
+  }
+  body.set("candidates", std::move(list));
+  long best = -1;
+  try {
+    best = static_cast<long>(designer::pick_best(candidates, weights));
+  } catch (const Error&) {
+    // No functional candidate; best stays -1.
+  }
+  body.set("best", JsonValue::number(static_cast<double>(best)));
+  return body;
+}
+
+JsonValue handle_sleep(const JsonValue& req, const Deadline& deadline) {
+  const double ms = std::clamp(req.number_or("ms", 0.0), 0.0, 10000.0);
+  const Clock::time_point end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  // Sleep in slices so a mid-request deadline fires promptly.
+  while (Clock::now() < end) {
+    deadline.check("sleep");
+    const auto remaining = end - Clock::now();
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(remaining, std::chrono::milliseconds(5)));
+  }
+  deadline.check("sleep");
+  JsonValue body = body_for("sleep");
+  body.set("slept_ms", JsonValue::number(ms));
+  return body;
+}
+
+bool is_pure_op(const std::string& op) {
+  return op == "synth" || op == "eval" || op == "paths" || op == "metrics" ||
+         op == "explore";
+}
+
+/// Canonical parameter rendering for the cache key: the request object with
+/// the volatile fields (id, deadline_ms) stripped, dumped in member order.
+std::string canonical_params(const JsonValue& req) {
+  JsonValue canon = JsonValue::object();
+  for (const auto& [key, value] : req.members()) {
+    if (key == "id" || key == "deadline_ms") continue;
+    canon.set(key, value);
+  }
+  return canon.dump();
+}
+
+std::string make_error_body(const std::string& op, const std::string& code,
+                            const std::string& message) {
+  JsonValue body = body_for(op.empty() ? "?" : op, false);
+  body.set("error", JsonValue::str(code));
+  body.set("message", JsonValue::str(message));
+  return body.dump();
+}
+
+/// Prefixes the echoed id onto a cached/computed body ("{...}" ->
+/// "{"id":...,...}") without reparsing it.
+std::string splice_id(const JsonValue* id, const std::string& body) {
+  if (id == nullptr) return body;
+  std::string out = "{\"id\":" + id->dump() + ",";
+  out += std::string_view(body).substr(1);
+  return out;
+}
+
+std::uint64_t thread_hash() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+struct Service::Impl {
+  explicit Impl(ServiceOptions opts_in)
+      : opts(std::move(opts_in)),
+        // ThreadPool counts the caller as a worker; +1 yields `workers`
+        // dedicated background threads for submitted requests.
+        pool(std::max<std::size_t>(opts.workers, 1) + 1),
+        t0(Clock::now()) {
+    if (!opts.cache_dir.empty()) {
+      disk = std::make_unique<jobs::ResultCache>(opts.cache_dir);
+    }
+  }
+
+  struct Executed {
+    std::string response;   ///< full response line (id spliced in)
+    std::string op = "?";   ///< "?" when the request never named one
+    std::string status;    ///< protocol outcome string
+    bool cache_hit = false;
+    std::uint64_t key = 0;  ///< cache key; 0 for impure ops
+  };
+
+  /// Runs one parsed request. Never throws.
+  Executed execute(const JsonValue& req, const Deadline& deadline) {
+    Executed out;
+    const JsonValue* id = req.find("id");
+    try {
+      out.op = require_string(req, "op");
+      std::uint64_t key = 0;
+      if (opts.cache && is_pure_op(out.op)) {
+        key = jobs::cache_key(out.op, jobs::fnv1a64(canonical_params(req)), {});
+        out.key = key;
+        if (std::optional<std::string> body = cache_load(out.op, key)) {
+          out.cache_hit = true;
+          out.status = "ok";
+          out.response = splice_id(id, *body);
+          return out;
+        }
+      }
+      const std::string body = dispatch(out.op, req, deadline).dump();
+      if (key != 0) cache_store(out.op, key, body);
+      out.status = "ok";
+      out.response = splice_id(id, body);
+    } catch (const DeadlineExceeded& e) {
+      out.status = "deadline_exceeded";
+      out.response = splice_id(id, make_error_body(out.op, out.status, e.what()));
+    } catch (const Error& e) {
+      out.status = "bad_request";
+      out.response = splice_id(id, make_error_body(out.op, out.status, e.what()));
+    } catch (const std::exception& e) {
+      out.status = "internal";
+      out.response = splice_id(id, make_error_body(out.op, out.status, e.what()));
+    }
+    return out;
+  }
+
+  JsonValue dispatch(const std::string& op, const JsonValue& req,
+                     const Deadline& deadline) {
+    if (op == "ping") return handle_ping(req, deadline);
+    if (op == "synth") return handle_synth(req, deadline);
+    if (op == "eval") return handle_eval(req, deadline);
+    if (op == "paths") return handle_paths(req, deadline);
+    if (op == "metrics") return handle_metrics(req, deadline);
+    if (op == "explore") return handle_explore(req, deadline);
+    if (op == "sleep") return handle_sleep(req, deadline);
+    if (op == "stats") return handle_stats();
+    if (op == "shutdown") {
+      shutdown.store(true);
+      JsonValue body = body_for("shutdown");
+      body.set("draining", JsonValue::boolean(true));
+      return body;
+    }
+    throw Error("unknown op '" + op +
+                "' (expected ping, synth, eval, paths, metrics, explore, "
+                "stats, sleep, or shutdown)");
+  }
+
+  JsonValue handle_stats() {
+    JsonValue body = body_for("stats");
+    body.set("stats", stats.snapshot());
+    JsonValue svc = JsonValue::object();
+    svc.set("workers", JsonValue::number(static_cast<double>(opts.workers)));
+    svc.set("queue_depth_limit",
+            JsonValue::number(static_cast<double>(opts.queue_depth)));
+    svc.set("in_flight", JsonValue::number(static_cast<double>(inflight.load())));
+    svc.set("pending", JsonValue::number(static_cast<double>(pending.load())));
+    svc.set("pool_queue",
+            JsonValue::number(static_cast<double>(pool.queue_depth())));
+    svc.set("pool_active",
+            JsonValue::number(static_cast<double>(pool.active_tasks())));
+    svc.set("draining", JsonValue::boolean(draining.load()));
+    body.set("service", std::move(svc));
+    return body;
+  }
+
+  // Artifact notes must stay comma/newline-free (their serialization is
+  // CSV), so response bodies are percent-encoded on the way to disk.
+  static std::string encode_note(const std::string& body) {
+    std::string out;
+    out.reserve(body.size());
+    for (const char c : body) {
+      switch (c) {
+        case '%': out += "%25"; break;
+        case ',': out += "%2C"; break;
+        case '\n': out += "%0A"; break;
+        case '\r': out += "%0D"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string decode_note(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '%' && i + 2 < text.size()) {
+        const std::string hex = text.substr(i + 1, 2);
+        if (hex == "25") { out += '%'; i += 2; continue; }
+        if (hex == "2C") { out += ','; i += 2; continue; }
+        if (hex == "0A") { out += '\n'; i += 2; continue; }
+        if (hex == "0D") { out += '\r'; i += 2; continue; }
+      }
+      out += text[i];
+    }
+    return out;
+  }
+
+  std::optional<std::string> cache_load(const std::string& op,
+                                        std::uint64_t key) {
+    {
+      std::lock_guard<std::mutex> lock(memo_m);
+      const auto it = memo.find(key);
+      if (it != memo.end()) return it->second;
+    }
+    if (disk) {
+      if (std::optional<jobs::Artifact> art = disk->load(op, key)) {
+        const auto it = art->notes.find("response");
+        if (it != art->notes.end()) {
+          std::string body = decode_note(it->second);
+          std::lock_guard<std::mutex> lock(memo_m);
+          memo.emplace(key, body);
+          return body;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  void cache_store(const std::string& op, std::uint64_t key,
+                   const std::string& body) {
+    {
+      std::lock_guard<std::mutex> lock(memo_m);
+      memo.emplace(key, body);
+    }
+    if (disk) {
+      try {
+        jobs::Artifact art;
+        art.notes["response"] = encode_note(body);
+        disk->store(op, key, art);
+      } catch (const std::exception&) {
+        // A full or read-only disk must not fail the request; the response
+        // simply is not warm across restarts.
+      }
+    }
+  }
+
+  void finish(const Executed& done, Clock::time_point t_start) {
+    const double wall_ms = ms_between(t_start, Clock::now());
+    stats.record(done.op, done.status, wall_ms * 1000.0, done.cache_hit);
+    if (opts.access_log != nullptr) {
+      jobs::Event ev;
+      ev.type = "request";
+      ev.job = done.op;
+      ev.detail = done.status;
+      ev.t_ms = ms_between(t0, t_start);
+      ev.wall_ms = wall_ms;
+      ev.thread = thread_hash();
+      if (done.key != 0) ev.cache_key = jobs::digest_hex(done.key);
+      if (done.cache_hit) ev.counters["cache_hit"] = 1.0;
+      opts.access_log->emit(ev);
+    }
+  }
+
+  /// Wraps a ready response in a satisfied future (rejections, drain).
+  static std::future<std::string> ready(std::string response) {
+    std::promise<std::string> p;
+    p.set_value(std::move(response));
+    return p.get_future();
+  }
+
+  ServiceOptions opts;
+  util::ThreadPool pool;
+  std::unique_ptr<jobs::ResultCache> disk;
+
+  std::mutex memo_m;
+  std::unordered_map<std::uint64_t, std::string> memo;
+
+  StatsRegistry stats;
+  std::atomic<bool> draining{false};
+  std::atomic<bool> shutdown{false};
+  std::atomic<std::size_t> pending{0};   // admitted, not yet started
+  std::atomic<std::size_t> inflight{0};  // admitted, not yet completed
+  std::mutex drain_m;
+  std::condition_variable drain_cv;
+  Clock::time_point t0;
+};
+
+Service::Service(ServiceOptions options) : impl_(new Impl(std::move(options))) {}
+
+Service::~Service() { drain(); }
+
+std::string Service::handle_now(const std::string& line) {
+  const Clock::time_point t_start = Clock::now();
+  JsonValue req;
+  try {
+    req = JsonValue::parse(line);
+    if (!req.is_object()) throw Error("request must be a JSON object");
+  } catch (const std::exception& e) {
+    const Impl::Executed done{make_error_body("?", "bad_request", e.what()),
+                              "?", "bad_request", false, 0};
+    impl_->finish(done, t_start);
+    return done.response;
+  }
+  Deadline deadline;
+  Impl::Executed done;
+  try {
+    deadline = Deadline(req.number_or("deadline_ms", 0.0), t_start);
+  } catch (const Error& e) {
+    done = {splice_id(req.find("id"),
+                      make_error_body(req.string_or("op", "?"), "bad_request",
+                                      e.what())),
+            "?", "bad_request", false, 0};
+    impl_->finish(done, t_start);
+    return done.response;
+  }
+  done = impl_->execute(req, deadline);
+  impl_->finish(done, t_start);
+  return done.response;
+}
+
+std::future<std::string> Service::submit(std::string line) {
+  Impl& impl = *impl_;
+  const Clock::time_point t_submit = Clock::now();
+
+  // Parse on the caller so malformed input and rejections answer instantly
+  // and the deadline can be anchored at submission.
+  std::shared_ptr<JsonValue> req;
+  std::string op = "?";
+  const JsonValue* id = nullptr;
+  Deadline deadline;
+  try {
+    req = std::make_shared<JsonValue>(JsonValue::parse(line));
+    if (!req->is_object()) throw Error("request must be a JSON object");
+    op = req->string_or("op", "?");
+    id = req->find("id");
+    deadline = Deadline(req->number_or("deadline_ms", 0.0), t_submit);
+  } catch (const std::exception& e) {
+    const Impl::Executed done{
+        splice_id(id, make_error_body(op, "bad_request", e.what())), op,
+        "bad_request", false, 0};
+    impl.finish(done, t_submit);
+    return Impl::ready(done.response);
+  }
+
+  // Admission: count ourselves in-flight first so a drain that observes the
+  // flag after our check also observes the increment and waits for us.
+  impl.inflight.fetch_add(1);
+  const std::size_t queued = impl.pending.fetch_add(1);
+  const auto reject = [&](const char* code, const char* message) {
+    impl.pending.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lock(impl.drain_m);
+      impl.inflight.fetch_sub(1);
+    }
+    impl.drain_cv.notify_all();
+    const Impl::Executed done{splice_id(id, make_error_body(op, code, message)),
+                              op, code, false, 0};
+    impl.finish(done, t_submit);
+    return Impl::ready(done.response);
+  };
+  if (impl.draining.load()) {
+    return reject("shutting_down", "service is draining; request not admitted");
+  }
+  if (queued >= impl.opts.queue_depth) {
+    return reject("overloaded", "admission queue is full; retry later");
+  }
+
+  return impl.pool.submit([this, req = std::move(req), t_submit, deadline]() {
+    Impl& im = *impl_;
+    im.pending.fetch_sub(1);
+    Impl::Executed done;
+    // Deadline check at dequeue: a request that waited out its budget in
+    // the queue is answered without occupying the worker.
+    if (deadline.expired()) {
+      done = {splice_id(req->find("id"),
+                        make_error_body(req->string_or("op", "?"),
+                                        "deadline_exceeded",
+                                        "deadline expired while queued")),
+              req->string_or("op", "?"),
+              "deadline_exceeded",
+              false,
+              0};
+    } else {
+      done = im.execute(*req, deadline);
+    }
+    im.finish(done, t_submit);
+    {
+      std::lock_guard<std::mutex> lock(im.drain_m);
+      im.inflight.fetch_sub(1);
+    }
+    im.drain_cv.notify_all();
+    return done.response;
+  });
+}
+
+void Service::drain() {
+  Impl& impl = *impl_;
+  impl.draining.store(true);
+  std::unique_lock<std::mutex> lock(impl.drain_m);
+  impl.drain_cv.wait(lock, [&] { return impl.inflight.load() == 0; });
+}
+
+bool Service::draining() const { return impl_->draining.load(); }
+
+bool Service::shutdown_requested() const { return impl_->shutdown.load(); }
+
+std::size_t Service::in_flight() const { return impl_->inflight.load(); }
+
+StatsRegistry& Service::stats() { return impl_->stats; }
+
+const ServiceOptions& Service::options() const { return impl_->opts; }
+
+}  // namespace ftl::serve

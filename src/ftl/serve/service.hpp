@@ -1,0 +1,88 @@
+#pragma once
+// The in-process request engine behind ftl_serve. One Service owns the
+// worker pool, the bounded admission queue, the response cache, and the
+// stats registry; the TCP Server (server.hpp) is a thin byte-shuffling
+// front-end over it, and tests drive the Service directly.
+//
+// Protocol: one JSON object per line. Every request carries "op" plus
+// op-specific parameters; "id" (any JSON scalar) is echoed back verbatim
+// and "deadline_ms" bounds the request's wall time from submission.
+// Responses always carry "op" and "ok"; failures add "error" (one of
+// bad_request, deadline_exceeded, overloaded, shutting_down, internal)
+// and a human-readable "message".
+//
+// Ops: ping, synth, eval, paths, metrics, explore, stats, sleep, shutdown.
+// The pure ops (synth, eval, paths, metrics, explore) are deterministic
+// functions of their parameters, so responses are cached under
+// jobs::cache_key content addresses — in memory always, and on disk when
+// a cache_dir is configured (warm across restarts).
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "ftl/jobs/telemetry.hpp"
+#include "ftl/serve/stats.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::serve {
+
+/// Thrown by request handlers when the request's deadline expires between
+/// pipeline stages; mapped to the "deadline_exceeded" protocol error.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& stage)
+      : Error("deadline exceeded during " + stage) {}
+};
+
+struct ServiceOptions {
+  std::size_t workers = 4;       ///< request worker threads (>= 1)
+  std::size_t queue_depth = 64;  ///< admitted-but-not-started high-water mark
+  std::string cache_dir;         ///< on-disk response cache ("" = memory only)
+  bool cache = true;             ///< serve repeated pure ops from cache
+  jobs::EventSink* access_log = nullptr;  ///< per-request events (not owned)
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();  ///< drains
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Parses and executes one request on the calling thread, bypassing the
+  /// admission queue (workers and tests use this). Never throws: protocol
+  /// and internal errors come back as error responses.
+  std::string handle_now(const std::string& line);
+
+  /// Admission-controlled asynchronous execution. The returned future is
+  /// already satisfied (with an "overloaded" or "shutting_down" error
+  /// response) when the queue is past its high-water mark or the service is
+  /// draining; otherwise the request runs on a worker, with its deadline
+  /// measured from this call and re-checked at dequeue.
+  std::future<std::string> submit(std::string line);
+
+  /// Graceful drain: stop admitting, wait for in-flight requests, flush the
+  /// access log. Idempotent.
+  void drain();
+
+  bool draining() const;
+
+  /// True once a "shutdown" request has been served; the TCP server polls
+  /// this to initiate its own stop.
+  bool shutdown_requested() const;
+
+  /// Requests admitted and not yet completed (queued + executing).
+  std::size_t in_flight() const;
+
+  StatsRegistry& stats();
+  const ServiceOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftl::serve

@@ -1,0 +1,113 @@
+#include "ftl/serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftl::serve {
+
+namespace {
+
+// Mantissa steps per decade; ~14% worst-case bucket width.
+constexpr double kMantissa[7] = {1.0, 1.5, 2.0, 3.0, 4.0, 5.5, 7.5};
+constexpr int kSteps = 7;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() = default;
+
+double LatencyHistogram::upper_bound(int bucket) {
+  const int decade = bucket / kSteps;
+  const int step = bucket % kSteps;
+  const double next =
+      step + 1 < kSteps ? kMantissa[step + 1] : 10.0;  // end of this step
+  return next * std::pow(10.0, decade);
+}
+
+int LatencyHistogram::bucket_for(double us) {
+  if (!(us > 0.0)) return 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (us <= upper_bound(b)) return b;
+  }
+  return kBuckets - 1;
+}
+
+void LatencyHistogram::record(double us) {
+  if (us < 0.0 || !std::isfinite(us)) us = 0.0;
+  ++counts_[bucket_for(us)];
+  if (count_ == 0 || us < min_us_) min_us_ = us;
+  max_us_ = std::max(max_us_, us);
+  sum_us_ += us;
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank over the cumulative bucket counts, then linear
+  // interpolation between the bucket's bounds for a smoother estimate.
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lo = b > 0 ? upper_bound(b - 1) : 0.0;
+      const double hi = std::min(upper_bound(b), max_us_);
+      const double inside =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts_[b]);
+      return lo + (std::max(hi, lo) - lo) * std::clamp(inside, 0.0, 1.0);
+    }
+  }
+  return max_us_;
+}
+
+void StatsRegistry::record(std::string_view op, std::string_view outcome,
+                           double latency_us, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = ops_.find(op);
+  if (it == ops_.end()) it = ops_.emplace(std::string(op), OpStats{}).first;
+  for (OpStats* s : {&it->second, &total_}) {
+    ++s->requests;
+    if (cache_hit) ++s->cache_hits;
+    ++s->outcomes[std::string(outcome)];
+    s->latency.record(latency_us);
+  }
+}
+
+JsonValue StatsRegistry::render(const OpStats& s) {
+  JsonValue out = JsonValue::object();
+  out.set("requests", JsonValue::number(static_cast<double>(s.requests)));
+  out.set("cache_hits", JsonValue::number(static_cast<double>(s.cache_hits)));
+  JsonValue outcomes = JsonValue::object();
+  for (const auto& [name, count] : s.outcomes) {
+    outcomes.set(name, JsonValue::number(static_cast<double>(count)));
+  }
+  out.set("outcomes", std::move(outcomes));
+  JsonValue latency = JsonValue::object();
+  latency.set("mean_us", JsonValue::number(s.latency.mean_us()));
+  latency.set("min_us", JsonValue::number(s.latency.min_us()));
+  latency.set("max_us", JsonValue::number(s.latency.max_us()));
+  latency.set("p50_us", JsonValue::number(s.latency.percentile(50.0)));
+  latency.set("p95_us", JsonValue::number(s.latency.percentile(95.0)));
+  latency.set("p99_us", JsonValue::number(s.latency.percentile(99.0)));
+  out.set("latency", std::move(latency));
+  return out;
+}
+
+JsonValue StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  JsonValue out = JsonValue::object();
+  out.set("total", render(total_));
+  JsonValue ops = JsonValue::object();
+  for (const auto& [name, s] : ops_) ops.set(name, render(s));
+  out.set("ops", std::move(ops));
+  return out;
+}
+
+std::uint64_t StatsRegistry::total_requests() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return total_.requests;
+}
+
+}  // namespace ftl::serve

@@ -1,6 +1,8 @@
 #include "ftl/util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 namespace ftl::util {
@@ -52,6 +54,31 @@ std::string format_double(double v, int significant) {
   os.precision(significant);
   os << v;
   return os.str();
+}
+
+std::optional<long> parse_long(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtol needs NUL termination; the copy also rejects embedded NULs
+  // (strtol would stop at one and report a clean parse of the prefix).
+  const std::string token(text);
+  if (token.size() != text.size()) return std::nullopt;
+  const char first = token[0];
+  if (!(first == '+' || first == '-' || (first >= '0' && first <= '9'))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<long> parse_long_in(std::string_view text, long min_value,
+                                  long max_value) {
+  const std::optional<long> v = parse_long(text);
+  if (!v || *v < min_value || *v > max_value) return std::nullopt;
+  return v;
 }
 
 }  // namespace ftl::util

@@ -1,6 +1,7 @@
 #pragma once
 // Small string utilities shared across the fourterm libraries.
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,15 @@ bool iequals(std::string_view a, std::string_view b);
 
 /// printf-style double formatting with fixed significant digits.
 std::string format_double(double v, int significant = 6);
+
+/// Strict base-10 integer parse of the *entire* token: an optional sign
+/// followed by digits, nothing else (no whitespace, no "0x", no trailing
+/// junk). Disengaged on malformed or out-of-range input — unlike atoi,
+/// which silently turns "banana" into 0.
+std::optional<long> parse_long(std::string_view text);
+
+/// parse_long restricted to [min_value, max_value]; disengaged outside.
+std::optional<long> parse_long_in(std::string_view text, long min_value,
+                                  long max_value);
 
 }  // namespace ftl::util

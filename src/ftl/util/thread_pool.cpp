@@ -52,6 +52,7 @@ struct ThreadPool::Impl {
 
   // Queued single tasks (submit); drained by workers alongside index jobs.
   std::deque<std::function<void()>> tasks;
+  std::atomic<std::size_t> running_tasks{0};  // submit tasks executing now
 
   void run_indices() {
     t_inside_pool_task = true;
@@ -82,7 +83,9 @@ struct ThreadPool::Impl {
         tasks.pop_front();
         lock.unlock();
         t_inside_pool_task = true;
+        ++running_tasks;
         task();  // packaged_task: exceptions land in the caller's future
+        --running_tasks;
         t_inside_pool_task = false;
         continue;
       }
@@ -125,7 +128,9 @@ void ThreadPool::enqueue(std::function<void()> task) {
   // submit from inside a pool task must not wait on workers the caller may
   // itself be occupying.
   if (impl_->workers.empty() || t_inside_pool_task) {
+    ++impl_->running_tasks;
     task();
+    --impl_->running_tasks;
     return;
   }
   {
@@ -136,6 +141,15 @@ void ThreadPool::enqueue(std::function<void()> task) {
 }
 
 std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->tasks.size();
+}
+
+std::size_t ThreadPool::active_tasks() const {
+  return impl_->running_tasks.load(std::memory_order_relaxed);
+}
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {

@@ -29,6 +29,13 @@ class ThreadPool {
   /// Worker count (>= 1; the calling thread also participates in jobs).
   std::size_t size() const;
 
+  /// submit() tasks queued and not yet picked up by a worker. This is the
+  /// admission backlog a service built on the pool reports (and bounds).
+  std::size_t queue_depth() const;
+
+  /// submit() tasks currently executing (inline runs included).
+  std::size_t active_tasks() const;
+
   /// Runs fn(i) for every i in [0, count), fanning indices across the
   /// workers, and blocks until all complete. The first exception thrown by
   /// any task is rethrown here after the job drains. Nested calls from

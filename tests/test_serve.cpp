@@ -1,0 +1,554 @@
+// ftl::serve — protocol round-trips for every op, admission control
+// (overloaded / shutting_down), deadline propagation, graceful drain,
+// response caching, the stats registry, concurrent-vs-serial byte equality,
+// and the TCP server/client pair. Everything runs in-process on ephemeral
+// ports; no external daemon is involved.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftl/jobs/telemetry.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/serve/client.hpp"
+#include "ftl/serve/json.hpp"
+#include "ftl/serve/server.hpp"
+#include "ftl/serve/service.hpp"
+#include "ftl/serve/stats.hpp"
+
+namespace {
+
+using ftl::serve::Client;
+using ftl::serve::JsonValue;
+using ftl::serve::Server;
+using ftl::serve::ServerOptions;
+using ftl::serve::Service;
+using ftl::serve::ServiceOptions;
+using ftl::serve::StatsRegistry;
+
+JsonValue reply(Service& service, const std::string& line) {
+  return JsonValue::parse(service.handle_now(line));
+}
+
+void expect_error(const JsonValue& r, const std::string& code) {
+  EXPECT_FALSE(r.bool_or("ok", true)) << r.dump();
+  const JsonValue* error = r.find("error");
+  ASSERT_NE(error, nullptr) << r.dump();
+  EXPECT_EQ(error->as_string(), code) << r.dump();
+  ASSERT_NE(r.find("message"), nullptr) << r.dump();
+}
+
+// --- stats registry -------------------------------------------------------
+
+TEST(ServeStats, HistogramPercentilesBracketTheData) {
+  ftl::serve::LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min_us(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 1000.0);
+  EXPECT_NEAR(h.mean_us(), 500.5, 1e-9);
+  // Log buckets have ~14% resolution; accept that band around the truth.
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 500.0 * 0.2);
+  EXPECT_NEAR(h.percentile(95.0), 950.0, 950.0 * 0.2);
+  EXPECT_NEAR(h.percentile(99.0), 990.0, 990.0 * 0.2);
+  EXPECT_LE(h.percentile(50.0), h.percentile(95.0));
+  EXPECT_LE(h.percentile(95.0), h.percentile(99.0));
+}
+
+TEST(ServeStats, RegistryRollsUpPerOpAndTotal) {
+  StatsRegistry reg;
+  reg.record("eval", "ok", 100.0, false);
+  reg.record("eval", "ok", 200.0, true);
+  reg.record("synth", "bad_request", 50.0, false);
+  EXPECT_EQ(reg.total_requests(), 3u);
+
+  const JsonValue snap = reg.snapshot();
+  const JsonValue* total = snap.find("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->find("requests")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(total->find("cache_hits")->as_number(), 1.0);
+
+  const JsonValue* ops = snap.find("ops");
+  ASSERT_NE(ops, nullptr);
+  const JsonValue* eval = ops->find("eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_DOUBLE_EQ(eval->find("requests")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(eval->find("outcomes")->find("ok")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      ops->find("synth")->find("outcomes")->find("bad_request")->as_number(),
+      1.0);
+  const JsonValue* latency = eval->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->find("mean_us")->as_number(), 150.0);
+}
+
+// --- protocol round-trips, one per op -------------------------------------
+
+TEST(ServeProtocol, PingEchoesIdVerbatim) {
+  Service service({.workers = 1});
+  const JsonValue r =
+      reply(service, R"({"op":"ping","id":{"seq":7,"tag":"x"}})");
+  EXPECT_TRUE(r.bool_or("ok", false));
+  EXPECT_TRUE(r.find("pong")->as_bool());
+  ASSERT_NE(r.find("id"), nullptr);
+  EXPECT_EQ(r.find("id")->dump(), R"({"seq":7,"tag":"x"})");
+}
+
+TEST(ServeProtocol, SynthAltunRealizesTheTarget) {
+  Service service({.workers = 1});
+  const JsonValue r =
+      reply(service, R"({"op":"synth","expr":"a b + b c + a c"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(r.find("found")->as_bool());
+  EXPECT_TRUE(r.find("realizes")->as_bool());
+  const JsonValue* lat = r.find("lattice");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("rows")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(lat->find("cols")->as_number(), 3.0);
+  EXPECT_EQ(lat->find("cells")->items().size(), 9u);
+}
+
+TEST(ServeProtocol, SynthExhaustiveFindsMinimalAnd) {
+  Service service({.workers = 1});
+  // A 2x1 series pair is the minimal AND lattice.
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth","expr":"a b","method":"exhaustive","rows":2,"cols":1})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(r.find("found")->as_bool());
+  EXPECT_DOUBLE_EQ(r.find("switch_count")->as_number(), 2.0);
+  EXPECT_TRUE(r.find("realizes")->as_bool());
+}
+
+TEST(ServeProtocol, EvalFromExpressionReportsOnSet) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(service, R"({"op":"eval","expr":"a b + b c + a c"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_DOUBLE_EQ(r.find("ones")->as_number(), 4.0);  // majority-of-3
+  const JsonValue* on_set = r.find("on_set");
+  ASSERT_NE(on_set, nullptr);
+  EXPECT_EQ(on_set->dump(), "[3,5,6,7]");
+}
+
+TEST(ServeProtocol, EvalExplicitCellsWithAssignments) {
+  Service service({.workers = 1});
+  // 2x1 series lattice [a; b] realizes AND(a,b).
+  const JsonValue r = reply(service,
+                            R"({"op":"eval","rows":2,"cols":1,)"
+                            R"("vars":["a","b"],"cells":["a","b"],)"
+                            R"("assignments":[0,1,2,3],"sop":true})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_EQ(r.find("outputs")->dump(), "[0,0,0,1]");
+  ASSERT_NE(r.find("sop"), nullptr);
+  EXPECT_NE(r.find("sop")->as_string().find("a"), std::string::npos);
+}
+
+TEST(ServeProtocol, PathsCountsAndLists) {
+  Service service({.workers = 1});
+  const JsonValue r =
+      reply(service, R"({"op":"paths","rows":2,"cols":2,"list_limit":10})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const double count =
+      static_cast<double>(ftl::lattice::count_products(2, 2));
+  EXPECT_DOUBLE_EQ(r.find("count")->as_number(), count);
+  EXPECT_EQ(r.find("paths")->items().size(), static_cast<std::size_t>(count));
+}
+
+TEST(ServeProtocol, MetricsCharacterizesAndGate) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service, R"({"op":"metrics","expr":"a b","phase_ns":20,"dt_ns":0.5})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const JsonValue* metrics = r.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->find("functional")->as_bool());
+  EXPECT_GT(metrics->find("propagation_delay_s")->as_number(), 0.0);
+  EXPECT_GT(metrics->find("max_frequency_hz")->as_number(), 0.0);
+}
+
+TEST(ServeProtocol, ExploreRanksCandidates) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(service,
+                            R"({"op":"explore","expr":"a b","max_cells":4,)"
+                            R"("complementary":false,"phase_ns":20,"dt_ns":0.5})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const JsonValue* candidates = r.find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  ASSERT_FALSE(candidates->items().empty());
+  const double best = r.find("best")->as_number();
+  ASSERT_GE(best, 0.0);
+  EXPECT_TRUE(candidates->items()[static_cast<std::size_t>(best)]
+                  .find("metrics")
+                  ->find("functional")
+                  ->as_bool());
+}
+
+TEST(ServeProtocol, StatsReportsServiceGauges) {
+  Service service({.workers = 2, .queue_depth = 8});
+  reply(service, R"({"op":"ping"})");
+  const JsonValue r = reply(service, R"({"op":"stats"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const JsonValue* svc = r.find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_DOUBLE_EQ(svc->find("workers")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(svc->find("queue_depth_limit")->as_number(), 8.0);
+  EXPECT_FALSE(svc->find("draining")->as_bool());
+  const JsonValue* ops = r.find("stats")->find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_NE(ops->find("ping"), nullptr);
+  EXPECT_DOUBLE_EQ(ops->find("ping")->find("requests")->as_number(), 1.0);
+}
+
+TEST(ServeProtocol, SleepRunsAndReportsDuration) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(service, R"({"op":"sleep","ms":5})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_DOUBLE_EQ(r.find("slept_ms")->as_number(), 5.0);
+}
+
+TEST(ServeProtocol, ShutdownFlagsTheService) {
+  Service service({.workers = 1});
+  EXPECT_FALSE(service.shutdown_requested());
+  const JsonValue r = reply(service, R"({"op":"shutdown"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+// --- protocol errors ------------------------------------------------------
+
+TEST(ServeProtocol, MalformedRequestsAreBadRequests) {
+  Service service({.workers = 1});
+  expect_error(reply(service, "this is not json"), "bad_request");
+  expect_error(reply(service, "[1,2,3]"), "bad_request");  // not an object
+  expect_error(reply(service, R"({"op":"no_such_op"})"), "bad_request");
+  expect_error(reply(service, R"({"op":"synth"})"), "bad_request");  // no expr
+  expect_error(reply(service, R"({"op":"paths","rows":99,"cols":2})"),
+               "bad_request");
+  expect_error(reply(service, R"({"op":"eval","expr":"a b","assignments":[9]})"),
+               "bad_request");
+  // The id still comes back on errors so clients can correlate.
+  const JsonValue r = reply(service, R"({"op":"nope","id":42})");
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 42.0);
+}
+
+TEST(ServeProtocol, DeadlineExpiresMidRequest) {
+  Service service({.workers = 1});
+  const auto start = std::chrono::steady_clock::now();
+  const JsonValue r =
+      reply(service, R"({"op":"sleep","ms":2000,"deadline_ms":30})");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  expect_error(r, "deadline_exceeded");
+  EXPECT_LT(elapsed_ms, 1000.0);  // aborted long before the full sleep
+}
+
+// --- admission control ----------------------------------------------------
+
+// Polls the stats op until the pool reports an executing task, so tests can
+// tell "worker busy" apart from "request still queued".
+void wait_for_active(Service& service, double want) {
+  for (int i = 0; i < 2000; ++i) {
+    const JsonValue r = reply(service, R"({"op":"stats"})");
+    if (r.find("service")->find("pool_active")->as_number() >= want) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "worker never started executing";
+}
+
+TEST(ServeAdmission, QueuePastHighWaterMarkIsRejectedOverloaded) {
+  Service service({.workers = 1, .queue_depth = 2});
+  auto blocker = service.submit(R"({"op":"sleep","ms":400})");
+  wait_for_active(service, 1.0);
+
+  // The single worker is busy: these two occupy the whole admission queue.
+  auto q1 = service.submit(R"({"op":"sleep","ms":0})");
+  auto q2 = service.submit(R"({"op":"sleep","ms":0})");
+
+  auto rejected = service.submit(R"({"op":"ping","id":"over"})");
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);  // rejected synchronously
+  const JsonValue r = JsonValue::parse(rejected.get());
+  expect_error(r, "overloaded");
+  EXPECT_EQ(r.find("id")->as_string(), "over");
+
+  EXPECT_TRUE(JsonValue::parse(blocker.get()).bool_or("ok", false));
+  EXPECT_TRUE(JsonValue::parse(q1.get()).bool_or("ok", false));
+  EXPECT_TRUE(JsonValue::parse(q2.get()).bool_or("ok", false));
+}
+
+TEST(ServeAdmission, DeadlineCheckedAtDequeue) {
+  Service service({.workers = 1, .queue_depth = 8});
+  auto blocker = service.submit(R"({"op":"sleep","ms":300})");
+  wait_for_active(service, 1.0);
+
+  // Queued behind a 300 ms blocker with a 20 ms budget: by the time a worker
+  // picks it up the deadline is gone, and it must not run at all.
+  auto doomed = service.submit(R"({"op":"sleep","ms":0,"deadline_ms":20})");
+  expect_error(JsonValue::parse(doomed.get()), "deadline_exceeded");
+  EXPECT_TRUE(JsonValue::parse(blocker.get()).bool_or("ok", false));
+}
+
+TEST(ServeAdmission, DrainCompletesInFlightThenRejects) {
+  Service service({.workers = 2, .queue_depth = 8});
+  auto slow = service.submit(R"({"op":"sleep","ms":200,"id":"slow"})");
+  wait_for_active(service, 1.0);
+
+  service.drain();  // blocks until the in-flight sleep finishes
+  EXPECT_TRUE(service.draining());
+  EXPECT_EQ(service.in_flight(), 0u);
+  const JsonValue done = JsonValue::parse(slow.get());
+  EXPECT_TRUE(done.bool_or("ok", false)) << done.dump();
+  EXPECT_DOUBLE_EQ(done.find("slept_ms")->as_number(), 200.0);
+
+  auto late = service.submit(R"({"op":"ping"})");
+  expect_error(JsonValue::parse(late.get()), "shutting_down");
+  service.drain();  // idempotent
+}
+
+// --- caching and determinism ----------------------------------------------
+
+TEST(ServeCache, RepeatedPureOpsHitTheCache) {
+  Service service({.workers = 1});
+  const std::string line = R"({"op":"eval","expr":"a b + b c + a c"})";
+  const std::string first = service.handle_now(line);
+  const std::string second = service.handle_now(line);
+  EXPECT_EQ(first, second);  // byte-identical, no cache markers in the body
+
+  const JsonValue snap = service.stats().snapshot();
+  EXPECT_DOUBLE_EQ(
+      snap.find("ops")->find("eval")->find("cache_hits")->as_number(), 1.0);
+}
+
+TEST(ServeCache, DiskCacheSurvivesServiceRestart) {
+  const std::string dir = ::testing::TempDir() + "/ftl_serve_cache_test";
+  const std::string line = R"({"op":"synth","expr":"a b + c d"})";
+  std::string first;
+  {
+    Service service({.workers = 1, .cache_dir = dir});
+    first = service.handle_now(line);
+  }
+  {
+    Service service({.workers = 1, .cache_dir = dir});
+    EXPECT_EQ(service.handle_now(line), first);
+    EXPECT_DOUBLE_EQ(service.stats()
+                         .snapshot()
+                         .find("ops")
+                         ->find("synth")
+                         ->find("cache_hits")
+                         ->as_number(),
+                     1.0);
+  }
+}
+
+TEST(ServeDeterminism, ConcurrentSubmissionsMatchSerialByteForByte) {
+  // The acceptance gate: the same request list must produce byte-identical
+  // responses whether handled one at a time or racing across the pool.
+  std::vector<std::string> requests;
+  const char* exprs[] = {"a b + b c + a c", "a b", "a + b", "a b' + a' b",
+                         "a b c + a' b' c'"};
+  for (int i = 0; i < 40; ++i) {
+    JsonValue req = JsonValue::object();
+    switch (i % 4) {
+      case 0:
+        req.set("op", JsonValue::str("eval"));
+        req.set("expr", JsonValue::str(exprs[i % 5]));
+        break;
+      case 1:
+        req.set("op", JsonValue::str("synth"));
+        req.set("expr", JsonValue::str(exprs[i % 5]));
+        break;
+      case 2:
+        req.set("op", JsonValue::str("paths"));
+        req.set("rows", JsonValue::number(1 + i % 4));
+        req.set("cols", JsonValue::number(1 + (i / 4) % 4));
+        break;
+      case 3:  // deliberate bad_request in the mix
+        req.set("op", JsonValue::str("synth"));
+        break;
+    }
+    req.set("id", JsonValue::number(i));
+    requests.push_back(req.dump());
+  }
+
+  Service serial({.workers = 1, .cache = false});
+  std::vector<std::string> expected;
+  for (const std::string& line : requests) {
+    expected.push_back(serial.handle_now(line));
+  }
+
+  Service concurrent({.workers = 8, .queue_depth = 64, .cache = false});
+  std::vector<std::future<std::string>> futures;
+  for (const std::string& line : requests) {
+    futures.push_back(concurrent.submit(line));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << requests[i];
+  }
+}
+
+// --- access log and the JSONL sink under contention -----------------------
+
+TEST(ServeAccessLog, EmitsOneWellFormedEventPerRequest) {
+  const std::string path = ::testing::TempDir() + "/ftl_serve_access.jsonl";
+  std::remove(path.c_str());
+  {
+    ftl::jobs::JsonlSink sink(path);
+    ServiceOptions options{.workers = 2};
+    options.access_log = &sink;
+    Service service(options);
+    service.handle_now(R"({"op":"ping"})");
+    service.handle_now(R"({"op":"eval","expr":"a b"})");
+    service.handle_now(R"({"op":"eval","expr":"a b"})");  // cache hit
+    service.handle_now(R"({"op":"nope"})");
+    service.drain();
+  }
+  std::ifstream in(path);
+  std::vector<JsonValue> events;
+  std::string line;
+  while (std::getline(in, line)) events.push_back(JsonValue::parse(line));
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].find("job")->as_string(), "ping");
+  EXPECT_EQ(events[1].find("job")->as_string(), "eval");
+  EXPECT_EQ(events[3].find("detail")->as_string(), "bad_request");
+  // The cache hit is visible in the log (never in the response body).
+  EXPECT_DOUBLE_EQ(
+      events[2].find("counters")->find("cache_hit")->as_number(), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(JobsTelemetry, ConcurrentJsonlEmitKeepsLinesIntact) {
+  const std::string path = ::testing::TempDir() + "/ftl_jsonl_race.jsonl";
+  std::remove(path.c_str());
+  const int kThreads = 8;
+  const int kEvents = 200;
+  {
+    ftl::jobs::JsonlSink sink(path);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kEvents; ++i) {
+          ftl::jobs::Event ev;
+          ev.type = "job_finish";
+          ev.job = "writer-" + std::to_string(t);
+          ev.detail = "succeeded";
+          ev.attempt = i;
+          ev.counters["i"] = static_cast<double>(i);
+          sink.emit(ev);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  int per_thread[kThreads] = {};
+  while (std::getline(in, line)) {
+    ++lines;
+    // Interleaved writes would corrupt a line; every one must parse whole.
+    const JsonValue ev = JsonValue::parse(line);
+    ASSERT_TRUE(ev.is_object()) << line;
+    const std::string job = ev.find("job")->as_string();
+    ++per_thread[std::stoi(job.substr(job.find('-') + 1))];
+  }
+  EXPECT_EQ(lines, kThreads * kEvents);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kEvents);
+  std::remove(path.c_str());
+}
+
+// --- TCP server and client ------------------------------------------------
+
+TEST(ServeTcp, RoundTripOverARealSocket) {
+  Service service({.workers = 2});
+  Server server(service, ServerOptions{.port = 0});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Client client("127.0.0.1", server.port());
+  JsonValue ping = JsonValue::object();
+  ping.set("op", JsonValue::str("ping"));
+  ping.set("id", JsonValue::number(1));
+  const JsonValue pong = client.call(ping);
+  EXPECT_TRUE(pong.bool_or("ok", false)) << pong.dump();
+  EXPECT_TRUE(pong.find("pong")->as_bool());
+
+  // Several requests down one connection, answered in order.
+  const std::string synth_line = R"({"op":"synth","expr":"a b + b c + a c"})";
+  const std::string first = client.call_line(synth_line);
+  EXPECT_EQ(client.call_line(synth_line), first);
+  const JsonValue synth = JsonValue::parse(first);
+  EXPECT_TRUE(synth.find("realizes")->as_bool());
+
+  server.stop();
+}
+
+TEST(ServeTcp, ConcurrentClientsAllSucceed) {
+  Service service({.workers = 4, .queue_depth = 256});
+  Server server(service, ServerOptions{.port = 0});
+  server.start();
+
+  const int kClients = 4;
+  const int kRequests = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequests; ++i) {
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::str("eval"));
+        req.set("expr", JsonValue::str("a b + b c + a c"));
+        req.set("id", JsonValue::number(c * 1000 + i));
+        const JsonValue r = client.call(req);
+        if (r.bool_or("ok", false) &&
+            r.find("id")->as_number() == c * 1000 + i) {
+          ++ok;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kRequests);
+  EXPECT_GE(service.stats().total_requests(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  server.stop();
+}
+
+TEST(ServeTcp, ShutdownOpStopsTheServer) {
+  Service service({.workers = 1});
+  Server server(service, ServerOptions{.port = 0});
+  server.start();
+  EXPECT_FALSE(server.stop_requested());
+
+  Client client("127.0.0.1", server.port());
+  const std::string r = client.call_line(R"({"op":"shutdown"})");
+  EXPECT_TRUE(JsonValue::parse(r).bool_or("ok", false));
+  EXPECT_TRUE(server.stop_requested());
+  server.wait();  // returns because stop was requested
+  server.stop();
+  EXPECT_TRUE(service.draining());
+}
+
+TEST(ServeTcp, OverlongLineGetsAnErrorThenClose) {
+  Service service({.workers = 1});
+  Server server(service, ServerOptions{.port = 0, .max_line = 256});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  const std::string r =
+      client.call_line(R"({"op":"ping","pad":")" + std::string(1024, 'x') +
+                       R"("})");
+  expect_error(JsonValue::parse(r), "bad_request");
+  server.stop();
+}
+
+}  // namespace

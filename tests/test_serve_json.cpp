@@ -1,0 +1,139 @@
+// serve/json: strict parsing, positioned errors, canonical dumps, and the
+// round-trip guarantees the protocol relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ftl/serve/json.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using ftl::serve::JsonValue;
+using ftl::serve::json_quote;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.25e2").as_number(), 125.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, Containers) {
+  const JsonValue v = JsonValue::parse(R"({"a":[1,2,3],"b":{"c":true}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.0);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->find("c")->as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  // BMP escape, and a surrogate pair (U+1F600).
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("{"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("{'a':1}"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("nul"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("01"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("1 2"), ftl::Error);  // trailing garbage
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\""), ftl::Error);  // lone surrogate
+  EXPECT_THROW(JsonValue::parse("\"\x01\""), ftl::Error);  // raw control char
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  try {
+    JsonValue::parse("{\"a\": nope}");
+    FAIL() << "should have thrown";
+  } catch (const ftl::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, DepthLimitStopsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  for (int i = 0; i < 80; ++i) deep += ']';
+  EXPECT_THROW(JsonValue::parse(deep), ftl::Error);
+  // 32 levels is comfortably inside the 64-level budget.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(JsonDump, CanonicalForms) {
+  EXPECT_EQ(JsonValue::null().dump(), "null");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue::number(3).dump(), "3");  // integral: no exponent
+  EXPECT_EQ(JsonValue::number(-17).dump(), "-17");
+  EXPECT_EQ(JsonValue::str("x\ny").dump(), "\"x\\ny\"");
+  EXPECT_EQ(JsonValue::array().push(JsonValue::number(1)).dump(), "[1]");
+  JsonValue obj = JsonValue::object();
+  obj.set("z", JsonValue::number(1)).set("a", JsonValue::number(2));
+  EXPECT_EQ(obj.dump(), R"({"z":1,"a":2})");  // insertion order kept
+  obj.set("z", JsonValue::number(9));  // replace keeps position
+  EXPECT_EQ(obj.dump(), R"({"z":9,"a":2})");
+}
+
+TEST(JsonDump, RoundTripsBitExactly) {
+  const char* cases[] = {
+      R"({"op":"eval","expr":"a b + c'","id":7})",
+      R"([0.5,1e-300,123456789012345,"\u00e9"])",
+      R"({"nested":{"deep":[[],{}],"f":-0.0078125}})",
+  };
+  for (const char* text : cases) {
+    const JsonValue v = JsonValue::parse(text);
+    EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump()) << text;
+  }
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue::number(1.0 / 0.0).dump(), "null");
+  EXPECT_EQ(JsonValue::number(0.0 / 0.0).dump(), "null");
+}
+
+TEST(JsonAccessors, TypedLookupsWithFallbacks) {
+  const JsonValue v = JsonValue::parse(R"({"n":4,"s":"hi","b":true})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1), 4.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1), -1.0);
+  EXPECT_EQ(v.string_or("s", "x"), "hi");
+  EXPECT_TRUE(v.bool_or("b", false));
+  // Present-but-wrong-type is an error, not a silent fallback.
+  EXPECT_THROW(v.number_or("s", 0), ftl::Error);
+  EXPECT_THROW(v.string_or("n", ""), ftl::Error);
+  EXPECT_THROW(JsonValue::parse("[1]").as_string(), ftl::Error);
+}
+
+TEST(JsonQuote, EscapesControlAndSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+}
+
+TEST(JsonEquality, StructuralComparison) {
+  EXPECT_EQ(JsonValue::parse("[1,2]"), JsonValue::parse("[1, 2]"));
+  EXPECT_FALSE(JsonValue::parse("[1,2]") == JsonValue::parse("[2,1]"));
+  EXPECT_EQ(JsonValue::parse(R"({"a":1})"), JsonValue::parse(R"({ "a" : 1 })"));
+}
+
+}  // namespace

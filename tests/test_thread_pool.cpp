@@ -138,4 +138,50 @@ TEST(ThreadPoolSubmit, GlobalPoolAcceptsSubmit) {
   EXPECT_DOUBLE_EQ(f.get(), 3.5);
 }
 
+TEST(ThreadPoolCounters, IdlePoolReportsZero) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.active_tasks(), 0u);
+}
+
+TEST(ThreadPoolCounters, QueueDepthAndActiveTasksTrackSubmits) {
+  // 2 dedicated workers: block both behind a gate, then stack more tasks so
+  // the backlog is observable through queue_depth().
+  util::ThreadPool pool(3);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<int> started{0};
+
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.submit([&, open] {
+      ++started;
+      open.wait();
+    }));
+  }
+  // Wait until both workers are inside a task.
+  while (started.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(pool.active_tasks(), 2u);
+
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&, open] { open.wait(); }));
+  }
+  EXPECT_EQ(pool.queue_depth(), 4u);
+
+  gate.set_value();
+  for (std::future<void>& f : futures) f.get();
+  // Workers may still be between task() and the counter decrement for an
+  // instant after the future resolves; settle before asserting zero.
+  while (pool.active_tasks() != 0) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolCounters, InlineSubmitCountsAsActiveDuringExecution) {
+  util::ThreadPool pool(1);  // workerless: submit runs inline
+  std::size_t seen = 0;
+  pool.submit([&] { seen = pool.active_tasks(); }).get();
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(pool.active_tasks(), 0u);
+}
+
 }  // namespace

@@ -149,4 +149,32 @@ TEST(Contracts, PassingConditionDoesNotThrow) {
   EXPECT_NO_THROW(FTL_ENSURES(true));
 }
 
+TEST(ParseLong, AcceptsStrictBase10Integers) {
+  EXPECT_EQ(*ftl::util::parse_long("0"), 0);
+  EXPECT_EQ(*ftl::util::parse_long("42"), 42);
+  EXPECT_EQ(*ftl::util::parse_long("-7"), -7);
+  EXPECT_EQ(*ftl::util::parse_long("+13"), 13);
+}
+
+TEST(ParseLong, RejectsWhatAtoiSilentlyZeroes) {
+  // The ftl_run regression: these all atoi() to 0 (or a junk prefix).
+  EXPECT_FALSE(ftl::util::parse_long("banana"));
+  EXPECT_FALSE(ftl::util::parse_long("0x"));
+  EXPECT_FALSE(ftl::util::parse_long("12ab"));
+  EXPECT_FALSE(ftl::util::parse_long(""));
+  EXPECT_FALSE(ftl::util::parse_long(" 42"));
+  EXPECT_FALSE(ftl::util::parse_long("42 "));
+  EXPECT_FALSE(ftl::util::parse_long("4.5"));
+  EXPECT_FALSE(ftl::util::parse_long("-"));
+  EXPECT_FALSE(ftl::util::parse_long("99999999999999999999999999"));
+  EXPECT_FALSE(ftl::util::parse_long(std::string_view("4\0002", 3)));
+}
+
+TEST(ParseLong, RangeRestriction) {
+  EXPECT_EQ(*ftl::util::parse_long_in("8", 1, 16), 8);
+  EXPECT_FALSE(ftl::util::parse_long_in("0", 1, 16));
+  EXPECT_FALSE(ftl::util::parse_long_in("17", 1, 16));
+  EXPECT_EQ(*ftl::util::parse_long_in("16", 1, 16), 16);
+}
+
 }  // namespace
