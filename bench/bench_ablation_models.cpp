@@ -31,14 +31,21 @@ double chain_current_level3(int count, double v, const ftl::fit::Level3Params& b
   type_a.length = 0.35e-6;
   ftl::fit::Level3Params type_b = type_a;
   type_b.length = 0.5e-6;
+  // Built incrementally: `"n" + std::to_string(i)` trips GCC 12's
+  // -Wrestrict false positive (PR 105651) under -O2.
+  const auto numbered = [](const char* prefix, int i) {
+    std::string name = prefix;
+    name += std::to_string(i);
+    return name;
+  };
   for (int i = 0; i < count; ++i) {
-    const std::string n = "n" + std::to_string(i);
-    const std::string s = (i == count - 1) ? "0" : "n" + std::to_string(i + 1);
-    const std::string de = "de" + std::to_string(i);
-    const std::string dw = "dw" + std::to_string(i);
+    const std::string n = numbered("n", i);
+    const std::string s = (i == count - 1) ? "0" : numbered("n", i + 1);
+    const std::string de = numbered("de", i);
+    const std::string dw = numbered("dw", i);
     const auto add = [&](const char* tag, const std::string& a,
                          const std::string& b, const ftl::fit::Level3Params& p) {
-      ckt.add(std::make_unique<Mosfet3>("M" + std::to_string(i) + tag,
+      ckt.add(std::make_unique<Mosfet3>(numbered("M", i) + tag,
                                         ckt.node(a), ckt.node("g"), ckt.node(b),
                                         Circuit::kGround, p));
     };

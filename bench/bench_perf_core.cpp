@@ -187,7 +187,8 @@ void BM_SchedulerEmptyJobThroughput(benchmark::State& state) {
     jobs::JobId prev = -1;
     for (int i = 0; i < n; ++i) {
       jobs::JobDesc d;
-      d.name = "j" + std::to_string(i);
+      d.name = "j";  // incremental append: GCC 12 -Wrestrict FP (PR 105651)
+      d.name += std::to_string(i);
       if (prev >= 0) d.deps = {prev};
       d.fn = [](jobs::JobContext&) { return jobs::Artifact{}; };
       prev = g.add(std::move(d));

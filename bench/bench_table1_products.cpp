@@ -54,7 +54,12 @@ int main() {
               static_cast<unsigned long long>(ftl::lattice::count_products(3, 3)));
   const auto sop = ftl::lattice::grid_function(3, 3);
   std::vector<std::string> names;
-  for (int i = 1; i <= 9; ++i) names.push_back("x" + std::to_string(i));
+  for (int i = 1; i <= 9; ++i) {
+    // Incremental append: GCC 12 -Wrestrict FP (PR 105651).
+    std::string name = "x";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
   std::printf("f3x3 = %s\n", sop.to_string(names).c_str());
   return mismatches == 0 ? 0 : 1;
 }

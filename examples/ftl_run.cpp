@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ftl/check/netlist.hpp"
 #include "ftl/jobs/cache.hpp"
 #include "ftl/jobs/pipeline.hpp"
 #include "ftl/jobs/scheduler.hpp"
@@ -44,6 +45,8 @@ void print_usage() {
       "  targets        job names or prefixes (fig5..fig12, table3,\n"
       "                 tcad_square_hfo2, ...); 'all' or none = whole DAG\n"
       "  --list         print the job graph and exit\n"
+      "  --lint         run the ftl::check static passes over the\n"
+      "                 pipeline-generated bench circuits and exit\n"
       "  --jobs N       parallelism (0 = pool default, 1 = serial)\n"
       "  --cache-dir D  content-addressed result cache (default .ftl-cache)\n"
       "  --no-cache     force a cold run (cache neither read nor written)\n"
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
   run_options.cache_dir = ".ftl-cache";
   std::string events_path;
   bool list_only = false;
+  bool lint_only = false;
 
   const auto next_arg = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(arg, "--list") == 0) {
       list_only = true;
+    } else if (std::strcmp(arg, "--lint") == 0) {
+      lint_only = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       run_options.jobs =
           static_cast<std::size_t>(parse_flag("--jobs", next_arg(i), 0, 4096));
@@ -124,6 +130,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (lint_only) {
+      int exit_code = 0;
+      for (const ftl::jobs::BenchCircuit& bench :
+           ftl::jobs::pipeline_bench_circuits(pipeline_options)) {
+        const ftl::check::Report report =
+            ftl::check::check_circuit(bench.circuit);
+        if (report.clean()) {
+          std::printf("%s: clean\n", bench.name.c_str());
+        } else {
+          std::printf("%s:\n%s", bench.name.c_str(),
+                      report.render_text().c_str());
+        }
+        if (!report.ok()) {
+          exit_code = 1;
+        }
+      }
+      return exit_code;
+    }
     const ftl::jobs::PaperPipeline pipeline =
         ftl::jobs::build_paper_pipeline(pipeline_options);
     if (list_only) {

@@ -1,6 +1,6 @@
 // ftl_serve — the lattice-evaluation daemon.
 //
-//   ftl_serve --port 7440 --workers 8 --queue-depth 128 \
+//   ftl_serve --port 7440 --workers 8 --queue-depth 128
 //             --cache-dir .ftl-serve-cache --access-log access.jsonl
 //
 // Speaks one JSON object per line over TCP (see DESIGN.md §10):

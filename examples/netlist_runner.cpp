@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ftl/check/netlist.hpp"
 #include "ftl/linalg/matrix.hpp"
 #include "ftl/spice/dcsweep.hpp"
 #include "ftl/spice/netlist_parser.hpp"
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!parsed.title.empty()) std::printf("* %s\n", parsed.title.c_str());
+
+  // Static checks run once before the first Newton solve; a deck with
+  // errors (floating nodes, source loops, singular pattern) aborts with the
+  // full diagnostic report instead of a Newton convergence failure.
+  ftl::check::install_presolve_gate(parsed.circuit);
 
   try {
     if (parsed.tran) {

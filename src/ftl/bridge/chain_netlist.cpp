@@ -24,12 +24,18 @@ ChainCircuit build_switch_chain(int count, double supply_voltage,
       out.gate_source, ckt.node("g"), spice::Circuit::kGround,
       spice::Waveform::dc(gate_voltage)));
 
+  // Strings are built incrementally; `"n" + std::to_string(i)` trips GCC 12's
+  // -Wrestrict false positive (PR 105651) under -O2.
+  const auto numbered = [](const char* prefix, int i) {
+    std::string name = prefix;
+    name += std::to_string(i);
+    return name;
+  };
   for (int i = 0; i < count; ++i) {
-    const std::string north = "n" + std::to_string(i);
-    const std::string south = (i == count - 1) ? "0" : "n" + std::to_string(i + 1);
-    add_four_terminal_switch(ckt, "ch" + std::to_string(i),
-                             {north, "de" + std::to_string(i), south,
-                              "dw" + std::to_string(i)},
+    const std::string north = numbered("n", i);
+    const std::string south = (i == count - 1) ? "0" : numbered("n", i + 1);
+    add_four_terminal_switch(ckt, numbered("ch", i),
+                             {north, numbered("de", i), south, numbered("dw", i)},
                              "g", params);
   }
   return out;

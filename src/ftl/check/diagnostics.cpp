@@ -1,0 +1,114 @@
+#include "ftl/check/diagnostics.hpp"
+
+#include <cstdio>
+
+namespace ftl::check {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "note";
+}
+
+void Report::add(std::string rule, Severity severity, std::string object,
+                 std::string message, util::SourceLoc loc) {
+  diagnostics_.push_back({std::move(rule), severity, std::move(object),
+                          std::move(message), loc});
+}
+
+void Report::merge(const Report& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+int Report::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has_at_least(Severity severity) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= severity) return true;
+  }
+  return false;
+}
+
+std::string Report::render_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.loc.valid()) {
+      out += std::to_string(d.loc.line) + ":" + std::to_string(d.loc.column) +
+             ": ";
+    }
+    out += severity_name(d.severity);
+    out += " [" + d.rule + "] " + d.message + "\n";
+  }
+  char summary[96];
+  std::snprintf(summary, sizeof(summary), "%d error%s, %d warning%s, %d note%s\n",
+                errors(), errors() == 1 ? "" : "s", warnings(),
+                warnings() == 1 ? "" : "s", notes(), notes() == 1 ? "" : "s");
+  out += summary;
+  return out;
+}
+
+std::string Report::render_json() const {
+  std::string out = "{\"clean\":";
+  out += clean() ? "true" : "false";
+  out += ",\"errors\":" + std::to_string(errors());
+  out += ",\"warnings\":" + std::to_string(warnings());
+  out += ",\"notes\":" + std::to_string(notes());
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"rule\":\"" + json_escape(d.rule) + "\"";
+    out += ",\"severity\":\"";
+    out += severity_name(d.severity);
+    out += "\",\"object\":\"" + json_escape(d.object) + "\"";
+    out += ",\"message\":\"" + json_escape(d.message) + "\"";
+    if (d.loc.valid()) {
+      out += ",\"line\":" + std::to_string(d.loc.line);
+      out += ",\"column\":" + std::to_string(d.loc.column);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+CheckError::CheckError(Report report)
+    : Error("static checks failed:\n" + report.render_text()),
+      report_(std::move(report)) {}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ftl::check

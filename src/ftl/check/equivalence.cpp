@@ -1,0 +1,135 @@
+#include "ftl/check/equivalence.hpp"
+
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/logic/bdd.hpp"
+
+namespace ftl::check {
+namespace {
+
+using lattice::CellValue;
+using lattice::Lattice;
+using logic::BddManager;
+using logic::BddRef;
+
+/// BDD of the lattice function: OR over irredundant top-bottom paths of the
+/// AND of the path's cell values. Falls back to the semantic truth table
+/// when the path count exceeds the cap.
+BddRef lattice_bdd(BddManager& mgr, const Lattice& lat,
+                   const EquivalenceOptions& options) {
+  if (lattice::count_products(lat.rows(), lat.cols()) > options.max_products) {
+    return mgr.from_truth_table(lattice::realized_truth_table(lat));
+  }
+  // Per-cell value BDDs (row-major), so path products reuse them.
+  std::vector<BddRef> cell(static_cast<std::size_t>(lat.cell_count()),
+                           mgr.zero());
+  for (int r = 0; r < lat.rows(); ++r) {
+    for (int c = 0; c < lat.cols(); ++c) {
+      const CellValue& value = lat.at(r, c);
+      BddRef ref = mgr.zero();
+      switch (value.kind) {
+        case CellValue::Kind::kConst0: ref = mgr.zero(); break;
+        case CellValue::Kind::kConst1: ref = mgr.one(); break;
+        case CellValue::Kind::kLiteral:
+          ref = mgr.variable(value.literal.var);
+          if (!value.literal.positive) ref = mgr.lnot(ref);
+          break;
+      }
+      cell[static_cast<std::size_t>(r) * lat.cols() + c] = ref;
+    }
+  }
+  BddRef f = mgr.zero();
+  lattice::enumerate_products(
+      lat.rows(), lat.cols(), [&](const std::vector<int>& path) {
+        BddRef product = mgr.one();
+        for (const int i : path) {
+          product = mgr.land(product, cell[static_cast<std::size_t>(i)]);
+          if (mgr.is_zero(product)) return;  // const-0 cell kills the path
+        }
+        f = mgr.lor(f, product);
+      });
+  return f;
+}
+
+/// A satisfying minterm of a non-zero BDD, by cofactor descent in variable
+/// order: try var=0 first, take var=1 (and set the bit) when the 0-branch
+/// is empty.
+std::uint64_t any_minterm(BddManager& mgr, BddRef f) {
+  std::uint64_t minterm = 0;
+  for (int v = 0; v < mgr.num_vars(); ++v) {
+    const BddRef low = mgr.cofactor(f, v, false);
+    if (mgr.is_zero(low)) {
+      minterm |= std::uint64_t{1} << v;
+      f = mgr.cofactor(f, v, true);
+    } else {
+      f = low;
+    }
+  }
+  return minterm;
+}
+
+std::string var_name(const Lattice& lat, int v) {
+  if (v < static_cast<int>(lat.var_names().size())) {
+    return lat.var_names()[static_cast<std::size_t>(v)];
+  }
+  std::string out = "x";
+  out += std::to_string(v);
+  return out;
+}
+
+std::string assignment_string(const Lattice& lat, std::uint64_t minterm) {
+  std::string out;
+  for (int v = 0; v < lat.num_vars(); ++v) {
+    if (!out.empty()) out += ' ';
+    out += var_name(lat, v);
+    out += '=';
+    out += (minterm >> v) & 1 ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace
+
+EquivalenceVerdict verify_equivalence(const Lattice& lat,
+                                      const logic::TruthTable& target,
+                                      const EquivalenceOptions& options) {
+  BddManager mgr(lat.num_vars());
+  const BddRef f = lattice_bdd(mgr, lat, options);
+  const BddRef g = mgr.from_truth_table(target);
+  const BddRef diff = mgr.lxor(f, g);
+  EquivalenceVerdict verdict;
+  if (mgr.is_zero(diff)) {
+    verdict.realizes = true;
+    return verdict;
+  }
+  const std::uint64_t minterm = any_minterm(mgr, diff);
+  verdict.counterexample = minterm;
+  verdict.lattice_value = mgr.evaluate(f, minterm);
+  return verdict;
+}
+
+Report check_equivalence(const Lattice& lat, const logic::TruthTable& target,
+                         const EquivalenceOptions& options) {
+  Report report;
+  if (target.num_vars() != lat.num_vars()) {
+    report.add("FTL-E002", Severity::kError, "lattice",
+               "lattice has " + std::to_string(lat.num_vars()) +
+                   " variables but the target function has " +
+                   std::to_string(target.num_vars()));
+    return report;
+  }
+  const EquivalenceVerdict verdict = verify_equivalence(lat, target, options);
+  if (verdict.realizes) return report;
+  const std::uint64_t minterm = *verdict.counterexample;
+  report.add("FTL-E001", Severity::kError, "lattice",
+             "lattice does not realize the target function: at " +
+                 assignment_string(lat, minterm) + " the lattice outputs " +
+                 (verdict.lattice_value ? "1" : "0") + " but the target is " +
+                 (verdict.lattice_value ? "0" : "1"));
+  return report;
+}
+
+}  // namespace ftl::check

@@ -1,0 +1,48 @@
+#pragma once
+// Formal equivalence of a lattice mapping against its target function
+// (FTL-E001/E002), decided on ROBDDs rather than by exhaustive simulation.
+//
+// The lattice function is built as the OR over its irredundant top-bottom
+// path products (§II), each product the AND of the path's cell values; when
+// the path count is too large to enumerate, the builder falls back to the
+// semantic truth table. Non-equivalence comes with a concrete
+// counterexample minterm extracted by cofactor descent on f XOR target.
+
+#include <cstdint>
+#include <optional>
+
+#include "ftl/check/diagnostics.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::check {
+
+struct EquivalenceOptions {
+  /// Path-product cap for the symbolic BDD construction; lattices with more
+  /// irredundant paths use the truth-table fallback.
+  std::uint64_t max_products = 50000;
+};
+
+struct EquivalenceVerdict {
+  bool realizes = false;
+  /// Set when !realizes: an input assignment (bit v = variable v) on which
+  /// the lattice and the target disagree.
+  std::optional<std::uint64_t> counterexample;
+  bool lattice_value = false;  ///< lattice output at the counterexample
+};
+
+/// Decides whether `lat` realizes exactly `target`. Requires matching
+/// variable counts (check_equivalence reports the mismatch as FTL-E002).
+EquivalenceVerdict verify_equivalence(const lattice::Lattice& lat,
+                                      const logic::TruthTable& target,
+                                      const EquivalenceOptions& options = {});
+
+/// Report wrapper: FTL-E002 on variable-count mismatch, FTL-E001 with the
+/// counterexample assignment spelled out (variable names when the lattice
+/// has them) on non-equivalence. An equivalent mapping yields an empty
+/// report.
+Report check_equivalence(const lattice::Lattice& lat,
+                         const logic::TruthTable& target,
+                         const EquivalenceOptions& options = {});
+
+}  // namespace ftl::check

@@ -1,0 +1,181 @@
+#include "ftl/check/lattice.hpp"
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/function.hpp"
+
+namespace ftl::check {
+namespace {
+
+using lattice::CellValue;
+using lattice::Lattice;
+
+std::string var_name(const Lattice& lat, int v) {
+  if (v < static_cast<int>(lat.var_names().size())) {
+    return lat.var_names()[static_cast<std::size_t>(v)];
+  }
+  std::string out = "x";
+  out += std::to_string(v);
+  return out;
+}
+
+std::string cell_id(int row, int col) {
+  std::string out = "(";
+  out += std::to_string(row);
+  out += ',';
+  out += std::to_string(col);
+  out += ')';
+  return out;
+}
+
+/// BFS over non-const0 cells from a set of seed cells; returns the visited
+/// mask (row-major).
+std::vector<char> flood(const Lattice& lat, bool from_top) {
+  const int rows = lat.rows();
+  const int cols = lat.cols();
+  std::vector<char> seen(static_cast<std::size_t>(rows) * cols, 0);
+  std::queue<std::pair<int, int>> frontier;
+  const int seed_row = from_top ? 0 : rows - 1;
+  for (int c = 0; c < cols; ++c) {
+    if (lat.at(seed_row, c).kind == CellValue::Kind::kConst0) continue;
+    seen[static_cast<std::size_t>(seed_row) * cols + c] = 1;
+    frontier.emplace(seed_row, c);
+  }
+  constexpr int kDr[] = {-1, 1, 0, 0};
+  constexpr int kDc[] = {0, 0, -1, 1};
+  while (!frontier.empty()) {
+    const auto [r, c] = frontier.front();
+    frontier.pop();
+    for (int d = 0; d < 4; ++d) {
+      const int nr = r + kDr[d];
+      const int nc = c + kDc[d];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      if (lat.at(nr, nc).kind == CellValue::Kind::kConst0) continue;
+      char& mark = seen[static_cast<std::size_t>(nr) * cols + nc];
+      if (mark) continue;
+      mark = 1;
+      frontier.emplace(nr, nc);
+    }
+  }
+  return seen;
+}
+
+/// Copy of `lat` with one row (axis=0) or column (axis=1) removed.
+Lattice without(const Lattice& lat, int axis, int index) {
+  const int rows = axis == 0 ? lat.rows() - 1 : lat.rows();
+  const int cols = axis == 1 ? lat.cols() - 1 : lat.cols();
+  Lattice out(rows, cols, lat.num_vars(), lat.var_names());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int sr = (axis == 0 && r >= index) ? r + 1 : r;
+      const int sc = (axis == 1 && c >= index) ? c + 1 : c;
+      out.set(r, c, lat.at(sr, sc));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report check_lattice(const Lattice& lat, const LatticeCheckOptions& options) {
+  Report report;
+  const int rows = lat.rows();
+  const int cols = lat.cols();
+  const int num_vars = lat.num_vars();
+
+  // FTL-L003: out-of-range literals. An error — evaluate() would read an
+  // undefined assignment bit.
+  bool literals_ok = true;
+  std::vector<char> var_used(static_cast<std::size_t>(std::max(num_vars, 0)),
+                             0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const CellValue& cell = lat.at(r, c);
+      if (cell.kind != CellValue::Kind::kLiteral) continue;
+      const int var = cell.literal.var;
+      if (var < 0 || var >= num_vars) {
+        literals_ok = false;
+        report.add("FTL-L003", Severity::kError, cell_id(r, c),
+                   "cell " + cell_id(r, c) + " references variable x" +
+                       std::to_string(var) + " outside [0, " +
+                       std::to_string(num_vars) + ")");
+      } else {
+        var_used[static_cast<std::size_t>(var)] = 1;
+      }
+    }
+  }
+
+  // FTL-L002: declared variables never placed on any cell. The realized
+  // function cannot depend on them, which usually means the mapping was
+  // truncated.
+  for (int v = 0; v < num_vars; ++v) {
+    if (var_used[static_cast<std::size_t>(v)]) continue;
+    const std::string name = var_name(lat, v);
+    report.add("FTL-L002", Severity::kWarning, name,
+               "variable '" + name +
+                   "' is declared but placed on no lattice cell");
+  }
+
+  // FTL-L001: switches on no top-to-bottom path. A non-const0 cell must be
+  // reachable from the top row AND the bottom row through non-const0 cells
+  // to ever carry current; otherwise it is dead area.
+  if (rows > 0 && cols > 0) {
+    const std::vector<char> from_top = flood(lat, true);
+    const std::vector<char> from_bottom = flood(lat, false);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (lat.at(r, c).kind == CellValue::Kind::kConst0) continue;
+        const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+        if (from_top[i] && from_bottom[i]) continue;
+        report.add("FTL-L001", Severity::kWarning, cell_id(r, c),
+                   "switch at " + cell_id(r, c) +
+                       " lies on no top-to-bottom path (blocked by "
+                       "constant-0 cells) and can never conduct");
+      }
+    }
+  }
+
+  // Semantic passes need a well-formed, evaluable lattice.
+  if (!options.semantic || !literals_ok || rows == 0 || cols == 0 ||
+      num_vars > options.max_semantic_vars ||
+      num_vars > logic::TruthTable::kMaxVars) {
+    return report;
+  }
+  const logic::TruthTable realized = lattice::realized_truth_table(lat);
+
+  // FTL-L005: constant function. Legal, but a constant needs no lattice.
+  if (realized.is_zero() || realized.is_one()) {
+    report.add("FTL-L005", Severity::kNote, "lattice",
+               std::string("lattice realizes the constant function ") +
+                   (realized.is_one() ? "1" : "0"));
+  }
+
+  // FTL-L004: removable rows/columns — deleting them leaves the realized
+  // function unchanged, so the physical array is larger than the function
+  // needs. A note: padded benches are routinely intentional.
+  if (rows > 1) {
+    for (int r = 0; r < rows; ++r) {
+      if (lattice::realized_truth_table(without(lat, 0, r)) != realized) {
+        continue;
+      }
+      report.add("FTL-L004", Severity::kNote, "row " + std::to_string(r),
+                 "row " + std::to_string(r) +
+                     " can be removed without changing the realized function");
+    }
+  }
+  if (cols > 1) {
+    for (int c = 0; c < cols; ++c) {
+      if (lattice::realized_truth_table(without(lat, 1, c)) != realized) {
+        continue;
+      }
+      report.add("FTL-L004", Severity::kNote, "col " + std::to_string(c),
+                 "column " + std::to_string(c) +
+                     " can be removed without changing the realized function");
+    }
+  }
+  return report;
+}
+
+}  // namespace ftl::check

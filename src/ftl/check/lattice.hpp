@@ -1,0 +1,27 @@
+#pragma once
+// Structural checks on switching lattices (FTL-L001..L005): cells that can
+// never participate in a top-to-bottom path, declared-but-unplaced
+// variables, out-of-range literals, and — on lattices small enough to
+// evaluate semantically — removable rows/columns and constant functions.
+
+#include "ftl/check/diagnostics.hpp"
+#include "ftl/lattice/lattice.hpp"
+
+namespace ftl::check {
+
+struct LatticeCheckOptions {
+  /// Run the semantic passes (FTL-L004 redundant row/column, FTL-L005
+  /// constant function), which evaluate the lattice over all assignments.
+  bool semantic = true;
+  /// Variable-count ceiling for the semantic passes (2^n evaluations per
+  /// candidate); lattices above it get the structural passes only.
+  int max_semantic_vars = 12;
+};
+
+/// Runs the lattice passes. Structural findings are warnings/errors;
+/// semantic redundancy findings are notes (a deliberately padded lattice is
+/// legal — the paper's 3x3 XOR benches carry constant-0 blockers).
+Report check_lattice(const lattice::Lattice& lattice,
+                     const LatticeCheckOptions& options = {});
+
+}  // namespace ftl::check

@@ -1,0 +1,567 @@
+#include "ftl/check/netlist.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "ftl/util/strings.hpp"
+#include "ftl/util/units.hpp"
+
+namespace ftl::check {
+namespace {
+
+using spice::Circuit;
+using spice::DeviceView;
+using util::SourceLoc;
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Union-find over MNA node indices, with slot 0 reserved for ground
+/// (Circuit::kGround is -1, so node i lives in slot i + 1).
+class Dsu {
+ public:
+  explicit Dsu(int size) : parent_(size) {
+    for (int i = 0; i < size; ++i) parent_[i] = i;
+  }
+
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns false when a and b were already connected.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+SourceLoc loc_of(const DeviceLocations* locations, const std::string& name) {
+  if (!locations) return {};
+  const auto it = locations->find(name);
+  return it == locations->end() ? SourceLoc{} : it->second;
+}
+
+/// FTL-N005/N006: per-device value and geometry sanity.
+void check_values(const std::string& name, const DeviceView& view,
+                  const NetlistCheckOptions& options, SourceLoc loc,
+                  Report& report) {
+  switch (view.kind) {
+    case DeviceView::Kind::kResistor:
+      if (view.value <= 0.0) {
+        report.add("FTL-N005", Severity::kError, name,
+                   "resistance of '" + name + "' must be positive (got " +
+                       num(view.value) + " ohm)",
+                   loc);
+      } else if (view.value < options.resistor_min ||
+                 view.value > options.resistor_max) {
+        report.add("FTL-N006", Severity::kWarning, name,
+                   "resistance of '" + name + "' (" + num(view.value) +
+                       " ohm) is outside the plausible band [" +
+                       num(options.resistor_min) + ", " +
+                       num(options.resistor_max) +
+                       "]; missing engineering suffix?",
+                   loc);
+      }
+      break;
+    case DeviceView::Kind::kCapacitor:
+      if (view.value <= 0.0) {
+        report.add("FTL-N005", Severity::kError, name,
+                   "capacitance of '" + name + "' must be positive (got " +
+                       num(view.value) + " F)",
+                   loc);
+      } else if (view.value > options.capacitor_max) {
+        report.add("FTL-N006", Severity::kWarning, name,
+                   "capacitance of '" + name + "' (" + num(view.value) +
+                       " F) exceeds the plausible maximum " +
+                       num(options.capacitor_max) +
+                       "; missing engineering suffix?",
+                   loc);
+      }
+      break;
+    case DeviceView::Kind::kMosfet:
+      if (view.width <= 0.0 || view.length <= 0.0) {
+        report.add("FTL-N005", Severity::kError, name,
+                   "'" + name + "' has non-positive geometry (W=" +
+                       num(view.width) + ", L=" + num(view.length) + ")",
+                   loc);
+      } else if (view.width < options.geometry_min ||
+                 view.width > options.geometry_max ||
+                 view.length < options.geometry_min ||
+                 view.length > options.geometry_max) {
+        report.add("FTL-N006", Severity::kWarning, name,
+                   "'" + name + "' geometry (W=" + num(view.width) + ", L=" +
+                       num(view.length) + ") is outside the plausible band [" +
+                       num(options.geometry_min) + ", " +
+                       num(options.geometry_max) +
+                       "] metres; missing engineering suffix?",
+                   loc);
+      }
+      break;
+    case DeviceView::Kind::kVoltageSource:
+    case DeviceView::Kind::kCurrentSource:
+    case DeviceView::Kind::kOther:
+      break;
+  }
+}
+
+/// Maximum bipartite matching (Kuhn's algorithm) between MNA rows and
+/// columns of the structural pattern. Returns, for each row, the matched
+/// column or -1. O(V*E) on patterns that are a handful of entries per row.
+std::vector<int> match_rows(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> col_match(n, -1);  // column -> row
+  std::vector<int> row_match(n, -1);  // row -> column
+  std::vector<char> visited(n, 0);
+
+  // Iterative DFS augmenting path (recursion depth could reach the unknown
+  // count on long source chains).
+  struct Frame {
+    int row;
+    std::size_t next_edge;
+  };
+  const auto try_augment = [&](int start) -> bool {
+    std::vector<Frame> stack = {{start, 0}};
+    std::vector<std::pair<int, int>> path;  // (row, col) tentative pairs
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      bool advanced = false;
+      while (frame.next_edge < adj[frame.row].size()) {
+        const int col = adj[frame.row][frame.next_edge++];
+        if (visited[col]) continue;
+        visited[col] = 1;
+        if (col_match[col] == -1) {
+          // Free column: commit the whole alternating path.
+          path.emplace_back(frame.row, col);
+          for (const auto& [r, c] : path) {
+            col_match[c] = r;
+            row_match[r] = c;
+          }
+          return true;
+        }
+        path.emplace_back(frame.row, col);
+        stack.push_back({col_match[col], 0});
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+      }
+    }
+    return false;
+  };
+
+  for (int row = 0; row < n; ++row) {
+    if (adj[row].empty()) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    try_augment(row);
+  }
+  return row_match;
+}
+
+}  // namespace
+
+Report check_circuit(const Circuit& circuit, const NetlistCheckOptions& options,
+                     const DeviceLocations* locations) {
+  Report report;
+  const int node_count = circuit.node_count();
+
+  struct Entry {
+    const spice::Device* device;
+    DeviceView view;
+    SourceLoc loc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(circuit.devices().size());
+  bool has_opaque = false;
+  for (const auto& device : circuit.devices()) {
+    Entry entry{device.get(), device->view(), loc_of(locations, device->name())};
+    if (entry.view.kind == DeviceView::Kind::kOther) has_opaque = true;
+    entries.push_back(std::move(entry));
+  }
+
+  // FTL-N004: duplicate component names. Circuit::add accepts duplicates
+  // for programmatic construction; the parser pre-pass catches them by
+  // text, this catches them on assembled circuits.
+  {
+    std::map<std::string, int> name_count;
+    for (const Entry& entry : entries) {
+      if (++name_count[util::to_lower(entry.device->name())] == 2) {
+        report.add("FTL-N004", Severity::kError, entry.device->name(),
+                   "component name '" + entry.device->name() +
+                       "' is used more than once",
+                   entry.loc);
+      }
+    }
+  }
+
+  // FTL-N005/N006.
+  for (const Entry& entry : entries) {
+    check_values(entry.device->name(), entry.view, options, entry.loc, report);
+  }
+
+  // Terminal degrees and a representative device per node, for messages.
+  std::vector<int> degree(node_count, 0);
+  std::vector<const Entry*> touching(node_count, nullptr);
+  for (const Entry& entry : entries) {
+    for (const int n : entry.view.nodes) {
+      if (n < 0 || n >= node_count) continue;
+      ++degree[n];
+      if (!touching[n]) touching[n] = &entry;
+    }
+  }
+
+  // FTL-N001: dangling nodes. A node seen by exactly one device terminal
+  // carries no current and usually marks a typo in a node name. Warning,
+  // not error: a resistor to a probe-only node is legal (if pointless).
+  for (int n = 0; n < node_count; ++n) {
+    if (degree[n] != 1) continue;
+    report.add("FTL-N001", Severity::kWarning, circuit.node_name(n),
+               "node '" + circuit.node_name(n) +
+                   "' is connected to only one device terminal (on '" +
+                   touching[n]->device->name() + "')",
+               touching[n]->loc);
+  }
+
+  // FTL-N002: DC reachability. Union nodes across every DC couple; any
+  // node component not containing ground has a floating DC potential and
+  // the MNA matrix is singular.
+  std::vector<char> no_dc_path(node_count, 0);
+  {
+    Dsu dsu(node_count + 1);
+    for (const Entry& entry : entries) {
+      for (const auto& [a, b] : entry.view.dc_couples) {
+        dsu.unite(a + 1, b + 1);
+      }
+    }
+    const int ground = dsu.find(0);
+    for (int n = 0; n < node_count; ++n) {
+      if (degree[n] == 0) continue;  // never referenced; nothing to solve
+      if (dsu.find(n + 1) == ground) continue;
+      no_dc_path[n] = 1;
+      report.add("FTL-N002", Severity::kError, circuit.node_name(n),
+                 "node '" + circuit.node_name(n) +
+                     "' has no DC path to ground (only capacitors or "
+                     "current sources reach it)",
+                 touching[n] ? touching[n]->loc : SourceLoc{});
+    }
+  }
+
+  // FTL-N003: voltage-source loops. Union over V-source terminal pairs
+  // only; a source whose terminals are already connected closes a loop of
+  // ideal sources, which pins the same potential difference twice.
+  {
+    Dsu dsu(node_count + 1);
+    for (const Entry& entry : entries) {
+      if (entry.view.kind != DeviceView::Kind::kVoltageSource) continue;
+      bool loop = false;
+      for (const auto& [a, b] : entry.view.dc_couples) {
+        if (!dsu.unite(a + 1, b + 1)) loop = true;
+      }
+      if (loop) {
+        report.add("FTL-N003", Severity::kError, entry.device->name(),
+                   "voltage source '" + entry.device->name() +
+                       "' closes a loop of ideal voltage sources",
+                   entry.loc);
+      }
+    }
+  }
+
+  // FTL-N007: symbolic MNA singularity. Build the structural sparsity
+  // pattern from the views (no factorization) and run maximum bipartite
+  // matching; an MNA row that cannot be matched to a pivot column means
+  // the matrix is singular for every numeric value. Skipped when any
+  // device is opaque (its stamps are unknown, so absence of pattern
+  // entries proves nothing) or when a non-source device owns branches
+  // (our offset bookkeeping below assumes V-source branches only).
+  bool branches_understood = true;
+  for (const Entry& entry : entries) {
+    if (entry.device->branch_count() > 0 &&
+        entry.view.kind != DeviceView::Kind::kVoltageSource) {
+      branches_understood = false;
+    }
+  }
+  if (options.structural_singularity && !has_opaque && branches_understood) {
+    // Assign branch offsets locally, mirroring Circuit::prepare_unknowns
+    // (device order), without mutating the circuit.
+    int total = node_count;
+    std::vector<int> branch_of(entries.size(), -1);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].device->branch_count() > 0) {
+        branch_of[i] = total;
+        total += entries[i].device->branch_count();
+      }
+    }
+
+    std::vector<std::set<int>> pattern(total);
+    const auto stamp = [&](int row, int col) {
+      if (row >= 0 && col >= 0) pattern[row].insert(col);
+    };
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const DeviceView& view = entries[i].view;
+      for (const auto& [a, b] : view.dc_couples) {
+        if (view.kind == DeviceView::Kind::kVoltageSource) continue;
+        stamp(a, a);
+        stamp(b, b);
+        stamp(a, b);
+        stamp(b, a);
+      }
+      for (const auto& [row, col] : view.gate_couples) stamp(row, col);
+      if (branch_of[i] >= 0) {
+        const int branch = branch_of[i];
+        for (const auto& [a, b] : view.dc_couples) {
+          stamp(a, branch);
+          stamp(branch, a);
+          stamp(b, branch);
+          stamp(branch, b);
+        }
+      }
+    }
+
+    std::vector<std::vector<int>> adj(total);
+    for (int row = 0; row < total; ++row) {
+      adj[row].assign(pattern[row].begin(), pattern[row].end());
+    }
+    const std::vector<int> row_match = match_rows(adj);
+    for (int row = 0; row < total; ++row) {
+      if (row_match[row] != -1) continue;
+      if (row < node_count) {
+        if (degree[row] == 0) continue;   // unreferenced node, no equation
+        if (no_dc_path[row]) continue;    // already explained by FTL-N002
+        report.add("FTL-N007", Severity::kError, circuit.node_name(row),
+                   "MNA row for node '" + circuit.node_name(row) +
+                       "' cannot be structurally pivoted; the system is "
+                       "symbolically singular",
+                   touching[row] ? touching[row]->loc : SourceLoc{});
+      } else {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          if (branch_of[i] < 0 || row < branch_of[i] ||
+              row >= branch_of[i] + entries[i].device->branch_count()) {
+            continue;
+          }
+          report.add("FTL-N007", Severity::kError, entries[i].device->name(),
+                     "branch equation of '" + entries[i].device->name() +
+                         "' cannot be structurally pivoted; the system is "
+                         "symbolically singular",
+                     entries[i].loc);
+          break;
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+namespace {
+
+/// Mirrors the parser's pass 1 (comment stripping, continuation joining)
+/// so the lexical pre-pass sees the same cards the parser would.
+struct LexCard {
+  SourceLoc loc;
+  std::vector<std::string> tokens;
+};
+
+std::vector<LexCard> lex_cards(const std::string& text) {
+  std::vector<LexCard> cards;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  std::string pending;
+  SourceLoc pending_loc;
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    std::string cleaned = pending;
+    for (char& c : cleaned) {
+      if (c == '(' || c == ')' || c == ',') c = ' ';
+    }
+    cards.push_back({pending_loc, util::split(cleaned, " \t")});
+    pending.clear();
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view v = util::trim(raw);
+    if (const auto semi = v.find(';'); semi != std::string_view::npos) {
+      v = util::trim(v.substr(0, semi));
+    }
+    if (v.empty() || v.front() == '*') continue;
+    const int column = static_cast<int>(v.data() - raw.data()) + 1;
+    if (v.front() == '+') {
+      if (!pending.empty()) {
+        pending += ' ';
+        pending += std::string(v.substr(1));
+      }
+      continue;
+    }
+    flush();
+    pending = std::string(v);
+    pending_loc = {line_no, column};
+  }
+  flush();
+  return cards;
+}
+
+bool is_ground_name(const std::string& name) {
+  return name == "0" || util::iequals(name, "gnd");
+}
+
+/// FTL-N004 (duplicate element names) and FTL-N008 (case-aliased nodes)
+/// found lexically, before the parser gets a chance to throw on them.
+Report lexical_prepass(const std::string& text) {
+  Report report;
+  std::map<std::string, std::pair<std::string, SourceLoc>> element_names;
+  std::map<std::string, std::pair<std::string, SourceLoc>> node_spellings;
+  bool first_card = true;
+  for (const LexCard& card : lex_cards(text)) {
+    if (card.tokens.empty()) continue;
+    const std::string& head = card.tokens[0];
+    if (head[0] == '.') {
+      first_card = false;
+      continue;
+    }
+    const char kind =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(head[0])));
+    const bool looks_like_element =
+        (kind == 'r' || kind == 'c' || kind == 'v' || kind == 'i' ||
+         kind == 'm');
+    if (first_card && !looks_like_element) {
+      first_card = false;  // title line
+      continue;
+    }
+    first_card = false;
+    if (!looks_like_element) continue;  // parser will report FTL-P001
+
+    const auto [it, inserted] = element_names.emplace(
+        util::to_lower(head), std::make_pair(head, card.loc));
+    if (!inserted) {
+      report.add("FTL-N004", Severity::kError, head,
+                 "component name '" + head + "' is used more than once "
+                 "(first defined as '" + it->second.first + "' on line " +
+                     std::to_string(it->second.second.line) + ")",
+                 card.loc);
+    }
+
+    const std::size_t node_tokens = kind == 'm' ? 4 : 2;
+    for (std::size_t i = 1; i <= node_tokens && i < card.tokens.size(); ++i) {
+      const std::string& name = card.tokens[i];
+      if (is_ground_name(name)) continue;
+      const auto [nit, ninserted] = node_spellings.emplace(
+          util::to_lower(name), std::make_pair(name, card.loc));
+      if (!ninserted && nit->second.first != name) {
+        report.add("FTL-N008", Severity::kError, name,
+                   "node '" + name + "' conflicts with earlier spelling '" +
+                       nit->second.first + "' on line " +
+                       std::to_string(nit->second.second.line) +
+                       " (case-insensitive duplicate alias)",
+                   card.loc);
+      }
+    }
+
+    // FTL-N005 for R/C value fields, caught lexically: the parser (and the
+    // device constructors behind it) reject these decks outright, so the
+    // value must be diagnosed before parsing to carry a rule ID and location.
+    if ((kind == 'r' || kind == 'c') && card.tokens.size() >= 4) {
+      const auto value = util::parse_engineering(card.tokens[3]);
+      if (value && *value <= 0.0) {
+        const bool is_r = kind == 'r';
+        std::string message = is_r ? "resistance of '" : "capacitance of '";
+        message += head;
+        message += "' must be positive (got ";
+        message += num(*value);
+        message += is_r ? " ohm)" : " F)";
+        report.add("FTL-N005", Severity::kError, head, std::move(message),
+                   card.loc);
+      }
+    }
+  }
+  return report;
+}
+
+/// Parses "netlist line N[, col C]: message" back into a location, so a
+/// parser throw becomes a located FTL-P001 diagnostic.
+std::pair<SourceLoc, std::string> split_parse_error(const std::string& what) {
+  SourceLoc loc;
+  constexpr std::string_view prefix = "netlist line ";
+  if (what.rfind(prefix, 0) != 0) return {loc, what};
+  std::size_t i = prefix.size();
+  int line = 0;
+  while (i < what.size() && std::isdigit(static_cast<unsigned char>(what[i]))) {
+    line = line * 10 + (what[i] - '0');
+    ++i;
+  }
+  if (line == 0) return {loc, what};
+  loc.line = line;
+  loc.column = 1;
+  constexpr std::string_view col_prefix = ", col ";
+  if (what.compare(i, col_prefix.size(), col_prefix) == 0) {
+    i += col_prefix.size();
+    int column = 0;
+    while (i < what.size() &&
+           std::isdigit(static_cast<unsigned char>(what[i]))) {
+      column = column * 10 + (what[i] - '0');
+      ++i;
+    }
+    if (column > 0) loc.column = column;
+  }
+  constexpr std::string_view sep = ": ";
+  if (what.compare(i, sep.size(), sep) == 0) i += sep.size();
+  return {loc, what.substr(i)};
+}
+
+}  // namespace
+
+NetlistLintResult lint_netlist(const std::string& text,
+                               const NetlistCheckOptions& options) {
+  NetlistLintResult result;
+  result.report = lexical_prepass(text);
+  if (!result.report.ok()) {
+    // The parser would throw on these same cards; the pre-pass diagnostics
+    // are strictly more informative than its first-error-wins exception.
+    return result;
+  }
+  spice::ParsedNetlist parsed;
+  try {
+    parsed = spice::parse_netlist(text);
+  } catch (const ftl::Error& e) {
+    const auto [loc, message] = split_parse_error(e.what());
+    result.report.add("FTL-P001", Severity::kError, "netlist", message, loc);
+    return result;
+  } catch (const ftl::ContractViolation& e) {
+    // Backstop: a deck must never crash the linter, even when it trips a
+    // device-constructor contract the parser failed to pre-validate.
+    result.report.add("FTL-P001", Severity::kError, "netlist", e.what());
+    return result;
+  }
+  result.report.merge(
+      check_circuit(parsed.circuit, options, &parsed.device_locations));
+  result.parsed.emplace(std::move(parsed));
+  return result;
+}
+
+void install_presolve_gate(spice::Circuit& circuit, GateOptions options) {
+  circuit.set_presolve_hook([options](const Circuit& c) {
+    Report report = check_circuit(c, options.checks);
+    if (options.enabled && report.has_at_least(options.abort_at)) {
+      throw CheckError(std::move(report));
+    }
+  });
+}
+
+}  // namespace ftl::check

@@ -1,0 +1,84 @@
+#pragma once
+// Structural netlist checks (FTL-N001..N008, FTL-P001) that run before any
+// solve. They work on the DeviceView self-descriptions, so they apply both
+// to parsed decks (with source locations) and to programmatically built
+// circuits (bridge lattice/chain benches, tests).
+//
+// The passes:
+//  - value/geometry sanity: zero/negative R, C, W, L (error) and
+//    unit-suspect magnitudes that smell like a missing engineering suffix
+//    ("C1 out 0 10" is ten farads) (warning);
+//  - dangling nodes: a node referenced by exactly one device terminal;
+//  - DC reachability: every node must reach ground through devices with a
+//    finite DC conductance (resistors, channels, voltage sources) —
+//    capacitor-only and current-source-only nodes make the MNA matrix
+//    singular;
+//  - voltage-source loops: a cycle of ideal voltage sources
+//    over-determines the loop voltages;
+//  - symbolic MNA singularity: maximum bipartite matching on the DC
+//    sparsity pattern (no factorization); a structurally rank-deficient
+//    pattern is reported against the node or branch equation that cannot
+//    be pivoted.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ftl/check/diagnostics.hpp"
+#include "ftl/spice/netlist_parser.hpp"
+
+namespace ftl::check {
+
+struct NetlistCheckOptions {
+  /// Run the bipartite-matching singularity pass (FTL-N007). Skipped
+  /// automatically when the circuit contains devices with opaque views.
+  bool structural_singularity = true;
+
+  // FTL-N006 plausibility bands (SI units). Values outside them are
+  // warnings, not errors — exotic but legal circuits can disable the rule
+  // by widening the band.
+  double resistor_min = 1e-2;   ///< ohm
+  double resistor_max = 1e9;    ///< ohm (the §V pull-up is 5e5)
+  double capacitor_max = 1e-6;  ///< farad (the §V load is 1e-14)
+  double geometry_min = 1e-9;   ///< metre
+  double geometry_max = 1e-3;   ///< metre (the paper devices are ~7e-7)
+};
+
+using DeviceLocations = std::unordered_map<std::string, util::SourceLoc>;
+
+/// Runs every structural pass over an assembled circuit. `locations` (from
+/// ParsedNetlist::device_locations) attaches deck positions when present.
+Report check_circuit(const spice::Circuit& circuit,
+                     const NetlistCheckOptions& options = {},
+                     const DeviceLocations* locations = nullptr);
+
+struct NetlistLintResult {
+  Report report;
+  /// The parsed deck, when parsing succeeded. Unset when the deck failed
+  /// to parse (FTL-P001) or the lexical pre-pass found errors
+  /// (FTL-N004/N008) that the parser would refuse anyway.
+  std::optional<spice::ParsedNetlist> parsed;
+};
+
+/// Lints a netlist from source text: lexical pre-pass (duplicate names,
+/// case-aliased nodes), parse (failures become FTL-P001 diagnostics rather
+/// than exceptions), then check_circuit with locations.
+NetlistLintResult lint_netlist(const std::string& text,
+                               const NetlistCheckOptions& options = {});
+
+struct GateOptions {
+  /// false downgrades the gate to report-only: diagnostics are computed
+  /// (and discarded) but never abort the solve.
+  bool enabled = true;
+  /// Minimum severity that aborts the solve (throws CheckError).
+  Severity abort_at = Severity::kError;
+  NetlistCheckOptions checks;
+};
+
+/// Arms the circuit's pre-solve gate with the structural passes: the first
+/// Newton solve of any analysis (dcop, dcsweep, transient) first runs
+/// check_circuit and throws CheckError when the report reaches
+/// `options.abort_at`. Re-arms automatically when devices are added.
+void install_presolve_gate(spice::Circuit& circuit, GateOptions options = {});
+
+}  // namespace ftl::check

@@ -618,6 +618,46 @@ PaperPipeline build_paper_pipeline(const PipelineOptions& options) {
   return pipeline;
 }
 
+std::vector<BenchCircuit> pipeline_bench_circuits(
+    const PipelineOptions& options) {
+  std::vector<BenchCircuit> benches;
+  const lattice::Lattice lat = lattice::xor3_lattice_3x3();
+
+  // Fig. 11 DC bench: the all-zero input code (the other codes differ only
+  // in source values, not topology).
+  {
+    std::map<int, spice::Waveform> drives;
+    for (int v = 0; v < 3; ++v) drives[v] = spice::Waveform::dc(0.0);
+    benches.push_back(
+        {"fig11_dc", bridge::build_lattice_circuit(lat, drives).circuit});
+  }
+
+  // Fig. 11 transient bench: the binary-weighted pulse walk.
+  {
+    const double period = 40e-9;
+    std::map<int, spice::Waveform> drives;
+    for (int v = 0; v < 3; ++v) {
+      const double p = period * static_cast<double>(2 << v);
+      drives[v] = spice::Waveform::pulse(0.0, 1.2, p / 2.0, 1e-9, 1e-9,
+                                         p / 2.0 - 1e-9, p);
+    }
+    benches.push_back(
+        {"fig11_transient", bridge::build_lattice_circuit(lat, drives).circuit});
+  }
+
+  // Fig. 12 chains: shortest and longest.
+  benches.push_back(
+      {"fig12_chain_1", bridge::build_switch_chain(1, 1.2, 1.2).circuit});
+  {
+    std::string name = "fig12_chain_";
+    name += std::to_string(options.chain_max);
+    benches.push_back({std::move(name),
+                       bridge::build_switch_chain(options.chain_max, 1.2, 1.2)
+                           .circuit});
+  }
+  return benches;
+}
+
 std::vector<JobId> resolve_targets(const PaperPipeline& pipeline,
                                    const std::vector<std::string>& names) {
   std::vector<JobId> targets;

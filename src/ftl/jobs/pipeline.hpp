@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ftl/jobs/graph.hpp"
+#include "ftl/spice/circuit.hpp"
 
 namespace ftl::jobs {
 
@@ -42,6 +43,20 @@ std::uint64_t calibration_digest();
 
 /// Builds the Figs. 5-12 + Table III job graph.
 PaperPipeline build_paper_pipeline(const PipelineOptions& options = {});
+
+/// One §V bench circuit as the pipeline's SPICE-stage jobs construct it,
+/// exposed so ftl_run --lint (and the tests) can run the ftl::check static
+/// passes over exactly the topologies the experiments simulate.
+struct BenchCircuit {
+  std::string name;
+  spice::Circuit circuit;
+};
+
+/// Builds the pipeline's generated bench circuits with the paper's default
+/// switch model: the Fig. 11 XOR3 lattice bench (DC and transient drive
+/// variants) and the shortest/longest Fig. 12 series chains.
+std::vector<BenchCircuit> pipeline_bench_circuits(
+    const PipelineOptions& options = {});
 
 /// Resolves CLI target names against the pipeline: exact job name, or a
 /// prefix group ("fig11" selects fig11_dc and fig11_transient, "all" selects

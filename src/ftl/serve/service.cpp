@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "ftl/bridge/metrics.hpp"
+#include "ftl/check/equivalence.hpp"
+#include "ftl/check/lattice.hpp"
+#include "ftl/check/netlist.hpp"
 #include "ftl/designer/designer.hpp"
 #include "ftl/jobs/artifact.hpp"
 #include "ftl/jobs/cache.hpp"
@@ -148,16 +151,11 @@ JsonValue lattice_json(const lattice::Lattice& lat) {
   return out;
 }
 
-/// A request either spells out a lattice ("rows"/"cols"/"vars"/"cells") or
-/// names a target function ("expr", optionally "vars"), in which case the
-/// Altun-Riedel construction supplies the lattice. The parsed target table
-/// is returned when it came from an expression (metrics reuses it).
-struct LatticeSpec {
-  lattice::Lattice lat;
-  std::optional<logic::TruthTable> target;
-};
+}  // namespace
 
-LatticeSpec lattice_from_request(const JsonValue& req) {
+// Public so ftl_lint --lattice parses mapping files with the exact grammar
+// of the lattice-taking ops (declared in service.hpp).
+LatticeSpec lattice_spec_from(const JsonValue& req) {
   if (req.find("cells") != nullptr) {
     const int rows = require_int(req, "rows", 1, 16);
     const int cols = require_int(req, "cols", 1, 16);
@@ -189,6 +187,8 @@ LatticeSpec lattice_from_request(const JsonValue& req) {
   }
   throw Error("request needs either 'expr' or 'rows'/'cols'/'vars'/'cells'");
 }
+
+namespace {
 
 bridge::MeasureOptions measure_options_from(const JsonValue& req) {
   bridge::MeasureOptions opts;
@@ -276,7 +276,7 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
 }
 
 JsonValue handle_eval(const JsonValue& req, const Deadline& deadline) {
-  LatticeSpec spec = lattice_from_request(req);
+  LatticeSpec spec = lattice_spec_from(req);
   const lattice::Lattice& lat = spec.lat;
   deadline.check("evaluation");
 
@@ -358,7 +358,7 @@ JsonValue handle_paths(const JsonValue& req, const Deadline& deadline) {
 }
 
 JsonValue handle_metrics(const JsonValue& req, const Deadline& deadline) {
-  LatticeSpec spec = lattice_from_request(req);
+  LatticeSpec spec = lattice_spec_from(req);
   if (spec.lat.num_vars() > 6) {
     throw Error("metrics characterization needs num_vars <= 6");
   }
@@ -426,6 +426,64 @@ JsonValue handle_explore(const JsonValue& req, const Deadline& deadline) {
   return body;
 }
 
+JsonValue report_json(const check::Report& report) {
+  JsonValue out = JsonValue::object();
+  out.set("clean", JsonValue::boolean(report.clean()));
+  out.set("errors", JsonValue::number(report.errors()));
+  out.set("warnings", JsonValue::number(report.warnings()));
+  out.set("notes", JsonValue::number(report.notes()));
+  JsonValue list = JsonValue::array();
+  for (const check::Diagnostic& d : report.diagnostics()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("rule", JsonValue::str(d.rule));
+    entry.set("severity", JsonValue::str(check::severity_name(d.severity)));
+    entry.set("object", JsonValue::str(d.object));
+    entry.set("message", JsonValue::str(d.message));
+    if (d.loc.valid()) {
+      entry.set("line", JsonValue::number(d.loc.line));
+      entry.set("column", JsonValue::number(d.loc.column));
+    }
+    list.push(std::move(entry));
+  }
+  out.set("diagnostics", std::move(list));
+  return out;
+}
+
+/// Static diagnostics as a service op: a "netlist" string runs the netlist
+/// passes; a lattice spec ("cells" or "expr") runs the lattice passes plus
+/// — when a target function is known — BDD equivalence. Pure and cacheable
+/// like the other deterministic ops.
+JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
+  check::Report report;
+  if (const JsonValue* deck = req.find("netlist")) {
+    if (!deck->is_string()) throw Error("'netlist' must be a string");
+    deadline.check("lint");
+    report = check::lint_netlist(deck->as_string()).report;
+  } else {
+    LatticeSpec spec = lattice_spec_from(req);
+    deadline.check("lint");
+    report = check::check_lattice(spec.lat);
+    std::optional<logic::TruthTable> target = spec.target;
+    if (const JsonValue* t = req.find("target")) {
+      if (!t->is_string()) {
+        throw Error("'target' must be an expression string");
+      }
+      target =
+          logic::parse_expression(t->as_string(), spec.lat.var_names()).table;
+    }
+    if (target) {
+      deadline.check("equivalence");
+      report.merge(check::check_equivalence(spec.lat, *target));
+    }
+  }
+  deadline.check("serialization");
+  // "ok" means the lint ran, not that the subject is clean — findings live
+  // in report.clean/errors/warnings.
+  JsonValue body = body_for("lint");
+  body.set("report", report_json(report));
+  return body;
+}
+
 JsonValue handle_sleep(const JsonValue& req, const Deadline& deadline) {
   const double ms = std::clamp(req.number_or("ms", 0.0), 0.0, 10000.0);
   const Clock::time_point end =
@@ -446,7 +504,7 @@ JsonValue handle_sleep(const JsonValue& req, const Deadline& deadline) {
 
 bool is_pure_op(const std::string& op) {
   return op == "synth" || op == "eval" || op == "paths" || op == "metrics" ||
-         op == "explore";
+         op == "explore" || op == "lint";
 }
 
 /// Canonical parameter rendering for the cache key: the request object with
@@ -548,6 +606,7 @@ struct Service::Impl {
     if (op == "paths") return handle_paths(req, deadline);
     if (op == "metrics") return handle_metrics(req, deadline);
     if (op == "explore") return handle_explore(req, deadline);
+    if (op == "lint") return handle_lint(req, deadline);
     if (op == "sleep") return handle_sleep(req, deadline);
     if (op == "stats") return handle_stats();
     if (op == "shutdown") {
@@ -558,7 +617,7 @@ struct Service::Impl {
     }
     throw Error("unknown op '" + op +
                 "' (expected ping, synth, eval, paths, metrics, explore, "
-                "stats, sleep, or shutdown)");
+                "lint, stats, sleep, or shutdown)");
   }
 
   JsonValue handle_stats() {

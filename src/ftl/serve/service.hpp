@@ -11,22 +11,41 @@
 // bad_request, deadline_exceeded, overloaded, shutting_down, internal)
 // and a human-readable "message".
 //
-// Ops: ping, synth, eval, paths, metrics, explore, stats, sleep, shutdown.
-// The pure ops (synth, eval, paths, metrics, explore) are deterministic
-// functions of their parameters, so responses are cached under
-// jobs::cache_key content addresses — in memory always, and on disk when
-// a cache_dir is configured (warm across restarts).
+// Ops: ping, synth, eval, paths, metrics, explore, lint, stats, sleep,
+// shutdown. The pure ops (synth, eval, paths, metrics, explore, lint) are
+// deterministic functions of their parameters, so responses are cached
+// under jobs::cache_key content addresses — in memory always, and on disk
+// when a cache_dir is configured (warm across restarts).
 
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "ftl/jobs/telemetry.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+#include "ftl/serve/json.hpp"
 #include "ftl/serve/stats.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::serve {
+
+/// A lattice described by a request object: either spelled out
+/// ("rows"/"cols"/"vars"/"cells", with cells like "a", "b'", "0", "1") or
+/// named by a target expression ("expr", optionally "vars"), in which case
+/// the Altun-Riedel construction supplies the lattice. `target` is set when
+/// it came from an expression.
+struct LatticeSpec {
+  lattice::Lattice lat;
+  std::optional<logic::TruthTable> target;
+};
+
+/// Parses a lattice spec from a JSON object (shared by the lattice-taking
+/// service ops and the ftl_lint --lattice CLI). Throws ftl::Error on a
+/// malformed spec.
+LatticeSpec lattice_spec_from(const JsonValue& spec);
 
 /// Thrown by request handlers when the request's deadline expires between
 /// pipeline stages; mapped to the "deadline_exceeded" protocol error.

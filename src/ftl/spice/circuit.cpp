@@ -57,7 +57,19 @@ Device& Circuit::add(std::unique_ptr<Device> device) {
   }
   devices_.push_back(std::move(device));
   if (linear_solver_) linear_solver_->invalidate();  // MNA structure changed
+  presolve_checked_ = false;                         // topology changed
   return *devices_.back();
+}
+
+void Circuit::set_presolve_hook(PresolveHook hook) {
+  presolve_hook_ = std::move(hook);
+  presolve_checked_ = false;
+}
+
+void Circuit::run_presolve_gate() {
+  if (presolve_checked_ || !presolve_hook_) return;
+  presolve_hook_(*this);
+  presolve_checked_ = true;  // only after a clean pass; a throw re-checks
 }
 
 Device& Circuit::device(const std::string& name) const {

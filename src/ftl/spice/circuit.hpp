@@ -3,14 +3,44 @@
 // Devices are polymorphic; the analyses in dcop/dcsweep/transient only see
 // the Device interface.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ftl/spice/mna.hpp"
 
 namespace ftl::spice {
+
+/// Structural self-description of a device, consumed by the ftl::check
+/// static passes. `nodes` lists every node the device touches (ground
+/// included); `dc_couples` the node pairs between which the device presents
+/// a finite DC conductance (a resistor's ends, a MOSFET's channel, a
+/// voltage source's enforced branch); `gate_couples` the asymmetric MNA
+/// pattern entries a control terminal contributes (row, col), e.g. the
+/// transconductance columns of a MOSFET gate. `value` is the headline
+/// parameter in SI units (ohms, farads, DC volts/amps); `width`/`length`
+/// the MOSFET geometry (0 otherwise).
+struct DeviceView {
+  enum class Kind {
+    kOther,
+    kResistor,
+    kCapacitor,
+    kVoltageSource,
+    kCurrentSource,
+    kMosfet,
+  };
+
+  Kind kind = Kind::kOther;
+  std::vector<int> nodes;
+  std::vector<std::pair<int, int>> dc_couples;
+  std::vector<std::pair<int, int>> gate_couples;
+  double value = 0.0;
+  double width = 0.0;
+  double length = 0.0;
+};
 
 /// Base class for all circuit elements.
 class Device {
@@ -47,6 +77,12 @@ class Device {
   /// transient scheduler (sources override this).
   virtual void add_breakpoints(double /*tstop*/,
                                std::vector<double>& /*out*/) const {}
+
+  /// Structural description for the static-analysis passes. The default is
+  /// an opaque view (kOther, no nodes): such a device is invisible to the
+  /// topology checks, which keeps unknown device types from producing false
+  /// positives. Every in-tree device overrides this.
+  virtual DeviceView view() const { return {}; }
 
  private:
   std::string name_;
@@ -99,11 +135,25 @@ class Circuit {
   /// steps; add() invalidates it.
   MnaLinearSolver& linear_solver();
 
+  /// Pre-solve gate. The hook runs once per circuit topology (add()
+  /// re-arms it) right before the first Newton solve of every analysis;
+  /// throwing from it aborts the solve. ftl::check installs its static
+  /// diagnostics here (check::install_presolve_gate); an empty hook
+  /// disables the gate.
+  using PresolveHook = std::function<void(const Circuit&)>;
+  void set_presolve_hook(PresolveHook hook);
+
+  /// Runs the installed hook if the topology has not been vetted yet.
+  /// Called by dcop/dcsweep/transient; cheap no-op when already vetted.
+  void run_presolve_gate();
+
  private:
   std::unordered_map<std::string, int> node_index_;
   std::vector<std::string> node_names_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<MnaLinearSolver> linear_solver_;
+  PresolveHook presolve_hook_;
+  bool presolve_checked_ = false;
 };
 
 }  // namespace ftl::spice

@@ -9,6 +9,9 @@ namespace ftl::spice {
 
 OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
                       EvalContext ctx, const NewtonOptions& options) {
+  // Every analysis funnels through here, so one gate covers dcop, dcsweep
+  // and transient; the hook runs once per topology and throws to abort.
+  circuit.run_presolve_gate();
   const int n = circuit.prepare_unknowns();
   OpResult result;
   result.solution = initial.size() == static_cast<std::size_t>(n)

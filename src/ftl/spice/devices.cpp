@@ -69,4 +69,22 @@ void Capacitor::initialize_state(const linalg::Vector& dc_solution) {
   i_prev_ = 0.0;
 }
 
+DeviceView Resistor::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kResistor;
+  v.nodes = {a_, b_};
+  v.dc_couples = {{a_, b_}};
+  v.value = resistance_;
+  return v;
+}
+
+DeviceView Capacitor::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kCapacitor;
+  v.nodes = {a_, b_};
+  // No dc_couples: a capacitor is an open circuit at the operating point.
+  v.value = capacitance_;
+  return v;
+}
+
 }  // namespace ftl::spice

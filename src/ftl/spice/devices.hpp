@@ -12,6 +12,7 @@ class Resistor : public Device {
   Resistor(std::string name, int a, int b, double resistance);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  DeviceView view() const override;
 
   double resistance() const { return resistance_; }
   double current(const linalg::Vector& solution) const;
@@ -30,6 +31,7 @@ class Capacitor : public Device {
   void commit_step(const linalg::Vector& solution,
                    const EvalContext& ctx) override;
   void initialize_state(const linalg::Vector& dc_solution) override;
+  DeviceView view() const override;
 
   double capacitance() const { return capacitance_; }
 

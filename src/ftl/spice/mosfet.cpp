@@ -68,4 +68,15 @@ double Mosfet::drain_current(const linalg::Vector& solution) const {
   return sign * fit::level1_ids(params_, vg - vs, vd - vs);
 }
 
+DeviceView Mosfet::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kMosfet;
+  v.nodes = {drain_, gate_, source_, bulk_};
+  v.dc_couples = {{drain_, source_}};  // channel; the gate is insulated
+  v.gate_couples = {{drain_, gate_}, {source_, gate_}};
+  v.width = params_.width;
+  v.length = params_.length;
+  return v;
+}
+
 }  // namespace ftl::spice

@@ -16,6 +16,7 @@ class Mosfet : public Device {
 
   void stamp(Stamper& stamper, const EvalContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
+  DeviceView view() const override;
 
   const fit::Level1Params& params() const { return params_; }
 

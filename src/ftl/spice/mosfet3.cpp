@@ -63,4 +63,15 @@ double Mosfet3::drain_current(const linalg::Vector& solution) const {
   return sign * fit::level3_ids(params_, vg - vs, vd - vs);
 }
 
+DeviceView Mosfet3::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kMosfet;
+  v.nodes = {drain_, gate_, source_, bulk_};
+  v.dc_couples = {{drain_, source_}};  // channel; the gate is insulated
+  v.gate_couples = {{drain_, gate_}, {source_, gate_}};
+  v.width = params_.width;
+  v.length = params_.length;
+  return v;
+}
+
 }  // namespace ftl::spice

@@ -14,6 +14,7 @@ class Mosfet3 : public Device {
 
   void stamp(Stamper& stamper, const EvalContext& ctx) const override;
   bool is_nonlinear() const override { return true; }
+  DeviceView view() const override;
 
   const fit::Level3Params& params() const { return params_; }
 

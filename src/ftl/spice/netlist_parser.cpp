@@ -22,6 +22,11 @@ using util::to_lower;
   throw ftl::Error("netlist line " + std::to_string(line) + ": " + message);
 }
 
+[[noreturn]] void fail(const util::SourceLoc& loc, const std::string& message) {
+  throw ftl::Error("netlist line " + std::to_string(loc.line) + ", col " +
+                   std::to_string(loc.column) + ": " + message);
+}
+
 double number(int line, const std::string& token) {
   const auto v = util::parse_engineering(token);
   if (!v) fail(line, "malformed number '" + token + "'");
@@ -93,8 +98,13 @@ Waveform parse_source_waveform(int line, const KeyValues& kv) {
 }  // namespace
 
 ParsedNetlist parse_netlist(const std::string& text) {
-  // Pass 1: strip comments, join + continuations, keep line numbers.
-  std::vector<std::pair<int, std::string>> lines;
+  // Pass 1: strip comments, join + continuations, keep line/column of the
+  // first physical line of every card.
+  struct Card {
+    util::SourceLoc loc;
+    std::string text;
+  };
+  std::vector<Card> lines;
   {
     std::istringstream in(text);
     std::string raw;
@@ -106,12 +116,14 @@ ParsedNetlist parse_netlist(const std::string& text) {
         v = util::trim(v.substr(0, semi));
       }
       if (v.empty() || v.front() == '*') continue;
+      const int column =
+          v.empty() ? 1 : static_cast<int>(v.data() - raw.data()) + 1;
       if (v.front() == '+') {
         if (lines.empty()) fail(line_no, "continuation without a previous card");
-        lines.back().second += ' ';
-        lines.back().second += std::string(v.substr(1));
+        lines.back().text += ' ';
+        lines.back().text += std::string(v.substr(1));
       } else {
-        lines.emplace_back(line_no, std::string(v));
+        lines.push_back({{line_no, column}, std::string(v)});
       }
     }
   }
@@ -119,13 +131,32 @@ ParsedNetlist parse_netlist(const std::string& text) {
   ParsedNetlist out;
   bool first_card = true;
 
+  // Node lookup with alias rejection: SPICE decks are conventionally
+  // case-insensitive, so two spellings differing only in case almost always
+  // mean one intended node. Creating both silently splits the net, which
+  // surfaces much later as a singular matrix; reject it at the card.
+  std::map<std::string, std::string> node_spellings;  // lower-cased -> first
+  const auto node = [&](const util::SourceLoc& loc,
+                        const std::string& name) -> int {
+    // Ground spellings ("0", "gnd", "GND") are aliases by design.
+    if (name == "0" || iequals(name, "gnd")) return out.circuit.node(name);
+    const std::string key = to_lower(name);
+    const auto [it, inserted] = node_spellings.emplace(key, name);
+    if (!inserted && it->second != name) {
+      fail(loc, "node '" + name + "' conflicts with earlier spelling '" +
+                    it->second + "' (case-insensitive duplicate alias)");
+    }
+    return out.circuit.node(name);
+  };
+
   // Pass 2a: collect .model cards first so device order does not matter.
   struct ModelCard {
     int level = 1;
     fit::Level3Params params;  // superset; level-1 ignores theta/vc
   };
   std::map<std::string, ModelCard> models;  // lower-cased names
-  for (const auto& [line_no, card] : lines) {
+  for (const auto& [loc, card] : lines) {
+    const int line_no = loc.line;
     if (!istarts_with(card, ".model")) continue;
     const std::vector<std::string> tokens = tokenize(card);
     if (tokens.size() < 3 || !iequals(tokens[2], "nmos")) {
@@ -163,7 +194,8 @@ ParsedNetlist parse_netlist(const std::string& text) {
   }
 
   // Pass 2b: elements and directives.
-  for (const auto& [line_no, card] : lines) {
+  for (const auto& [loc, card] : lines) {
+    const int line_no = loc.line;
     const std::vector<std::string> tokens = tokenize(card);
     const std::string& head = tokens[0];
 
@@ -197,27 +229,32 @@ ParsedNetlist parse_netlist(const std::string& text) {
     }
     first_card = false;
     if (!looks_like_element) fail(line_no, "unknown element '" + head + "'");
+    out.device_locations.emplace(head, loc);
 
     switch (kind) {
       case 'r': {
         if (tokens.size() < 4) fail(line_no, "R needs 2 nodes and a value");
+        const double value = number(line_no, tokens[3]);
+        // Validate here so a bad deck raises a located ftl::Error instead of
+        // tripping the Resistor constructor's contract (a logic_error).
+        if (value <= 0.0) fail(line_no, "resistance must be positive");
         out.circuit.add(std::make_unique<Resistor>(
-            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
-            number(line_no, tokens[3])));
+            head, node(loc, tokens[1]), node(loc, tokens[2]), value));
         break;
       }
       case 'c': {
         if (tokens.size() < 4) fail(line_no, "C needs 2 nodes and a value");
+        const double value = number(line_no, tokens[3]);
+        if (value <= 0.0) fail(line_no, "capacitance must be positive");
         out.circuit.add(std::make_unique<Capacitor>(
-            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
-            number(line_no, tokens[3])));
+            head, node(loc, tokens[1]), node(loc, tokens[2]), value));
         break;
       }
       case 'v': {
         if (tokens.size() < 4) fail(line_no, "V needs 2 nodes and a waveform");
         const KeyValues kv = classify(tokens, 3);
         out.circuit.add(std::make_unique<VoltageSource>(
-            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            head, node(loc, tokens[1]), node(loc, tokens[2]),
             parse_source_waveform(line_no, kv)));
         break;
       }
@@ -225,7 +262,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
         if (tokens.size() < 4) fail(line_no, "I needs 2 nodes and a waveform");
         const KeyValues kv = classify(tokens, 3);
         out.circuit.add(std::make_unique<CurrentSource>(
-            head, out.circuit.node(tokens[1]), out.circuit.node(tokens[2]),
+            head, node(loc, tokens[1]), node(loc, tokens[2]),
             parse_source_waveform(line_no, kv)));
         break;
       }
@@ -243,10 +280,16 @@ ParsedNetlist parse_netlist(const std::string& text) {
           else if (key == "l") params.length = v;
           else fail(line_no, "unknown MOSFET parameter '" + key + "'");
         }
-        const int d = out.circuit.node(tokens[1]);
-        const int g = out.circuit.node(tokens[2]);
-        const int s = out.circuit.node(tokens[3]);
-        const int b = out.circuit.node(tokens[4]);
+        if (params.width <= 0.0 || params.length <= 0.0) {
+          fail(line_no, "MOSFET W and L must be positive");
+        }
+        if (model_it->second.level == 3 && params.vc <= 0.0) {
+          fail(line_no, "LEVEL=3 VC must be positive");
+        }
+        const int d = node(loc, tokens[1]);
+        const int g = node(loc, tokens[2]);
+        const int s = node(loc, tokens[3]);
+        const int b = node(loc, tokens[4]);
         if (model_it->second.level == 3) {
           out.circuit.add(std::make_unique<Mosfet3>(head, d, g, s, b, params));
         } else {

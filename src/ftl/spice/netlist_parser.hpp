@@ -18,9 +18,11 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "ftl/spice/circuit.hpp"
 #include "ftl/spice/transient.hpp"
+#include "ftl/util/source_loc.hpp"
 
 namespace ftl::spice {
 
@@ -36,10 +38,16 @@ struct ParsedNetlist {
   std::string title;
   std::optional<TransientOptions> tran;  ///< from .tran (dt, tstop)
   std::optional<DcDirective> dc;         ///< from .dc
+  /// Source location of each element card, keyed by device name exactly as
+  /// written in the deck (continuation cards keep the first line). The
+  /// ftl::check diagnostics use these to point reports at deck lines.
+  std::unordered_map<std::string, util::SourceLoc> device_locations;
 };
 
-/// Parses a netlist. Throws ftl::Error with a line reference on any
-/// malformed card.
+/// Parses a netlist. Throws ftl::Error with a line/column reference on any
+/// malformed card, including node names that differ only in letter case
+/// from an earlier spelling ("Out" after "out"), which older versions
+/// silently accepted as two distinct nodes.
 ParsedNetlist parse_netlist(const std::string& text);
 
 }  // namespace ftl::spice

@@ -187,4 +187,25 @@ void CurrentSource::stamp(Stamper& stamper, const EvalContext& ctx) const {
   stamper.current_into(minus_, i);
 }
 
+DeviceView VoltageSource::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kVoltageSource;
+  v.nodes = {plus_, minus_};
+  // The branch equation pins v(plus) - v(minus), which is a DC connection
+  // for reachability purposes.
+  v.dc_couples = {{plus_, minus_}};
+  v.value = wave_.dc_value();
+  return v;
+}
+
+DeviceView CurrentSource::view() const {
+  DeviceView v;
+  v.kind = DeviceView::Kind::kCurrentSource;
+  v.nodes = {plus_, minus_};
+  // No dc_couples: an ideal current source has infinite output impedance
+  // and contributes only RHS entries.
+  v.value = wave_.dc_value();
+  return v;
+}
+
 }  // namespace ftl::spice

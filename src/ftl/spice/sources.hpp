@@ -59,6 +59,7 @@ class VoltageSource : public Device {
 
   int branch_count() const override { return 1; }
   void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  DeviceView view() const override;
   void add_breakpoints(double tstop, std::vector<double>& out) const override {
     wave_.add_breakpoints(tstop, out);
   }
@@ -86,6 +87,7 @@ class CurrentSource : public Device {
         wave_(std::move(wave)) {}
 
   void stamp(Stamper& stamper, const EvalContext& ctx) const override;
+  DeviceView view() const override;
   void set_waveform(Waveform w) { wave_ = std::move(w); }
   void add_breakpoints(double tstop, std::vector<double>& out) const override {
     wave_.add_breakpoints(tstop, out);

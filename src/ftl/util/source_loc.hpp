@@ -1,0 +1,18 @@
+#pragma once
+// A position in an input text (netlist deck, mapping file): 1-based line and
+// column. Parsers record one per card; ftl::check diagnostics carry them so
+// a report can point at the offending source line. line == 0 means "no
+// location" (e.g. a programmatically built circuit).
+
+namespace ftl::util {
+
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace ftl::util

@@ -1,0 +1,17 @@
+# Runs the ftl_lint binary on one fixture and asserts its exit code.
+# Inputs: LINT_BIN, LINT_ARGS (optional, ;-list), LINT_INPUT, EXPECT_EXIT.
+if(NOT DEFINED LINT_BIN OR NOT DEFINED LINT_INPUT OR NOT DEFINED EXPECT_EXIT)
+  message(FATAL_ERROR "run_lint_case.cmake needs LINT_BIN, LINT_INPUT, EXPECT_EXIT")
+endif()
+
+execute_process(
+  COMMAND "${LINT_BIN}" ${LINT_ARGS} "${LINT_INPUT}"
+  OUTPUT_VARIABLE lint_stdout
+  ERROR_VARIABLE lint_stderr
+  RESULT_VARIABLE lint_exit)
+
+if(NOT lint_exit EQUAL EXPECT_EXIT)
+  message(FATAL_ERROR
+    "ftl_lint ${LINT_ARGS} ${LINT_INPUT} exited ${lint_exit}, expected ${EXPECT_EXIT}\n"
+    "stdout:\n${lint_stdout}\nstderr:\n${lint_stderr}")
+endif()

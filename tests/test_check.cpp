@@ -1,0 +1,436 @@
+// ftl::check tests: the diagnostics framework, every netlist/lattice rule
+// (one triggering and one clean case each), BDD equivalence with
+// counterexamples, the pre-solve gate, and the golden JSON rendering.
+//
+// Netlist fixtures live in tests/fixtures/lint (FTL_LINT_FIXTURES); the
+// same files drive the ftl_lint CLI exit-code tests in CMake.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "ftl/check/diagnostics.hpp"
+#include "ftl/check/equivalence.hpp"
+#include "ftl/check/lattice.hpp"
+#include "ftl/check/netlist.hpp"
+#include "ftl/jobs/pipeline.hpp"
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/devices.hpp"
+#include "ftl/spice/sources.hpp"
+
+namespace {
+
+using namespace ftl;
+using check::Diagnostic;
+using check::Report;
+using check::Severity;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(FTL_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool has_rule(const Report& report, const std::string& rule) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+const Diagnostic& first_of(const Report& report, const std::string& rule) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return d;
+  }
+  throw ftl::Error("no diagnostic with rule " + rule);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics framework
+
+TEST(Diagnostics, SeverityCountsAndThresholds) {
+  Report report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.clean());
+  report.add("FTL-L004", Severity::kNote, "row 1", "removable");
+  EXPECT_TRUE(report.clean()) << "notes must not affect clean()";
+  report.add("FTL-N001", Severity::kWarning, "x", "dangling");
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.clean());
+  report.add("FTL-N002", Severity::kError, "y", "floating");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.errors(), 1);
+  EXPECT_EQ(report.warnings(), 1);
+  EXPECT_EQ(report.notes(), 1);
+  EXPECT_TRUE(report.has_at_least(Severity::kError));
+}
+
+TEST(Diagnostics, TextRenderingIsCompilerStyle) {
+  Report report;
+  report.add("FTL-N002", Severity::kError, "mid", "node 'mid' floats",
+             {3, 1});
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("3:1: error [FTL-N002] node 'mid' floats"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error, 0 warnings, 0 notes"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingIsCanonical) {
+  Report report;
+  report.add("FTL-N005", Severity::kError, "R1", "bad \"value\"\n", {2, 4});
+  EXPECT_EQ(report.render_json(),
+            "{\"clean\":false,\"errors\":1,\"warnings\":0,\"notes\":0,"
+            "\"diagnostics\":[{\"rule\":\"FTL-N005\",\"severity\":\"error\","
+            "\"object\":\"R1\",\"message\":\"bad \\\"value\\\"\\n\","
+            "\"line\":2,\"column\":4}]}");
+}
+
+TEST(Diagnostics, JsonEscapesControlCharacters) {
+  EXPECT_EQ(check::json_escape(std::string("a\x01") + "\\"), "a\\u0001\\\\");
+}
+
+// ---------------------------------------------------------------------------
+// Netlist rules, one fixture each
+
+TEST(NetlistLint, CleanDeckIsClean) {
+  const auto result = check::lint_netlist(fixture("clean.cir"));
+  EXPECT_TRUE(result.report.clean()) << result.report.render_text();
+  ASSERT_TRUE(result.parsed.has_value());
+  EXPECT_TRUE(result.parsed->tran.has_value());
+}
+
+TEST(NetlistLint, DanglingNodeWarns) {
+  const auto result = check::lint_netlist(fixture("dangling.cir"));
+  EXPECT_TRUE(has_rule(result.report, "FTL-N001"));
+  EXPECT_TRUE(result.report.ok()) << "a stub is a warning, not an error";
+  const Diagnostic& d = first_of(result.report, "FTL-N001");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.object, "probe");
+  EXPECT_EQ(d.loc.line, 5) << "location of the only touching device (R3)";
+}
+
+TEST(NetlistLint, NoDcPathIsError) {
+  const auto result = check::lint_netlist(fixture("no_dc_path.cir"));
+  EXPECT_FALSE(result.report.ok());
+  const Diagnostic& d = first_of(result.report, "FTL-N002");
+  EXPECT_EQ(d.object, "mid");
+  EXPECT_FALSE(has_rule(result.report, "FTL-N007"))
+      << "N007 must not double-report the node N002 already explained";
+}
+
+TEST(NetlistLint, VoltageSourceLoop) {
+  const auto result = check::lint_netlist(fixture("vloop.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-N003");
+  EXPECT_EQ(d.object, "V2");
+  // The loop also leaves one branch equation structurally unpivotable.
+  EXPECT_TRUE(has_rule(result.report, "FTL-N007"));
+}
+
+TEST(NetlistLint, DuplicateComponentName) {
+  const auto result = check::lint_netlist(fixture("dup_name.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-N004");
+  EXPECT_EQ(d.object, "R1");
+  EXPECT_EQ(d.loc.line, 4) << "reported at the second definition";
+  EXPECT_FALSE(result.parsed.has_value())
+      << "pre-pass errors skip the parse (the parser would throw anyway)";
+}
+
+TEST(NetlistLint, ZeroValueIsError) {
+  const auto result = check::lint_netlist(fixture("bad_value.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-N005");
+  EXPECT_EQ(d.object, "R1");
+  EXPECT_EQ(d.severity, Severity::kError);
+}
+
+TEST(NetlistLint, UnitSuspectValueWarns) {
+  const auto result = check::lint_netlist(fixture("unit_suspect.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-N006");
+  EXPECT_EQ(d.object, "C1");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_FALSE(result.report.clean());
+}
+
+TEST(NetlistLint, CaseAliasedNodes) {
+  const auto result = check::lint_netlist(fixture("alias.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-N008");
+  EXPECT_EQ(d.object, "Out");
+  EXPECT_EQ(d.loc.line, 4);
+}
+
+TEST(NetlistLint, ParseErrorBecomesP001) {
+  const auto result = check::lint_netlist(fixture("parse_error.cir"));
+  const Diagnostic& d = first_of(result.report, "FTL-P001");
+  EXPECT_EQ(d.loc.line, 4);
+  EXPECT_NE(d.message.find("X1"), std::string::npos);
+  EXPECT_FALSE(result.parsed.has_value());
+}
+
+TEST(NetlistLint, GoldenJsonOutput) {
+  const auto result = check::lint_netlist(fixture("no_dc_path.cir"));
+  std::string golden = fixture("no_dc_path.expected.json");
+  while (!golden.empty() && (golden.back() == '\n' || golden.back() == '\r')) {
+    golden.pop_back();
+  }
+  EXPECT_EQ(result.report.render_json(), golden);
+}
+
+TEST(NetlistLint, WidenedBandsSilenceN006) {
+  check::NetlistCheckOptions options;
+  options.capacitor_max = 100.0;  // ten farads are fine today
+  const auto result = check::lint_netlist(fixture("unit_suspect.cir"), options);
+  EXPECT_TRUE(result.report.clean()) << result.report.render_text();
+}
+
+// ---------------------------------------------------------------------------
+// check_circuit on programmatic circuits
+
+spice::Circuit divider() {
+  spice::Circuit c;
+  const int in = c.node("in");
+  const int mid = c.node("mid");
+  c.add(std::make_unique<spice::VoltageSource>("V1", in, spice::Circuit::kGround,
+                                               spice::Waveform::dc(10.0)));
+  c.add(std::make_unique<spice::Resistor>("R1", in, mid, 1e3));
+  c.add(std::make_unique<spice::Resistor>("R2", mid, spice::Circuit::kGround,
+                                          3e3));
+  return c;
+}
+
+TEST(CheckCircuit, DividerIsClean) {
+  const spice::Circuit c = divider();
+  EXPECT_TRUE(check::check_circuit(c).clean());
+}
+
+TEST(CheckCircuit, CurrentSourceOnlyNodeIsFlagged) {
+  spice::Circuit c;
+  const int a = c.node("a");
+  c.add(std::make_unique<spice::CurrentSource>("I1", a, spice::Circuit::kGround,
+                                               spice::Waveform::dc(1e-3)));
+  const Report report = check::check_circuit(c);
+  EXPECT_TRUE(has_rule(report, "FTL-N002"))
+      << "a current source has infinite output impedance at DC";
+  EXPECT_TRUE(has_rule(report, "FTL-N001"));
+}
+
+TEST(CheckCircuit, OpaqueDeviceSkipsSingularityPass) {
+  // A device that keeps the default (opaque) view must not let N007 claim
+  // its nodes are unmatchable — absence of pattern info proves nothing.
+  class Mystery : public spice::Device {
+   public:
+    Mystery(std::string name, int a) : Device(std::move(name)), a_(a) {}
+    void stamp(spice::Stamper& s, const spice::EvalContext&) const override {
+      s.conductance(a_, spice::Circuit::kGround, 1e-3);
+    }
+
+   private:
+    int a_;
+  };
+  spice::Circuit c;
+  const int a = c.node("a");
+  c.add(std::make_unique<Mystery>("U1", a));
+  c.add(std::make_unique<spice::Resistor>("R1", a, spice::Circuit::kGround, 1e3));
+  const Report report = check::check_circuit(c);
+  EXPECT_FALSE(has_rule(report, "FTL-N007")) << report.render_text();
+}
+
+TEST(CheckCircuit, DuplicateNamesOnAssembledCircuit) {
+  spice::Circuit c;
+  const int a = c.node("a");
+  c.add(std::make_unique<spice::Resistor>("R1", a, spice::Circuit::kGround, 1e3));
+  c.add(std::make_unique<spice::Resistor>("r1", a, spice::Circuit::kGround, 2e3));
+  EXPECT_TRUE(has_rule(check::check_circuit(c), "FTL-N004"));
+}
+
+// ---------------------------------------------------------------------------
+// Pre-solve gate
+
+TEST(PresolveGate, AbortsSolveWithReport) {
+  spice::Circuit c = divider();
+  const int mid = c.find_node("mid");
+  c.add(std::make_unique<spice::Capacitor>("C1", mid, c.node("float"), 1e-12));
+  check::install_presolve_gate(c);
+  try {
+    spice::dc_operating_point(c);
+    FAIL() << "expected CheckError";
+  } catch (const check::CheckError& e) {
+    EXPECT_FALSE(e.report().ok());
+    EXPECT_TRUE(has_rule(e.report(), "FTL-N002"));
+    EXPECT_NE(std::string(e.what()).find("FTL-N002"), std::string::npos);
+  }
+}
+
+TEST(PresolveGate, AddingDeviceRearmsGate) {
+  spice::Circuit c = divider();
+  const int mid = c.find_node("mid");
+  c.add(std::make_unique<spice::Capacitor>("C1", mid, c.node("float"), 1e-12));
+  check::install_presolve_gate(c);
+  EXPECT_THROW(spice::dc_operating_point(c), check::CheckError);
+  // Fix the topology; the gate re-runs and now passes.
+  c.add(std::make_unique<spice::Resistor>("RF", c.find_node("float"),
+                                          spice::Circuit::kGround, 1e6));
+  const spice::OpResult op = spice::dc_operating_point(c);
+  EXPECT_TRUE(op.converged);
+}
+
+TEST(PresolveGate, DisabledGateReportsNothing) {
+  spice::Circuit c = divider();
+  check::GateOptions options;
+  options.enabled = false;
+  check::install_presolve_gate(c, options);
+  EXPECT_TRUE(spice::dc_operating_point(c).converged);
+}
+
+TEST(PresolveGate, RunsOncePerTopology) {
+  spice::Circuit c = divider();
+  int runs = 0;
+  c.set_presolve_hook([&runs](const spice::Circuit&) { ++runs; });
+  (void)spice::dc_operating_point(c);
+  (void)spice::dc_operating_point(c);
+  EXPECT_EQ(runs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Lattice rules
+
+TEST(LatticeCheck, PaperMappingsPassWithoutErrorsOrWarnings) {
+  for (const lattice::Lattice& lat :
+       {lattice::xor3_lattice_3x3(), lattice::xor3_lattice_3x4()}) {
+    const Report report = check::check_lattice(lat);
+    EXPECT_EQ(report.errors(), 0) << report.render_text();
+    EXPECT_EQ(report.warnings(), 0) << report.render_text();
+  }
+}
+
+TEST(LatticeCheck, UnreachableSwitch) {
+  // (1,2) is walled off by constant-0 neighbours.
+  lattice::Lattice lat(3, 3, 3, {"a", "b", "c"});
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(0, 1, lattice::CellValue::of(1));
+  lat.set(1, 0, lattice::CellValue::of(0, false));
+  lat.set(1, 2, lattice::CellValue::of(2));
+  lat.set(2, 0, lattice::CellValue::of(1, false));
+  lat.set(2, 1, lattice::CellValue::of(2, false));
+  const Report report = check::check_lattice(lat);
+  const Diagnostic& d = first_of(report, "FTL-L001");
+  EXPECT_EQ(d.object, "(1,2)");
+}
+
+TEST(LatticeCheck, UnusedVariable) {
+  lattice::Lattice lat(2, 2, 3, {"a", "b", "c"});
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(1, 0, lattice::CellValue::of(1));
+  lat.set(0, 1, lattice::CellValue::of(0));
+  lat.set(1, 1, lattice::CellValue::of(1));
+  const Report report = check::check_lattice(lat);
+  const Diagnostic& d = first_of(report, "FTL-L002");
+  EXPECT_EQ(d.object, "c");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+}
+
+TEST(LatticeCheck, OutOfRangeLiteral) {
+  // Lattice::set enforces the literal-range invariant itself, so FTL-L003 is
+  // a defensive backstop: it can only fire on a Lattice whose invariants were
+  // bypassed (e.g. a future deserializer). Verify both halves of the
+  // contract — construction rejects the bad literal, and a well-formed
+  // lattice never produces L003.
+  lattice::Lattice lat(1, 1, 2, {"a", "b"});
+  EXPECT_THROW(lat.set(0, 0, lattice::CellValue::of(5)),
+               ftl::ContractViolation);
+  lat.set(0, 0, lattice::CellValue::of(1));
+  EXPECT_FALSE(has_rule(check::check_lattice(lat), "FTL-L003"));
+}
+
+TEST(LatticeCheck, RedundantRowIsNote) {
+  // Two identical rows of 'a': either one can go.
+  lattice::Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(1, 0, lattice::CellValue::of(0));
+  const Report report = check::check_lattice(lat);
+  EXPECT_TRUE(has_rule(report, "FTL-L004"));
+  EXPECT_TRUE(report.clean()) << "redundancy is a note, not a warning";
+}
+
+TEST(LatticeCheck, ConstantFunctionIsNote) {
+  lattice::Lattice lat(1, 1, 1, {"a"});
+  lat.set(0, 0, lattice::CellValue::one());
+  const Report report = check::check_lattice(lat);
+  EXPECT_TRUE(has_rule(report, "FTL-L005"));
+  // 'a' is also unused; the note itself must not break clean().
+  EXPECT_TRUE(report.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence
+
+TEST(Equivalence, PaperXor3MappingRealizesXor3) {
+  const auto verdict = check::verify_equivalence(lattice::xor3_lattice_3x3(),
+                                                lattice::xor3_truth_table());
+  EXPECT_TRUE(verdict.realizes);
+  EXPECT_FALSE(verdict.counterexample.has_value());
+  EXPECT_TRUE(check::check_equivalence(lattice::xor3_lattice_3x3(),
+                                       lattice::xor3_truth_table())
+                  .clean());
+}
+
+TEST(Equivalence, MutatedMappingYieldsRealCounterexample) {
+  lattice::Lattice lat = lattice::xor3_lattice_3x3();
+  lat.set(1, 1, lattice::CellValue::zero());  // kill the constant-1 cell
+  const logic::TruthTable target = lattice::xor3_truth_table();
+  const auto verdict = check::verify_equivalence(lat, target);
+  ASSERT_FALSE(verdict.realizes);
+  ASSERT_TRUE(verdict.counterexample.has_value());
+  const std::uint64_t m = *verdict.counterexample;
+  EXPECT_NE(lat.evaluate(m), target.get(m))
+      << "counterexample must actually distinguish lattice and target";
+  EXPECT_EQ(verdict.lattice_value, lat.evaluate(m));
+
+  const Report report = check::check_equivalence(lat, target);
+  const Diagnostic& d = first_of(report, "FTL-E001");
+  EXPECT_NE(d.message.find("="), std::string::npos)
+      << "message should spell out the assignment: " << d.message;
+}
+
+TEST(Equivalence, TruthTableFallbackAgreesWithPathConstruction) {
+  // Forcing max_products = 0 exercises the realized_truth_table fallback;
+  // both routes must agree on the same mapping.
+  lattice::Lattice lat = lattice::xor3_lattice_3x3();
+  lat.set(0, 1, lattice::CellValue::of(1));  // b' -> b, breaks equivalence
+  const logic::TruthTable target = lattice::xor3_truth_table();
+  check::EquivalenceOptions fallback;
+  fallback.max_products = 0;
+  const auto via_paths = check::verify_equivalence(lat, target);
+  const auto via_table = check::verify_equivalence(lat, target, fallback);
+  EXPECT_EQ(via_paths.realizes, via_table.realizes);
+  ASSERT_TRUE(via_table.counterexample.has_value());
+  const std::uint64_t m = *via_table.counterexample;
+  EXPECT_NE(lat.evaluate(m), target.get(m));
+}
+
+TEST(Equivalence, VariableCountMismatchIsE002) {
+  const Report report = check::check_equivalence(
+      lattice::xor3_lattice_3x3(), logic::TruthTable::from_bits(2, 0b0110));
+  EXPECT_TRUE(has_rule(report, "FTL-E002"));
+  EXPECT_FALSE(has_rule(report, "FTL-E001"));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-generated circuits (acceptance: everything we ship lints clean)
+
+TEST(PipelineLint, GeneratedBenchCircuitsAreClean) {
+  jobs::PipelineOptions options;
+  options.chain_max = 5;  // keep the long-chain build quick
+  for (const jobs::BenchCircuit& bench : jobs::pipeline_bench_circuits(options)) {
+    const Report report = check::check_circuit(bench.circuit);
+    EXPECT_TRUE(report.clean()) << bench.name << ":\n" << report.render_text();
+  }
+}
+
+}  // namespace

@@ -238,6 +238,65 @@ TEST(ServeProtocol, MalformedRequestsAreBadRequests) {
   EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 42.0);
 }
 
+TEST(ServeProtocol, LintNetlistReportsFindings) {
+  Service service({.workers = 1});
+  // "ok" means the lint ran; the findings live inside "report".
+  const JsonValue r = reply(
+      service,
+      R"({"op":"lint","netlist":"* t\nV1 in 0 1.2\nR1 in out 1k\nC1 out mid 1p\nC2 mid 0 1p\n.end\n"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const JsonValue* report = r.find("report");
+  ASSERT_NE(report, nullptr) << r.dump();
+  EXPECT_FALSE(report->find("clean")->as_bool());
+  EXPECT_DOUBLE_EQ(report->find("errors")->as_number(), 1.0);
+  const auto& diags = report->find("diagnostics")->items();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].find("rule")->as_string(), "FTL-N002");
+  EXPECT_EQ(diags[0].find("object")->as_string(), "mid");
+  EXPECT_DOUBLE_EQ(diags[0].find("line")->as_number(), 4.0);
+}
+
+TEST(ServeProtocol, LintLatticeWithTargetRunsEquivalence) {
+  Service service({.workers = 1});
+  // The paper's 3x3 XOR3 mapping with the centre cell broken: the lattice
+  // passes stay quiet but equivalence must produce FTL-E001.
+  const JsonValue r = reply(
+      service,
+      R"({"op":"lint","rows":3,"cols":3,"vars":["a","b","c"],)"
+      R"("cells":["a","b'","a'","c","0","c'","a'","b","a"],)"
+      R"("target":"a' b' c + a' b c' + a b' c' + a b c"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const JsonValue* report = r.find("report");
+  ASSERT_NE(report, nullptr) << r.dump();
+  EXPECT_FALSE(report->find("clean")->as_bool());
+  bool saw_e001 = false;
+  for (const JsonValue& d : report->find("diagnostics")->items()) {
+    if (d.find("rule")->as_string() == "FTL-E001") saw_e001 = true;
+  }
+  EXPECT_TRUE(saw_e001) << r.dump();
+}
+
+TEST(ServeProtocol, LintLatticeCleanMapping) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service,
+      R"({"op":"lint","rows":3,"cols":3,"vars":["a","b","c"],)"
+      R"("cells":["a","b'","a'","c","1","c'","a'","b","a"],)"
+      R"("target":"a' b' c + a' b c' + a b' c' + a b c"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(r.find("report")->find("clean")->as_bool()) << r.dump();
+}
+
+TEST(ServeCache, LintIsPureAndCached) {
+  Service service({.workers = 1});
+  const std::string line = R"({"op":"lint","netlist":"* t\nR1 a 0 0\n.end\n"})";
+  const std::string first = service.handle_now(line);
+  EXPECT_EQ(service.handle_now(line), first);
+  const JsonValue snap = service.stats().snapshot();
+  EXPECT_DOUBLE_EQ(
+      snap.find("ops")->find("lint")->find("cache_hits")->as_number(), 1.0);
+}
+
 TEST(ServeProtocol, DeadlineExpiresMidRequest) {
   Service service({.workers = 1});
   const auto start = std::chrono::steady_clock::now();
