@@ -1,0 +1,230 @@
+// Evaluation-core baseline for the bitsliced kernel and the frontier DP.
+//
+// Three measurements, each with a built-in correctness cross-check:
+//  1. realized_truth_table on a seeded 4x4 / 6-variable lattice — scalar
+//     BFS-per-assignment vs the bitsliced kernel (the PR's >= 10x bar).
+//  2. A many-block case (18 variables => 4096 blocks) — serial vs sharded
+//     parallel evaluation, verified bitwise identical.
+//  3. count_products — frontier DP vs the DFS enumerator, including the
+//     paper's Table I corner count(9,9) = 38,930,447 (DP must land well
+//     under a second).
+//
+//   bench_lattice_eval [out.json] [--quick]
+//
+// --quick trims repetition counts and the DFS cross-check range so the CI
+// smoke run finishes in seconds; correctness checks still run and still
+// gate the exit code. The full run also gates on the 10x speedup bar.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/lattice/paths.hpp"
+#include "ftl/logic/truth_table.hpp"
+#include "ftl/util/table.hpp"
+
+namespace {
+
+using ftl::lattice::CellValue;
+using ftl::lattice::Lattice;
+using ftl::logic::TruthTable;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Lattice random_lattice(int rows, int cols, int num_vars, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> choice(0, 2 * num_vars + 1);
+  Lattice lat(rows, cols, num_vars);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int pick = choice(rng);
+      if (pick < 2 * num_vars) {
+        lat.set(r, c, CellValue::of(pick / 2, pick % 2 == 0));
+      } else if (pick == 2 * num_vars) {
+        lat.set(r, c, CellValue::zero());
+      } else {
+        lat.set(r, c, CellValue::one());
+      }
+    }
+  }
+  return lat;
+}
+
+/// Best-of-three timing of `reps` calls to `fn`; returns seconds per call.
+template <typename Fn>
+double time_per_call(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const double total = seconds_since(start);
+    if (total / reps < best) best = total / reps;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr5.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  bool ok = true;
+
+  // --- 1. scalar vs bitsliced truth tables (4x4, 6 vars) ------------------
+  const Lattice lat6 = random_lattice(4, 4, 6, 42);
+  const TruthTable scalar_table = TruthTable::from_function(
+      6, [&lat6](std::uint64_t m) { return lat6.evaluate(m); });
+  if (ftl::lattice::realized_truth_table(lat6) != scalar_table) {
+    std::fprintf(stderr, "FAIL: bitsliced table != scalar table (4x4/6var)\n");
+    ok = false;
+  }
+
+  const int reps6 = quick ? 50 : 400;
+  const double scalar_s = time_per_call(reps6, [&lat6]() {
+    volatile bool sink = false;
+    for (std::uint64_t m = 0; m < 64; ++m) sink = lat6.evaluate(m);
+    (void)sink;
+  });
+  const double bitslice_s = time_per_call(reps6 * 10, [&lat6]() {
+    (void)ftl::lattice::realized_truth_table(lat6, 1);
+  });
+  const double speedup = scalar_s / bitslice_s;
+
+  // --- 2. serial vs parallel on a many-block lattice (18 vars) ------------
+  const Lattice lat16 = random_lattice(8, 8, 18, 7);
+  const int reps16 = quick ? 2 : 10;
+  const TruthTable serial16 = ftl::lattice::realized_truth_table(lat16, 1);
+  const TruthTable parallel16 = ftl::lattice::realized_truth_table(lat16);
+  if (serial16 != parallel16) {
+    std::fprintf(stderr, "FAIL: parallel truth table != serial (8x8/18var)\n");
+    ok = false;
+  }
+  const double serial16_s = time_per_call(reps16, [&lat16]() {
+    (void)ftl::lattice::realized_truth_table(lat16, 1);
+  });
+  const double parallel16_s = time_per_call(reps16, [&lat16]() {
+    (void)ftl::lattice::realized_truth_table(lat16);
+  });
+
+  // --- 3. count_products: frontier DP vs DFS ------------------------------
+  const auto dp_start = Clock::now();
+  const std::uint64_t dp_9x9 = ftl::lattice::count_products(9, 9);
+  const double dp_9x9_s = seconds_since(dp_start);
+  if (dp_9x9 != 38930447ull) {
+    std::fprintf(stderr, "FAIL: count_products(9,9) = %llu != 38930447\n",
+                 static_cast<unsigned long long>(dp_9x9));
+    ok = false;
+  }
+  if (dp_9x9_s >= 1.0) {
+    std::fprintf(stderr, "FAIL: DP count(9,9) took %.3fs (bar: < 1s)\n",
+                 dp_9x9_s);
+    ok = false;
+  }
+
+  // DFS cross-check over Table I sizes. The full run covers all of
+  // 2 <= m,n <= 9; --quick stops at 8 (the 9x9 DFS alone costs ~2s).
+  const int dfs_max = quick ? 8 : 9;
+  int dfs_checked = 0;
+  int dfs_mismatches = 0;
+  const auto dfs_start = Clock::now();
+  for (int m = 2; m <= dfs_max; ++m) {
+    for (int n = 2; n <= dfs_max; ++n) {
+      ++dfs_checked;
+      if (ftl::lattice::count_products(m, n) !=
+          ftl::lattice::count_products_dfs(m, n)) {
+        ++dfs_mismatches;
+        std::fprintf(stderr, "FAIL: DP != DFS at %dx%d\n", m, n);
+      }
+    }
+  }
+  const double dfs_s = seconds_since(dfs_start);
+  if (dfs_mismatches != 0) ok = false;
+
+  const double dfs_9x9_s = quick ? 0.0 : [] {
+    const auto start = Clock::now();
+    (void)ftl::lattice::count_products_dfs(9, 9);
+    return seconds_since(start);
+  }();
+
+  // --- report --------------------------------------------------------------
+  const auto fmt = [](const char* spec, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, spec, value);
+    return std::string(buf);
+  };
+  ftl::util::ConsoleTable table({"measurement", "time", "note"});
+  table.add_row({"scalar 64-assignment table (4x4/6var)",
+                 fmt("%.1f us", scalar_s * 1e6), "BFS per minterm"});
+  std::string note = "speedup ";
+  note += fmt("%.1fx", speedup);
+  table.add_row(
+      {"bitsliced table (4x4/6var)", fmt("%.2f us", bitslice_s * 1e6), note});
+  table.add_row({"serial table, 4096 blocks (8x8/18var)",
+                 fmt("%.1f ms", serial16_s * 1e3), ""});
+  note = "parallel ";
+  note += fmt("%.2fx", serial16_s / parallel16_s);
+  table.add_row({"parallel table, 4096 blocks (8x8/18var)",
+                 fmt("%.1f ms", parallel16_s * 1e3), note});
+  table.add_row({"frontier DP count(9,9)", fmt("%.2f ms", dp_9x9_s * 1e3),
+                 "= 38,930,447"});
+  if (!quick) {
+    table.add_row({"DFS count(9,9)", fmt("%.2f s", dfs_9x9_s),
+                   "reference engine"});
+  }
+  {
+    char mm[64];
+    std::snprintf(mm, sizeof mm, "mismatches %d / %d", dfs_mismatches,
+                  dfs_checked);
+    table.add_row({"DP vs DFS cross-check", fmt("%.2f s", dfs_s), mm});
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (!quick && speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: bitsliced speedup %.1fx below the 10x bar\n",
+                 speedup);
+    ok = false;
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  file << "{\"bench\":\"lattice_eval\",\"quick\":" << (quick ? "true" : "false")
+       << ",\"truth_table_4x4_6var\":{"
+       << "\"scalar_us\":" << scalar_s * 1e6
+       << ",\"bitslice_us\":" << bitslice_s * 1e6
+       << ",\"speedup\":" << speedup << "}"
+       << ",\"parallel_8x8_18var\":{"
+       << "\"serial_ms\":" << serial16_s * 1e3
+       << ",\"parallel_ms\":" << parallel16_s * 1e3
+       << ",\"identical\":" << (serial16 == parallel16 ? "true" : "false")
+       << "}"
+       << ",\"count_products\":{"
+       << "\"dp_9x9\":" << dp_9x9
+       << ",\"dp_9x9_ms\":" << dp_9x9_s * 1e3;
+  if (!quick) file << ",\"dfs_9x9_s\":" << dfs_9x9_s;
+  file << ",\"dfs_checked\":" << dfs_checked
+       << ",\"dfs_mismatches\":" << dfs_mismatches << "}}" << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return ok ? 0 : 1;
+}

@@ -20,7 +20,12 @@ using logic::BddRef;
 /// when the path count exceeds the cap.
 BddRef lattice_bdd(BddManager& mgr, const Lattice& lat,
                    const EquivalenceOptions& options) {
-  if (lattice::count_products(lat.rows(), lat.cols()) > options.max_products) {
+  // Shapes beyond the path enumerator's 128-cell contract (e.g. the
+  // Altun–Riedel lattices of dense functions) go straight to the semantic
+  // fallback instead of tripping a ContractViolation; within it,
+  // count_products is a cheap DP, so the product-count cap costs nothing.
+  if (lat.rows() * lat.cols() > 128 ||
+      lattice::count_products(lat.rows(), lat.cols()) > options.max_products) {
     return mgr.from_truth_table(lattice::realized_truth_table(lat));
   }
   // Per-cell value BDDs (row-major), so path products reuse them.

@@ -143,7 +143,15 @@ Report check_lattice(const Lattice& lat, const LatticeCheckOptions& options) {
       num_vars > logic::TruthTable::kMaxVars) {
     return report;
   }
-  const logic::TruthTable realized = lattice::realized_truth_table(lat);
+  // The redundancy passes re-realize one sub-lattice per row and column;
+  // small shapes recur constantly across lint calls, so they go through the
+  // memoized-LUT engine (shared per-shape table) and bigger ones through
+  // the bitsliced kernel.
+  const auto realized_table = [](const Lattice& l) {
+    return l.cell_count() <= 12 ? lattice::realized_truth_table_lut(l)
+                                : lattice::realized_truth_table(l);
+  };
+  const logic::TruthTable realized = realized_table(lat);
 
   // FTL-L005: constant function. Legal, but a constant needs no lattice.
   if (realized.is_zero() || realized.is_one()) {
@@ -157,7 +165,7 @@ Report check_lattice(const Lattice& lat, const LatticeCheckOptions& options) {
   // needs. A note: padded benches are routinely intentional.
   if (rows > 1) {
     for (int r = 0; r < rows; ++r) {
-      if (lattice::realized_truth_table(without(lat, 0, r)) != realized) {
+      if (realized_table(without(lat, 0, r)) != realized) {
         continue;
       }
       report.add("FTL-L004", Severity::kNote, "row " + std::to_string(r),
@@ -167,7 +175,7 @@ Report check_lattice(const Lattice& lat, const LatticeCheckOptions& options) {
   }
   if (cols > 1) {
     for (int c = 0; c < cols; ++c) {
-      if (lattice::realized_truth_table(without(lat, 1, c)) != realized) {
+      if (realized_table(without(lat, 1, c)) != realized) {
         continue;
       }
       report.add("FTL-L004", Severity::kNote, "col " + std::to_string(c),

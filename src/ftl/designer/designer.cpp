@@ -26,6 +26,7 @@ std::optional<lattice::Lattice> search_smaller(
         const int c = cells / r;
         lattice::SearchOptions search;
         search.seed = options.search_seed;
+        search.max_threads = options.search_threads;
         std::optional<lattice::Lattice> found;
         if (cells <= 9) {
           found = lattice::exhaustive_synthesis(target, r, c, search, names);

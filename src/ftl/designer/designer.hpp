@@ -43,6 +43,10 @@ struct DesignOptions {
   bool include_complementary = true;  ///< add the §VI-A two-lattice design
   int max_search_cells = 12;          ///< search budget ceiling
   std::uint64_t search_seed = 1;
+  /// Thread cap for the sharded exhaustive search (0 = global pool). The
+  /// shards join lowest-index-wins, so the found lattice is independent of
+  /// the cap.
+  std::size_t search_threads = 0;
   bridge::MeasureOptions measure;
 };
 

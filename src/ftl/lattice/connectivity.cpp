@@ -1,8 +1,51 @@
 #include "ftl/lattice/connectivity.hpp"
 
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
 #include "ftl/util/error.hpp"
 
 namespace ftl::lattice {
+
+namespace detail {
+namespace {
+
+std::atomic<std::uint64_t> g_assignments{0};
+std::atomic<std::uint64_t> g_blocks{0};
+std::atomic<std::uint64_t> g_lut_hits{0};
+std::atomic<std::uint64_t> g_lut_builds{0};
+
+}  // namespace
+
+void count_block() {
+  g_blocks.fetch_add(1, std::memory_order_relaxed);
+  g_assignments.fetch_add(64, std::memory_order_relaxed);
+}
+
+void count_lut(bool hit) {
+  (hit ? g_lut_hits : g_lut_builds).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+EvalCounters eval_counters() {
+  EvalCounters c;
+  c.assignments = detail::g_assignments.load(std::memory_order_relaxed);
+  c.blocks = detail::g_blocks.load(std::memory_order_relaxed);
+  c.lut_hits = detail::g_lut_hits.load(std::memory_order_relaxed);
+  c.lut_builds = detail::g_lut_builds.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_eval_counters() {
+  detail::g_assignments.store(0, std::memory_order_relaxed);
+  detail::g_blocks.store(0, std::memory_order_relaxed);
+  detail::g_lut_hits.store(0, std::memory_order_relaxed);
+  detail::g_lut_builds.store(0, std::memory_order_relaxed);
+}
+
 namespace {
 
 /// Shared BFS over a generic "is cell ON" predicate.
@@ -63,6 +106,24 @@ std::vector<bool> connectivity_lut(int rows, int cols) {
     lut[static_cast<std::size_t>(p)] = top_bottom_connected_bits(p, rows, cols);
   }
   return lut;
+}
+
+const std::vector<bool>& connectivity_lut_cached(int rows, int cols) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 20);
+  // unique_ptr values keep the table address stable across rehashes and map
+  // growth, so returned references survive later insertions.
+  static std::mutex mutex;
+  static std::map<std::pair<int, int>, std::unique_ptr<const std::vector<bool>>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[{rows, cols}];
+  const bool hit = slot != nullptr;
+  if (!hit) {
+    slot = std::make_unique<const std::vector<bool>>(
+        connectivity_lut(rows, cols));
+  }
+  detail::count_lut(hit);
+  return *slot;
 }
 
 }  // namespace ftl::lattice

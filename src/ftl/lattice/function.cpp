@@ -1,9 +1,19 @@
 #include "ftl/lattice/function.hpp"
 
+#include "ftl/lattice/bitslice.hpp"
+#include "ftl/lattice/connectivity.hpp"
 #include "ftl/lattice/paths.hpp"
 #include "ftl/util/error.hpp"
+#include "ftl/util/thread_pool.hpp"
 
 namespace ftl::lattice {
+namespace {
+
+/// Blocks at or above this count are worth fanning across the pool; below
+/// it the dispatch overhead exceeds the fixpoint work.
+constexpr std::size_t kParallelBlockThreshold = 16;
+
+}  // namespace
 
 logic::Sop grid_function(int rows, int cols) {
   FTL_EXPECTS(rows * cols <= logic::Cube::kMaxVars);
@@ -16,17 +26,61 @@ logic::Sop grid_function(int rows, int cols) {
   return sop;
 }
 
-logic::TruthTable realized_truth_table(const Lattice& lattice) {
-  FTL_EXPECTS(lattice.num_vars() <= logic::TruthTable::kMaxVars);
-  return logic::TruthTable::from_function(
-      lattice.num_vars(),
-      [&lattice](std::uint64_t m) { return lattice.evaluate(m); });
+logic::TruthTable realized_truth_table(const Lattice& lattice,
+                                       std::size_t max_threads) {
+  const int nv = lattice.num_vars();
+  FTL_EXPECTS(nv <= logic::TruthTable::kMaxVars);
+  const BitsliceEvaluator eval(lattice);
+  std::vector<std::uint64_t> words(logic::TruthTable::word_count(nv));
+  if (words.size() >= kParallelBlockThreshold && max_threads != 1) {
+    // Slot-per-block writes: parallel is bitwise-identical to serial.
+    util::parallel_for(
+        words.size(),
+        [&](std::size_t b) { words[b] = eval.evaluate_block(b << 6); },
+        max_threads);
+  } else {
+    std::vector<std::uint64_t> states_scratch, fix_scratch;
+    for (std::size_t b = 0; b < words.size(); ++b) {
+      words[b] = eval.evaluate_block(b << 6, states_scratch, fix_scratch);
+    }
+  }
+  return logic::TruthTable::from_words(nv, std::move(words));
+}
+
+logic::TruthTable realized_truth_table_lut(const Lattice& lattice) {
+  const int nv = lattice.num_vars();
+  FTL_EXPECTS(nv <= logic::TruthTable::kMaxVars);
+  FTL_EXPECTS(lattice.cell_count() <= 20);
+  const std::vector<bool>& lut =
+      connectivity_lut_cached(lattice.rows(), lattice.cols());
+  std::vector<CellValue> cells;
+  cells.reserve(static_cast<std::size_t>(lattice.cell_count()));
+  for (int r = 0; r < lattice.rows(); ++r) {
+    for (int c = 0; c < lattice.cols(); ++c) cells.push_back(lattice.at(r, c));
+  }
+  return logic::TruthTable::from_function(nv, [&](std::uint64_t m) {
+    std::uint64_t pattern = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].evaluate(m)) pattern |= std::uint64_t{1} << i;
+    }
+    return static_cast<bool>(lut[static_cast<std::size_t>(pattern)]);
+  });
 }
 
 bool realizes(const Lattice& lattice, const logic::TruthTable& target) {
   FTL_EXPECTS(lattice.num_vars() == target.num_vars());
-  for (std::uint64_t m = 0; m < target.num_minterms(); ++m) {
-    if (lattice.evaluate(m) != target.get(m)) return false;
+  const BitsliceEvaluator eval(lattice);
+  const std::size_t nwords =
+      logic::TruthTable::word_count(target.num_vars());
+  const std::uint64_t lane_mask =
+      target.num_vars() >= 6
+          ? ~std::uint64_t{0}
+          : (std::uint64_t{1} << target.num_minterms()) - 1;
+  std::vector<std::uint64_t> states_scratch, fix_scratch;
+  for (std::size_t b = 0; b < nwords; ++b) {
+    const std::uint64_t lanes =
+        eval.evaluate_block(b << 6, states_scratch, fix_scratch);
+    if ((lanes & lane_mask) != target.word(b)) return false;
   }
   return true;
 }

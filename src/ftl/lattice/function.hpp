@@ -17,11 +17,26 @@ namespace ftl::lattice {
 /// (row-major x0..x_{mn-1}), as in Fig. 2c. Requires rows*cols <= 64.
 logic::Sop grid_function(int rows, int cols);
 
-/// Truth table of the function the lattice realizes, by evaluating
-/// connectivity on all 2^num_vars assignments. Requires num_vars <= 26.
-logic::TruthTable realized_truth_table(const Lattice& lattice);
+/// Truth table of the function the lattice realizes. Requires
+/// num_vars <= 26. Evaluation is bitsliced — 64 assignments per
+/// connectivity fixpoint — and large tables (>= 16 blocks, i.e. 10+
+/// variables) shard their blocks across util::parallel_for. Each block
+/// writes its own output word, so the result is bit-identical regardless
+/// of thread count; `max_threads` caps the parallelism (0 = global pool,
+/// 1 = serial on the calling thread).
+logic::TruthTable realized_truth_table(const Lattice& lattice,
+                                       std::size_t max_threads = 0);
 
-/// True when the lattice realizes exactly `target`.
+/// Reference implementation over the memoized connectivity LUT: assembles
+/// the packed switch pattern per assignment and looks connectivity up.
+/// Requires cell_count <= 20 (first use per shape builds a 2^cells table —
+/// cheap up to ~12 cells, increasingly not beyond). Used by the checkers
+/// and tests as an engine independent of the bitsliced kernel.
+logic::TruthTable realized_truth_table_lut(const Lattice& lattice);
+
+/// True when the lattice realizes exactly `target`. Compares bitsliced
+/// 64-assignment blocks against the target words and stops at the first
+/// mismatching block.
 bool realizes(const Lattice& lattice, const logic::TruthTable& target);
 
 /// Symbolic derivation: substitutes the cell values into every irredundant

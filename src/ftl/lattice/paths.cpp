@@ -1,6 +1,9 @@
 #include "ftl/lattice/paths.hpp"
 
+#include <algorithm>
 #include <array>
+#include <unordered_map>
+#include <utility>
 
 #include "ftl/util/error.hpp"
 
@@ -90,9 +93,174 @@ struct PathEnumerator {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Frontier DP ("simpath"-style profile memoization).
+//
+// An irredundant product is an induced top-bottom path: a set of cells whose
+// grid-induced subgraph is a simple path, whose only top-row cell is one
+// endpoint and whose only bottom-row cell is the other. Because the subgraph
+// is induced, *every* adjacency between chosen cells is an edge — so a
+// row-major sweep can account for each cell's final degree exactly when its
+// right and below neighbours are decided.
+//
+// The DP state is a profile of `cols` symbols describing, for each column,
+// the frontier cell (the most recently decided cell in that column):
+//   E  not chosen
+//   B  chosen but saturated (interior cell, or the completed bottom cell)
+//   S  chosen singleton: both path-ends, may take up to two more edges
+//   L,R chosen end of a two-ended path component; components never cross in
+//       a planar grid, so matching L/R like brackets pairs the two ends
+//   T  chosen end of the component containing the (unique) top-row cell —
+//      such a component has exactly one free end, since the top cell itself
+//      is a final path endpoint and takes no further edges
+// plus two flags: "a top-row cell was chosen" and "the path was completed"
+// (a bottom-row cell connected to the T component).
+//
+// Any end symbol that leaves the frontier without connecting downward would
+// be a dangling interior endpoint, which no completion can repair, so that
+// branch dies immediately; so do forced edges into saturated cells and
+// edges that would close a cycle. The state space is tiny (a few thousand
+// profiles for 9×9), which is what turns Table I's 38.9M-path entry into a
+// sub-millisecond count.
+// ---------------------------------------------------------------------------
+
+constexpr int kMaxDpCols = 16;  // 3 bits/column + 2 flags fit in 64 bits
+
+enum : std::uint64_t { kE = 0, kB = 1, kS = 2, kL = 3, kR = 4, kT = 5 };
+
+constexpr std::uint64_t kTopUsed = std::uint64_t{1} << 48;
+constexpr std::uint64_t kDone = std::uint64_t{1} << 49;
+
+std::uint64_t get_mark(std::uint64_t s, int c) { return (s >> (3 * c)) & 7; }
+
+std::uint64_t set_mark(std::uint64_t s, int c, std::uint64_t m) {
+  return (s & ~(std::uint64_t{7} << (3 * c))) | (m << (3 * c));
+}
+
+/// Bracket-matching partner of the L or R end at column `c`.
+int partner_of(std::uint64_t s, int c, int cols) {
+  int depth = 0;
+  if (get_mark(s, c) == kL) {
+    for (int j = c + 1; j < cols; ++j) {
+      const std::uint64_t m = get_mark(s, j);
+      if (m == kL) ++depth;
+      if (m == kR && depth-- == 0) return j;
+    }
+  } else {
+    for (int j = c - 1; j >= 0; --j) {
+      const std::uint64_t m = get_mark(s, j);
+      if (m == kR) ++depth;
+      if (m == kL && depth-- == 0) return j;
+    }
+  }
+  FTL_ENSURES(false && "unbalanced frontier profile");
+  return -1;
+}
+
+bool is_end(std::uint64_t m) { return m == kS || m == kL || m == kR || m == kT; }
+
+std::uint64_t count_products_dp(int rows, int cols) {
+  std::unordered_map<std::uint64_t, std::uint64_t> cur, next;
+  cur.emplace(0, 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      next.clear();
+      for (const auto& [s, n] : cur) {
+        const std::uint64_t u = get_mark(s, c);  // mark of cell (r-1, c)
+
+        // Option A: leave (r, c) out of the path. The cell above leaves the
+        // frontier; if it is still a connectable end it dangles — dead.
+        if (u == kE || u == kB) next[set_mark(s, c, kE)] += n;
+
+        // Option B: put (r, c) in the path. Adjacent chosen cells force
+        // edges (induced subgraph).
+        do {
+          if (r == 0) {
+            if ((s & kTopUsed) != 0) break;  // a second top-row cell
+            next[set_mark(s, c, kT) | kTopUsed] += n;
+            break;
+          }
+          // An up-neighbour singleton would exit with exactly one edge — a
+          // dangling interior endpoint either way.
+          if (u == kB || u == kS) break;
+          if (r == rows - 1) {
+            // The unique bottom-row cell: must finish the top component.
+            if ((s & kDone) != 0 || u != kT) break;
+            next[set_mark(s, c, kB) | kDone] += n;
+            break;
+          }
+          const std::uint64_t left = (c > 0) ? get_mark(s, c - 1) : kE;
+          if (left == kB) break;
+          const bool conn_left = is_end(left);
+          const bool conn_up = is_end(u);
+          std::uint64_t ns = s;
+          if (!conn_left && !conn_up) {
+            ns = set_mark(ns, c, kS);
+          } else if (conn_left != conn_up) {
+            if (conn_up) {
+              // The end at column c moves one row down; its role (and any
+              // bracket partner, which is in another column) is unchanged.
+              ns = set_mark(ns, c, u);
+            } else if (left == kS) {
+              // The singleton becomes the left end of a two-ended pair.
+              ns = set_mark(set_mark(ns, c - 1, kL), c, kR);
+            } else {
+              // The left end saturates; this cell is the component's new
+              // end, one column right — bracket order is preserved.
+              ns = set_mark(set_mark(ns, c - 1, kB), c, left);
+            }
+          } else {
+            // Both neighbours connect: this cell saturates immediately and
+            // merges their components.
+            if (left == kT && u == kT) break;  // two tops — impossible
+            if (left == kL && u == kR && partner_of(s, c - 1, cols) == c) {
+              break;  // the two ends of one component — a cycle
+            }
+            if (left == kS) {
+              // {left, this} splices onto u's component; `left` becomes the
+              // merged component's end and inherits u's role: T stays T,
+              // and an L/R partner keeps its side of column c-1.
+              ns = set_mark(set_mark(ns, c - 1, u), c, kB);
+            } else {
+              const int pl = (left == kT) ? -1 : partner_of(s, c - 1, cols);
+              const int pu = (u == kT) ? -1 : partner_of(s, c, cols);
+              ns = set_mark(set_mark(ns, c - 1, kB), c, kB);
+              if (pl < 0) {
+                ns = set_mark(ns, pu, kT);
+              } else if (pu < 0) {
+                ns = set_mark(ns, pl, kT);
+              } else {
+                ns = set_mark(ns, std::min(pl, pu), kL);
+                ns = set_mark(ns, std::max(pl, pu), kR);
+              }
+            }
+          }
+          next[ns] += n;
+        } while (false);
+      }
+      std::swap(cur, next);
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& [s, n] : cur) {
+    if ((s & kDone) != 0) total += n;
+  }
+  return total;
+}
+
 }  // namespace
 
 std::uint64_t count_products(int rows, int cols) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  if (rows == 1) return cols;  // every top-row cell touches both plates
+  if (cols <= kMaxDpCols) return count_products_dp(rows, cols);
+  FTL_EXPECTS_MSG(rows * cols <= 128,
+                  "count_products supports cols <= 16 (frontier DP) or "
+                  "rows*cols <= 128 (DFS fallback)");
+  return count_products_dfs(rows, cols);
+}
+
+std::uint64_t count_products_dfs(int rows, int cols) {
   FTL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols <= 128);
   PathEnumerator e(rows, cols);
   return e.run();

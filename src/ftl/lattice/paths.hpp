@@ -16,14 +16,26 @@
 namespace ftl::lattice {
 
 /// Number of products in the m×n lattice function — the number of
-/// irredundant top-bottom paths. Supports rows*cols up to 128 cells;
-/// the paper's Table I covers 2..9 × 2..9.
+/// irredundant top-bottom paths.
+///
+/// Counting is enumeration-free: a frontier (simpath-style) dynamic program
+/// memoizes per-column connection profiles while sweeping the grid row by
+/// row, so Table I's 9×9 entry (38,930,447) is computed in milliseconds
+/// without visiting the 38.9M paths. Supported range: cols <= 16 with
+/// unbounded rows (counts are exact while they fit in uint64 — e.g. m×2
+/// overflows beyond m = 92); wider grids fall back to the DFS enumerator,
+/// which requires rows*cols <= 128. Anything else throws ContractViolation.
 std::uint64_t count_products(int rows, int cols);
+
+/// Reference counter: explicit DFS path enumeration (the engine behind
+/// enumerate_products). Requires rows*cols <= 128. Kept as an independent
+/// cross-check and benchmark baseline for the DP above.
+std::uint64_t count_products_dfs(int rows, int cols);
 
 /// Invokes `visit` with the row-major cell indices of every irredundant
 /// path, in DFS order. Returns the number of paths visited. When
 /// `max_paths` > 0, enumeration stops (and the function returns) after that
-/// many paths.
+/// many paths. Requires rows*cols <= 128.
 std::uint64_t enumerate_products(
     int rows, int cols,
     const std::function<void(const std::vector<int>&)>& visit,

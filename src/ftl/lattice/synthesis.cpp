@@ -1,12 +1,16 @@
 #include "ftl/lattice/synthesis.hpp"
 
+#include <atomic>
+#include <bit>
+#include <optional>
 #include <random>
 #include <string>
 
-#include "ftl/lattice/connectivity.hpp"
+#include "ftl/lattice/bitslice.hpp"
 #include "ftl/lattice/function.hpp"
 #include "ftl/logic/isop.hpp"
 #include "ftl/util/error.hpp"
+#include "ftl/util/thread_pool.hpp"
 
 namespace ftl::lattice {
 namespace {
@@ -45,6 +49,24 @@ Lattice materialize(const logic::TruthTable& target, int rows, int cols,
     }
   }
   return lat;
+}
+
+/// Output lanes of one candidate: cell i's lane word is the truth vector of
+/// its picked value (bit m = value under assignment m — with num_vars <= 6
+/// that is exactly the bitslice lane layout), so one connectivity fixpoint
+/// scores all 2^num_vars assignments at once. `abort_zero_mask` lanes (where
+/// the target is 0) cut the fixpoint short on the first mismatch.
+std::uint64_t candidate_lanes(const std::vector<std::uint64_t>& bits,
+                              const std::vector<int>& pick, int rows, int cols,
+                              std::uint64_t abort_zero_mask,
+                              std::vector<std::uint64_t>& states,
+                              std::vector<std::uint64_t>& scratch) {
+  const std::size_t cells = pick.size();
+  states.resize(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    states[i] = bits[static_cast<std::size_t>(pick[i])];
+  }
+  return connected_lanes(states.data(), rows, cols, abort_zero_mask, scratch);
 }
 
 }  // namespace
@@ -145,33 +167,67 @@ std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
     bits[i] = choice_bits(choices[i], num_minterms);
   }
 
-  const std::vector<bool> lut = connectivity_lut(rows, cols);
+  const std::uint64_t lane_mask =
+      num_minterms >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << num_minterms) - 1;
+  const std::uint64_t target_bits = target.word(0);
+  const std::uint64_t zero_mask = ~target_bits & lane_mask;
 
-  std::vector<int> pick(static_cast<std::size_t>(cells), 0);
-  for (;;) {
-    // Evaluate the candidate on every input assignment; early exit on the
-    // first mismatch.
-    bool ok = true;
-    for (std::uint64_t m = 0; m < num_minterms && ok; ++m) {
-      std::uint64_t pattern = 0;
-      for (int i = 0; i < cells; ++i) {
-        pattern |= ((bits[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] >> m) & 1)
-                   << i;
-      }
-      ok = (lut[static_cast<std::size_t>(pattern)] == target.get(m));
-    }
-    if (ok) {
-      return materialize(target, rows, cols, choices, pick, std::move(var_names));
-    }
-    // Odometer increment.
-    int i = 0;
-    while (i < cells) {
-      if (++pick[static_cast<std::size_t>(i)] < nc) break;
-      pick[static_cast<std::size_t>(i)] = 0;
-      ++i;
-    }
-    if (i == cells) return std::nullopt;
+  // The serial odometer steps pick[0] fastest and pick[cells-1] slowest, so
+  // fixing the slowest digit partitions the space into `nc` shards that
+  // cover the serial order in shard-index order. Each shard records its own
+  // first find; taking the lowest-index shard's find reproduces the serial
+  // result exactly. `best` lets shards that can no longer win stop early.
+  const int shards = nc;
+  std::vector<std::optional<std::vector<int>>> found(
+      static_cast<std::size_t>(shards));
+  std::atomic<int> best{shards};
+  util::parallel_for(
+      static_cast<std::size_t>(shards),
+      [&](std::size_t shard) {
+        if (best.load(std::memory_order_relaxed) < static_cast<int>(shard)) {
+          return;
+        }
+        std::vector<int> pick(static_cast<std::size_t>(cells), 0);
+        pick[static_cast<std::size_t>(cells - 1)] = static_cast<int>(shard);
+        std::vector<std::uint64_t> states, scratch;
+        std::uint64_t steps = 0;
+        for (;;) {
+          if ((++steps & 1023) == 0 &&
+              best.load(std::memory_order_relaxed) < static_cast<int>(shard)) {
+            return;
+          }
+          const std::uint64_t lanes = candidate_lanes(
+              bits, pick, rows, cols, zero_mask, states, scratch);
+          if ((lanes & lane_mask) == target_bits) {
+            found[shard] = pick;
+            int cur = best.load();
+            while (static_cast<int>(shard) < cur &&
+                   !best.compare_exchange_weak(cur, static_cast<int>(shard))) {
+            }
+            return;
+          }
+          // Odometer over the shard's digits (all but the fixed slowest).
+          int i = 0;
+          while (i < cells - 1) {
+            if (++pick[static_cast<std::size_t>(i)] < nc) break;
+            pick[static_cast<std::size_t>(i)] = 0;
+            ++i;
+          }
+          if (i == cells - 1) return;  // shard exhausted
+        }
+      },
+      options.max_threads);
+  for (std::size_t shard = 0; shard < found.size(); ++shard) {
+    if (!found[shard]) continue;
+    Lattice lat =
+        materialize(target, rows, cols, choices, *found[shard], std::move(var_names));
+    // Cross-check the bitsliced kernel's verdict against the independent
+    // memoized-LUT engine before handing the lattice out.
+    FTL_ENSURES(realized_truth_table_lut(lat) == target);
+    return lat;
   }
+  return std::nullopt;
 }
 
 std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
@@ -190,23 +246,22 @@ std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
   for (std::size_t i = 0; i < choices.size(); ++i) {
     bits[i] = choice_bits(choices[i], num_minterms);
   }
-  const std::vector<bool> lut = connectivity_lut(rows, cols);
+  const std::uint64_t lane_mask =
+      num_minterms >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << num_minterms) - 1;
+  const std::uint64_t target_bits = target.word(0);
 
   std::mt19937_64 rng(options.seed);
   std::uniform_int_distribution<int> cell_dist(0, cells - 1);
   std::uniform_int_distribution<int> choice_dist(0, nc - 1);
 
+  std::vector<std::uint64_t> states, scratch;
   const auto cost = [&](const std::vector<int>& pick) {
-    int mismatches = 0;
-    for (std::uint64_t m = 0; m < num_minterms; ++m) {
-      std::uint64_t pattern = 0;
-      for (int i = 0; i < cells; ++i) {
-        pattern |= ((bits[static_cast<std::size_t>(pick[static_cast<std::size_t>(i)])] >> m) & 1)
-                   << i;
-      }
-      if (lut[static_cast<std::size_t>(pattern)] != target.get(m)) ++mismatches;
-    }
-    return mismatches;
+    // Hill climbing needs the exact mismatch count, so no abort mask here:
+    // the fixpoint runs to completion and the XOR popcount is the cost.
+    const std::uint64_t lanes =
+        candidate_lanes(bits, pick, rows, cols, 0, states, scratch);
+    return std::popcount((lanes & lane_mask) ^ target_bits);
   };
 
   for (int restart = 0; restart < options.max_restarts; ++restart) {
@@ -227,7 +282,11 @@ std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
       }
     }
     if (current == 0) {
-      return materialize(target, rows, cols, choices, pick, std::move(var_names));
+      Lattice lat =
+          materialize(target, rows, cols, choices, pick, std::move(var_names));
+      // Same independent cross-check as the exhaustive engine.
+      FTL_ENSURES(realized_truth_table_lut(lat) == target);
+      return lat;
     }
   }
   return std::nullopt;

@@ -40,12 +40,23 @@ struct SearchOptions {
   std::uint64_t seed = 1;       ///< local search RNG seed
   int max_restarts = 200;       ///< local search restarts
   int max_iterations = 20000;   ///< moves per restart
+  /// Thread cap for the sharded exhaustive search (0 = global pool,
+  /// 1 = serial). The result is identical either way — shards join with
+  /// lowest-index-wins, which reproduces the serial visit order.
+  std::size_t max_threads = 0;
 };
 
 /// Complete enumeration over all assignments of a rows×cols lattice.
 /// Returns the first realization found, or nullopt when none exists.
 /// Requires rows*cols <= 20 and target.num_vars() <= 6; intended for the
 /// small sizes where the search space (2*vars+2)^(rows*cols) is tractable.
+///
+/// Candidates are scored through the bitsliced connectivity kernel (all
+/// 2^num_vars assignments in one fixpoint, aborting as soon as a
+/// known-zero lane lights up), and the candidate space is sharded over
+/// util::parallel_for by the slowest odometer digit. The first find of the
+/// lowest-index shard is exactly the serial first find, so parallel and
+/// serial runs return the same lattice.
 std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
                                             int rows, int cols,
                                             const SearchOptions& options = {},

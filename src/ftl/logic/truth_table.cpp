@@ -6,14 +6,11 @@
 #include "ftl/util/error.hpp"
 
 namespace ftl::logic {
-namespace {
 
-std::size_t word_count(int num_vars) {
+std::size_t TruthTable::word_count(int num_vars) {
   const std::uint64_t bits = std::uint64_t{1} << num_vars;
   return static_cast<std::size_t>((bits + 63) / 64);
 }
-
-}  // namespace
 
 TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
   FTL_EXPECTS(num_vars >= 0 && num_vars <= kMaxVars);
@@ -49,6 +46,16 @@ TruthTable TruthTable::from_bits(int num_vars, std::uint64_t bits) {
   return t;
 }
 
+TruthTable TruthTable::from_words(int num_vars,
+                                  std::vector<std::uint64_t> words) {
+  FTL_EXPECTS(num_vars >= 0 && num_vars <= kMaxVars);
+  FTL_EXPECTS(words.size() == word_count(num_vars));
+  TruthTable t(num_vars);
+  t.words_ = std::move(words);
+  t.mask_tail();
+  return t;
+}
+
 TruthTable TruthTable::constant(int num_vars, bool value) {
   TruthTable t(num_vars);
   if (value) {
@@ -78,6 +85,11 @@ void TruthTable::set(std::uint64_t minterm, bool value) {
   } else {
     words_[minterm >> 6] &= ~bit;
   }
+}
+
+std::uint64_t TruthTable::word(std::size_t i) const {
+  FTL_EXPECTS(i < words_.size());
+  return words_[i];
 }
 
 bool TruthTable::is_zero() const {

@@ -36,6 +36,12 @@ class TruthTable {
   /// Builds from the low 2^num_vars bits of `bits` (num_vars <= 6).
   static TruthTable from_bits(int num_vars, std::uint64_t bits);
 
+  /// Builds from 64-minterm words (bit k of words[i] = f(64*i + k)). The
+  /// vector must hold exactly word_count(num_vars) entries; tail bits beyond
+  /// 2^num_vars are masked off. This is the zero-copy sink for the bitsliced
+  /// lattice evaluator, whose 64-assignment blocks are exactly these words.
+  static TruthTable from_words(int num_vars, std::vector<std::uint64_t> words);
+
   static TruthTable constant(int num_vars, bool value);
 
   /// Projection onto a single variable.
@@ -46,6 +52,12 @@ class TruthTable {
 
   bool get(std::uint64_t minterm) const;
   void set(std::uint64_t minterm, bool value);
+
+  /// Number of 64-bit words backing a table of `num_vars` inputs.
+  static std::size_t word_count(int num_vars);
+
+  /// 64-minterm word i (bit k = f(64*i + k)); tail bits are always 0.
+  std::uint64_t word(std::size_t i) const;
 
   bool is_zero() const;
   bool is_one() const;

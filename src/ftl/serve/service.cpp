@@ -20,6 +20,7 @@
 #include "ftl/jobs/artifact.hpp"
 #include "ftl/jobs/cache.hpp"
 #include "ftl/jobs/digest.hpp"
+#include "ftl/lattice/connectivity.hpp"
 #include "ftl/lattice/function.hpp"
 #include "ftl/lattice/lattice.hpp"
 #include "ftl/lattice/paths.hpp"
@@ -635,6 +636,22 @@ struct Service::Impl {
             JsonValue::number(static_cast<double>(pool.active_tasks())));
     svc.set("draining", JsonValue::boolean(draining.load()));
     body.set("service", std::move(svc));
+    // Evaluation-core counters (process-wide, monotonic): how many input
+    // assignments the lattice kernels have evaluated, in how many bitsliced
+    // blocks, and how the connectivity-LUT memo is doing. They live in the
+    // uncached `stats` op on purpose — the `metrics` op is cached with a
+    // cached==computed byte-equality guarantee that volatile counters would
+    // break.
+    const lattice::EvalCounters ec = lattice::eval_counters();
+    JsonValue eval_core = JsonValue::object();
+    eval_core.set("assignments",
+                  JsonValue::number(static_cast<double>(ec.assignments)));
+    eval_core.set("blocks", JsonValue::number(static_cast<double>(ec.blocks)));
+    eval_core.set("lut_hits",
+                  JsonValue::number(static_cast<double>(ec.lut_hits)));
+    eval_core.set("lut_builds",
+                  JsonValue::number(static_cast<double>(ec.lut_builds)));
+    body.set("eval_core", std::move(eval_core));
     return body;
   }
 

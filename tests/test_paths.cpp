@@ -13,6 +13,7 @@ namespace {
 
 using ftl::lattice::all_products;
 using ftl::lattice::count_products;
+using ftl::lattice::count_products_dfs;
 using ftl::lattice::enumerate_products;
 
 // Table I of the paper, rows m = 2..9, columns n = 2..9.
@@ -72,13 +73,14 @@ TEST(Table1, PaperHighlightedComparisons) {
 }
 
 TEST(Paths, ClosedFormRows) {
-  // Structural identities visible in Table I, checked well past it:
+  // Structural identities visible in Table I, checked well past it — the
+  // range deliberately crosses the DP/DFS dispatch boundary at cols = 16:
   // a 2-row lattice has exactly n straight columns...
-  for (int n = 2; n <= 12; ++n) {
+  for (int n = 2; n <= 20; ++n) {
     EXPECT_EQ(count_products(2, n), static_cast<std::uint64_t>(n));
   }
   // ...and a 3-row lattice has exactly n^2 irredundant paths.
-  for (int n = 2; n <= 12; ++n) {
+  for (int n = 2; n <= 20; ++n) {
     EXPECT_EQ(count_products(3, n), static_cast<std::uint64_t>(n) * n);
   }
 }
@@ -86,14 +88,39 @@ TEST(Paths, ClosedFormRows) {
 TEST(Paths, TwoColumnLatticesFollowFibonacci) {
   // The n=2 column of Table I (2, 4, 6, 10, 16, 26, 42, 68) is twice the
   // Fibonacci numbers: count(m, 2) = 2 F(m) with F(2)=1, F(3)=2, ...
+  // The frontier DP has no row bound, so this runs to m = 90 (2 F(90) is
+  // the last value below the uint64 overflow line).
   std::uint64_t fib_prev = 1;  // F(2)
   std::uint64_t fib = 2;       // F(3)
   EXPECT_EQ(count_products(2, 2), 2u * fib_prev);
-  for (int m = 3; m <= 14; ++m) {
+  for (int m = 3; m <= 90; ++m) {
     EXPECT_EQ(count_products(m, 2), 2u * fib) << "m=" << m;
     const std::uint64_t next = fib + fib_prev;
     fib_prev = fib;
     fib = next;
+  }
+}
+
+TEST(Paths, DpMatchesDfsOnAllTable1Sizes) {
+  // The frontier DP against the explicit path enumerator for the paper's
+  // whole Table I range — two independent engines, one answer.
+  for (int m = 2; m <= 9; ++m) {
+    for (int n = 2; n <= 9; ++n) {
+      EXPECT_EQ(count_products(m, n), count_products_dfs(m, n))
+          << m << "x" << n;
+    }
+  }
+}
+
+TEST(Paths, DpMatchesDfsOnTallAndThinShapes) {
+  // Shapes far from Table I's square-ish range, including tall/thin grids
+  // where the old 9x9-validated code was never exercised.
+  const GridSize shapes[] = {{20, 2}, {15, 3}, {10, 4}, {12, 5},
+                             {2, 16}, {3, 14}, {4, 11}, {1, 40}};
+  for (const auto g : shapes) {
+    EXPECT_EQ(count_products(g.rows, g.cols),
+              count_products_dfs(g.rows, g.cols))
+        << g.rows << "x" << g.cols;
   }
 }
 
@@ -204,8 +231,15 @@ TEST(Paths, GridFunctionHasTableOneProducts) {
   EXPECT_FALSE(sop.evaluate(0));
 }
 
-TEST(Paths, RejectsOversizedGrids) {
-  EXPECT_THROW(count_products(12, 11), ftl::ContractViolation);
+TEST(Paths, CountContractCoversDpAndDfsRanges) {
+  // cols <= 16: frontier DP, no row bound — 12x11 used to be rejected by
+  // the 128-cell contract and now just counts.
+  EXPECT_GT(count_products(12, 11), count_products(9, 9));
+  EXPECT_GT(count_products(40, 2), 0u);
+  // cols > 16 falls back to DFS, which keeps the 128-cell contract.
+  EXPECT_EQ(count_products(2, 40), 40u);
+  EXPECT_THROW(count_products(5, 30), ftl::ContractViolation);
+  EXPECT_THROW(count_products_dfs(12, 11), ftl::ContractViolation);
   EXPECT_THROW(ftl::lattice::grid_function(9, 9), ftl::ContractViolation);
 }
 

@@ -206,6 +206,33 @@ TEST(ServeProtocol, StatsReportsServiceGauges) {
   EXPECT_DOUBLE_EQ(ops->find("ping")->find("requests")->as_number(), 1.0);
 }
 
+TEST(ServeProtocol, StatsReportsEvalCoreCounters) {
+  Service service({.workers = 1});
+  const auto counters = [&service]() {
+    const JsonValue r = reply(service, R"({"op":"stats"})");
+    const JsonValue* ec = r.find("eval_core");
+    EXPECT_NE(ec, nullptr) << r.dump();
+    struct Snapshot {
+      double assignments, blocks, lut_hits, lut_builds;
+    };
+    return Snapshot{ec->find("assignments")->as_number(),
+                    ec->find("blocks")->as_number(),
+                    ec->find("lut_hits")->as_number(),
+                    ec->find("lut_builds")->as_number()};
+  };
+  const auto before = counters();
+  EXPECT_GE(before.assignments, 0.0);
+  // A full truth-table eval runs through the bitsliced kernel, so the
+  // process-wide counters must advance (>= one 64-assignment block).
+  const JsonValue r = reply(service, R"({"op":"eval","expr":"a b + b c + a c"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const auto after = counters();
+  EXPECT_GE(after.blocks, before.blocks + 1.0);
+  EXPECT_GE(after.assignments, before.assignments + 64.0);
+  EXPECT_GE(after.lut_hits, before.lut_hits);
+  EXPECT_GE(after.lut_builds, before.lut_builds);
+}
+
 TEST(ServeProtocol, SleepRunsAndReportsDuration) {
   Service service({.workers = 1});
   const JsonValue r = reply(service, R"({"op":"sleep","ms":5})");
