@@ -1,14 +1,21 @@
 // Serve-path throughput baseline: an in-process ftl::serve server on an
-// ephemeral port, cache warmed, hammered by the loadgen over real sockets.
-// Emits the loadgen report (throughput + latency percentiles) as JSON —
-// BENCH_pr3.json by default — so the bench harness can diff regressions.
+// ephemeral port, cache warmed, hammered by the pipelined loadgen over real
+// sockets. Emits the loadgen report (throughput + latency percentiles +
+// server-side hit rate) as JSON — BENCH_pr6.json by default — so the bench
+// harness can diff regressions. PR 3's blocking transport measured ~57k
+// cached req/s here; the epoll event-loop transport with pipelining targets
+// >250k on the same mix.
 //
-//   bench_serve_loadgen [out.json] [requests] [connections]
+//   bench_serve_loadgen [out.json] [--quick] [requests] [connections] [pipeline]
+//
+// --quick shrinks the run for CI smoke (same code path, ~1 s wall).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "ftl/serve/client.hpp"
 #include "ftl/serve/json.hpp"
@@ -21,31 +28,49 @@
 int main(int argc, char** argv) {
   using ftl::serve::JsonValue;
 
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pr3.json";
-  std::size_t requests = 20000;
-  std::size_t connections = 8;
-  if (argc > 2) {
+  std::string out_path = "BENCH_pr6.json";
+  bool quick = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  std::size_t requests = quick ? 20000 : 200000;
+  std::size_t connections = 4;
+  std::size_t pipeline = 64;
+  if (positional.size() > 0) out_path = positional[0];
+  if (positional.size() > 1) {
     requests = static_cast<std::size_t>(
-        ftl::util::parse_long_in(argv[2], 1, 100000000).value_or(0));
+        ftl::util::parse_long_in(positional[1], 1, 100000000).value_or(0));
   }
-  if (argc > 3) {
+  if (positional.size() > 2) {
     connections = static_cast<std::size_t>(
-        ftl::util::parse_long_in(argv[3], 1, 1024).value_or(0));
+        ftl::util::parse_long_in(positional[2], 1, 1024).value_or(0));
   }
-  if (requests == 0 || connections == 0) {
-    std::fprintf(stderr, "usage: bench_serve_loadgen [out.json] [requests] [connections]\n");
+  if (positional.size() > 3) {
+    pipeline = static_cast<std::size_t>(
+        ftl::util::parse_long_in(positional[3], 1, 4096).value_or(0));
+  }
+  if (requests == 0 || connections == 0 || pipeline == 0) {
+    std::fprintf(stderr,
+                 "usage: bench_serve_loadgen [out.json] [--quick] [requests] "
+                 "[connections] [pipeline]\n");
     return 2;
   }
 
   try {
     ftl::serve::Service service({.workers = 4, .queue_depth = 512});
-    ftl::serve::Server server(service, {.port = 0});
+    ftl::serve::Server server(service, {.port = 0, .event_loops = 2});
     server.start();
 
     ftl::serve::LoadgenOptions options;
     options.port = server.port();
     options.connections = connections;
     options.requests = requests;
+    options.pipeline = pipeline;
     options.mix = {
         R"({"op":"eval","expr":"a b + b c + a c"})",
         R"({"op":"synth","expr":"a b + b c + a c"})",
@@ -73,6 +98,8 @@ int main(int argc, char** argv) {
     out.set("bench", JsonValue::str("serve_loadgen_cached"));
     out.set("workers", JsonValue::number(static_cast<double>(
                            service.options().workers)));
+    out.set("event_loops", JsonValue::number(2));
+    out.set("pipeline", JsonValue::number(static_cast<double>(pipeline)));
     out.set("report", report.to_json());
     std::ofstream file(out_path);
     if (!file) {
@@ -84,9 +111,12 @@ int main(int argc, char** argv) {
 
     server.stop();
     if (report.errors != 0) return 1;
-    if (report.throughput_rps < 1000.0) {
-      std::fprintf(stderr, "throughput %.0f req/s below the 1000 req/s bar\n",
-                   report.throughput_rps);
+    // The quick run keeps PR 3's 1k floor (CI machines vary); the full run
+    // must clear the PR 6 target with headroom over the ~57k baseline.
+    const double floor_rps = quick ? 1000.0 : 100000.0;
+    if (report.throughput_rps < floor_rps) {
+      std::fprintf(stderr, "throughput %.0f req/s below the %.0f req/s bar\n",
+                   report.throughput_rps, floor_rps);
       return 1;
     }
     return 0;

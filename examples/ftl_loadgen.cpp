@@ -2,10 +2,14 @@
 //
 //   ftl_loadgen --port 7440 --connections 8 --requests 10000
 //   ftl_loadgen --port 7440 --mix eval --expr "a b + b c + a c" --json out.json
+//   ftl_loadgen --endpoints 127.0.0.1:7440,127.0.0.1:7441 --pipeline 64
 //
-// Each connection fires its share of the request mix back-to-back; the tool
-// reports aggregate throughput and exact latency percentiles, optionally as
-// a JSON file for benchmark harnesses.
+// Each connection keeps up to --pipeline requests in flight on one socket;
+// with --endpoints, the mix is partitioned across serve processes by
+// consistent hashing so each process keeps its cache slice warm. The tool
+// reports aggregate throughput, exact latency percentiles, and the
+// server-side cache hit rate, optionally as a JSON file for benchmark
+// harnesses.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,8 +30,11 @@ void print_usage() {
       "usage: ftl_loadgen [options]\n"
       "  --host H         server host (default 127.0.0.1)\n"
       "  --port P         server port (default 7440)\n"
+      "  --endpoints L    comma-separated host:port list; requests are routed\n"
+      "                   by consistent hashing (overrides --host/--port)\n"
       "  --connections N  concurrent connections (default 4)\n"
       "  --requests N     total requests (default 1000)\n"
+      "  --pipeline D     max in-flight requests per connection (default 1)\n"
       "  --mix OPS        comma-separated ops to cycle: ping,eval,synth,paths\n"
       "                   (default eval,synth)\n"
       "  --expr E         target function for eval/synth requests\n"
@@ -87,12 +94,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--port") == 0) {
       options.port =
           static_cast<int>(parse_flag("--port", next_arg(i), 1, 65535));
+    } else if (std::strcmp(arg, "--endpoints") == 0) {
+      for (const std::string& spec : ftl::util::split(next_arg(i), ",")) {
+        options.endpoints.push_back(spec);
+      }
     } else if (std::strcmp(arg, "--connections") == 0) {
       options.connections = static_cast<std::size_t>(
           parse_flag("--connections", next_arg(i), 1, 1024));
     } else if (std::strcmp(arg, "--requests") == 0) {
       options.requests = static_cast<std::size_t>(
           parse_flag("--requests", next_arg(i), 1, 100000000));
+    } else if (std::strcmp(arg, "--pipeline") == 0) {
+      options.pipeline = static_cast<std::size_t>(
+          parse_flag("--pipeline", next_arg(i), 1, 4096));
     } else if (std::strcmp(arg, "--mix") == 0) {
       mix = next_arg(i);
     } else if (std::strcmp(arg, "--expr") == 0) {

@@ -35,6 +35,7 @@ void print_usage() {
   std::printf(
       "usage: ftl_serve [options]\n"
       "  --port P        TCP port (default 7440; 0 = ephemeral, printed)\n"
+      "  --event-loops N epoll event-loop threads (default 2)\n"
       "  --workers N     request worker threads (default 4)\n"
       "  --queue-depth N admission high-water mark (default 64)\n"
       "  --cache-dir D   on-disk response cache (default: memory only)\n"
@@ -77,6 +78,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--port") == 0) {
       server_options.port =
           static_cast<int>(parse_flag("--port", next_arg(i), 0, 65535));
+    } else if (std::strcmp(arg, "--event-loops") == 0) {
+      server_options.event_loops = static_cast<std::size_t>(
+          parse_flag("--event-loops", next_arg(i), 1, 64));
     } else if (std::strcmp(arg, "--workers") == 0) {
       service_options.workers = static_cast<std::size_t>(
           parse_flag("--workers", next_arg(i), 1, 1024));
@@ -110,9 +114,9 @@ int main(int argc, char** argv) {
     ::sigaction(SIGTERM, &sa, nullptr);
 
     server.start();
-    std::printf("ftl_serve: listening on 127.0.0.1:%d (%zu workers, queue %zu%s%s)\n",
-                server.port(), service.options().workers,
-                service.options().queue_depth,
+    std::printf("ftl_serve: listening on 127.0.0.1:%d (%zu event loops, %zu workers, queue %zu%s%s)\n",
+                server.port(), server_options.event_loops,
+                service.options().workers, service.options().queue_depth,
                 service_options.cache_dir.empty() ? "" : ", cache ",
                 service_options.cache_dir.c_str());
     std::fflush(stdout);

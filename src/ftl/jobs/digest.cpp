@@ -39,6 +39,15 @@ std::uint64_t fnv1a64(std::string_view s) {
   return d.value();
 }
 
+std::uint64_t mix64(std::uint64_t v) {
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ull;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  return v;
+}
+
 std::string digest_hex(std::uint64_t v) {
   static const char* hex = "0123456789abcdef";
   std::string out(16, '0');

@@ -28,6 +28,12 @@ class Digest {
 /// One-shot convenience over a string.
 std::uint64_t fnv1a64(std::string_view s);
 
+/// Finalizing bit mixer (splitmix64). FNV-1a of short, similar inputs leaves
+/// most of the entropy in the low bits — consumers that route on the high
+/// bits of a digest (cache shard selection, consistent-hash rings) must mix
+/// first or the routing degenerates.
+std::uint64_t mix64(std::uint64_t v);
+
 /// Fixed-width lowercase hex rendering of a digest (16 chars).
 std::string digest_hex(std::uint64_t v);
 

@@ -58,13 +58,13 @@ JsonValue Client::call(const JsonValue& request) {
   return JsonValue::parse(call_line(request.dump()));
 }
 
-std::string Client::call_line(const std::string& line) {
-  std::string tx = line;
-  tx += '\n';
+namespace {
+
+void send_all(int fd, const std::string& tx) {
   const char* data = tx.data();
   std::size_t size = tx.size();
   while (size > 0) {
-    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw Error("send: " + std::string(std::strerror(errno)));
@@ -72,6 +72,30 @@ std::string Client::call_line(const std::string& line) {
     data += n;
     size -= static_cast<std::size_t>(n);
   }
+}
+
+}  // namespace
+
+std::string Client::call_line(const std::string& line) {
+  std::string tx = line;
+  tx += '\n';
+  send_all(fd_, tx);
+  return recv_line();
+}
+
+void Client::send_lines(const std::vector<std::string>& lines) {
+  std::string tx;
+  std::size_t total = 0;
+  for (const std::string& line : lines) total += line.size() + 1;
+  tx.reserve(total);
+  for (const std::string& line : lines) {
+    tx += line;
+    tx += '\n';
+  }
+  send_all(fd_, tx);
+}
+
+std::string Client::recv_line() {
   for (;;) {
     const std::size_t eol = rxbuf_.find('\n');
     if (eol != std::string::npos) {
@@ -79,12 +103,16 @@ std::string Client::call_line(const std::string& line) {
       rxbuf_.erase(0, eol + 1);
       return response;
     }
-    char chunk[4096];
+    char chunk[65536];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) throw Error("server closed the connection");
     rxbuf_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+void Client::set_receive_buffer(int bytes) {
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
 }
 
 }  // namespace ftl::serve

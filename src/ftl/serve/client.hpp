@@ -1,9 +1,14 @@
 #pragma once
-// Minimal blocking client for the serve protocol: one TCP connection, one
-// JSON-lines request/response exchange per call. Used by ftl_loadgen, the
-// tests, and anyone scripting against ftl_serve from C++.
+// Minimal blocking client for the serve protocol: one TCP connection,
+// JSON-lines request/response exchanges. call()/call_line() are the classic
+// one-in-one-out round trip; send_lines()/recv_line() split the two halves
+// so pipelined callers can keep many requests in flight on one connection
+// (the server answers in request order). Used by ftl_loadgen, the tests,
+// and anyone scripting against ftl_serve from C++.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "ftl/serve/json.hpp"
 
@@ -27,6 +32,19 @@ class Client {
   /// line without its newline. Throws ftl::Error when the server closes the
   /// connection mid-exchange.
   std::string call_line(const std::string& line);
+
+  /// Pipelining: sends `lines` (newlines appended) back-to-back in a single
+  /// send(2). Pair with one recv_line() per request; the server guarantees
+  /// responses come back in request order.
+  void send_lines(const std::vector<std::string>& lines);
+
+  /// Blocks for the next response line (without its newline). Throws
+  /// ftl::Error when the server closes the connection first.
+  std::string recv_line();
+
+  /// Shrinks the socket receive buffer (SO_RCVBUF), e.g. to model a slow
+  /// consumer that forces the server through its partial-write path.
+  void set_receive_buffer(int bytes);
 
  private:
   int fd_ = -1;

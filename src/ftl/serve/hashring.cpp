@@ -1,0 +1,40 @@
+#include "ftl/serve/hashring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ftl/jobs/digest.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::serve {
+
+HashRing::HashRing(std::vector<std::string> nodes, int vnodes)
+    : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) throw Error("hash ring needs at least one node");
+  if (vnodes <= 0) throw Error("hash ring vnodes must be positive");
+  ring_.reserve(nodes_.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::string point = nodes_[i] + "#" + std::to_string(v);
+      ring_.emplace_back(jobs::mix64(jobs::fnv1a64(point)), i);
+    }
+  }
+  // Sort by ring point; ties (hash collisions between points) break by node
+  // index so the mapping stays independent of construction order details.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::index_for(std::string_view key) const {
+  const std::uint64_t h = jobs::mix64(jobs::fnv1a64(key));
+  // First point strictly clockwise from the key's hash, wrapping to the
+  // smallest point when the key hashes past the last one.
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t value, const std::pair<std::uint64_t, std::size_t>& p) {
+        return value < p.first;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace ftl::serve

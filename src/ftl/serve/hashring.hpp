@@ -1,0 +1,43 @@
+#pragma once
+// Consistent hashing over a set of serve endpoints. Each node contributes
+// `vnodes` virtual points on a 64-bit ring (FNV-1a of "node#i"); a key maps
+// to the first point clockwise from its own hash. Adding or removing one
+// node therefore only remaps the keys that landed on that node's points —
+// the property that lets N shared-nothing ftl_serve processes form a cache
+// tier where each process keeps a stable slice of the keyspace warm.
+//
+// Used by ftl_loadgen's --endpoints mode; deterministic across processes
+// and runs (no seeding), so every client agrees on the key → node map.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftl::serve {
+
+class HashRing {
+ public:
+  /// Builds the ring; throws ftl::Error when `nodes` is empty or `vnodes`
+  /// is not positive. Node order does not affect the mapping.
+  explicit HashRing(std::vector<std::string> nodes, int vnodes = 64);
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  /// Index (into nodes()) of the node owning `key`.
+  std::size_t index_for(std::string_view key) const;
+
+  /// The node owning `key`.
+  const std::string& node_for(std::string_view key) const {
+    return nodes_[index_for(key)];
+  }
+
+ private:
+  std::vector<std::string> nodes_;
+  // (ring point, node index), sorted by point; lookup is an upper_bound.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace ftl::serve

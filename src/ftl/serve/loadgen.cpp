@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <thread>
 
 #include "ftl/serve/client.hpp"
+#include "ftl/serve/hashring.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::serve {
@@ -25,6 +27,59 @@ double exact_percentile(const std::vector<double>& sorted, double p) {
   return sorted[index];
 }
 
+// Responses open with {"op":...,"ok":<bool>,...}, so scanning a short prefix
+// classifies them without the JSON parse that would otherwise dominate the
+// client side of a cached-throughput run.
+bool response_ok(const std::string& response) {
+  return std::string_view(response).substr(0, 64).find("\"ok\":true") !=
+         std::string_view::npos;
+}
+
+struct Endpoint {
+  std::string host;
+  int port = 0;
+  std::vector<std::string> lines;  ///< slice of the mix routed here
+  std::size_t quota = 0;           ///< requests assigned to this endpoint
+  std::size_t connections = 0;
+};
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    throw Error("loadgen: endpoint \"" + spec + "\" is not host:port");
+  }
+  Endpoint ep;
+  ep.host = colon == 0 ? std::string("127.0.0.1") : spec.substr(0, colon);
+  try {
+    ep.port = std::stoi(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw Error("loadgen: endpoint \"" + spec + "\" has a bad port");
+  }
+  if (ep.port <= 0 || ep.port > 65535) {
+    throw Error("loadgen: endpoint \"" + spec + "\" has a bad port");
+  }
+  return ep;
+}
+
+/// Reads total cache hit/miss counters from an endpoint's `stats` op.
+/// Returns false (leaving the outputs untouched) when the probe fails.
+bool cache_totals(const std::string& host, int port, double* hits,
+                  double* misses) {
+  try {
+    Client probe(host, port);
+    const JsonValue response =
+        JsonValue::parse(probe.call_line("{\"op\":\"stats\"}"));
+    const JsonValue* stats = response.find("stats");
+    const JsonValue* total = stats != nullptr ? stats->find("total") : nullptr;
+    if (total == nullptr) return false;
+    *hits = total->number_or("cache_hits", 0.0);
+    *misses = total->number_or("cache_misses", 0.0);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 JsonValue LoadgenReport::to_json() const {
@@ -39,18 +94,24 @@ JsonValue LoadgenReport::to_json() const {
   out.set("p95_us", JsonValue::number(p95_us));
   out.set("p99_us", JsonValue::number(p99_us));
   out.set("max_us", JsonValue::number(max_us));
+  out.set("cache_hit_rate", JsonValue::number(cache_hit_rate));
   return out;
 }
 
 std::string LoadgenReport::to_string() const {
   char buf[512];
-  std::snprintf(buf, sizeof buf,
-                "requests  %zu sent, %zu ok, %zu errors\n"
-                "wall      %.3f s  (%.0f req/s)\n"
-                "latency   mean %.0f us  p50 %.0f us  p95 %.0f us  "
-                "p99 %.0f us  max %.0f us\n",
-                sent, ok, errors, wall_s, throughput_rps, mean_us, p50_us,
-                p95_us, p99_us, max_us);
+  int n = std::snprintf(buf, sizeof buf,
+                        "requests  %zu sent, %zu ok, %zu errors\n"
+                        "wall      %.3f s  (%.0f req/s)\n"
+                        "latency   mean %.0f us  p50 %.0f us  p95 %.0f us  "
+                        "p99 %.0f us  max %.0f us\n",
+                        sent, ok, errors, wall_s, throughput_rps, mean_us,
+                        p50_us, p95_us, p99_us, max_us);
+  if (n > 0 && cache_hit_rate >= 0.0) {
+    std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                  "cache     %.1f%% server-side hit rate\n",
+                  cache_hit_rate * 100.0);
+  }
   return buf;
 }
 
@@ -59,50 +120,137 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
   if (options.connections == 0 || options.requests == 0) {
     throw Error("loadgen: connections and requests must be positive");
   }
-
-  const std::size_t connections =
-      std::min(options.connections, options.requests);
-  // Connect up front so a refused endpoint fails fast instead of skewing
-  // the measurement window.
-  std::vector<Client> clients;
-  clients.reserve(connections);
-  for (std::size_t i = 0; i < connections; ++i) {
-    clients.emplace_back(options.host, options.port);
+  if (options.pipeline == 0) {
+    throw Error("loadgen: pipeline depth must be positive");
   }
 
-  std::vector<std::vector<double>> latencies(connections);
-  std::vector<std::size_t> oks(connections, 0);
-  std::vector<std::size_t> fails(connections, 0);
+  // Route the mix. With one endpoint everything lands there; with several,
+  // each line goes to its consistent-hash owner so every serve process sees
+  // a stable slice of the keyspace and its cache stays warm for that slice.
+  std::vector<Endpoint> endpoints;
+  if (options.endpoints.empty()) {
+    Endpoint ep;
+    ep.host = options.host;
+    ep.port = options.port;
+    ep.lines = options.mix;
+    endpoints.push_back(std::move(ep));
+  } else {
+    for (const std::string& spec : options.endpoints) {
+      endpoints.push_back(parse_endpoint(spec));
+    }
+    const HashRing ring(options.endpoints);
+    for (const std::string& line : options.mix) {
+      endpoints[ring.index_for(line)].lines.push_back(line);
+    }
+  }
+
+  // Requests split proportionally to each endpoint's share of the mix;
+  // connections likewise, with at least one per endpoint that has traffic.
+  std::size_t assigned = 0;
+  for (Endpoint& ep : endpoints) {
+    ep.quota = options.requests * ep.lines.size() / options.mix.size();
+    assigned += ep.quota;
+  }
+  for (std::size_t i = 0; assigned < options.requests; i = i + 1) {
+    Endpoint& ep = endpoints[i % endpoints.size()];
+    if (ep.lines.empty()) continue;
+    ++ep.quota;
+    ++assigned;
+  }
+  const std::size_t conn_budget =
+      std::min(options.connections, options.requests);
+  for (Endpoint& ep : endpoints) {
+    if (ep.quota == 0) continue;
+    const std::size_t share = conn_budget * ep.quota / options.requests;
+    ep.connections = std::clamp<std::size_t>(share, 1, ep.quota);
+  }
+
+  // Pre-run cache counters per endpoint, for the hit-rate delta. A failed
+  // probe (or one that fails later) leaves the rate unknown rather than
+  // wrong.
+  std::vector<double> hits0(endpoints.size(), 0.0);
+  std::vector<double> misses0(endpoints.size(), 0.0);
+  std::vector<bool> probed(endpoints.size(), false);
+  for (std::size_t e = 0; e < endpoints.size(); ++e) {
+    if (endpoints[e].quota == 0) continue;
+    probed[e] =
+        cache_totals(endpoints[e].host, endpoints[e].port, &hits0[e],
+                     &misses0[e]);
+  }
+
+  // One worker per connection. Connect up front so a refused endpoint fails
+  // fast instead of skewing the measurement window.
+  struct Worker {
+    const Endpoint* endpoint = nullptr;
+    std::size_t quota = 0;
+    std::size_t offset = 0;  ///< starting index into the endpoint's lines
+  };
+  std::vector<Worker> workers;
+  std::vector<Client> clients;
+  for (Endpoint& ep : endpoints) {
+    for (std::size_t c = 0; c < ep.connections; ++c) {
+      Worker w;
+      w.endpoint = &ep;
+      w.quota = ep.quota / ep.connections +
+                (c < ep.quota % ep.connections ? 1 : 0);
+      w.offset = c;
+      if (w.quota == 0) continue;
+      workers.push_back(w);
+      clients.emplace_back(ep.host, ep.port);
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(workers.size());
+  std::vector<std::size_t> oks(workers.size(), 0);
+  std::vector<std::size_t> fails(workers.size(), 0);
 
   const Clock::time_point t0 = Clock::now();
   std::vector<std::thread> threads;
-  threads.reserve(connections);
-  for (std::size_t c = 0; c < connections; ++c) {
-    // Split the total evenly; the first (requests % connections) take one extra.
-    const std::size_t quota = options.requests / connections +
-                              (c < options.requests % connections ? 1 : 0);
-    threads.emplace_back([&, c, quota] {
-      Client& client = clients[c];
-      latencies[c].reserve(quota);
-      for (std::size_t i = 0; i < quota; ++i) {
-        const std::string& line = options.mix[(c + i) % options.mix.size()];
-        const Clock::time_point start = Clock::now();
-        try {
-          const std::string response = client.call_line(line);
-          const double us =
-              std::chrono::duration<double, std::micro>(Clock::now() - start)
-                  .count();
-          latencies[c].push_back(us);
-          const JsonValue parsed = JsonValue::parse(response);
-          if (parsed.bool_or("ok", false)) {
-            ++oks[c];
-          } else {
-            ++fails[c];
+  threads.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    threads.emplace_back([&, w] {
+      const Worker& worker = workers[w];
+      const std::vector<std::string>& lines = worker.endpoint->lines;
+      Client& client = clients[w];
+      latencies[w].reserve(worker.quota);
+      // Closed-loop pipelining: keep up to `pipeline` requests in flight,
+      // batching each refill into one send(2). Latency timestamps are taken
+      // at send time, so they include time queued behind the window — the
+      // honest number for a pipelined client.
+      std::deque<Clock::time_point> inflight;
+      std::vector<std::string> batch;
+      std::size_t sent = 0;
+      std::size_t received = 0;
+      try {
+        while (received < worker.quota) {
+          if (sent < worker.quota && inflight.size() < options.pipeline) {
+            const std::size_t n = std::min(options.pipeline - inflight.size(),
+                                           worker.quota - sent);
+            batch.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+              batch.push_back(
+                  lines[(worker.offset + sent + i) % lines.size()]);
+            }
+            const Clock::time_point now = Clock::now();
+            for (std::size_t i = 0; i < n; ++i) inflight.push_back(now);
+            client.send_lines(batch);
+            sent += n;
           }
-        } catch (const std::exception&) {
-          ++fails[c];
-          return;  // transport is gone; stop this connection
+          const std::string response = client.recv_line();
+          const double us = std::chrono::duration<double, std::micro>(
+                                Clock::now() - inflight.front())
+                                .count();
+          inflight.pop_front();
+          ++received;
+          latencies[w].push_back(us);
+          if (response_ok(response)) {
+            ++oks[w];
+          } else {
+            ++fails[w];
+          }
         }
+      } catch (const std::exception&) {
+        ++fails[w];  // transport is gone; stop this connection
       }
     });
   }
@@ -112,10 +260,10 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
 
   LoadgenReport report;
   std::vector<double> merged;
-  for (std::size_t c = 0; c < connections; ++c) {
-    report.ok += oks[c];
-    report.errors += fails[c];
-    merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    report.ok += oks[w];
+    report.errors += fails[w];
+    merged.insert(merged.end(), latencies[w].begin(), latencies[w].end());
   }
   report.sent = report.ok + report.errors;
   report.wall_s = wall_s;
@@ -130,6 +278,28 @@ LoadgenReport run_loadgen(const LoadgenOptions& options) {
     report.p95_us = exact_percentile(merged, 95.0);
     report.p99_us = exact_percentile(merged, 99.0);
     report.max_us = merged.back();
+  }
+
+  // Post-run counters; the rate is only reported when every active endpoint
+  // answered both probes.
+  double delta_hits = 0.0;
+  double delta_total = 0.0;
+  bool rate_known = true;
+  for (std::size_t e = 0; e < endpoints.size(); ++e) {
+    if (endpoints[e].quota == 0) continue;
+    double hits1 = 0.0;
+    double misses1 = 0.0;
+    if (!probed[e] ||
+        !cache_totals(endpoints[e].host, endpoints[e].port, &hits1,
+                      &misses1)) {
+      rate_known = false;
+      break;
+    }
+    delta_hits += hits1 - hits0[e];
+    delta_total += (hits1 - hits0[e]) + (misses1 - misses0[e]);
+  }
+  if (rate_known && delta_total > 0.0) {
+    report.cache_hit_rate = delta_hits / delta_total;
   }
   return report;
 }

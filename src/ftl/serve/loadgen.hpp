@@ -1,8 +1,12 @@
 #pragma once
-// Concurrent load generator for a running serve endpoint: N connections
-// each fire a cycled mix of request lines as fast as responses come back,
-// and the merged per-request latencies yield throughput and exact
-// percentiles. Shared by the ftl_loadgen CLI and the serve benchmark.
+// Concurrent load generator for one or more running serve endpoints: N
+// connections each keep up to `pipeline` requests in flight on a single
+// socket (batched sends, in-order responses), and the merged per-request
+// latencies yield throughput and exact percentiles. With several endpoints
+// the request mix is partitioned by consistent hashing so each serve
+// process sees a stable slice of the keyspace — the shared-nothing cache
+// tier described in DESIGN.md §13. Shared by the ftl_loadgen CLI and the
+// serve benchmark.
 
 #include <cstddef>
 #include <string>
@@ -15,8 +19,13 @@ namespace ftl::serve {
 struct LoadgenOptions {
   std::string host = "127.0.0.1";
   int port = 0;
-  std::size_t connections = 4;  ///< concurrent client connections
+  /// Optional "host:port" list. When non-empty it overrides host/port and
+  /// each mix line is routed to ring.node_for(line); every endpoint that
+  /// owns at least one line gets at least one connection.
+  std::vector<std::string> endpoints;
+  std::size_t connections = 4;  ///< concurrent client connections (total)
   std::size_t requests = 1000;  ///< total requests across all connections
+  std::size_t pipeline = 1;     ///< max in-flight requests per connection
   std::vector<std::string> mix;  ///< request lines, cycled round-robin
 };
 
@@ -31,6 +40,11 @@ struct LoadgenReport {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+  /// Server-side cache hit rate over the run, from `stats` snapshots taken
+  /// before and after: delta(cache_hits) / delta(cache_hits + cache_misses)
+  /// summed across endpoints. -1 when unknown (no cacheable traffic, or a
+  /// stats probe failed).
+  double cache_hit_rate = -1.0;
 
   JsonValue to_json() const;
   std::string to_string() const;  ///< human-readable summary block

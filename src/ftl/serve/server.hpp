@@ -1,16 +1,25 @@
 #pragma once
-// POSIX TCP front-end for the Service: accepts connections on a listening
-// socket, reads newline-delimited JSON requests, pushes them through the
-// Service's admission queue, and writes one response line per request (in
-// request order per connection; concurrency comes from concurrent
-// connections sharing the worker pool).
+// POSIX TCP front-end for the Service: an epoll edge-triggered, non-blocking
+// event loop. One blocking acceptor thread distributes connections
+// round-robin over N event-loop shards; each shard owns its connections'
+// sockets and buffers outright (no cross-shard sharing), reads with
+// incremental JSON-line framing, and supports request pipelining: many
+// requests per connection may be in flight at once, with responses written
+// back in request order through per-connection ordered completion slots.
+// Writes are buffered and batched through sendmsg() iovecs (writev-style),
+// tolerating partial writes, EINTR, EAGAIN, and EPIPE.
+//
+// Cached pure-op answers complete synchronously on the event-loop thread
+// (never touching the worker pool); misses run on the Service's workers and
+// wake the owning shard through its eventfd when the response is ready.
 //
 // Lifecycle: the constructor binds and listens (port 0 picks an ephemeral
-// port, reported by port()); start() launches the accept loop; stop() is the
-// graceful drain — stop accepting, shut down the per-connection sockets,
-// join their threads, then Service::drain() finishes in-flight requests.
+// port, reported by port()); start() launches the acceptor and the loop
+// shards; stop() is the graceful drain — stop accepting, stop reading,
+// finish writing every in-flight pipelined response, then Service::drain().
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 
 #include "ftl/serve/service.hpp"
@@ -19,9 +28,14 @@ namespace ftl::serve {
 
 struct ServerOptions {
   int port = 0;          ///< TCP port; 0 = ephemeral (see Server::port())
-  int backlog = 64;      ///< listen(2) backlog
+  int backlog = 128;     ///< listen(2) backlog
   std::size_t max_line = 1 << 20;  ///< request line cap; longer closes the
                                    ///< connection after an error response
+  std::size_t event_loops = 2;     ///< epoll shards (>= 1)
+  /// Graceful-drain grace period: connections that still cannot flush their
+  /// pending responses this long after stop() are force-closed so a client
+  /// that never reads cannot wedge shutdown.
+  int drain_grace_ms = 10000;
 };
 
 class Server {
@@ -36,11 +50,12 @@ class Server {
   /// The bound port (useful with port 0).
   int port() const;
 
-  /// Launches the accept loop; returns immediately.
+  /// Launches the acceptor and event-loop shards; returns immediately.
   void start();
 
-  /// Graceful shutdown: stop accepting, drain connections and the Service.
-  /// Idempotent; safe to call while connections are active.
+  /// Graceful shutdown: stop accepting, stop reading, complete and flush
+  /// in-flight pipelined requests, then drain the Service. Idempotent; safe
+  /// to call while connections are active.
   void stop();
 
   /// True once stop() ran or a client served a "shutdown" request.

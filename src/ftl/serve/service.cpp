@@ -563,12 +563,31 @@ struct Service::Impl {
     std::string status;    ///< protocol outcome string
     bool cache_hit = false;
     std::uint64_t key = 0;  ///< cache key; 0 for impure ops
+    /// True when the raw request line may enter the verbatim-line cache: a
+    /// pure op that succeeded and carried neither "id" nor "deadline_ms"
+    /// (so the full response equals the cacheable body byte for byte).
+    bool line_cacheable = false;
+  };
+
+  /// Cache-core counters, surfaced by the `stats` op (relaxed atomics in
+  /// the style of lattice::eval_counters). `memory_misses` counts sharded
+  /// in-memory lookups that missed (a computed request probes twice: once
+  /// on the submit fast path, once at execute).
+  struct CacheCounters {
+    std::atomic<std::uint64_t> memory_hits{0};
+    std::atomic<std::uint64_t> memory_misses{0};
+    std::atomic<std::uint64_t> line_hits{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> shard_contention{0};
   };
 
   /// Runs one parsed request. Never throws.
   Executed execute(const JsonValue& req, const Deadline& deadline) {
     Executed out;
     const JsonValue* id = req.find("id");
+    const bool plain =
+        id == nullptr && req.find("deadline_ms") == nullptr;
     try {
       out.op = require_string(req, "op");
       std::uint64_t key = 0;
@@ -578,6 +597,7 @@ struct Service::Impl {
         if (std::optional<std::string> body = cache_load(out.op, key)) {
           out.cache_hit = true;
           out.status = "ok";
+          out.line_cacheable = plain;
           out.response = splice_id(id, *body);
           return out;
         }
@@ -585,6 +605,7 @@ struct Service::Impl {
       const std::string body = dispatch(out.op, req, deadline).dump();
       if (key != 0) cache_store(out.op, key, body);
       out.status = "ok";
+      out.line_cacheable = key != 0 && plain;
       out.response = splice_id(id, body);
     } catch (const DeadlineExceeded& e) {
       out.status = "deadline_exceeded";
@@ -652,6 +673,24 @@ struct Service::Impl {
     eval_core.set("lut_builds",
                   JsonValue::number(static_cast<double>(ec.lut_builds)));
     body.set("eval_core", std::move(eval_core));
+    // Response-cache counters (per-service, relaxed atomics): sharded
+    // in-memory hits/misses, verbatim-line fast-path hits, disk promotions,
+    // stores, and how often two threads actually contended on one shard
+    // lock. Uncached for the same reason as eval_core.
+    JsonValue cache_core = JsonValue::object();
+    const auto get = [](const std::atomic<std::uint64_t>& c) {
+      return JsonValue::number(
+          static_cast<double>(c.load(std::memory_order_relaxed)));
+    };
+    cache_core.set("memory_hits", get(cache_counters.memory_hits));
+    cache_core.set("memory_misses", get(cache_counters.memory_misses));
+    cache_core.set("line_hits", get(cache_counters.line_hits));
+    cache_core.set("disk_hits", get(cache_counters.disk_hits));
+    cache_core.set("stores", get(cache_counters.stores));
+    cache_core.set("shard_contention", get(cache_counters.shard_contention));
+    cache_core.set("shards",
+                   JsonValue::number(static_cast<double>(kCacheShards)));
+    body.set("cache_core", std::move(cache_core));
     return body;
   }
 
@@ -688,20 +727,46 @@ struct Service::Impl {
     return out;
   }
 
+  /// Shard selection: the top bits of the mixed jobs::cache_key (or line
+  /// hash) prefix pick one of kCacheShards per-shard locks, so concurrent
+  /// hot lookups distribute instead of serializing on one mutex. The mix64
+  /// matters: raw FNV-1a keys keep their entropy in the low bits, and the
+  /// unmixed prefix would fold most keys into one or two shards.
+  static std::size_t shard_of(std::uint64_t key) {
+    return static_cast<std::size_t>(jobs::mix64(key) >> 60) &
+           (kCacheShards - 1);
+  }
+
+  /// Locks a shard, counting the acquisitions that actually contended.
+  std::unique_lock<std::mutex> shard_lock(std::mutex& m) {
+    std::unique_lock<std::mutex> lock(m, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      cache_counters.shard_contention.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    return lock;
+  }
+
   std::optional<std::string> cache_load(const std::string& op,
                                         std::uint64_t key) {
+    MemoShard& shard = memo_shards[shard_of(key)];
     {
-      std::lock_guard<std::mutex> lock(memo_m);
-      const auto it = memo.find(key);
-      if (it != memo.end()) return it->second;
+      auto lock = shard_lock(shard.m);
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        cache_counters.memory_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
+    cache_counters.memory_misses.fetch_add(1, std::memory_order_relaxed);
     if (disk) {
       if (std::optional<jobs::Artifact> art = disk->load(op, key)) {
         const auto it = art->notes.find("response");
         if (it != art->notes.end()) {
           std::string body = decode_note(it->second);
-          std::lock_guard<std::mutex> lock(memo_m);
-          memo.emplace(key, body);
+          cache_counters.disk_hits.fetch_add(1, std::memory_order_relaxed);
+          auto lock = shard_lock(shard.m);
+          shard.map.emplace(key, body);
           return body;
         }
       }
@@ -711,10 +776,12 @@ struct Service::Impl {
 
   void cache_store(const std::string& op, std::uint64_t key,
                    const std::string& body) {
+    MemoShard& shard = memo_shards[shard_of(key)];
     {
-      std::lock_guard<std::mutex> lock(memo_m);
-      memo.emplace(key, body);
+      auto lock = shard_lock(shard.m);
+      shard.map.emplace(key, body);
     }
+    cache_counters.stores.fetch_add(1, std::memory_order_relaxed);
     if (disk) {
       try {
         jobs::Artifact art;
@@ -727,9 +794,38 @@ struct Service::Impl {
     }
   }
 
+  /// Verbatim-line fast path: repeated identical pure-op lines (no "id",
+  /// no "deadline_ms") answer without parsing JSON or hashing canonical
+  /// parameters. Entries store the full line for an exact compare, so hash
+  /// collisions and near-miss lines fall through to the canonical path.
+  struct LineHit {
+    std::string op;
+    std::string response;
+    std::uint64_t key;
+  };
+
+  std::optional<LineHit> line_load(const std::string& line) {
+    const std::uint64_t h = jobs::fnv1a64(line);
+    LineShard& shard = line_shards[shard_of(h)];
+    auto lock = shard_lock(shard.m);
+    const auto it = shard.map.find(h);
+    if (it == shard.map.end() || it->second.line != line) return std::nullopt;
+    cache_counters.line_hits.fetch_add(1, std::memory_order_relaxed);
+    return LineHit{it->second.op, it->second.response, it->second.key};
+  }
+
+  void line_store(const std::string& line, const Executed& done) {
+    const std::uint64_t h = jobs::fnv1a64(line);
+    LineShard& shard = line_shards[shard_of(h)];
+    auto lock = shard_lock(shard.m);
+    shard.map.emplace(
+        h, LineEntry{line, done.op, done.response, done.key});
+  }
+
   void finish(const Executed& done, Clock::time_point t_start) {
     const double wall_ms = ms_between(t_start, Clock::now());
-    stats.record(done.op, done.status, wall_ms * 1000.0, done.cache_hit);
+    stats.record(done.op, done.status, wall_ms * 1000.0, done.cache_hit,
+                 done.key != 0 && !done.cache_hit);
     if (opts.access_log != nullptr) {
       jobs::Event ev;
       ev.type = "request";
@@ -744,19 +840,28 @@ struct Service::Impl {
     }
   }
 
-  /// Wraps a ready response in a satisfied future (rejections, drain).
-  static std::future<std::string> ready(std::string response) {
-    std::promise<std::string> p;
-    p.set_value(std::move(response));
-    return p.get_future();
-  }
-
   ServiceOptions opts;
   util::ThreadPool pool;
   std::unique_ptr<jobs::ResultCache> disk;
 
-  std::mutex memo_m;
-  std::unordered_map<std::uint64_t, std::string> memo;
+  static constexpr std::size_t kCacheShards = 16;  // power of two
+  struct MemoShard {
+    std::mutex m;
+    std::unordered_map<std::uint64_t, std::string> map;
+  };
+  struct LineEntry {
+    std::string line;
+    std::string op;
+    std::string response;
+    std::uint64_t key;
+  };
+  struct LineShard {
+    std::mutex m;
+    std::unordered_map<std::uint64_t, LineEntry> map;
+  };
+  MemoShard memo_shards[kCacheShards];
+  LineShard line_shards[kCacheShards];
+  CacheCounters cache_counters;
 
   StatsRegistry stats;
   std::atomic<bool> draining{false};
@@ -774,13 +879,28 @@ Service::~Service() { drain(); }
 
 std::string Service::handle_now(const std::string& line) {
   const Clock::time_point t_start = Clock::now();
+  // Verbatim-line fast path: an identical pure-op line answers with the
+  // exact previously computed bytes, skipping the JSON parse entirely.
+  if (impl_->opts.cache) {
+    if (std::optional<Impl::LineHit> hit = impl_->line_load(line)) {
+      Impl::Executed done;
+      done.response = std::move(hit->response);
+      done.op = std::move(hit->op);
+      done.status = "ok";
+      done.cache_hit = true;
+      done.key = hit->key;
+      impl_->finish(done, t_start);
+      return done.response;
+    }
+  }
   JsonValue req;
   try {
     req = JsonValue::parse(line);
     if (!req.is_object()) throw Error("request must be a JSON object");
   } catch (const std::exception& e) {
-    const Impl::Executed done{make_error_body("?", "bad_request", e.what()),
-                              "?", "bad_request", false, 0};
+    Impl::Executed done;
+    done.response = make_error_body("?", "bad_request", e.what());
+    done.status = "bad_request";
     impl_->finish(done, t_start);
     return done.response;
   }
@@ -789,21 +909,51 @@ std::string Service::handle_now(const std::string& line) {
   try {
     deadline = Deadline(req.number_or("deadline_ms", 0.0), t_start);
   } catch (const Error& e) {
-    done = {splice_id(req.find("id"),
-                      make_error_body(req.string_or("op", "?"), "bad_request",
-                                      e.what())),
-            "?", "bad_request", false, 0};
+    done.response = splice_id(
+        req.find("id"),
+        make_error_body(req.string_or("op", "?"), "bad_request", e.what()));
+    done.status = "bad_request";
     impl_->finish(done, t_start);
     return done.response;
   }
   done = impl_->execute(req, deadline);
+  if (impl_->opts.cache && done.line_cacheable) impl_->line_store(line, done);
   impl_->finish(done, t_start);
   return done.response;
 }
 
 std::future<std::string> Service::submit(std::string line) {
+  // submit() is a thin future adapter over submit_async: rejections and
+  // cache hits complete the promise before this returns, so the future is
+  // already satisfied in exactly the cases it used to be.
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  submit_async(std::move(line), [promise](std::string&& response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void Service::submit_async(std::string line,
+                           std::function<void(std::string&&)> done) {
   Impl& impl = *impl_;
   const Clock::time_point t_submit = Clock::now();
+
+  // Verbatim-line fast path (skipped while draining so the shutting_down
+  // contract holds): no parse, no admission, no pool hop.
+  if (impl.opts.cache && !impl.draining.load(std::memory_order_relaxed)) {
+    if (std::optional<Impl::LineHit> hit = impl.line_load(line)) {
+      Impl::Executed hot;
+      hot.response = std::move(hit->response);
+      hot.op = std::move(hit->op);
+      hot.status = "ok";
+      hot.cache_hit = true;
+      hot.key = hit->key;
+      impl.finish(hot, t_submit);
+      done(std::move(hot.response));
+      return;
+    }
+  }
 
   // Parse on the caller so malformed input and rejections answer instantly
   // and the deadline can be anchored at submission.
@@ -818,11 +968,42 @@ std::future<std::string> Service::submit(std::string line) {
     id = req->find("id");
     deadline = Deadline(req->number_or("deadline_ms", 0.0), t_submit);
   } catch (const std::exception& e) {
-    const Impl::Executed done{
-        splice_id(id, make_error_body(op, "bad_request", e.what())), op,
-        "bad_request", false, 0};
-    impl.finish(done, t_submit);
-    return Impl::ready(done.response);
+    Impl::Executed bad;
+    bad.response = splice_id(id, make_error_body(op, "bad_request", e.what()));
+    bad.op = op;
+    bad.status = "bad_request";
+    impl.finish(bad, t_submit);
+    done(std::move(bad.response));
+    return;
+  }
+
+  // Canonically cached pure ops also answer synchronously: the hot path
+  // costs one sharded lookup and never contends for a worker. The deadline
+  // still gets its "at dequeue" check (dequeue is immediate here).
+  if (impl.opts.cache && !impl.draining.load(std::memory_order_relaxed) &&
+      is_pure_op(op)) {
+    const std::uint64_t key =
+        jobs::cache_key(op, jobs::fnv1a64(canonical_params(*req)), {});
+    if (std::optional<std::string> body = impl.cache_load(op, key)) {
+      Impl::Executed hot;
+      hot.op = op;
+      hot.key = key;
+      if (deadline.expired()) {
+        hot.status = "deadline_exceeded";
+        hot.response = splice_id(
+            id, make_error_body(op, hot.status, "deadline expired while queued"));
+      } else {
+        hot.status = "ok";
+        hot.cache_hit = true;
+        hot.line_cacheable =
+            id == nullptr && req->find("deadline_ms") == nullptr;
+        hot.response = splice_id(id, *body);
+        if (hot.line_cacheable) impl.line_store(line, hot);
+      }
+      impl.finish(hot, t_submit);
+      done(std::move(hot.response));
+      return;
+    }
   }
 
   // Admission: count ourselves in-flight first so a drain that observes the
@@ -832,47 +1013,58 @@ std::future<std::string> Service::submit(std::string line) {
   const auto reject = [&](const char* code, const char* message) {
     impl.pending.fetch_sub(1);
     {
+      // Notify under the lock, same as the worker path: the condvar must
+      // not be signalled after drain() has been allowed to return.
       std::lock_guard<std::mutex> lock(impl.drain_m);
       impl.inflight.fetch_sub(1);
+      impl.drain_cv.notify_all();
     }
-    impl.drain_cv.notify_all();
-    const Impl::Executed done{splice_id(id, make_error_body(op, code, message)),
-                              op, code, false, 0};
-    impl.finish(done, t_submit);
-    return Impl::ready(done.response);
+    Impl::Executed out;
+    out.response = splice_id(id, make_error_body(op, code, message));
+    out.op = op;
+    out.status = code;
+    impl.finish(out, t_submit);
+    done(std::move(out.response));
   };
   if (impl.draining.load()) {
-    return reject("shutting_down", "service is draining; request not admitted");
+    reject("shutting_down", "service is draining; request not admitted");
+    return;
   }
   if (queued >= impl.opts.queue_depth) {
-    return reject("overloaded", "admission queue is full; retry later");
+    reject("overloaded", "admission queue is full; retry later");
+    return;
   }
 
-  return impl.pool.submit([this, req = std::move(req), t_submit, deadline]() {
+  impl.pool.submit([this, req = std::move(req), line = std::move(line),
+                    done = std::move(done), t_submit, deadline]() mutable {
     Impl& im = *impl_;
     im.pending.fetch_sub(1);
-    Impl::Executed done;
+    Impl::Executed out;
     // Deadline check at dequeue: a request that waited out its budget in
     // the queue is answered without occupying the worker.
     if (deadline.expired()) {
-      done = {splice_id(req->find("id"),
-                        make_error_body(req->string_or("op", "?"),
-                                        "deadline_exceeded",
-                                        "deadline expired while queued")),
-              req->string_or("op", "?"),
-              "deadline_exceeded",
-              false,
-              0};
+      out.response = splice_id(req->find("id"),
+                               make_error_body(req->string_or("op", "?"),
+                                               "deadline_exceeded",
+                                               "deadline expired while queued"));
+      out.op = req->string_or("op", "?");
+      out.status = "deadline_exceeded";
     } else {
-      done = im.execute(*req, deadline);
+      out = im.execute(*req, deadline);
+      if (im.opts.cache && out.line_cacheable) im.line_store(line, out);
     }
-    im.finish(done, t_submit);
+    im.finish(out, t_submit);
+    // The callback runs before the in-flight count drops so drain() cannot
+    // return while a completion is still being delivered.
+    done(std::move(out.response));
     {
+      // Notify while holding the lock: drain()'s waiter cannot re-acquire
+      // drain_m (and so cannot return and let ~Impl destroy the condvar)
+      // until this thread is fully done signalling.
       std::lock_guard<std::mutex> lock(im.drain_m);
       im.inflight.fetch_sub(1);
+      im.drain_cv.notify_all();
     }
-    im.drain_cv.notify_all();
-    return done.response;
   });
 }
 

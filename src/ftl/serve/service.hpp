@@ -14,10 +14,15 @@
 // Ops: ping, synth, eval, paths, metrics, explore, lint, stats, sleep,
 // shutdown. The pure ops (synth, eval, paths, metrics, explore, lint) are
 // deterministic functions of their parameters, so responses are cached
-// under jobs::cache_key content addresses — in memory always, and on disk
-// when a cache_dir is configured (warm across restarts).
+// under jobs::cache_key content addresses — in memory always (a sharded
+// map, per-shard locks keyed by the cache-key prefix so hot answers never
+// contend on one mutex), and on disk when a cache_dir is configured (warm
+// across restarts). A verbatim-line fast path answers repeated identical
+// request lines (pure ops without "id"/"deadline_ms") without even parsing
+// the JSON; its responses are byte-identical to the computed ones.
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -82,6 +87,15 @@ class Service {
   /// draining; otherwise the request runs on a worker, with its deadline
   /// measured from this call and re-checked at dequeue.
   std::future<std::string> submit(std::string line);
+
+  /// Callback flavor of submit() for event-loop callers: identical
+  /// admission, deadline, and caching semantics, but no future allocation.
+  /// `done` is invoked exactly once — synchronously on the calling thread
+  /// for protocol errors, admission rejections, and cache hits (the hot
+  /// path never hops to the worker pool), or on a pool worker otherwise.
+  /// Service::drain() does not return while any `done` is still pending.
+  void submit_async(std::string line,
+                    std::function<void(std::string&&)> done);
 
   /// Graceful drain: stop admitting, wait for in-flight requests, flush the
   /// access log. Idempotent.

@@ -63,13 +63,15 @@ double LatencyHistogram::percentile(double p) const {
 }
 
 void StatsRegistry::record(std::string_view op, std::string_view outcome,
-                           double latency_us, bool cache_hit) {
+                           double latency_us, bool cache_hit,
+                           bool cache_miss) {
   std::lock_guard<std::mutex> lock(m_);
   auto it = ops_.find(op);
   if (it == ops_.end()) it = ops_.emplace(std::string(op), OpStats{}).first;
   for (OpStats* s : {&it->second, &total_}) {
     ++s->requests;
     if (cache_hit) ++s->cache_hits;
+    if (cache_miss) ++s->cache_misses;
     ++s->outcomes[std::string(outcome)];
     s->latency.record(latency_us);
   }
@@ -79,6 +81,8 @@ JsonValue StatsRegistry::render(const OpStats& s) {
   JsonValue out = JsonValue::object();
   out.set("requests", JsonValue::number(static_cast<double>(s.requests)));
   out.set("cache_hits", JsonValue::number(static_cast<double>(s.cache_hits)));
+  out.set("cache_misses",
+          JsonValue::number(static_cast<double>(s.cache_misses)));
   JsonValue outcomes = JsonValue::object();
   for (const auto& [name, count] : s.outcomes) {
     outcomes.set(name, JsonValue::number(static_cast<double>(count)));

@@ -50,8 +50,10 @@ class StatsRegistry {
  public:
   /// Outcomes are the protocol status strings: "ok", "bad_request",
   /// "deadline_exceeded", "overloaded", "shutting_down", "internal".
+  /// `cache_miss` marks a pure (cacheable) request that was not served from
+  /// cache, so hit rate per op is cache_hits / (cache_hits + cache_misses).
   void record(std::string_view op, std::string_view outcome, double latency_us,
-              bool cache_hit);
+              bool cache_hit, bool cache_miss = false);
 
   /// JSON snapshot keyed by op name (sorted), each entry carrying counts,
   /// outcome breakdown, cache hits, and latency percentiles, plus a "total"
@@ -64,6 +66,7 @@ class StatsRegistry {
   struct OpStats {
     std::uint64_t requests = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
     std::map<std::string, std::uint64_t> outcomes;
     LatencyHistogram latency;
   };
