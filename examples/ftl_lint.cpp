@@ -38,6 +38,7 @@ void print_usage() {
   std::printf(
       "usage: ftl_lint [options] <file|-> [more files...]\n"
       "  --lattice      inputs are lattice-spec JSON, not netlists\n"
+      "  --equiv B      equivalence backend: 'auto' (default), 'bdd', 'sat'\n"
       "  --format F     'text' (default) or 'json'\n"
       "  --quiet        suppress per-diagnostic output, keep exit code\n"
       "exit code: 0 clean, 1 warnings, 2 errors\n");
@@ -56,7 +57,8 @@ std::optional<std::string> read_input(const std::string& path) {
   return buf.str();
 }
 
-ftl::check::Report lint_lattice_spec(const std::string& text) {
+ftl::check::Report lint_lattice_spec(const std::string& text,
+                                     const ftl::check::EquivalenceOptions& equiv) {
   const ftl::serve::JsonValue spec = ftl::serve::JsonValue::parse(text);
   const ftl::serve::LatticeSpec parsed = ftl::serve::lattice_spec_from(spec);
   ftl::check::Report report = ftl::check::check_lattice(parsed.lat);
@@ -67,7 +69,7 @@ ftl::check::Report lint_lattice_spec(const std::string& text) {
                  .table;
   }
   if (target) {
-    report.merge(ftl::check::check_equivalence(parsed.lat, *target));
+    report.merge(ftl::check::check_equivalence(parsed.lat, *target, equiv));
   }
   return report;
 }
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
   bool lattice_mode = false;
   bool json_format = false;
   bool quiet = false;
+  ftl::check::EquivalenceOptions equiv;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +92,20 @@ int main(int argc, char** argv) {
       lattice_mode = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--equiv") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ftl_lint: --equiv needs a value\n");
+        return 2;
+      }
+      const char* backend = argv[++i];
+      if (std::strcmp(backend, "bdd") == 0) {
+        equiv.backend = ftl::check::EquivalenceOptions::Backend::kBdd;
+      } else if (std::strcmp(backend, "sat") == 0) {
+        equiv.backend = ftl::check::EquivalenceOptions::Backend::kSat;
+      } else if (std::strcmp(backend, "auto") != 0) {
+        std::fprintf(stderr, "ftl_lint: unknown equiv backend '%s'\n", backend);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--format") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "ftl_lint: --format needs a value\n");
@@ -123,7 +140,7 @@ int main(int argc, char** argv) {
     }
     ftl::check::Report report;
     try {
-      report = lattice_mode ? lint_lattice_spec(*text)
+      report = lattice_mode ? lint_lattice_spec(*text, equiv)
                             : ftl::check::lint_netlist(*text).report;
     } catch (const ftl::Error& e) {
       // Malformed spec JSON / expression — an input error, not a finding.

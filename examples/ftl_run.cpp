@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "ftl/check/equivalence.hpp"
 #include "ftl/check/netlist.hpp"
 #include "ftl/jobs/cache.hpp"
+#include "ftl/lattice/known_mappings.hpp"
 #include "ftl/jobs/pipeline.hpp"
 #include "ftl/jobs/scheduler.hpp"
 #include "ftl/jobs/telemetry.hpp"
@@ -46,7 +48,8 @@ void print_usage() {
       "                 tcad_square_hfo2, ...); 'all' or none = whole DAG\n"
       "  --list         print the job graph and exit\n"
       "  --lint         run the ftl::check static passes over the\n"
-      "                 pipeline-generated bench circuits and exit\n"
+      "                 pipeline-generated bench circuits, SAT-prove the\n"
+      "                 pipeline's lattice mappings, and exit\n"
       "  --jobs N       parallelism (0 = pool default, 1 = serial)\n"
       "  --cache-dir D  content-addressed result cache (default .ftl-cache)\n"
       "  --no-cache     force a cold run (cache neither read nor written)\n"
@@ -143,6 +146,24 @@ int main(int argc, char** argv) {
                       report.render_text().c_str());
         }
         if (!report.ok()) {
+          exit_code = 1;
+        }
+      }
+      // The transient stages build on the paper's XOR3 mappings; prove them
+      // equivalent to their target with the CDCL miter before trusting any
+      // simulation of them.
+      ftl::check::EquivalenceOptions equiv;
+      equiv.backend = ftl::check::EquivalenceOptions::Backend::kSat;
+      const ftl::logic::TruthTable xor3 = ftl::lattice::xor3_truth_table();
+      for (const auto& [name, lat] :
+           {std::pair{"xor3_3x3", ftl::lattice::xor3_lattice_3x3()},
+            std::pair{"xor3_3x4", ftl::lattice::xor3_lattice_3x4()}}) {
+        const ftl::check::Report report =
+            ftl::check::check_equivalence(lat, xor3, equiv);
+        if (report.clean()) {
+          std::printf("%s: equivalent (sat)\n", name);
+        } else {
+          std::printf("%s:\n%s", name, report.render_text().c_str());
           exit_code = 1;
         }
       }

@@ -2,10 +2,14 @@
 // the command line, optionally hunting for a smaller realization with the
 // search engines.
 //
-// Usage: synthesize_function ["expression"] [--search]
+// Usage: synthesize_function ["expression"] [--search] [--sat RxC]
 //   expression  e.g. "a b' + c (a + b)"   (default: XOR3)
 //   --search    also try exhaustive/local search for smaller lattices
+//   --sat RxC   CEGAR SAT synthesis onto an RxC lattice (e.g. --sat 5x5),
+//               the engine for sizes the exhaustive odometer cannot touch
+//   --seed N    decision seed for the SAT search (default 1)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -20,9 +24,20 @@ int main(int argc, char** argv) {
 
   std::string expression = "a b c + a b' c' + a' b c' + a' b' c";
   bool search = false;
+  int sat_rows = 0;
+  int sat_cols = 0;
+  std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--search") == 0) {
       search = true;
+    } else if (std::strcmp(argv[i], "--sat") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%dx%d", &sat_rows, &sat_cols) != 2 ||
+          sat_rows < 1 || sat_cols < 1 || sat_rows * sat_cols > 64) {
+        std::fprintf(stderr, "error: --sat wants RxC with 1..64 cells\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       expression = argv[i];
     }
@@ -40,6 +55,36 @@ int main(int argc, char** argv) {
               logic::isop(parsed.table).to_string(parsed.var_names).c_str());
   std::printf("dual ISOP: %s\n\n",
               logic::isop_of_dual(parsed.table).to_string(parsed.var_names).c_str());
+
+  if (sat_rows > 0) {
+    lattice::SatSynthesisOptions options;
+    options.seed = seed;
+    const lattice::SatSynthesisResult result = lattice::synth_sat(
+        parsed.table, sat_rows, sat_cols, options, parsed.var_names);
+    if (result.lattice) {
+      std::printf("SAT lattice (%dx%d, seed %llu):\n%s\n", sat_rows, sat_cols,
+                  static_cast<unsigned long long>(result.seed),
+                  result.lattice->to_string().c_str());
+      std::printf("verified: %s\n",
+                  lattice::realizes(*result.lattice, parsed.table) ? "yes"
+                                                                   : "NO");
+    } else if (result.proven_infeasible) {
+      std::printf("UNSAT: no %dx%d lattice realizes this function.\n",
+                  sat_rows, sat_cols);
+    } else {
+      std::printf("budget exhausted after %llu conflicts; raise it or "
+                  "try another seed.\n",
+                  static_cast<unsigned long long>(result.solver.conflicts));
+    }
+    std::printf(
+        "CEGAR: %d rounds, %d care minterms; solver: %llu conflicts, "
+        "%llu propagations, %llu restarts\n",
+        result.cegar_rounds, result.care_minterms,
+        static_cast<unsigned long long>(result.solver.conflicts),
+        static_cast<unsigned long long>(result.solver.propagations),
+        static_cast<unsigned long long>(result.solver.restarts));
+    return result.lattice || result.proven_infeasible ? 0 : 1;
+  }
 
   const lattice::Lattice lat =
       lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);

@@ -6,6 +6,10 @@
 #include "ftl/lattice/function.hpp"
 #include "ftl/lattice/paths.hpp"
 #include "ftl/logic/bdd.hpp"
+#include "ftl/logic/isop.hpp"
+#include "ftl/sat/encode.hpp"
+#include "ftl/sat/solver.hpp"
+#include "ftl/util/error.hpp"
 
 namespace ftl::check {
 namespace {
@@ -96,11 +100,118 @@ std::string assignment_string(const Lattice& lat, std::uint64_t minterm) {
   return out;
 }
 
+/// The lattice's conductivity literals over the shared input variables
+/// x_0..x_{nv-1} (solver variables 0..nv-1, created by the caller):
+/// literal cells map to the matching input literal, constants to the pinned
+/// true literal or its negation.
+std::vector<sat::Lit> cell_on_literals(sat::Solver& solver,
+                                       const Lattice& lat) {
+  std::vector<sat::Lit> on;
+  on.reserve(static_cast<std::size_t>(lat.cell_count()));
+  for (int r = 0; r < lat.rows(); ++r) {
+    for (int c = 0; c < lat.cols(); ++c) {
+      const CellValue& value = lat.at(r, c);
+      switch (value.kind) {
+        case CellValue::Kind::kConst0:
+          on.push_back(~solver.true_lit());
+          break;
+        case CellValue::Kind::kConst1:
+          on.push_back(solver.true_lit());
+          break;
+        case CellValue::Kind::kLiteral:
+          on.push_back(
+              sat::Lit::of(value.literal.var, value.literal.positive));
+          break;
+      }
+    }
+  }
+  return on;
+}
+
+/// Tseitin witness that `cover` (an ISOP of the function being asserted)
+/// evaluates to 1 at the input assignment: one aux variable per cube,
+/// implications aux -> cube literals, and a clause demanding some aux.
+void assert_cover_holds(sat::Solver& solver, const logic::Sop& cover) {
+  std::vector<sat::Lit> some_cube;
+  for (const logic::Cube& cube : cover.cubes()) {
+    const sat::Lit aux = sat::Lit::of(solver.new_var());
+    for (const logic::Literal& literal : cube.literals()) {
+      solver.add_clause({~aux, sat::Lit::of(literal.var, literal.positive)});
+    }
+    some_cube.push_back(aux);
+  }
+  solver.add_clause(std::move(some_cube));
+}
+
+/// Reads the input-variable assignment out of a satisfying model.
+std::uint64_t model_minterm(const sat::Solver& solver, int num_vars) {
+  std::uint64_t minterm = 0;
+  for (int v = 0; v < num_vars; ++v) {
+    if (solver.model_value(static_cast<sat::Var>(v)) == sat::LBool::kTrue) {
+      minterm |= std::uint64_t{1} << v;
+    }
+  }
+  return minterm;
+}
+
 }  // namespace
+
+EquivalenceVerdict verify_equivalence_sat(const Lattice& lat,
+                                         const logic::TruthTable& target) {
+  FTL_EXPECTS(lat.num_vars() == target.num_vars());
+  const int nv = lat.num_vars();
+  EquivalenceVerdict verdict;
+  if (nv == 0) {
+    const bool got = lat.evaluate(0);
+    if (got == target.get(0)) {
+      verdict.realizes = true;
+    } else {
+      verdict.counterexample = 0;
+      verdict.lattice_value = got;
+    }
+    return verdict;
+  }
+
+  // Query A: lattice connected while the target is 0.
+  if (!target.is_one()) {
+    sat::Solver solver;
+    for (int v = 0; v < nv; ++v) solver.new_var();
+    sat::encode_path_exists(solver, lat.rows(), lat.cols(),
+                            cell_on_literals(solver, lat));
+    assert_cover_holds(solver, logic::isop(~target));
+    if (solver.solve() == sat::LBool::kTrue) {
+      verdict.counterexample = model_minterm(solver, nv);
+      verdict.lattice_value = true;
+      return verdict;
+    }
+  }
+
+  // Query B: lattice disconnected while the target is 1.
+  if (!target.is_zero()) {
+    sat::Solver solver;
+    for (int v = 0; v < nv; ++v) solver.new_var();
+    sat::encode_path_absent(solver, lat.rows(), lat.cols(),
+                            cell_on_literals(solver, lat));
+    assert_cover_holds(solver, logic::isop(target));
+    if (solver.solve() == sat::LBool::kTrue) {
+      verdict.counterexample = model_minterm(solver, nv);
+      verdict.lattice_value = false;
+      return verdict;
+    }
+  }
+
+  verdict.realizes = true;
+  return verdict;
+}
 
 EquivalenceVerdict verify_equivalence(const Lattice& lat,
                                       const logic::TruthTable& target,
                                       const EquivalenceOptions& options) {
+  if (options.backend == EquivalenceOptions::Backend::kSat ||
+      (options.backend == EquivalenceOptions::Backend::kAuto &&
+       lat.num_vars() > options.sat_fallback_vars)) {
+    return verify_equivalence_sat(lat, target);
+  }
   BddManager mgr(lat.num_vars());
   const BddRef f = lattice_bdd(mgr, lat, options);
   const BddRef g = mgr.from_truth_table(target);

@@ -21,6 +21,14 @@ struct EquivalenceOptions {
   /// Path-product cap for the symbolic BDD construction; lattices with more
   /// irredundant paths use the truth-table fallback.
   std::uint64_t max_products = 50000;
+
+  /// Decision procedure. kBdd is the historical XOR-of-BDDs check; kSat is
+  /// a miter on the embedded CDCL solver (two path-connectivity existence
+  /// queries, no BDD ever built); kAuto picks SAT once the variable count
+  /// passes sat_fallback_vars, where BDD construction cost turns steep.
+  enum class Backend { kAuto, kBdd, kSat };
+  Backend backend = Backend::kAuto;
+  int sat_fallback_vars = 20;  ///< kAuto switches to SAT above this
 };
 
 struct EquivalenceVerdict {
@@ -33,9 +41,19 @@ struct EquivalenceVerdict {
 
 /// Decides whether `lat` realizes exactly `target`. Requires matching
 /// variable counts (check_equivalence reports the mismatch as FTL-E002).
+/// Dispatches to the BDD or SAT backend per EquivalenceOptions::backend.
 EquivalenceVerdict verify_equivalence(const lattice::Lattice& lat,
                                       const logic::TruthTable& target,
                                       const EquivalenceOptions& options = {});
+
+/// SAT-miter backend: two CDCL existence queries — "some assignment
+/// connects the lattice while the target is 0" (path-exists encoding plus a
+/// Tseitin witness of an ISOP cube of ¬target) and "some assignment leaves
+/// it disconnected while the target is 1". Both UNSAT proves equivalence;
+/// either model is a genuine counterexample minterm read off the input
+/// variables. Never builds a BDD, so it scales past BDD-friendly sizes.
+EquivalenceVerdict verify_equivalence_sat(const lattice::Lattice& lat,
+                                          const logic::TruthTable& target);
 
 /// Report wrapper: FTL-E002 on variable-count mismatch, FTL-E001 with the
 /// counterexample assignment spelled out (variable names when the lattice

@@ -29,7 +29,13 @@ std::optional<lattice::Lattice> search_smaller(
         search.max_threads = options.search_threads;
         std::optional<lattice::Lattice> found;
         if (cells <= 9) {
-          found = lattice::exhaustive_synthesis(target, r, c, search, names);
+          try {
+            found = lattice::exhaustive_synthesis(target, r, c, search, names);
+          } catch (const lattice::SearchBoundExceeded&) {
+            // Candidate-space budget tripped (possible only if the caller
+            // tightened it): degrade to hill climbing rather than fail.
+            found = lattice::local_search_synthesis(target, r, c, search, names);
+          }
         } else {
           found = lattice::local_search_synthesis(target, r, c, search, names);
         }

@@ -13,10 +13,9 @@
 #include "ftl/util/thread_pool.hpp"
 
 namespace ftl::lattice {
-namespace {
 
-/// Candidate cell values for search engines: all literals, plus constants.
-std::vector<CellValue> candidate_values(int num_vars, bool allow_constants) {
+std::vector<CellValue> search_candidate_values(int num_vars,
+                                               bool allow_constants) {
   std::vector<CellValue> out;
   for (int v = 0; v < num_vars; ++v) {
     out.push_back(CellValue::of(v, true));
@@ -28,6 +27,16 @@ std::vector<CellValue> candidate_values(int num_vars, bool allow_constants) {
   }
   return out;
 }
+
+SearchBoundExceeded::SearchBoundExceeded(double candidates, double budget)
+    : ftl::Error("exhaustive_synthesis: candidate space " +
+                 std::to_string(candidates) + " exceeds budget " +
+                 std::to_string(budget) +
+                 " (raise SearchOptions::max_candidates or use synth_sat)"),
+      candidates_(candidates),
+      budget_(budget) {}
+
+namespace {
 
 /// Per-choice truth vector: bit m = value of the choice under assignment m.
 std::uint64_t choice_bits(const CellValue& value, std::uint64_t num_minterms) {
@@ -160,8 +169,13 @@ std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
   const std::uint64_t num_minterms = target.num_minterms();
 
   const std::vector<CellValue> choices =
-      candidate_values(target.num_vars(), options.allow_constants);
+      search_candidate_values(target.num_vars(), options.allow_constants);
   const int nc = static_cast<int>(choices.size());
+  double candidate_space = 1.0;
+  for (int i = 0; i < cells; ++i) candidate_space *= nc;
+  if (candidate_space > options.max_candidates) {
+    throw SearchBoundExceeded(candidate_space, options.max_candidates);
+  }
   std::vector<std::uint64_t> bits(choices.size());
   for (std::size_t i = 0; i < choices.size(); ++i) {
     bits[i] = choice_bits(choices[i], num_minterms);
@@ -240,7 +254,7 @@ std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
   const std::uint64_t num_minterms = target.num_minterms();
 
   const std::vector<CellValue> choices =
-      candidate_values(target.num_vars(), options.allow_constants);
+      search_candidate_values(target.num_vars(), options.allow_constants);
   const int nc = static_cast<int>(choices.size());
   std::vector<std::uint64_t> bits(choices.size());
   for (std::size_t i = 0; i < choices.size(); ++i) {

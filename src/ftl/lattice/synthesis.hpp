@@ -12,6 +12,8 @@
 //  - local_search_synthesis: randomized hill climbing with restarts, for
 //    sizes where exhaustive search is too expensive but a mapping is
 //    believed to exist (e.g. the paper's 3×4 XOR3).
+//  - synth_sat: CDCL + CEGAR (lattice/sat_synthesis.cpp) for the sizes the
+//    odometer cannot touch — 5×5+ lattices, 7+ variable targets.
 
 #include <cstdint>
 #include <optional>
@@ -19,6 +21,8 @@
 #include "ftl/lattice/lattice.hpp"
 #include "ftl/logic/bdd.hpp"
 #include "ftl/logic/truth_table.hpp"
+#include "ftl/sat/solver.hpp"
+#include "ftl/util/error.hpp"
 
 namespace ftl::lattice {
 
@@ -35,15 +39,45 @@ Lattice altun_riedel_synthesis(logic::BddManager& manager,
                                logic::BddRef target,
                                std::vector<std::string> var_names = {});
 
+/// Candidate cell values in the order shared by every search engine: for
+/// each variable v its positive then negative literal (indices 2v, 2v+1),
+/// then constant-1 and constant-0 when allowed. sat::LatticeSynthesisCnf
+/// mirrors these indices, which is what lets a decoded SAT model feed
+/// straight into a Lattice and lets tests compare engines cell by cell.
+std::vector<CellValue> search_candidate_values(int num_vars,
+                                               bool allow_constants);
+
+/// Thrown by exhaustive_synthesis when the candidate space
+/// (num_choices ^ cells) exceeds SearchOptions::max_candidates — a typed
+/// refusal instead of a silent multi-day grind. Sizes are doubles because
+/// the spaces in question overflow 64 bits long before they get tractable.
+class SearchBoundExceeded : public ftl::Error {
+ public:
+  SearchBoundExceeded(double candidates, double budget);
+  double candidates() const { return candidates_; }
+  double budget() const { return budget_; }
+
+ private:
+  double candidates_ = 0;
+  double budget_ = 0;
+};
+
 struct SearchOptions {
   bool allow_constants = true;  ///< permit constant-0/1 cells
-  std::uint64_t seed = 1;       ///< local search RNG seed
+  /// Decision seed: drives the local-search RNG and is echoed by callers
+  /// into results/logs so a reported lattice names the run that found it.
+  std::uint64_t seed = 1;
   int max_restarts = 200;       ///< local search restarts
   int max_iterations = 20000;   ///< moves per restart
   /// Thread cap for the sharded exhaustive search (0 = global pool,
   /// 1 = serial). The result is identical either way — shards join with
   /// lowest-index-wins, which reproduces the serial visit order.
   std::size_t max_threads = 0;
+  /// Candidate-space budget for exhaustive_synthesis: when
+  /// num_choices ^ cells exceeds this, SearchBoundExceeded is thrown.
+  /// The default admits every historical call site (largest: 14^9 ≈ 2e10)
+  /// with headroom, while refusing 5×5 grids (14^25 ≈ 4e28) instantly.
+  double max_candidates = 4e12;
 };
 
 /// Complete enumeration over all assignments of a rows×cols lattice.
@@ -68,5 +102,49 @@ std::optional<Lattice> local_search_synthesis(const logic::TruthTable& target,
                                               int rows, int cols,
                                               const SearchOptions& options = {},
                                               std::vector<std::string> var_names = {});
+
+struct SatSynthesisOptions {
+  bool allow_constants = true;  ///< permit constant-0/1 cells
+  /// Decision seed for the CDCL variable order; echoed in the result.
+  std::uint64_t seed = 1;
+  /// Total CDCL conflict budget across all CEGAR rounds (-1 = unlimited).
+  /// When it runs out the result reports budget_exhausted instead of an
+  /// answer — synth_sat never silently grinds.
+  std::int64_t max_conflicts = 2'000'000;
+  /// Cap on CEGAR refinement rounds (0 = unlimited; the loop is bounded by
+  /// 2^num_vars regardless, since every round adds a fresh care minterm).
+  int max_rounds = 0;
+  /// Counterexample minterms added per refinement round. More per round
+  /// means fewer rounds but larger formulas; 4 is a good middle.
+  int counterexamples_per_round = 4;
+};
+
+struct SatSynthesisResult {
+  /// The synthesized lattice; engaged iff the search succeeded, and always
+  /// bitslice-verified to realize the target before being handed out.
+  std::optional<Lattice> lattice;
+  /// True when the SAT core proved no rows×cols lattice realizes the
+  /// target (UNSAT of a relaxation is UNSAT of the full problem).
+  bool proven_infeasible = false;
+  /// True when the conflict or round budget ran out first (no verdict).
+  bool budget_exhausted = false;
+  int cegar_rounds = 0;    ///< refinement rounds executed
+  int care_minterms = 0;   ///< minterms constrained when the loop stopped
+  std::uint64_t seed = 1;  ///< decision seed used (from the options)
+  sat::SolveStats solver;  ///< conflicts/decisions/propagations/restarts
+};
+
+/// CEGAR lattice synthesis on the embedded CDCL solver: encode realization
+/// on a growing care set of minterms (sat::LatticeSynthesisCnf), verify
+/// candidate models with the bitslice kernel, and feed mismatching minterms
+/// back as refinement constraints until the kernel confirms
+/// realizes(target), UNSAT proves infeasibility, or the budget runs out.
+/// Deterministic for fixed (target, rows, cols, options).
+///
+/// Requires num_vars in [1, 26] and rows*cols <= 64 — this is the engine
+/// for the sizes exhaustive_synthesis refuses (5×5 grids, 7+ variables).
+SatSynthesisResult synth_sat(const logic::TruthTable& target, int rows,
+                             int cols, const SatSynthesisOptions& options = {},
+                             std::vector<std::string> var_names = {});
 
 }  // namespace ftl::lattice

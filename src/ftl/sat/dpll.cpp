@@ -1,0 +1,88 @@
+#include "ftl/sat/dpll.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::sat {
+namespace {
+
+LBool lit_value(const std::vector<LBool>& assign, Lit p) {
+  const LBool v = assign[static_cast<std::size_t>(p.var())];
+  if (v == LBool::kUndef) return LBool::kUndef;
+  const bool truth = (v == LBool::kTrue) == p.positive();
+  return truth ? LBool::kTrue : LBool::kFalse;
+}
+
+enum class Propagation { kOk, kConflict };
+
+/// Saturating unit propagation over the full clause list (quadratic and
+/// proud of it).
+Propagation propagate(const std::vector<std::vector<Lit>>& clauses,
+                      std::vector<LBool>& assign) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<Lit>& clause : clauses) {
+      int num_undef = 0;
+      Lit last_undef{-2};
+      bool satisfied = false;
+      for (const Lit p : clause) {
+        const LBool v = lit_value(assign, p);
+        if (v == LBool::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == LBool::kUndef) {
+          ++num_undef;
+          last_undef = p;
+        }
+      }
+      if (satisfied) continue;
+      if (num_undef == 0) return Propagation::kConflict;
+      if (num_undef == 1) {
+        assign[static_cast<std::size_t>(last_undef.var())] =
+            last_undef.positive() ? LBool::kTrue : LBool::kFalse;
+        changed = true;
+      }
+    }
+  }
+  return Propagation::kOk;
+}
+
+bool search(const std::vector<std::vector<Lit>>& clauses,
+            std::vector<LBool>& assign) {
+  if (propagate(clauses, assign) == Propagation::kConflict) return false;
+  for (std::size_t v = 0; v < assign.size(); ++v) {
+    if (assign[v] != LBool::kUndef) continue;
+    for (const LBool phase : {LBool::kFalse, LBool::kTrue}) {
+      std::vector<LBool> branch = assign;
+      branch[v] = phase;
+      if (search(clauses, branch)) {
+        assign = std::move(branch);
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;  // every variable assigned, no clause falsified
+}
+
+}  // namespace
+
+LBool dpll_solve(int num_vars, const std::vector<std::vector<Lit>>& clauses,
+                 std::vector<LBool>* model) {
+  FTL_EXPECTS(num_vars >= 0);
+  for (const std::vector<Lit>& clause : clauses) {
+    for (const Lit p : clause) {
+      FTL_EXPECTS(p.defined() && p.var() < num_vars);
+    }
+  }
+  std::vector<LBool> assign(static_cast<std::size_t>(num_vars), LBool::kUndef);
+  if (!search(clauses, assign)) return LBool::kFalse;
+  for (LBool& v : assign) {
+    if (v == LBool::kUndef) v = LBool::kFalse;  // don't-care variables
+  }
+  if (model != nullptr) *model = std::move(assign);
+  return LBool::kTrue;
+}
+
+}  // namespace ftl::sat

@@ -1,0 +1,22 @@
+#pragma once
+// Trivial DPLL reference solver: recursive unit propagation plus
+// first-unassigned-variable branching, no learning, no heuristics.
+//
+// It exists solely to cross-check the CDCL engine on small randomized
+// instances in tests — correctness oracle, not a performance tool. Keep it
+// boring and obviously right.
+
+#include <vector>
+
+#include "ftl/sat/solver.hpp"
+
+namespace ftl::sat {
+
+/// Decides a CNF formula over variables [0, num_vars). Clauses use the same
+/// Lit packing as Solver. Returns kTrue with `model` filled (every variable
+/// assigned) or kFalse; never kUndef. Intended for tiny instances only —
+/// exponential time.
+LBool dpll_solve(int num_vars, const std::vector<std::vector<Lit>>& clauses,
+                 std::vector<LBool>* model = nullptr);
+
+}  // namespace ftl::sat

@@ -1,0 +1,196 @@
+#include "ftl/sat/encode.hpp"
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::sat {
+namespace {
+
+/// 4-neighborhood of cell (r, c) in a rows×cols grid, row-major indices.
+/// Deterministic visit order (up, down, left, right) keeps clause literal
+/// order — and therefore the whole search — reproducible.
+template <typename Fn>
+void for_each_neighbor4(int rows, int cols, int r, int c, Fn&& fn) {
+  if (r > 0) fn((r - 1) * cols + c);
+  if (r + 1 < rows) fn((r + 1) * cols + c);
+  if (c > 0) fn(r * cols + (c - 1));
+  if (c + 1 < cols) fn(r * cols + (c + 1));
+}
+
+/// 8-neighborhood (king moves), for the dual OFF-crossing encoding.
+template <typename Fn>
+void for_each_neighbor8(int rows, int cols, int r, int c, Fn&& fn) {
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const int nr = r + dr;
+      const int nc = c + dc;
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      fn(nr * cols + nc);
+    }
+  }
+}
+
+std::vector<Var> new_layer(Solver& solver, int cells) {
+  std::vector<Var> layer;
+  layer.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) layer.push_back(solver.new_var());
+  return layer;
+}
+
+}  // namespace
+
+// Both encodings are single-layer forced-closure ("least fixpoint")
+// encodings: clauses only force the reachability flags UP, so every model's
+// flag set is a superset of the true reachable set, and pinning the far
+// boundary false is unsatisfiable exactly when the true reachable set
+// touches it. No time unrolling is needed — cyclic support only ever adds
+// spurious flags, and spurious flags only make the boundary pins harder,
+// never easier. What links the two encodings is the grid crossing duality:
+// the ON cells 4-connect top to bottom iff the OFF cells do NOT 8-connect
+// left to right, so "path exists" is encoded as the forced refutation of
+// the dual OFF crossing. The tests brute-force every ON/OFF pattern of the
+// small shapes against BFS to pin both encodings (and the duality) down.
+
+void encode_path_exists(Solver& solver, int rows, int cols,
+                        const std::vector<Lit>& on) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  FTL_EXPECTS(on.size() == static_cast<std::size_t>(rows) * cols);
+
+  // C[i]: cell i is OFF and 8-reachable from the left column through OFF
+  // cells. Forced closure; demanding no right-column cell is force-reached
+  // asserts there is no OFF crossing — i.e. an ON top-bottom path exists.
+  const std::vector<Var> c_reach = new_layer(solver, rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int i = r * cols + c;
+      const Lit ci = Lit::of(c_reach[static_cast<std::size_t>(i)]);
+      if (c == 0) {
+        // Seed: an OFF left-column cell is force-reached.
+        solver.add_clause({on[static_cast<std::size_t>(i)], ci});
+      }
+      for_each_neighbor8(rows, cols, r, c, [&](int j) {
+        // Spread: OFF cell next to a reached cell is force-reached.
+        solver.add_clause(
+            {on[static_cast<std::size_t>(i)],
+             ~Lit::of(c_reach[static_cast<std::size_t>(j)]), ci});
+      });
+      if (c == cols - 1) {
+        solver.add_clause({~ci});
+      }
+    }
+  }
+}
+
+void encode_path_absent(Solver& solver, int rows, int cols,
+                        const std::vector<Lit>& on) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  FTL_EXPECTS(on.size() == static_cast<std::size_t>(rows) * cols);
+
+  // R[i]: cell i is ON and 4-reachable from the top row through ON cells.
+  // Forced closure; demanding no bottom-row cell is force-reached asserts
+  // no ON top-bottom path exists.
+  const std::vector<Var> reach = new_layer(solver, rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int i = r * cols + c;
+      const Lit ri = Lit::of(reach[static_cast<std::size_t>(i)]);
+      if (r == 0) {
+        solver.add_clause({~on[static_cast<std::size_t>(i)], ri});
+      }
+      for_each_neighbor4(rows, cols, r, c, [&](int j) {
+        solver.add_clause({~on[static_cast<std::size_t>(i)],
+                           ~Lit::of(reach[static_cast<std::size_t>(j)]), ri});
+      });
+      if (r == rows - 1) {
+        solver.add_clause({~ri});
+      }
+    }
+  }
+}
+
+LatticeSynthesisCnf::LatticeSynthesisCnf(Solver& solver, int rows, int cols,
+                                         int num_vars, bool allow_constants)
+    : solver_(solver),
+      rows_(rows),
+      cols_(cols),
+      num_vars_(num_vars),
+      num_choices_(2 * num_vars + (allow_constants ? 2 : 0)) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  FTL_EXPECTS(num_vars >= 1 && num_vars <= 30);
+  const int cells = rows * cols;
+  sel_base_.reserve(static_cast<std::size_t>(cells));
+  for (int cell = 0; cell < cells; ++cell) {
+    sel_base_.push_back(solver_.num_vars());
+    std::vector<Lit> at_least_one;
+    for (int choice = 0; choice < num_choices_; ++choice) {
+      at_least_one.push_back(Lit::of(solver_.new_var()));
+    }
+    for (int a = 0; a < num_choices_; ++a) {
+      for (int b = a + 1; b < num_choices_; ++b) {
+        solver_.add_clause({~at_least_one[static_cast<std::size_t>(a)],
+                            ~at_least_one[static_cast<std::size_t>(b)]});
+      }
+    }
+    solver_.add_clause(std::move(at_least_one));
+  }
+}
+
+Lit LatticeSynthesisCnf::sel(int cell, int choice) const {
+  FTL_EXPECTS(cell >= 0 && cell < rows_ * cols_);
+  FTL_EXPECTS(choice >= 0 && choice < num_choices_);
+  return Lit::of(sel_base_[static_cast<std::size_t>(cell)] + choice);
+}
+
+bool LatticeSynthesisCnf::choice_on(int choice, int num_vars,
+                                    std::uint64_t assignment) {
+  if (choice < 2 * num_vars) {
+    const int var = choice / 2;
+    const bool positive = (choice % 2) == 0;
+    const bool bit = ((assignment >> var) & 1) != 0;
+    return positive == bit;
+  }
+  return choice == 2 * num_vars;  // constant-1; 2*num_vars+1 is constant-0
+}
+
+void LatticeSynthesisCnf::add_care_minterm(std::uint64_t assignment,
+                                           bool target_value) {
+  FTL_EXPECTS(num_vars_ >= 64 || assignment < (std::uint64_t{1} << num_vars_));
+  const int cells = rows_ * cols_;
+  std::vector<Lit> on;
+  on.reserve(static_cast<std::size_t>(cells));
+  for (int cell = 0; cell < cells; ++cell) {
+    const Lit on_lit = Lit::of(solver_.new_var());
+    // on <-> OR of the selectors whose choice conducts under this minterm.
+    // (Exactly-one selection makes the pair of directions complete.)
+    std::vector<Lit> definition{~on_lit};
+    for (int choice = 0; choice < num_choices_; ++choice) {
+      if (!choice_on(choice, num_vars_, assignment)) continue;
+      definition.push_back(sel(cell, choice));
+      solver_.add_clause({~sel(cell, choice), on_lit});
+    }
+    solver_.add_clause(std::move(definition));
+    on.push_back(on_lit);
+  }
+  if (target_value) {
+    encode_path_exists(solver_, rows_, cols_, on);
+  } else {
+    encode_path_absent(solver_, rows_, cols_, on);
+  }
+}
+
+std::vector<int> LatticeSynthesisCnf::decode() const {
+  const int cells = rows_ * cols_;
+  std::vector<int> pick(static_cast<std::size_t>(cells), -1);
+  for (int cell = 0; cell < cells; ++cell) {
+    for (int choice = 0; choice < num_choices_; ++choice) {
+      if (solver_.model_value(sel(cell, choice)) == LBool::kTrue) {
+        pick[static_cast<std::size_t>(cell)] = choice;
+        break;
+      }
+    }
+    FTL_ENSURES(pick[static_cast<std::size_t>(cell)] >= 0);
+  }
+  return pick;
+}
+
+}  // namespace ftl::sat

@@ -1,0 +1,698 @@
+#include "ftl/sat/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "ftl/util/error.hpp"
+
+namespace ftl::sat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Process-wide counters (relaxed: individually exact, mutually unordered).
+
+struct AtomicCounters {
+  std::atomic<std::uint64_t> solves{0};
+  std::atomic<std::uint64_t> sat{0};
+  std::atomic<std::uint64_t> unsat{0};
+  std::atomic<std::uint64_t> conflicts{0};
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<std::uint64_t> propagations{0};
+  std::atomic<std::uint64_t> restarts{0};
+  std::atomic<std::uint64_t> learned_clauses{0};
+  std::atomic<std::uint64_t> cegar_rounds{0};
+};
+
+AtomicCounters& counters() {
+  static AtomicCounters instance;
+  return instance;
+}
+
+/// splitmix64 finalizer — the seed jitter must spread consecutive variable
+/// indices across the activity range, and the raw seed+index sum does not.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+double luby(double y, int i) {
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  double out = 1.0;
+  for (int k = 0; k < seq; ++k) out *= y;
+  return out;
+}
+
+}  // namespace
+
+SatCounters sat_counters() {
+  AtomicCounters& c = counters();
+  SatCounters out;
+  out.solves = c.solves.load(std::memory_order_relaxed);
+  out.sat = c.sat.load(std::memory_order_relaxed);
+  out.unsat = c.unsat.load(std::memory_order_relaxed);
+  out.conflicts = c.conflicts.load(std::memory_order_relaxed);
+  out.decisions = c.decisions.load(std::memory_order_relaxed);
+  out.propagations = c.propagations.load(std::memory_order_relaxed);
+  out.restarts = c.restarts.load(std::memory_order_relaxed);
+  out.learned_clauses = c.learned_clauses.load(std::memory_order_relaxed);
+  out.cegar_rounds = c.cegar_rounds.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_sat_counters() {
+  AtomicCounters& c = counters();
+  c.solves.store(0, std::memory_order_relaxed);
+  c.sat.store(0, std::memory_order_relaxed);
+  c.unsat.store(0, std::memory_order_relaxed);
+  c.conflicts.store(0, std::memory_order_relaxed);
+  c.decisions.store(0, std::memory_order_relaxed);
+  c.propagations.store(0, std::memory_order_relaxed);
+  c.restarts.store(0, std::memory_order_relaxed);
+  c.learned_clauses.store(0, std::memory_order_relaxed);
+  c.cegar_rounds.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_cegar_round() {
+  counters().cegar_rounds.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+
+struct Solver::Impl {
+  struct Clause {
+    bool learnt = false;
+    double activity = 0.0;
+    std::vector<Lit> lits;
+  };
+
+  explicit Impl(SolverOptions opts) : options(opts) { stats.seed = opts.seed; }
+
+  // -- state ----------------------------------------------------------------
+
+  SolverOptions options;
+  SolveStats stats;
+  SolveStats flushed;  ///< last stats snapshot pushed to the global counters
+  bool ok = true;
+
+  std::vector<std::unique_ptr<Clause>> clauses;  ///< problem clauses
+  std::vector<std::unique_ptr<Clause>> learnts;  ///< learnt clauses
+  /// watches[lit.code]: clauses that must be inspected when `lit` becomes
+  /// true (i.e. clauses currently watching ~lit).
+  std::vector<std::vector<Clause*>> watches;
+
+  std::vector<LBool> assigns;     ///< per-var current value
+  std::vector<char> polarity;     ///< per-var saved phase (1 = last true)
+  std::vector<Clause*> reason;    ///< per-var implying clause (null=decision)
+  std::vector<int> level;         ///< per-var decision level
+  std::vector<double> activity;   ///< per-var VSIDS activity
+  std::vector<char> seen;         ///< analyze() scratch
+
+  std::vector<Lit> trail;
+  std::vector<int> trail_lim;  ///< trail index at each decision level
+  std::size_t qhead = 0;       ///< propagation queue head into trail
+
+  // Indexed max-heap over unassigned variables, ordered by activity with
+  // index tie-break (lower index wins) so the search is deterministic.
+  std::vector<Var> heap;
+  std::vector<int> heap_pos;  ///< per-var position in heap, -1 = absent
+
+  double var_inc = 1.0;
+  double clause_inc = 1.0;
+  std::size_t max_learnts = 0;
+
+  std::vector<LBool> model;
+  std::vector<Lit> conflict;  ///< failed assumptions of the last solve
+  Lit constant_true{-2};
+
+  // -- assignment primitives ------------------------------------------------
+
+  LBool value(Var v) const { return assigns[static_cast<std::size_t>(v)]; }
+
+  LBool value(Lit p) const {
+    const LBool v = assigns[static_cast<std::size_t>(p.var())];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    const bool truth = (v == LBool::kTrue) == p.positive();
+    return truth ? LBool::kTrue : LBool::kFalse;
+  }
+
+  int decision_level() const { return static_cast<int>(trail_lim.size()); }
+
+  void enqueue(Lit p, Clause* from) {
+    const auto v = static_cast<std::size_t>(p.var());
+    assigns[v] = p.positive() ? LBool::kTrue : LBool::kFalse;
+    level[v] = decision_level();
+    reason[v] = from;
+    trail.push_back(p);
+  }
+
+  void cancel_until(int target_level) {
+    if (decision_level() <= target_level) return;
+    const int bound = trail_lim[static_cast<std::size_t>(target_level)];
+    for (int i = static_cast<int>(trail.size()) - 1; i >= bound; --i) {
+      const Lit p = trail[static_cast<std::size_t>(i)];
+      const auto v = static_cast<std::size_t>(p.var());
+      polarity[v] = p.positive() ? 1 : 0;  // phase saving
+      assigns[v] = LBool::kUndef;
+      reason[v] = nullptr;
+      heap_insert(p.var());
+    }
+    trail.resize(static_cast<std::size_t>(bound));
+    trail_lim.resize(static_cast<std::size_t>(target_level));
+    qhead = trail.size();
+  }
+
+  // -- variable order heap --------------------------------------------------
+
+  bool heap_before(Var a, Var b) const {
+    const double aa = activity[static_cast<std::size_t>(a)];
+    const double ab = activity[static_cast<std::size_t>(b)];
+    return aa > ab || (aa == ab && a < b);
+  }
+
+  void heap_percolate_up(std::size_t i) {
+    const Var v = heap[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_before(v, heap[parent])) break;
+      heap[i] = heap[parent];
+      heap_pos[static_cast<std::size_t>(heap[i])] = static_cast<int>(i);
+      i = parent;
+    }
+    heap[i] = v;
+    heap_pos[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+
+  void heap_percolate_down(std::size_t i) {
+    const Var v = heap[i];
+    const std::size_t n = heap.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_before(heap[child + 1], heap[child])) ++child;
+      if (!heap_before(heap[child], v)) break;
+      heap[i] = heap[child];
+      heap_pos[static_cast<std::size_t>(heap[i])] = static_cast<int>(i);
+      i = child;
+    }
+    heap[i] = v;
+    heap_pos[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+
+  void heap_insert(Var v) {
+    if (heap_pos[static_cast<std::size_t>(v)] >= 0) return;
+    heap.push_back(v);
+    heap_percolate_up(heap.size() - 1);
+  }
+
+  void heap_update(Var v) {
+    const int pos = heap_pos[static_cast<std::size_t>(v)];
+    if (pos >= 0) heap_percolate_up(static_cast<std::size_t>(pos));
+  }
+
+  Var heap_pop() {
+    const Var top = heap[0];
+    heap_pos[static_cast<std::size_t>(top)] = -1;
+    const Var last = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+      heap[0] = last;
+      heap_pos[static_cast<std::size_t>(last)] = 0;
+      heap_percolate_down(0);
+    }
+    return top;
+  }
+
+  // -- activity -------------------------------------------------------------
+
+  void bump_var(Var v) {
+    double& a = activity[static_cast<std::size_t>(v)];
+    a += var_inc;
+    if (a > 1e100) {
+      for (double& x : activity) x *= 1e-100;
+      var_inc *= 1e-100;
+    }
+    heap_update(v);
+  }
+
+  void decay_var_activity() { var_inc /= options.var_decay; }
+
+  void bump_clause(Clause& c) {
+    c.activity += clause_inc;
+    if (c.activity > 1e20) {
+      for (const auto& cl : learnts) cl->activity *= 1e-20;
+      clause_inc *= 1e-20;
+    }
+  }
+
+  void decay_clause_activity() { clause_inc /= options.clause_decay; }
+
+  // -- clause attach/detach -------------------------------------------------
+
+  void attach(Clause* c) {
+    watches[static_cast<std::size_t>((~c->lits[0]).code)].push_back(c);
+    watches[static_cast<std::size_t>((~c->lits[1]).code)].push_back(c);
+  }
+
+  void detach(Clause* c) {
+    for (const Lit w : {c->lits[0], c->lits[1]}) {
+      std::vector<Clause*>& list = watches[static_cast<std::size_t>((~w).code)];
+      list.erase(std::find(list.begin(), list.end(), c));
+    }
+  }
+
+  /// True when `c` is the reason of its asserting literal and therefore must
+  /// not be deleted.
+  bool locked(const Clause* c) const {
+    return value(c->lits[0]) == LBool::kTrue &&
+           reason[static_cast<std::size_t>(c->lits[0].var())] == c;
+  }
+
+  // -- propagation ----------------------------------------------------------
+
+  Clause* propagate() {
+    Clause* conflict_clause = nullptr;
+    while (qhead < trail.size()) {
+      const Lit p = trail[qhead++];
+      ++stats.propagations;
+      std::vector<Clause*>& ws = watches[static_cast<std::size_t>(p.code)];
+      std::size_t i = 0;
+      std::size_t j = 0;
+      const std::size_t end = ws.size();
+      while (i != end) {
+        Clause* c = ws[i++];
+        std::vector<Lit>& lits = c->lits;
+        // Normalize: the false watched literal (~p) goes to slot 1.
+        const Lit false_lit = ~p;
+        if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+        // Satisfied by the other watch: keep watching.
+        if (value(lits[0]) == LBool::kTrue) {
+          ws[j++] = c;
+          continue;
+        }
+        // Look for a replacement watch among the tail literals.
+        bool rewatched = false;
+        for (std::size_t k = 2; k < lits.size(); ++k) {
+          if (value(lits[k]) != LBool::kFalse) {
+            std::swap(lits[1], lits[k]);
+            watches[static_cast<std::size_t>((~lits[1]).code)].push_back(c);
+            rewatched = true;
+            break;
+          }
+        }
+        if (rewatched) continue;
+        // Unit or conflicting under the current assignment.
+        ws[j++] = c;
+        if (value(lits[0]) == LBool::kFalse) {
+          conflict_clause = c;
+          qhead = trail.size();
+          while (i != end) ws[j++] = ws[i++];  // keep remaining watches
+          break;
+        }
+        enqueue(lits[0], c);
+      }
+      ws.resize(j);
+      if (conflict_clause != nullptr) break;
+    }
+    return conflict_clause;
+  }
+
+  // -- conflict analysis (first UIP) ----------------------------------------
+
+  void analyze(Clause* conflict_clause, std::vector<Lit>& out_learnt,
+               int& out_btlevel) {
+    out_learnt.clear();
+    out_learnt.push_back(Lit{-2});  // slot 0: the asserting literal
+    int path_count = 0;
+    Lit p{-2};
+    int index = static_cast<int>(trail.size()) - 1;
+    do {
+      Clause& c = *conflict_clause;
+      if (c.learnt) bump_clause(c);
+      // Skip slot 0 on reason clauses: it holds the resolved pivot itself.
+      for (std::size_t k = p.defined() ? 1 : 0; k < c.lits.size(); ++k) {
+        const Lit q = c.lits[k];
+        const auto v = static_cast<std::size_t>(q.var());
+        if (seen[v] == 0 && level[v] > 0) {
+          seen[v] = 1;
+          bump_var(q.var());
+          if (level[v] >= decision_level()) {
+            ++path_count;
+          } else {
+            out_learnt.push_back(q);
+          }
+        }
+      }
+      while (seen[static_cast<std::size_t>(
+                 trail[static_cast<std::size_t>(index--)].var())] == 0) {
+      }
+      p = trail[static_cast<std::size_t>(index + 1)];
+      conflict_clause = reason[static_cast<std::size_t>(p.var())];
+      seen[static_cast<std::size_t>(p.var())] = 0;
+      --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Backjump to the second-highest decision level in the clause, keeping
+    // that literal in slot 1 so it becomes the other watch.
+    out_btlevel = 0;
+    if (out_learnt.size() > 1) {
+      std::size_t max_i = 1;
+      for (std::size_t k = 2; k < out_learnt.size(); ++k) {
+        if (level[static_cast<std::size_t>(out_learnt[k].var())] >
+            level[static_cast<std::size_t>(out_learnt[max_i].var())]) {
+          max_i = k;
+        }
+      }
+      std::swap(out_learnt[1], out_learnt[max_i]);
+      out_btlevel = level[static_cast<std::size_t>(out_learnt[1].var())];
+    }
+    for (const Lit q : out_learnt) {
+      seen[static_cast<std::size_t>(q.var())] = 0;
+    }
+  }
+
+  /// Failed-assumption extraction: the conflict set reached from ~p through
+  /// reasons, reported as the subset of assumptions that cannot hold jointly.
+  /// `p` is the negation of the failed assumption (true in the current
+  /// assignment); the emitted set holds negations of conflicting
+  /// assumptions, MiniSat's convention.
+  void analyze_final(Lit p) {
+    conflict.clear();
+    conflict.push_back(p);
+    if (decision_level() == 0) return;
+    seen[static_cast<std::size_t>(p.var())] = 1;
+    for (int i = static_cast<int>(trail.size()) - 1;
+         i >= trail_lim[0]; --i) {
+      const Var x = trail[static_cast<std::size_t>(i)].var();
+      const auto xi = static_cast<std::size_t>(x);
+      if (seen[xi] == 0) continue;
+      if (reason[xi] == nullptr) {
+        conflict.push_back(~trail[static_cast<std::size_t>(i)]);
+      } else {
+        const Clause& c = *reason[xi];
+        for (std::size_t k = 1; k < c.lits.size(); ++k) {
+          const auto v = static_cast<std::size_t>(c.lits[k].var());
+          if (level[v] > 0) seen[v] = 1;
+        }
+      }
+      seen[xi] = 0;
+    }
+    seen[static_cast<std::size_t>(p.var())] = 0;
+  }
+
+  void record_learnt(std::vector<Lit> lits, int btlevel) {
+    ++stats.learned_clauses;
+    stats.learned_literals += lits.size();
+    cancel_until(btlevel);
+    if (lits.size() == 1) {
+      enqueue(lits[0], nullptr);
+      return;
+    }
+    auto clause = std::make_unique<Clause>();
+    clause->learnt = true;
+    clause->lits = std::move(lits);
+    bump_clause(*clause);
+    attach(clause.get());
+    Clause* raw = clause.get();
+    learnts.push_back(std::move(clause));
+    enqueue(raw->lits[0], raw);
+  }
+
+  /// Drops the lower-activity half of the learnt clauses (locked and binary
+  /// clauses are kept). Order ties resolve on insertion order, which is
+  /// stable, so reduction is deterministic.
+  void reduce_learnts() {
+    std::stable_sort(learnts.begin(), learnts.end(),
+                     [](const std::unique_ptr<Clause>& a,
+                        const std::unique_ptr<Clause>& b) {
+                       return a->activity < b->activity;
+                     });
+    const std::size_t target = learnts.size() / 2;
+    std::vector<std::unique_ptr<Clause>> kept;
+    kept.reserve(learnts.size() - target);
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < learnts.size(); ++i) {
+      Clause* c = learnts[i].get();
+      if (dropped < target && c->lits.size() > 2 && !locked(c)) {
+        detach(c);
+        ++dropped;
+        ++stats.deleted_clauses;
+      } else {
+        kept.push_back(std::move(learnts[i]));
+      }
+    }
+    learnts = std::move(kept);
+  }
+
+  // -- search ---------------------------------------------------------------
+
+  Lit pick_branch_lit() {
+    while (!heap.empty()) {
+      const Var v = heap_pop();
+      if (value(v) == LBool::kUndef) {
+        return Lit::of(v, polarity[static_cast<std::size_t>(v)] != 0);
+      }
+    }
+    return Lit{-2};
+  }
+
+  /// One restart's worth of search. kTrue/kFalse decide the instance;
+  /// kUndef means restart (or budget exhaustion — caller re-checks).
+  LBool search(std::int64_t conflict_limit, std::int64_t budget_limit,
+               const std::vector<Lit>& assumptions) {
+    std::int64_t local_conflicts = 0;
+    std::vector<Lit> learnt;
+    for (;;) {
+      Clause* conflict_clause = propagate();
+      if (conflict_clause != nullptr) {
+        ++stats.conflicts;
+        ++local_conflicts;
+        if (decision_level() == 0) {
+          ok = false;
+          return LBool::kFalse;
+        }
+        int btlevel = 0;
+        analyze(conflict_clause, learnt, btlevel);
+        record_learnt(learnt, btlevel);
+        decay_var_activity();
+        decay_clause_activity();
+        continue;
+      }
+      // No conflict: restart / budget / reduce checks, then a new decision.
+      if (local_conflicts >= conflict_limit ||
+          (budget_limit >= 0 &&
+           static_cast<std::int64_t>(stats.conflicts) >= budget_limit)) {
+        cancel_until(0);
+        return LBool::kUndef;
+      }
+      if (max_learnts > 0 && learnts.size() >= max_learnts) {
+        reduce_learnts();
+        max_learnts += max_learnts / 2;
+      }
+      Lit next{-2};
+      while (decision_level() < static_cast<int>(assumptions.size())) {
+        const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::kTrue) {
+          trail_lim.push_back(static_cast<int>(trail.size()));
+        } else if (value(a) == LBool::kFalse) {
+          analyze_final(~a);
+          return LBool::kFalse;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (!next.defined()) {
+        next = pick_branch_lit();
+        if (!next.defined()) return LBool::kTrue;  // all variables assigned
+        ++stats.decisions;
+      }
+      trail_lim.push_back(static_cast<int>(trail.size()));
+      enqueue(next, nullptr);
+    }
+  }
+
+  void flush_counters(LBool result) {
+    AtomicCounters& c = counters();
+    c.solves.fetch_add(1, std::memory_order_relaxed);
+    if (result == LBool::kTrue) c.sat.fetch_add(1, std::memory_order_relaxed);
+    if (result == LBool::kFalse) c.unsat.fetch_add(1, std::memory_order_relaxed);
+    c.conflicts.fetch_add(stats.conflicts - flushed.conflicts,
+                          std::memory_order_relaxed);
+    c.decisions.fetch_add(stats.decisions - flushed.decisions,
+                          std::memory_order_relaxed);
+    c.propagations.fetch_add(stats.propagations - flushed.propagations,
+                             std::memory_order_relaxed);
+    c.restarts.fetch_add(stats.restarts - flushed.restarts,
+                         std::memory_order_relaxed);
+    c.learned_clauses.fetch_add(stats.learned_clauses - flushed.learned_clauses,
+                                std::memory_order_relaxed);
+    flushed = stats;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+Solver::Solver(SolverOptions options) : impl_(new Impl(options)) {}
+
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  Impl& im = *impl_;
+  const Var v = static_cast<Var>(im.assigns.size());
+  im.assigns.push_back(LBool::kUndef);
+  im.polarity.push_back(0);
+  im.reason.push_back(nullptr);
+  im.level.push_back(0);
+  // Seed-derived jitter (well below one bump) so different seeds explore
+  // different orders while staying fully deterministic per seed.
+  im.activity.push_back(
+      1e-12 * static_cast<double>(mix64(im.options.seed * 0x10001 +
+                                        static_cast<std::uint64_t>(v)) &
+                                  0xfffffu));
+  im.seen.push_back(0);
+  im.heap_pos.push_back(-1);
+  im.watches.emplace_back();
+  im.watches.emplace_back();
+  im.heap_insert(v);
+  return v;
+}
+
+int Solver::num_vars() const {
+  return static_cast<int>(impl_->assigns.size());
+}
+
+Lit Solver::true_lit() {
+  Impl& im = *impl_;
+  if (!im.constant_true.defined()) {
+    const Lit t = Lit::of(new_var());
+    im.constant_true = t;
+    add_clause({t});
+  }
+  return im.constant_true;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  Impl& im = *impl_;
+  FTL_EXPECTS(im.decision_level() == 0);
+  if (!im.ok) return false;
+  for (const Lit p : lits) {
+    FTL_EXPECTS(p.defined() && p.var() < num_vars());
+  }
+  // Canonicalize: sort by code, merge duplicates, detect tautologies, and
+  // drop literals already decided at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit p : lits) {
+    if (!out.empty() && p == out.back()) continue;
+    if (!out.empty() && p == ~out.back()) return true;  // tautology
+    if (im.value(p) == LBool::kTrue) return true;       // already satisfied
+    if (im.value(p) == LBool::kFalse) continue;         // already falsified
+    out.push_back(p);
+  }
+  if (out.empty()) {
+    im.ok = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    im.enqueue(out[0], nullptr);
+    if (im.propagate() != nullptr) {
+      im.ok = false;
+      return false;
+    }
+    return true;
+  }
+  auto clause = std::make_unique<Impl::Clause>();
+  clause->lits = std::move(out);
+  im.attach(clause.get());
+  im.clauses.push_back(std::move(clause));
+  return true;
+}
+
+bool Solver::okay() const { return impl_->ok; }
+
+LBool Solver::solve(const std::vector<Lit>& assumptions) {
+  Impl& im = *impl_;
+  ++im.stats.solves;
+  im.model.clear();
+  im.conflict.clear();
+  if (!im.ok) {
+    im.flush_counters(LBool::kFalse);
+    return LBool::kFalse;
+  }
+  if (im.max_learnts == 0) {
+    im.max_learnts = std::max<std::size_t>(1000, im.clauses.size() / 3);
+  }
+  const std::int64_t budget_limit =
+      im.options.max_conflicts < 0
+          ? -1
+          : static_cast<std::int64_t>(im.stats.conflicts) +
+                im.options.max_conflicts;
+  LBool status = LBool::kUndef;
+  for (int restart = 0; status == LBool::kUndef; ++restart) {
+    if (restart > 0) ++im.stats.restarts;
+    const double units = luby(2.0, restart);
+    status = im.search(
+        static_cast<std::int64_t>(units * im.options.restart_base),
+        budget_limit, assumptions);
+    if (status == LBool::kUndef && budget_limit >= 0 &&
+        static_cast<std::int64_t>(im.stats.conflicts) >= budget_limit) {
+      break;  // budget exhausted: report kUndef, solver stays usable
+    }
+  }
+  if (status == LBool::kTrue) {
+    im.model = im.assigns;
+  }
+  im.cancel_until(0);
+  im.flush_counters(status);
+  return status;
+}
+
+LBool Solver::model_value(Var v) const {
+  const Impl& im = *impl_;
+  if (static_cast<std::size_t>(v) >= im.model.size()) return LBool::kUndef;
+  return im.model[static_cast<std::size_t>(v)];
+}
+
+LBool Solver::model_value(Lit p) const {
+  const LBool v = model_value(p.var());
+  if (v == LBool::kUndef) return LBool::kUndef;
+  const bool truth = (v == LBool::kTrue) == p.positive();
+  return truth ? LBool::kTrue : LBool::kFalse;
+}
+
+const std::vector<Lit>& Solver::failed_assumptions() const {
+  return impl_->conflict;
+}
+
+void Solver::set_max_conflicts(std::int64_t budget) {
+  impl_->options.max_conflicts = budget;
+}
+
+const SolveStats& Solver::stats() const { return impl_->stats; }
+
+const SolverOptions& Solver::options() const { return impl_->options; }
+
+std::size_t Solver::num_clauses() const { return impl_->clauses.size(); }
+
+std::size_t Solver::num_learnts() const { return impl_->learnts.size(); }
+
+}  // namespace ftl::sat

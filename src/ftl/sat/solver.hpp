@@ -1,0 +1,153 @@
+#pragma once
+// Embedded conflict-driven clause-learning (CDCL) SAT solver.
+//
+// The lattice-realization search of arXiv:2202.09551 and the crossbar
+// verification of arXiv:2301.08611 are both SAT-shaped; this solver is the
+// engine behind lattice::synth_sat and the check::equivalence SAT backend.
+// It is a self-contained MiniSat-style core: two-watched-literal unit
+// propagation, VSIDS-style variable activity with phase saving, first-UIP
+// conflict analysis with clause learning, activity-sorted learnt-clause
+// reduction, Luby restarts, and incremental solving (clauses may be added
+// between solve() calls, and solve() accepts assumption literals).
+//
+// Determinism contract: identical inputs (variable/clause creation order,
+// options, assumption order) produce identical search traces, models, and
+// statistics. All tie-breaks resolve on variable index; the only "random"
+// ingredient is a deterministic seed-derived jitter on initial activities,
+// and the seed is reported back in SolveStats for reproducibility in logs.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ftl::sat {
+
+/// 0-based propositional variable index.
+using Var = std::int32_t;
+
+/// A literal, packed as 2*var + (negative ? 1 : 0). The default-constructed
+/// literal is undefined and must not reach the solver.
+struct Lit {
+  std::int32_t code = -2;
+
+  static Lit of(Var v, bool positive = true) {
+    return Lit{2 * v + (positive ? 0 : 1)};
+  }
+  Var var() const { return code >> 1; }
+  bool positive() const { return (code & 1) == 0; }
+  bool defined() const { return code >= 0; }
+  Lit operator~() const { return Lit{code ^ 1}; }
+
+  friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+/// Three-valued truth value, for partial assignments and solve() results.
+enum class LBool : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+struct SolverOptions {
+  /// Deterministic jitter on initial variable activities; echoed in
+  /// SolveStats so a logged result names the ordering that produced it.
+  std::uint64_t seed = 1;
+  double var_decay = 0.95;      ///< VSIDS activity decay per conflict
+  double clause_decay = 0.999;  ///< learnt-clause activity decay per conflict
+  int restart_base = 128;       ///< conflicts per Luby restart unit
+  /// Conflict budget per solve() call; kUndef is returned when it runs out
+  /// (the solver stays usable and the budget can be raised). -1 = unlimited.
+  std::int64_t max_conflicts = -1;
+};
+
+/// Cumulative per-solver statistics (monotonic across solve() calls).
+struct SolveStats {
+  std::uint64_t solves = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;  ///< literals dequeued by unit propagation
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;  ///< learnt clauses dropped by reduce
+  std::uint64_t seed = 1;             ///< decision seed (from SolverOptions)
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh unassigned variable and returns its index.
+  Var new_var();
+  int num_vars() const;
+
+  /// A literal that is constant-true in every model (a lazily created
+  /// variable pinned by a unit clause). Encoders use it for constant cells.
+  Lit true_lit();
+
+  /// Adds a clause over existing variables. Tautologies are dropped,
+  /// duplicate literals merged, and literals already false at level 0
+  /// removed. Returns false when the formula has become unsatisfiable at
+  /// level 0 (okay() turns false and stays false). Must be called between
+  /// solve() calls, never from inside one.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// False once the clause set is known unsatisfiable at level 0.
+  bool okay() const;
+
+  /// Decides satisfiability under the (possibly empty) assumption literals.
+  /// kTrue: a model is available via model_value(). kFalse: unsatisfiable
+  /// under the assumptions (permanently so when okay() is now false).
+  /// kUndef: the max_conflicts budget ran out; callers may add clauses,
+  /// raise the budget, and call solve() again.
+  LBool solve(const std::vector<Lit>& assumptions = {});
+
+  /// Value of a variable / literal in the most recent satisfying model.
+  LBool model_value(Var v) const;
+  LBool model_value(Lit p) const;
+
+  /// After solve() returned kFalse under assumptions: the subset of the
+  /// assumptions (negated) proven jointly unsatisfiable with the clauses.
+  const std::vector<Lit>& failed_assumptions() const;
+
+  /// Replaces the per-solve conflict budget (see SolverOptions).
+  void set_max_conflicts(std::int64_t budget);
+
+  const SolveStats& stats() const;
+  const SolverOptions& options() const;
+  std::size_t num_clauses() const;  ///< problem clauses currently attached
+  std::size_t num_learnts() const;  ///< learnt clauses currently attached
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide solver counters (relaxed atomics, monotonic), surfaced by
+/// the serve `stats` op as `sat_core` so production SAT load is observable.
+/// Flushed once per solve() call, not per propagation, so the hot loop pays
+/// no atomic traffic.
+struct SatCounters {
+  std::uint64_t solves = 0;
+  std::uint64_t sat = 0;      ///< solve() calls returning kTrue
+  std::uint64_t unsat = 0;    ///< solve() calls returning kFalse
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t cegar_rounds = 0;  ///< refinement rounds (lattice::synth_sat)
+};
+
+/// Snapshot of the process-wide counters.
+SatCounters sat_counters();
+
+/// Resets all counters to zero (test support).
+void reset_sat_counters();
+
+namespace detail {
+/// Accounting hook for CEGAR drivers (relaxed atomic increment).
+void count_cegar_round();
+}  // namespace detail
+
+}  // namespace ftl::sat

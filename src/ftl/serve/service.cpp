@@ -26,6 +26,7 @@
 #include "ftl/lattice/paths.hpp"
 #include "ftl/lattice/synthesis.hpp"
 #include "ftl/logic/expr_parser.hpp"
+#include "ftl/sat/solver.hpp"
 #include "ftl/serve/json.hpp"
 #include "ftl/util/thread_pool.hpp"
 
@@ -243,6 +244,7 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
   deadline.check("synthesis");
 
   std::optional<lattice::Lattice> lat;
+  std::optional<std::uint64_t> seed;
   if (method == "altun") {
     lat = lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
   } else if (method == "exhaustive" || method == "search") {
@@ -250,12 +252,24 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
     const int cols = require_int(req, "cols", 1, 8);
     lattice::SearchOptions search;
     search.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
-    if (method == "exhaustive") {
-      lat = lattice::exhaustive_synthesis(parsed.table, rows, cols, search,
-                                          parsed.var_names);
-    } else {
-      lat = lattice::local_search_synthesis(parsed.table, rows, cols, search,
+    seed = search.seed;
+    try {
+      if (method == "exhaustive") {
+        lat = lattice::exhaustive_synthesis(parsed.table, rows, cols, search,
                                             parsed.var_names);
+      } else {
+        lat = lattice::local_search_synthesis(parsed.table, rows, cols, search,
+                                              parsed.var_names);
+      }
+    } catch (const lattice::SearchBoundExceeded& e) {
+      // Typed refusal, not a generic bad_request: clients can read the
+      // numbers and retarget to the synth_sat op mechanically.
+      JsonValue body = body_for("synth", false);
+      body.set("error", JsonValue::str("bound_exceeded"));
+      body.set("message", JsonValue::str(e.what()));
+      body.set("candidates", JsonValue::number(e.candidates()));
+      body.set("budget", JsonValue::number(e.budget()));
+      return body;
     }
   } else {
     throw Error("unknown method '" + method +
@@ -265,6 +279,9 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
 
   JsonValue body = body_for("synth");
   body.set("method", JsonValue::str(method));
+  if (seed) {
+    body.set("seed", JsonValue::number(static_cast<double>(*seed)));
+  }
   body.set("found", JsonValue::boolean(lat.has_value()));
   if (lat) {
     body.set("lattice", lattice_json(*lat));
@@ -273,6 +290,56 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
                           lattice::count_products(lat->rows(), lat->cols()))));
     body.set("realizes", JsonValue::boolean(lattice::realizes(*lat, parsed.table)));
   }
+  return body;
+}
+
+/// CEGAR SAT synthesis as a service op. Pure: the CDCL core is
+/// deterministic given identical inputs, so identical requests yield
+/// byte-identical bodies and the response cache applies. Outcomes other
+/// than "found" are structured results, not errors — infeasibility is a
+/// proof, budget exhaustion an explicit refusal.
+JsonValue handle_synth_sat(const JsonValue& req, const Deadline& deadline) {
+  const logic::ParsedFunction parsed = logic::parse_expression(
+      require_string(req, "expr"), string_array_or(req, "vars"));
+  const int rows = require_int(req, "rows", 1, 8);
+  const int cols = require_int(req, "cols", 1, 8);
+  lattice::SatSynthesisOptions options;
+  options.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+  options.allow_constants = req.bool_or("constants", true);
+  const double budget = req.number_or("max_conflicts", 2e6);
+  if (!(budget >= 0.0) || budget > 9e18) {
+    throw Error("'max_conflicts' must be a number in [0, 9e18]");
+  }
+  options.max_conflicts = static_cast<std::int64_t>(budget);
+  deadline.check("synthesis");
+
+  const lattice::SatSynthesisResult result =
+      lattice::synth_sat(parsed.table, rows, cols, options, parsed.var_names);
+  deadline.check("serialization");
+
+  JsonValue body = body_for("synth_sat");
+  body.set("found", JsonValue::boolean(result.lattice.has_value()));
+  body.set("proven_infeasible", JsonValue::boolean(result.proven_infeasible));
+  body.set("budget_exhausted", JsonValue::boolean(result.budget_exhausted));
+  if (result.lattice) {
+    body.set("lattice", lattice_json(*result.lattice));
+    body.set("switch_count", JsonValue::number(result.lattice->rows() *
+                                               result.lattice->cols()));
+  }
+  body.set("cegar_rounds", JsonValue::number(result.cegar_rounds));
+  body.set("care_minterms", JsonValue::number(result.care_minterms));
+  body.set("seed", JsonValue::number(static_cast<double>(result.seed)));
+  JsonValue solver = JsonValue::object();
+  const auto num = [](std::uint64_t v) {
+    return JsonValue::number(static_cast<double>(v));
+  };
+  solver.set("solves", num(result.solver.solves));
+  solver.set("conflicts", num(result.solver.conflicts));
+  solver.set("decisions", num(result.solver.decisions));
+  solver.set("propagations", num(result.solver.propagations));
+  solver.set("restarts", num(result.solver.restarts));
+  solver.set("learned_clauses", num(result.solver.learned_clauses));
+  body.set("solver", std::move(solver));
   return body;
 }
 
@@ -474,7 +541,17 @@ JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
     }
     if (target) {
       deadline.check("equivalence");
-      report.merge(check::check_equivalence(spec.lat, *target));
+      check::EquivalenceOptions equiv;
+      const std::string backend = req.string_or("equiv", "auto");
+      if (backend == "bdd") {
+        equiv.backend = check::EquivalenceOptions::Backend::kBdd;
+      } else if (backend == "sat") {
+        equiv.backend = check::EquivalenceOptions::Backend::kSat;
+      } else if (backend != "auto") {
+        throw Error("unknown equiv backend '" + backend +
+                    "' (expected auto, bdd, or sat)");
+      }
+      report.merge(check::check_equivalence(spec.lat, *target, equiv));
     }
   }
   deadline.check("serialization");
@@ -504,8 +581,8 @@ JsonValue handle_sleep(const JsonValue& req, const Deadline& deadline) {
 }
 
 bool is_pure_op(const std::string& op) {
-  return op == "synth" || op == "eval" || op == "paths" || op == "metrics" ||
-         op == "explore" || op == "lint";
+  return op == "synth" || op == "synth_sat" || op == "eval" ||
+         op == "paths" || op == "metrics" || op == "explore" || op == "lint";
 }
 
 /// Canonical parameter rendering for the cache key: the request object with
@@ -624,6 +701,7 @@ struct Service::Impl {
                      const Deadline& deadline) {
     if (op == "ping") return handle_ping(req, deadline);
     if (op == "synth") return handle_synth(req, deadline);
+    if (op == "synth_sat") return handle_synth_sat(req, deadline);
     if (op == "eval") return handle_eval(req, deadline);
     if (op == "paths") return handle_paths(req, deadline);
     if (op == "metrics") return handle_metrics(req, deadline);
@@ -638,8 +716,8 @@ struct Service::Impl {
       return body;
     }
     throw Error("unknown op '" + op +
-                "' (expected ping, synth, eval, paths, metrics, explore, "
-                "lint, stats, sleep, or shutdown)");
+                "' (expected ping, synth, synth_sat, eval, paths, metrics, "
+                "explore, lint, stats, sleep, or shutdown)");
   }
 
   JsonValue handle_stats() {
@@ -691,6 +769,24 @@ struct Service::Impl {
     cache_core.set("shards",
                    JsonValue::number(static_cast<double>(kCacheShards)));
     body.set("cache_core", std::move(cache_core));
+    // SAT-core counters (process-wide, monotonic): CDCL work done by the
+    // synth_sat op and the SAT equivalence backend, flushed once per
+    // solve() call. Same volatility argument as eval_core.
+    const sat::SatCounters sc = sat::sat_counters();
+    JsonValue sat_core = JsonValue::object();
+    const auto get_u64 = [](std::uint64_t v) {
+      return JsonValue::number(static_cast<double>(v));
+    };
+    sat_core.set("solves", get_u64(sc.solves));
+    sat_core.set("sat", get_u64(sc.sat));
+    sat_core.set("unsat", get_u64(sc.unsat));
+    sat_core.set("conflicts", get_u64(sc.conflicts));
+    sat_core.set("decisions", get_u64(sc.decisions));
+    sat_core.set("propagations", get_u64(sc.propagations));
+    sat_core.set("restarts", get_u64(sc.restarts));
+    sat_core.set("learned_clauses", get_u64(sc.learned_clauses));
+    sat_core.set("cegar_rounds", get_u64(sc.cegar_rounds));
+    body.set("sat_core", std::move(sat_core));
     return body;
   }
 

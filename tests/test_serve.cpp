@@ -127,6 +127,87 @@ TEST(ServeProtocol, SynthExhaustiveFindsMinimalAnd) {
   EXPECT_TRUE(r.find("realizes")->as_bool());
 }
 
+TEST(ServeProtocol, SynthSearchEchoesTheDecisionSeed) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth","expr":"a b","method":"exhaustive","rows":2,"cols":1,"seed":9})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  ASSERT_NE(r.find("seed"), nullptr) << r.dump();
+  EXPECT_DOUBLE_EQ(r.find("seed")->as_number(), 9.0);
+  // The closed-form method takes no seed and reports none.
+  const JsonValue altun = reply(service, R"({"op":"synth","expr":"a b"})");
+  EXPECT_EQ(altun.find("seed"), nullptr) << altun.dump();
+}
+
+TEST(ServeProtocol, SynthExhaustiveBoundExceededIsTyped) {
+  Service service({.workers = 1});
+  // 14 candidate values on 20 cells is ~8e22 >> the 4e12 default budget;
+  // the refusal must be machine-readable, not a generic bad_request.
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth","expr":"a b c d e f","method":"exhaustive","rows":4,"cols":5})");
+  expect_error(r, "bound_exceeded");
+  ASSERT_NE(r.find("candidates"), nullptr) << r.dump();
+  ASSERT_NE(r.find("budget"), nullptr) << r.dump();
+  EXPECT_GT(r.find("candidates")->as_number(), r.find("budget")->as_number());
+}
+
+TEST(ServeProtocol, SynthSatSolvesAndReportsSolverWork) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a b + c d","rows":3,"cols":3,"seed":5})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(r.find("found")->as_bool()) << r.dump();
+  EXPECT_FALSE(r.find("proven_infeasible")->as_bool());
+  EXPECT_FALSE(r.find("budget_exhausted")->as_bool());
+  EXPECT_DOUBLE_EQ(r.find("seed")->as_number(), 5.0);
+  EXPECT_GE(r.find("cegar_rounds")->as_number(), 1.0);
+  EXPECT_GE(r.find("care_minterms")->as_number(), 1.0);
+  const JsonValue* lat = r.find("lattice");
+  ASSERT_NE(lat, nullptr) << r.dump();
+  EXPECT_EQ(lat->find("cells")->items().size(), 9u);
+  const JsonValue* solver = r.find("solver");
+  ASSERT_NE(solver, nullptr) << r.dump();
+  EXPECT_GE(solver->find("solves")->as_number(), 1.0);
+  EXPECT_GE(solver->find("propagations")->as_number(), 1.0);
+}
+
+TEST(ServeProtocol, SynthSatReportsInfeasibilityAsAResult) {
+  Service service({.workers = 1});
+  // XOR3 needs 3x3; on 2x2 the SAT core proves there is no mapping.
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a' b' c + a' b c' + a b' c' + a b c","rows":2,"cols":2})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_FALSE(r.find("found")->as_bool());
+  EXPECT_TRUE(r.find("proven_infeasible")->as_bool()) << r.dump();
+  EXPECT_EQ(r.find("lattice"), nullptr);
+}
+
+TEST(ServeProtocol, SynthSatBudgetExhaustionIsExplicit) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a b + c d","rows":3,"cols":3,"max_conflicts":0})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_FALSE(r.find("found")->as_bool());
+  EXPECT_TRUE(r.find("budget_exhausted")->as_bool()) << r.dump();
+}
+
+TEST(ServeCache, SynthSatIsPureAndCached) {
+  Service service({.workers = 1});
+  const std::string line =
+      R"({"op":"synth_sat","expr":"a b + a c","rows":2,"cols":2})";
+  const std::string first = service.handle_now(line);
+  EXPECT_EQ(service.handle_now(line), first);
+  const JsonValue snap = service.stats().snapshot();
+  EXPECT_DOUBLE_EQ(
+      snap.find("ops")->find("synth_sat")->find("cache_hits")->as_number(),
+      1.0);
+}
+
 TEST(ServeProtocol, EvalFromExpressionReportsOnSet) {
   Service service({.workers = 1});
   const JsonValue r = reply(service, R"({"op":"eval","expr":"a b + b c + a c"})");
@@ -233,6 +314,31 @@ TEST(ServeProtocol, StatsReportsEvalCoreCounters) {
   EXPECT_GE(after.lut_builds, before.lut_builds);
 }
 
+TEST(ServeProtocol, StatsReportsSatCoreCounters) {
+  Service service({.workers = 1});
+  const auto sat_core = [&service]() {
+    const JsonValue r = reply(service, R"({"op":"stats"})");
+    const JsonValue* sc = r.find("sat_core");
+    EXPECT_NE(sc, nullptr) << r.dump();
+    struct Snapshot {
+      double solves, sat, cegar_rounds, propagations;
+    };
+    return Snapshot{sc->find("solves")->as_number(),
+                    sc->find("sat")->as_number(),
+                    sc->find("cegar_rounds")->as_number(),
+                    sc->find("propagations")->as_number()};
+  };
+  const auto before = sat_core();
+  const JsonValue r = reply(
+      service, R"({"op":"synth_sat","expr":"a b + a c","rows":2,"cols":2})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  const auto after = sat_core();
+  EXPECT_GE(after.solves, before.solves + 1.0);
+  EXPECT_GE(after.sat, before.sat + 1.0);
+  EXPECT_GE(after.cegar_rounds, before.cegar_rounds + 1.0);
+  EXPECT_GE(after.propagations, before.propagations + 1.0);
+}
+
 TEST(ServeProtocol, SleepRunsAndReportsDuration) {
   Service service({.workers = 1});
   const JsonValue r = reply(service, R"({"op":"sleep","ms":5})");
@@ -301,6 +407,24 @@ TEST(ServeProtocol, LintLatticeWithTargetRunsEquivalence) {
     if (d.find("rule")->as_string() == "FTL-E001") saw_e001 = true;
   }
   EXPECT_TRUE(saw_e001) << r.dump();
+}
+
+TEST(ServeProtocol, LintEquivBackendIsSelectable) {
+  Service service({.workers = 1});
+  // The same broken mapping as above must be caught by the SAT miter too,
+  // and a bogus backend name is a bad request, not a silent default.
+  const std::string broken =
+      R"({"op":"lint","rows":3,"cols":3,"vars":["a","b","c"],)"
+      R"("cells":["a","b'","a'","c","0","c'","a'","b","a"],)"
+      R"("target":"a' b' c + a' b c' + a b' c' + a b c")";
+  const JsonValue r = reply(service, broken + R"(,"equiv":"sat"})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  bool saw_e001 = false;
+  for (const JsonValue& d : r.find("report")->find("diagnostics")->items()) {
+    if (d.find("rule")->as_string() == "FTL-E001") saw_e001 = true;
+  }
+  EXPECT_TRUE(saw_e001) << r.dump();
+  expect_error(reply(service, broken + R"(,"equiv":"nope"})"), "bad_request");
 }
 
 TEST(ServeProtocol, LintLatticeCleanMapping) {
