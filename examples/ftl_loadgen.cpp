@@ -16,8 +16,12 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <random>
 #include <string>
 
+#include "ftl/library/npn.hpp"
+#include "ftl/logic/expr_parser.hpp"
+#include "ftl/logic/isop.hpp"
 #include "ftl/serve/json.hpp"
 #include "ftl/serve/loadgen.hpp"
 #include "ftl/util/error.hpp"
@@ -39,7 +43,52 @@ void print_usage() {
       "                   (default eval,synth)\n"
       "  --expr E         target function for eval/synth requests\n"
       "                   (default \"a b + b c + a c\")\n"
+      "  --npn N          append N NPN-transformed synth requests (random\n"
+      "                   input permutations/negations of --expr, with the\n"
+      "                   variable order pinned) — every one is a distinct\n"
+      "                   request line, but all land in one NPN class, so a\n"
+      "                   library-enabled server answers them without search\n"
+      "  --seed S         RNG seed for --npn (default 1)\n"
       "  --json F         also write the report as JSON to F\n");
+}
+
+/// N distinct-looking synth requests that are all the same function up to
+/// input permutation/negation and output negation. "vars" is pinned to the
+/// base expression's order: the expression parser numbers variables by
+/// first appearance, which would silently undo a permutation if the server
+/// were left to infer the order from the transformed expression.
+std::vector<std::string> npn_requests(const std::string& base_expr,
+                                      std::size_t count, std::uint64_t seed) {
+  using ftl::serve::JsonValue;
+  const ftl::logic::ParsedFunction parsed =
+      ftl::logic::parse_expression(base_expr);
+  const int n = parsed.table.num_vars();
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    ftl::library::NpnTransform t;
+    t.num_vars = n;
+    for (int j = n - 1; j > 0; --j) {
+      std::swap(t.perm[j],
+                t.perm[std::uniform_int_distribution<int>(0, j)(rng)]);
+    }
+    t.input_negations =
+        static_cast<std::uint32_t>(rng() & ((1u << n) - 1u));
+    t.output_negation = (rng() & 1u) != 0;
+    const ftl::logic::TruthTable transformed =
+        ftl::library::apply_npn(parsed.table, t);
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::str("synth"));
+    req.set("expr", JsonValue::str(
+                        ftl::logic::isop(transformed).to_string(parsed.var_names)));
+    JsonValue vars = JsonValue::array();
+    for (const std::string& name : parsed.var_names) {
+      vars.push(JsonValue::str(name));
+    }
+    req.set("vars", std::move(vars));
+    out.push_back(req.dump());
+  }
+  return out;
 }
 
 long parse_flag(const char* flag, const char* value, long min_value,
@@ -76,6 +125,8 @@ int main(int argc, char** argv) {
   std::string mix = "eval,synth";
   std::string expr = "a b + b c + a c";
   std::string json_path;
+  std::size_t npn_count = 0;
+  std::uint64_t npn_seed = 1;
 
   const auto next_arg = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -111,6 +162,12 @@ int main(int argc, char** argv) {
       mix = next_arg(i);
     } else if (std::strcmp(arg, "--expr") == 0) {
       expr = next_arg(i);
+    } else if (std::strcmp(arg, "--npn") == 0) {
+      npn_count = static_cast<std::size_t>(
+          parse_flag("--npn", next_arg(i), 1, 1000000));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      npn_seed = static_cast<std::uint64_t>(
+          parse_flag("--seed", next_arg(i), 0, 1L << 62));
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = next_arg(i);
     } else {
@@ -120,11 +177,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const std::string& op : ftl::util::split(mix, ",")) {
-    options.mix.push_back(request_for(op, expr));
-  }
-
   try {
+    if (npn_count == 0) {
+      for (const std::string& op : ftl::util::split(mix, ",")) {
+        options.mix.push_back(request_for(op, expr));
+      }
+    } else {
+      // --npn replaces the op mix: the whole run is permuted/negated synth
+      // variants of --expr, the workload the server's NPN library turns
+      // into pure relabeling hits.
+      options.mix = npn_requests(expr, npn_count, npn_seed);
+    }
     const ftl::serve::LoadgenReport report = ftl::serve::run_loadgen(options);
     std::printf("%s", report.to_string().c_str());
     if (!json_path.empty()) {

@@ -39,6 +39,8 @@ void print_usage() {
       "  --workers N     request worker threads (default 4)\n"
       "  --queue-depth N admission high-water mark (default 64)\n"
       "  --cache-dir D   on-disk response cache (default: memory only)\n"
+      "  --library-dir D on-disk NPN lattice library (default: memory only)\n"
+      "  --no-library    disable the NPN lattice library entirely\n"
       "  --access-log F  append per-request JSONL events to F\n");
 }
 
@@ -89,6 +91,10 @@ int main(int argc, char** argv) {
           parse_flag("--queue-depth", next_arg(i), 1, 1 << 20));
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       service_options.cache_dir = next_arg(i);
+    } else if (std::strcmp(arg, "--library-dir") == 0) {
+      service_options.library_dir = next_arg(i);
+    } else if (std::strcmp(arg, "--no-library") == 0) {
+      service_options.library = false;
     } else if (std::strcmp(arg, "--access-log") == 0) {
       access_log_path = next_arg(i);
     } else {

@@ -83,7 +83,17 @@ std::vector<CandidateDesign> explore_designs(const logic::TruthTable& target,
     }
   }
 
-  // 3. The complementary topology (§VI-A): pull-down realizes f, pull-up
+  // 3. Externally supplied candidates (e.g. NPN-library hits relabeled to
+  // this target). Verified before measuring: a hook bug must not leak a
+  // non-realizing lattice into the scored set.
+  if (options.extra_candidates) {
+    for (auto& [method, lat] : options.extra_candidates(target)) {
+      if (!lattice::realizes(lat, target)) continue;
+      measure_resistor(std::move(lat), method);
+    }
+  }
+
+  // 4. The complementary topology (§VI-A): pull-down realizes f, pull-up
   // realizes ¬f.
   if (options.include_complementary) {
     const lattice::Lattice pun =

@@ -8,8 +8,10 @@
 // search, and the complementary two-lattice topology), characterizes each
 // with the gate-metrics engine, and scores them against user weights.
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ftl/bridge/metrics.hpp"
@@ -48,6 +50,14 @@ struct DesignOptions {
   /// the cap.
   std::size_t search_threads = 0;
   bridge::MeasureOptions measure;
+  /// External candidate source, called once with the target: each returned
+  /// (method, lattice) pair joins the candidate set as a single-lattice
+  /// design — this is how the serve layer feeds NPN-library hits into
+  /// exploration without the designer depending on the library. Lattices
+  /// that do not realize the target are dropped silently.
+  std::function<std::vector<std::pair<std::string, lattice::Lattice>>(
+      const logic::TruthTable&)>
+      extra_candidates;
 };
 
 /// Generates and characterizes the candidate set. Throws ftl::Error for

@@ -187,6 +187,51 @@ std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
   const std::uint64_t target_bits = target.word(0);
   const std::uint64_t zero_mask = ~target_bits & lane_mask;
 
+  // Reflection twins: flipping the rows (top-bottom), the columns
+  // (left-right), or both maps any top-to-bottom path onto a top-to-bottom
+  // path of the reflected lattice, so a candidate and its reflections all
+  // realize the same function. Each map sends cell index i to the index its
+  // value came from; degenerate maps (identity when rows==1 / cols==1) are
+  // dropped. Transposition is NOT a twin — it swaps the path direction and
+  // generally changes the function.
+  std::vector<std::vector<int>> twins;
+  if (options.symmetry_skip) {
+    const auto add_twin = [&](bool flip_rows, bool flip_cols) {
+      std::vector<int> map(static_cast<std::size_t>(cells));
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          const int rr = flip_rows ? rows - 1 - r : r;
+          const int cc = flip_cols ? cols - 1 - c : c;
+          map[static_cast<std::size_t>(r * cols + c)] = rr * cols + cc;
+        }
+      }
+      twins.push_back(std::move(map));
+    };
+    if (rows > 1) add_twin(true, false);
+    if (cols > 1) add_twin(false, true);
+    if (rows > 1 && cols > 1) add_twin(true, true);
+  }
+  // A candidate whose twin precedes it in the serial visit order (compare
+  // digits slowest-first, i.e. d = cells-1 downto 0) can be skipped: the
+  // twin realizes the same function and was (or will be, in a lower shard)
+  // visited first, so the serial-first find — which by definition has no
+  // earlier twin — is never skipped and parity with the unskipped search
+  // holds exactly.
+  const auto twin_precedes = [&](const std::vector<int>& pick) {
+    for (const auto& map : twins) {
+      for (int d = cells - 1; d >= 0; --d) {
+        const int tv = pick[static_cast<std::size_t>(
+            map[static_cast<std::size_t>(d)])];
+        const int sv = pick[static_cast<std::size_t>(d)];
+        if (tv != sv) {
+          if (tv < sv) return true;
+          break;  // this twin comes later; try the next one
+        }
+      }
+    }
+    return false;
+  };
+
   // The serial odometer steps pick[0] fastest and pick[cells-1] slowest, so
   // fixing the slowest digit partitions the space into `nc` shards that
   // cover the serial order in shard-index order. Each shard records its own
@@ -211,15 +256,17 @@ std::optional<Lattice> exhaustive_synthesis(const logic::TruthTable& target,
               best.load(std::memory_order_relaxed) < static_cast<int>(shard)) {
             return;
           }
-          const std::uint64_t lanes = candidate_lanes(
-              bits, pick, rows, cols, zero_mask, states, scratch);
-          if ((lanes & lane_mask) == target_bits) {
-            found[shard] = pick;
-            int cur = best.load();
-            while (static_cast<int>(shard) < cur &&
-                   !best.compare_exchange_weak(cur, static_cast<int>(shard))) {
+          if (!twin_precedes(pick)) {
+            const std::uint64_t lanes = candidate_lanes(
+                bits, pick, rows, cols, zero_mask, states, scratch);
+            if ((lanes & lane_mask) == target_bits) {
+              found[shard] = pick;
+              int cur = best.load();
+              while (static_cast<int>(shard) < cur &&
+                     !best.compare_exchange_weak(cur, static_cast<int>(shard))) {
+              }
+              return;
             }
-            return;
           }
           // Odometer over the shard's digits (all but the fixed slowest).
           int i = 0;

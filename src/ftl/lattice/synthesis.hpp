@@ -78,6 +78,13 @@ struct SearchOptions {
   /// The default admits every historical call site (largest: 14^9 ≈ 2e10)
   /// with headroom, while refusing 5×5 grids (14^25 ≈ 4e28) instantly.
   double max_candidates = 4e12;
+  /// Exhaustive search only: skip candidates that are a row-reflection,
+  /// column-reflection, or 180° rotation of an earlier candidate. The
+  /// reflections preserve top-to-bottom connectivity, hence the realized
+  /// function, so the earlier twin already covered the candidate — the
+  /// first lattice found is bit-identical with the flag on or off, the
+  /// fixpoint just runs on up to ~4x fewer candidates.
+  bool symmetry_skip = true;
 };
 
 /// Complete enumeration over all assignments of a rows×cols lattice.

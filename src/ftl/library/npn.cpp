@@ -1,0 +1,323 @@
+#include "ftl/library/npn.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "ftl/jobs/digest.hpp"
+#include "ftl/util/error.hpp"
+
+namespace ftl::library {
+namespace {
+
+/// Minterm pattern of variable v: bit m is set iff m has bit v set. Anding
+/// with a table word counts cofactor ones without materializing cofactors.
+constexpr std::uint64_t kVarPattern[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+
+std::uint64_t table_mask(int num_vars) {
+  const std::uint64_t bits = std::uint64_t{1} << num_vars;
+  return bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// map[x] = y with y_j = x_{perm[j]} ^ mask_j; applying a transform to a
+/// word is then a 2^n-gather: result bit x = source bit map[x].
+void build_map(int num_vars, const std::uint8_t* perm, std::uint32_t mask,
+               std::uint8_t* map) {
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << num_vars); ++x) {
+    std::uint64_t y = 0;
+    for (int j = 0; j < num_vars; ++j) {
+      y |= (((x >> perm[j]) ^ (mask >> j)) & 1) << j;
+    }
+    map[x] = static_cast<std::uint8_t>(y);
+  }
+}
+
+std::uint64_t apply_map(std::uint64_t w, const std::uint8_t* map,
+                        int num_vars) {
+  std::uint64_t r = 0;
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << num_vars); ++x) {
+    r |= ((w >> map[x]) & 1) << x;
+  }
+  return r;
+}
+
+/// One precomputed (perm, input-negation) pair of the exact group; the two
+/// output phases are tried per application, so n! * 2^n entries cover the
+/// full n! * 2^n * 2 transform group.
+struct ExactEntry {
+  std::array<std::uint8_t, 6> perm{{0, 1, 2, 3, 4, 5}};
+  std::uint32_t mask = 0;
+  std::array<std::uint8_t, 16> map{};
+};
+
+const std::vector<ExactEntry>& exact_entries(int num_vars) {
+  static const std::array<std::vector<ExactEntry>, 5> all = [] {
+    std::array<std::vector<ExactEntry>, 5> out;
+    for (int n = 0; n <= 4; ++n) {
+      std::array<int, 4> p{};
+      std::iota(p.begin(), p.begin() + n, 0);
+      do {
+        for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+          ExactEntry e;
+          for (int j = 0; j < n; ++j) {
+            e.perm[static_cast<std::size_t>(j)] =
+                static_cast<std::uint8_t>(p[static_cast<std::size_t>(j)]);
+          }
+          e.mask = mask;
+          build_map(n, e.perm.data(), mask, e.map.data());
+          out[static_cast<std::size_t>(n)].push_back(e);
+        }
+      } while (std::next_permutation(p.begin(), p.begin() + n));
+    }
+    return out;
+  }();
+  return all[static_cast<std::size_t>(num_vars)];
+}
+
+NpnCanonical canonicalize_exact(const logic::TruthTable& table) {
+  const int n = table.num_vars();
+  const std::uint64_t w = table.word(0);
+  const std::uint64_t mask_all = table_mask(n);
+
+  std::uint64_t best = ~std::uint64_t{0};
+  NpnTransform best_t;
+  best_t.num_vars = n;
+  bool first = true;
+  for (const ExactEntry& e : exact_entries(n)) {
+    const std::uint64_t r = apply_map(w, e.map.data(), n);
+    for (const bool out : {false, true}) {
+      const std::uint64_t cand = out ? (r ^ mask_all) : r;
+      if (first || cand < best) {
+        first = false;
+        best = cand;
+        best_t.perm = e.perm;
+        best_t.input_negations = e.mask;
+        best_t.output_negation = out;
+      }
+    }
+  }
+  return {logic::TruthTable::from_bits(n, best), best_t};
+}
+
+// GCC 12 cannot see through the recursion that start/end stay within the
+// 6-slot arrays and reports spurious -Warray-bounds from the inlined
+// std::sort / std::next_permutation on the tie-block subranges.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+
+/// Enumerates every permutation of `order` that keeps equal-key variables
+/// within their (already sorted) tie block — the full set of orderings the
+/// sort rule cannot distinguish.
+template <typename Fn>
+void tie_block_perms(std::array<int, 6>& order, const std::array<int, 6>& key,
+                     int num_vars, int start, const Fn& fn) {
+  if (start >= num_vars) {
+    fn(order);
+    return;
+  }
+  const int vars = std::min(num_vars, 6);  // bounds the recursion for -Warray
+  if (start >= vars) {
+    fn(order);
+    return;
+  }
+  int end = start + 1;
+  while (end < vars &&
+         key[static_cast<std::size_t>(order[static_cast<std::size_t>(end)])] ==
+             key[static_cast<std::size_t>(
+                 order[static_cast<std::size_t>(start)])]) {
+    ++end;
+  }
+  if (end - start == 1) {
+    tie_block_perms(order, key, num_vars, end, fn);
+    return;
+  }
+  const auto block_begin = order.begin() + start;
+  const auto block_end = order.begin() + end;
+  std::sort(block_begin, block_end);
+  do {
+    tie_block_perms(order, key, num_vars, end, fn);
+  } while (std::next_permutation(block_begin, block_end));
+  std::sort(block_begin, block_end);  // restore for the caller's loop
+}
+
+/// Semi-canonical search for 5-6 variables: every rule (output phase by
+/// ones count, input polarity by cofactor ones, input order by sorted
+/// cofactor ones) is intrinsic to the function and every tie branches, so
+/// the candidate set is identical for all members of an NPN class and the
+/// minimum over it is a class invariant. Worst case (fully symmetric,
+/// balanced functions like parity) degenerates to the full group —
+/// 2 * 2^6 * 6! = 92,160 candidates, still well under a millisecond.
+NpnCanonical canonicalize_semi(const logic::TruthTable& table) {
+  FTL_EXPECTS(table.num_vars() >= 5 && table.num_vars() <= 6);
+  const int n = std::min(table.num_vars(), 6);  // clamp for -Warray-bounds
+  const std::uint64_t w = table.word(0);
+  const std::uint64_t mask_all = table_mask(n);
+  const std::uint64_t minterms = std::uint64_t{1} << n;
+  const int total = std::popcount(w & mask_all);
+  const int half = static_cast<int>(minterms / 2);
+
+  std::uint64_t best = ~std::uint64_t{0};
+  NpnTransform best_t;
+  best_t.num_vars = n;
+  bool first = true;
+
+  std::vector<bool> outs;
+  if (total > half) {
+    outs = {true};
+  } else if (total < half) {
+    outs = {false};
+  } else {
+    outs = {false, true};
+  }
+
+  for (const bool out : outs) {
+    const std::uint64_t w0 = out ? (~w & mask_all) : w;
+    // Per-variable polarity: require ones(x_v=1) <= ones(x_v=0); a strict
+    // imbalance forces the choice, a tie branches both ways.
+    std::vector<std::uint32_t> masks{0};
+    for (int v = 0; v < n; ++v) {
+      const int c1 = std::popcount(w0 & kVarPattern[v] & mask_all);
+      const int c0 = std::popcount(w0 & ~kVarPattern[v] & mask_all);
+      if (c1 > c0) {
+        for (std::uint32_t& m : masks) m |= std::uint32_t{1} << v;
+      } else if (c1 == c0) {
+        const std::size_t size = masks.size();
+        for (std::size_t i = 0; i < size; ++i) {
+          masks.push_back(masks[i] | (std::uint32_t{1} << v));
+        }
+      }
+    }
+    for (const std::uint32_t m : masks) {
+      // Polarity application is a pure minterm shuffle: w1[x] = w0[x ^ m].
+      std::uint64_t w1 = 0;
+      for (std::uint64_t x = 0; x < minterms; ++x) {
+        w1 |= ((w0 >> (x ^ m)) & 1) << x;
+      }
+      std::array<int, 6> key{};
+      for (int v = 0; v < n; ++v) {
+        key[static_cast<std::size_t>(v)] =
+            std::popcount(w1 & kVarPattern[v] & mask_all);
+      }
+      std::array<int, 6> order{{0, 1, 2, 3, 4, 5}};
+      std::sort(order.begin(), order.begin() + n, [&](int a, int b) {
+        const int ka = key[static_cast<std::size_t>(a)];
+        const int kb = key[static_cast<std::size_t>(b)];
+        return ka < kb || (ka == kb && a < b);
+      });
+      tie_block_perms(
+          order, key, n, 0, [&](const std::array<int, 6>& ord) {
+            // Final variable k must carry the k-th smallest key, i.e.
+            // perm^-1(k) = ord[k], so perm[ord[k]] = k.
+            std::array<std::uint8_t, 6> perm{{0, 1, 2, 3, 4, 5}};
+            for (int k = 0; k < n; ++k) {
+              perm[static_cast<std::size_t>(
+                  ord[static_cast<std::size_t>(k)])] =
+                  static_cast<std::uint8_t>(k);
+            }
+            std::uint64_t w2 = 0;
+            for (std::uint64_t x = 0; x < minterms; ++x) {
+              std::uint64_t y = 0;
+              for (int j = 0; j < n; ++j) {
+                y |= ((x >> perm[static_cast<std::size_t>(j)]) & 1) << j;
+              }
+              w2 |= ((w1 >> y) & 1) << x;
+            }
+            if (first || w2 < best) {
+              first = false;
+              best = w2;
+              best_t.perm = perm;
+              best_t.input_negations = m;
+              best_t.output_negation = out;
+            }
+          });
+    }
+  }
+  return {logic::TruthTable::from_bits(n, best), best_t};
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+bool NpnTransform::identity() const {
+  if (input_negations != 0 || output_negation) return false;
+  for (int j = 0; j < num_vars; ++j) {
+    if (perm[static_cast<std::size_t>(j)] != j) return false;
+  }
+  return true;
+}
+
+NpnTransform NpnTransform::without_output_negation() const {
+  NpnTransform out = *this;
+  out.output_negation = false;
+  return out;
+}
+
+logic::TruthTable apply_npn(const logic::TruthTable& table,
+                            const NpnTransform& t) {
+  FTL_EXPECTS(table.num_vars() == t.num_vars && t.num_vars <= 6);
+  std::uint8_t map[64];
+  build_map(t.num_vars, t.perm.data(), t.input_negations, map);
+  std::uint64_t r = apply_map(table.word(0), map, t.num_vars);
+  if (t.output_negation) r ^= table_mask(t.num_vars);
+  return logic::TruthTable::from_bits(t.num_vars, r);
+}
+
+NpnTransform inverse(const NpnTransform& t) {
+  NpnTransform out;
+  out.num_vars = t.num_vars;
+  out.output_negation = t.output_negation;
+  for (int j = 0; j < t.num_vars; ++j) {
+    const auto k = static_cast<std::size_t>(t.perm[static_cast<std::size_t>(j)]);
+    out.perm[k] = static_cast<std::uint8_t>(j);
+    out.input_negations |=
+        ((t.input_negations >> j) & 1) << t.perm[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+NpnCanonical canonicalize(const logic::TruthTable& table) {
+  FTL_EXPECTS(table.num_vars() <= 6);
+  NpnCanonical out = table.num_vars() <= 4 ? canonicalize_exact(table)
+                                           : canonicalize_semi(table);
+  FTL_ENSURES(apply_npn(table, out.transform) == out.canonical);
+  return out;
+}
+
+std::uint64_t npn_key(const logic::TruthTable& canonical) {
+  FTL_EXPECTS(canonical.num_vars() <= 6);
+  jobs::Digest d;
+  d.str("ftl-npn-v1");
+  d.u64(static_cast<std::uint64_t>(canonical.num_vars()));
+  d.u64(canonical.word(0));
+  return d.value();
+}
+
+lattice::Lattice relabel_lattice(const lattice::Lattice& lat,
+                                 const NpnTransform& t,
+                                 std::vector<std::string> var_names) {
+  FTL_EXPECTS(!t.output_negation);
+  FTL_EXPECTS(lat.num_vars() == t.num_vars);
+  lattice::Lattice out(lat.rows(), lat.cols(), lat.num_vars(),
+                       std::move(var_names));
+  for (int r = 0; r < lat.rows(); ++r) {
+    for (int c = 0; c < lat.cols(); ++c) {
+      const lattice::CellValue& cell = lat.at(r, c);
+      if (cell.kind != lattice::CellValue::Kind::kLiteral) {
+        out.set(r, c, cell);
+        continue;
+      }
+      const int j = cell.literal.var;
+      const bool negate = ((t.input_negations >> j) & 1) != 0;
+      out.set(r, c,
+              lattice::CellValue::of(
+                  t.perm[static_cast<std::size_t>(j)],
+                  negate ? !cell.literal.positive : cell.literal.positive));
+    }
+  }
+  return out;
+}
+
+}  // namespace ftl::library

@@ -1,0 +1,85 @@
+#pragma once
+// NPN canonicalization for truth tables of up to 6 variables.
+//
+// Two functions are NPN-equivalent when one maps onto the other by
+// permuting inputs (P), complementing inputs (N), and/or complementing the
+// output (N). The 65,536 4-variable functions collapse into 222 NPN
+// classes (abc's Npn4 machinery is the model), which is what makes a
+// per-class lattice library (store.hpp) small enough to precompute
+// exhaustively: synthesis requests that differ only by a relabeling all
+// land on one stored lattice.
+//
+// Canonical form:
+//  - num_vars <= 4: exact. All n! * 2^n * 2 transforms are enumerated and
+//    the lexicographically smallest table (smallest word value, minterm 0
+//    in the least-significant bit) wins.
+//  - num_vars 5..6: semi-canonical. Output phase is fixed by the ones
+//    count, per-input polarity by cofactor ones counts, and the input
+//    order by sorting those counts; every tie branches, so the candidate
+//    set — and therefore the minimum over it — is a class invariant even
+//    though it is not always the full-group minimum. canonicalize(T) ==
+//    canonicalize(apply_npn(T, any transform)) holds for every table.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::library {
+
+/// One invertible NPN relabeling. Semantics (matching
+/// logic::TruthTable::transformed): R = apply_npn(T, t) satisfies
+///   R(x) = t.output_negation ^ T(y),  y[j] = x[t.perm[j]] ^ neg bit j,
+/// i.e. input j of the source function is driven by variable perm[j] of
+/// the result, complemented when bit j of input_negations is set.
+struct NpnTransform {
+  int num_vars = 0;
+  std::array<std::uint8_t, 6> perm{{0, 1, 2, 3, 4, 5}};
+  std::uint32_t input_negations = 0;
+  bool output_negation = false;
+
+  bool identity() const;
+
+  /// Same relabeling with the output complement dropped (what
+  /// relabel_lattice accepts).
+  NpnTransform without_output_negation() const;
+};
+
+/// Applies `t` to `table` (word-level fast path over
+/// TruthTable::transformed; both agree bit for bit).
+logic::TruthTable apply_npn(const logic::TruthTable& table,
+                            const NpnTransform& t);
+
+/// The transform undoing `t`: apply_npn(apply_npn(T, t), inverse(t)) == T.
+NpnTransform inverse(const NpnTransform& t);
+
+struct NpnCanonical {
+  logic::TruthTable canonical;
+  /// canonical == apply_npn(input, transform).
+  NpnTransform transform;
+};
+
+/// Canonical representative of the table's NPN class plus the transform
+/// that maps the input onto it. Requires num_vars <= 6.
+NpnCanonical canonicalize(const logic::TruthTable& table);
+
+/// Content digest of a canonical table — the on-disk library key. Feed it
+/// only tables returned by canonicalize(); two NPN-equivalent functions
+/// then share one key.
+std::uint64_t npn_key(const logic::TruthTable& canonical);
+
+/// Rewrites each cell literal (var j, positive p) to
+/// (var t.perm[j], positive p ^ neg bit j), leaving constants alone: when
+/// `lat` realizes f, the result realizes apply_npn(f, t). Output
+/// complement has no cell-level counterpart in this technology (the grid
+/// duality pairs 4-connected ON paths with 8-connected OFF cuts, so
+/// transpose-and-complement does not work); callers handle it by storing
+/// one lattice per output phase. Requires !t.output_negation.
+lattice::Lattice relabel_lattice(const lattice::Lattice& lat,
+                                 const NpnTransform& t,
+                                 std::vector<std::string> var_names = {});
+
+}  // namespace ftl::library

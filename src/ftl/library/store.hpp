@@ -1,0 +1,142 @@
+#pragma once
+// Content-addressed store of best-known lattices, one record per NPN class.
+//
+// The key is npn_key(canonical table); the value holds up to two lattices,
+// one per output phase — the grid duality (4-connected ON paths vs
+// 8-connected OFF cuts) means a stored lattice for f cannot be relabeled
+// into one for ¬f, so the complement phase is its own slot even though ¬f
+// canonicalizes to the same class. Each slot remembers which engine found
+// the lattice, with what seed, and how long it took, so a library can be
+// audited and selectively rebuilt.
+//
+// The in-memory index is sharded 16 ways behind jobs::mix64 (same routing
+// as the serve cache). On disk each class is one jobs::ResultCache artifact
+// under job name "npn_lattice" — atomic temp-file-plus-rename stores, and a
+// corrupt or truncated file reads as a miss.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/jobs/cache.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/logic/truth_table.hpp"
+
+namespace ftl::library {
+
+/// Best-known lattice for one output phase of one NPN class, plus the
+/// provenance needed to audit or reproduce it.
+struct LibraryEntry {
+  lattice::Lattice lattice;
+  std::string engine;     ///< "altun", "exhaustive", "search", "sat", ...
+  std::uint64_t seed = 0;
+  double cost_ms = 0;     ///< wall-clock cost of the search that found it
+};
+
+/// Everything stored for one NPN class. `direct` realizes the canonical
+/// table, `complement` realizes its negation.
+struct LibraryClass {
+  logic::TruthTable canonical;
+  std::optional<LibraryEntry> direct;
+  std::optional<LibraryEntry> complement;
+};
+
+/// Monotonic library counters (relaxed atomics; exact totals are not worth
+/// a contended cache line). The lookup-path counters are bumped by
+/// library::synthesize, the mutation/disk counters by the store itself.
+struct LibraryCounters {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> class_hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> unapplies{0};
+  std::atomic<std::uint64_t> output_inversions{0};
+  std::atomic<std::uint64_t> verify_rejects{0};
+  std::atomic<std::uint64_t> populates{0};
+  std::atomic<std::uint64_t> improvements{0};
+  std::atomic<std::uint64_t> disk_loads{0};
+  std::atomic<std::uint64_t> disk_stores{0};
+};
+
+/// Plain snapshot of LibraryCounters plus the index gauges, for `stats`.
+struct LibraryStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t class_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t unapplies = 0;
+  std::uint64_t output_inversions = 0;
+  std::uint64_t verify_rejects = 0;
+  std::uint64_t populates = 0;
+  std::uint64_t improvements = 0;
+  std::uint64_t disk_loads = 0;
+  std::uint64_t disk_stores = 0;
+  std::uint64_t classes = 0;  ///< gauge: classes in the in-memory index
+  std::uint64_t entries = 0;  ///< gauge: filled phase slots
+};
+
+class LatticeLibrary {
+ public:
+  /// Memory-only library (tests, throwaway precompute runs).
+  LatticeLibrary();
+
+  /// Disk-backed library rooted at `dir` (created when missing; throws
+  /// ftl::Error when that fails). Memory is a write-through cache of disk:
+  /// lookups fault classes in lazily, inserts persist the whole class.
+  explicit LatticeLibrary(std::string dir);
+
+  /// "" for a memory-only library.
+  const std::string& dir() const { return dir_; }
+
+  /// Best-known lattice for the class `key`, complement phase when
+  /// `complement`. Faults in the on-disk record when memory has no entry
+  /// for the requested slot.
+  std::optional<LibraryEntry> find(std::uint64_t key, bool complement);
+
+  /// Offers `entry` for one phase slot. It is kept when the slot is empty
+  /// or the new lattice has strictly fewer cells (ties keep the incumbent),
+  /// and the class record is rewritten to disk. Returns true when kept.
+  /// `canonical` must be the canonicalize() representative whose key is
+  /// `key`; callers are responsible for having verified the lattice.
+  bool insert(std::uint64_t key, const logic::TruthTable& canonical,
+              bool complement, LibraryEntry entry);
+
+  /// Loads every on-disk class record into memory (CLI inspection /
+  /// verification). Returns the number of classes now indexed.
+  std::size_t load_all();
+
+  /// Copy of the whole in-memory index, key-sorted (CLI inspection).
+  std::vector<std::pair<std::uint64_t, LibraryClass>> snapshot() const;
+
+  std::size_t num_classes() const;
+  std::size_t num_entries() const;
+
+  LibraryCounters& counters() { return counters_; }
+  LibraryStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, LibraryClass> classes;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_of(std::uint64_t key);
+  const Shard& shard_of(std::uint64_t key) const;
+
+  /// Parses one on-disk record and merges it into memory (keeping whichever
+  /// side has fewer cells per slot). Returns the merged class, or nullopt
+  /// when there is no (readable) record.
+  std::optional<LibraryClass> fault_in(std::uint64_t key);
+
+  std::string dir_;
+  std::optional<jobs::ResultCache> cache_;
+  std::array<Shard, kShards> shards_;
+  LibraryCounters counters_;
+};
+
+}  // namespace ftl::library

@@ -109,6 +109,31 @@ std::uint64_t TruthTable::count_ones() const {
   return acc;
 }
 
+TruthTable TruthTable::transformed(const std::vector<int>& perm,
+                                   std::uint32_t input_negations,
+                                   bool negate_output) const {
+  FTL_EXPECTS(perm.size() == static_cast<std::size_t>(num_vars_));
+  std::uint32_t seen = 0;
+  for (const int p : perm) {
+    FTL_EXPECTS(p >= 0 && p < num_vars_);
+    seen |= std::uint32_t{1} << p;
+  }
+  FTL_EXPECTS(num_vars_ >= 32 ||
+              seen == ((std::uint32_t{1} << num_vars_) - 1));
+  TruthTable out(num_vars_);
+  for (std::uint64_t x = 0; x < num_minterms(); ++x) {
+    std::uint64_t y = 0;
+    for (int j = 0; j < num_vars_; ++j) {
+      const std::uint64_t bit =
+          ((x >> perm[static_cast<std::size_t>(j)]) ^
+           (input_negations >> j)) & 1;
+      y |= bit << j;
+    }
+    out.set(x, negate_output != get(y));
+  }
+  return out;
+}
+
 bool TruthTable::depends_on(int var) const {
   FTL_EXPECTS(var >= 0 && var < num_vars_);
   return !(cofactor(var, false) == cofactor(var, true));

@@ -73,6 +73,16 @@ class TruthTable {
   /// Boolean dual: f^D(x) = ¬f(¬x).
   TruthTable dual() const;
 
+  /// Input/output relabeling: the returned table R satisfies
+  ///   R(x) = negate_output ^ f(y)   with   y[j] = x[perm[j]] ^ neg bit j,
+  /// i.e. input j of this function is driven by variable perm[j] of the
+  /// result, optionally complemented. `perm` must be a permutation of
+  /// [0, num_vars). This is the reference semantics for the NPN machinery
+  /// in ftl::library, which keeps a word-level fast path of its own.
+  TruthTable transformed(const std::vector<int>& perm,
+                         std::uint32_t input_negations,
+                         bool negate_output) const;
+
   TruthTable operator~() const;
   TruthTable operator&(const TruthTable& rhs) const;
   TruthTable operator|(const TruthTable& rhs) const;

@@ -110,11 +110,22 @@ struct Solver::Impl {
   SolveStats flushed;  ///< last stats snapshot pushed to the global counters
   bool ok = true;
 
+  /// One watch-list entry: the watching clause plus a "blocker" literal —
+  /// some other literal of the clause (initially the clause's other watch,
+  /// refreshed on every inspection). When the blocker is already true the
+  /// clause is satisfied and propagation skips it without touching the
+  /// clause memory at all, which is where most propagation time goes on
+  /// long watch lists (MiniSat 2.2's OccLists optimization).
+  struct Watcher {
+    Clause* clause = nullptr;
+    Lit blocker{-2};
+  };
+
   std::vector<std::unique_ptr<Clause>> clauses;  ///< problem clauses
   std::vector<std::unique_ptr<Clause>> learnts;  ///< learnt clauses
   /// watches[lit.code]: clauses that must be inspected when `lit` becomes
   /// true (i.e. clauses currently watching ~lit).
-  std::vector<std::vector<Clause*>> watches;
+  std::vector<std::vector<Watcher>> watches;
 
   std::vector<LBool> assigns;     ///< per-var current value
   std::vector<char> polarity;     ///< per-var saved phase (1 = last true)
@@ -265,14 +276,19 @@ struct Solver::Impl {
   // -- clause attach/detach -------------------------------------------------
 
   void attach(Clause* c) {
-    watches[static_cast<std::size_t>((~c->lits[0]).code)].push_back(c);
-    watches[static_cast<std::size_t>((~c->lits[1]).code)].push_back(c);
+    // Each watch blocks on the clause's *other* watched literal: if that one
+    // is true the clause is satisfied and the visit is free.
+    watches[static_cast<std::size_t>((~c->lits[0]).code)].push_back(
+        {c, c->lits[1]});
+    watches[static_cast<std::size_t>((~c->lits[1]).code)].push_back(
+        {c, c->lits[0]});
   }
 
   void detach(Clause* c) {
     for (const Lit w : {c->lits[0], c->lits[1]}) {
-      std::vector<Clause*>& list = watches[static_cast<std::size_t>((~w).code)];
-      list.erase(std::find(list.begin(), list.end(), c));
+      std::vector<Watcher>& list = watches[static_cast<std::size_t>((~w).code)];
+      list.erase(std::find_if(list.begin(), list.end(),
+                              [c](const Watcher& x) { return x.clause == c; }));
     }
   }
 
@@ -290,19 +306,29 @@ struct Solver::Impl {
     while (qhead < trail.size()) {
       const Lit p = trail[qhead++];
       ++stats.propagations;
-      std::vector<Clause*>& ws = watches[static_cast<std::size_t>(p.code)];
+      std::vector<Watcher>& ws = watches[static_cast<std::size_t>(p.code)];
       std::size_t i = 0;
       std::size_t j = 0;
       const std::size_t end = ws.size();
       while (i != end) {
-        Clause* c = ws[i++];
+        const Watcher w = ws[i++];
+        // Blocker already true: the clause is satisfied — keep the watch
+        // without dereferencing the clause.
+        if (value(w.blocker) == LBool::kTrue) {
+          ws[j++] = w;
+          continue;
+        }
+        Clause* c = w.clause;
         std::vector<Lit>& lits = c->lits;
         // Normalize: the false watched literal (~p) goes to slot 1.
         const Lit false_lit = ~p;
         if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
-        // Satisfied by the other watch: keep watching.
-        if (value(lits[0]) == LBool::kTrue) {
-          ws[j++] = c;
+        const Lit first = lits[0];
+        // Satisfied by the other watch: keep watching, with the satisfied
+        // literal as the refreshed blocker (skip when it was the blocker —
+        // its value is already known not-true).
+        if (first != w.blocker && value(first) == LBool::kTrue) {
+          ws[j++] = {c, first};
           continue;
         }
         // Look for a replacement watch among the tail literals.
@@ -310,21 +336,22 @@ struct Solver::Impl {
         for (std::size_t k = 2; k < lits.size(); ++k) {
           if (value(lits[k]) != LBool::kFalse) {
             std::swap(lits[1], lits[k]);
-            watches[static_cast<std::size_t>((~lits[1]).code)].push_back(c);
+            watches[static_cast<std::size_t>((~lits[1]).code)].push_back(
+                {c, first});
             rewatched = true;
             break;
           }
         }
         if (rewatched) continue;
         // Unit or conflicting under the current assignment.
-        ws[j++] = c;
-        if (value(lits[0]) == LBool::kFalse) {
+        ws[j++] = {c, first};
+        if (value(first) == LBool::kFalse) {
           conflict_clause = c;
           qhead = trail.size();
           while (i != end) ws[j++] = ws[i++];  // keep remaining watches
           break;
         }
-        enqueue(lits[0], c);
+        enqueue(first, c);
       }
       ws.resize(j);
       if (conflict_clause != nullptr) break;

@@ -25,6 +25,8 @@
 #include "ftl/lattice/lattice.hpp"
 #include "ftl/lattice/paths.hpp"
 #include "ftl/lattice/synthesis.hpp"
+#include "ftl/library/store.hpp"
+#include "ftl/library/synthesize.hpp"
 #include "ftl/logic/expr_parser.hpp"
 #include "ftl/sat/solver.hpp"
 #include "ftl/serve/json.hpp"
@@ -237,43 +239,58 @@ JsonValue handle_ping(const JsonValue&, const Deadline&) {
   return body;
 }
 
-JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
+/// Shared response annotations for the library-routed synth ops: where the
+/// lattice came from ("library" = relabeled from the class store with zero
+/// engine work, "engine" = a search ran) and — whenever the target was
+/// canonicalized — the NPN class key, so clients can correlate requests
+/// that are the same function up to permutation/negation.
+void set_library_fields(JsonValue& body, const library::SynthesisResult& r) {
+  body.set("source", JsonValue::str(r.from_library ? "library" : "engine"));
+  if (r.npn_key != 0) {
+    body.set("npn_class", JsonValue::str(jobs::digest_hex(r.npn_key)));
+  }
+}
+
+JsonValue handle_synth(const JsonValue& req, const Deadline& deadline,
+                       library::LatticeLibrary* lib) {
   const logic::ParsedFunction parsed = logic::parse_expression(
       require_string(req, "expr"), string_array_or(req, "vars"));
-  const std::string method = req.string_or("method", "altun");
+  const std::string method = req.string_or("method", "auto");
   deadline.check("synthesis");
 
-  std::optional<lattice::Lattice> lat;
+  using Engine = library::SynthesisRequest::Engine;
+  library::SynthesisRequest synth_req;
+  synth_req.var_names = parsed.var_names;
   std::optional<std::uint64_t> seed;
-  if (method == "altun") {
-    lat = lattice::altun_riedel_synthesis(parsed.table, parsed.var_names);
+  if (method == "auto") {
+    synth_req.engine = Engine::kAuto;
+  } else if (method == "altun") {
+    synth_req.engine = Engine::kAltun;
   } else if (method == "exhaustive" || method == "search") {
-    const int rows = require_int(req, "rows", 1, 8);
-    const int cols = require_int(req, "cols", 1, 8);
-    lattice::SearchOptions search;
-    search.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
-    seed = search.seed;
-    try {
-      if (method == "exhaustive") {
-        lat = lattice::exhaustive_synthesis(parsed.table, rows, cols, search,
-                                            parsed.var_names);
-      } else {
-        lat = lattice::local_search_synthesis(parsed.table, rows, cols, search,
-                                              parsed.var_names);
-      }
-    } catch (const lattice::SearchBoundExceeded& e) {
-      // Typed refusal, not a generic bad_request: clients can read the
-      // numbers and retarget to the synth_sat op mechanically.
-      JsonValue body = body_for("synth", false);
-      body.set("error", JsonValue::str("bound_exceeded"));
-      body.set("message", JsonValue::str(e.what()));
-      body.set("candidates", JsonValue::number(e.candidates()));
-      body.set("budget", JsonValue::number(e.budget()));
-      return body;
-    }
+    synth_req.engine =
+        method == "exhaustive" ? Engine::kExhaustive : Engine::kLocalSearch;
+    synth_req.rows = require_int(req, "rows", 1, 8);
+    synth_req.cols = require_int(req, "cols", 1, 8);
+    synth_req.search.seed =
+        static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+    seed = synth_req.search.seed;
   } else {
     throw Error("unknown method '" + method +
-                "' (expected altun, exhaustive, or search)");
+                "' (expected auto, altun, exhaustive, or search)");
+  }
+
+  library::SynthesisResult result;
+  try {
+    result = library::synthesize(parsed.table, synth_req, lib);
+  } catch (const lattice::SearchBoundExceeded& e) {
+    // Typed refusal, not a generic bad_request: clients can read the
+    // numbers and retarget to the synth_sat op mechanically.
+    JsonValue body = body_for("synth", false);
+    body.set("error", JsonValue::str("bound_exceeded"));
+    body.set("message", JsonValue::str(e.what()));
+    body.set("candidates", JsonValue::number(e.candidates()));
+    body.set("budget", JsonValue::number(e.budget()));
+    return body;
   }
   deadline.check("serialization");
 
@@ -282,63 +299,74 @@ JsonValue handle_synth(const JsonValue& req, const Deadline& deadline) {
   if (seed) {
     body.set("seed", JsonValue::number(static_cast<double>(*seed)));
   }
-  body.set("found", JsonValue::boolean(lat.has_value()));
-  if (lat) {
-    body.set("lattice", lattice_json(*lat));
-    body.set("switch_count", JsonValue::number(lat->rows() * lat->cols()));
+  body.set("found", JsonValue::boolean(result.found));
+  set_library_fields(body, result);
+  if (result.found) {
+    const lattice::Lattice& lat = result.lattice;
+    body.set("lattice", lattice_json(lat));
+    body.set("switch_count", JsonValue::number(lat.rows() * lat.cols()));
     body.set("paths", JsonValue::number(static_cast<double>(
-                          lattice::count_products(lat->rows(), lat->cols()))));
-    body.set("realizes", JsonValue::boolean(lattice::realizes(*lat, parsed.table)));
+                          lattice::count_products(lat.rows(), lat.cols()))));
+    body.set("realizes", JsonValue::boolean(lattice::realizes(lat, parsed.table)));
   }
   return body;
 }
 
-/// CEGAR SAT synthesis as a service op. Pure: the CDCL core is
-/// deterministic given identical inputs, so identical requests yield
-/// byte-identical bodies and the response cache applies. Outcomes other
-/// than "found" are structured results, not errors — infeasibility is a
-/// proof, budget exhaustion an explicit refusal.
-JsonValue handle_synth_sat(const JsonValue& req, const Deadline& deadline) {
+/// CEGAR SAT synthesis as a service op, routed library-first: a class hit
+/// answers with a relabeled stored lattice and an all-zero solver report
+/// (no CDCL ran), a miss runs synth_sat and offers the result back to the
+/// library. Outcomes other than "found" are structured results, not errors
+/// — infeasibility is a proof, budget exhaustion an explicit refusal.
+JsonValue handle_synth_sat(const JsonValue& req, const Deadline& deadline,
+                           library::LatticeLibrary* lib) {
   const logic::ParsedFunction parsed = logic::parse_expression(
       require_string(req, "expr"), string_array_or(req, "vars"));
-  const int rows = require_int(req, "rows", 1, 8);
-  const int cols = require_int(req, "cols", 1, 8);
-  lattice::SatSynthesisOptions options;
-  options.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
-  options.allow_constants = req.bool_or("constants", true);
+  library::SynthesisRequest synth_req;
+  synth_req.engine = library::SynthesisRequest::Engine::kSat;
+  synth_req.rows = require_int(req, "rows", 1, 8);
+  synth_req.cols = require_int(req, "cols", 1, 8);
+  synth_req.var_names = parsed.var_names;
+  synth_req.sat.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+  synth_req.sat.allow_constants = req.bool_or("constants", true);
   const double budget = req.number_or("max_conflicts", 2e6);
   if (!(budget >= 0.0) || budget > 9e18) {
     throw Error("'max_conflicts' must be a number in [0, 9e18]");
   }
-  options.max_conflicts = static_cast<std::int64_t>(budget);
+  synth_req.sat.max_conflicts = static_cast<std::int64_t>(budget);
   deadline.check("synthesis");
 
-  const lattice::SatSynthesisResult result =
-      lattice::synth_sat(parsed.table, rows, cols, options, parsed.var_names);
+  const library::SynthesisResult result =
+      library::synthesize(parsed.table, synth_req, lib);
   deadline.check("serialization");
 
   JsonValue body = body_for("synth_sat");
-  body.set("found", JsonValue::boolean(result.lattice.has_value()));
+  body.set("found", JsonValue::boolean(result.found));
+  set_library_fields(body, result);
   body.set("proven_infeasible", JsonValue::boolean(result.proven_infeasible));
   body.set("budget_exhausted", JsonValue::boolean(result.budget_exhausted));
-  if (result.lattice) {
-    body.set("lattice", lattice_json(*result.lattice));
-    body.set("switch_count", JsonValue::number(result.lattice->rows() *
-                                               result.lattice->cols()));
+  if (result.found) {
+    body.set("lattice", lattice_json(result.lattice));
+    body.set("switch_count", JsonValue::number(result.lattice.rows() *
+                                               result.lattice.cols()));
   }
-  body.set("cegar_rounds", JsonValue::number(result.cegar_rounds));
-  body.set("care_minterms", JsonValue::number(result.care_minterms));
-  body.set("seed", JsonValue::number(static_cast<double>(result.seed)));
-  JsonValue solver = JsonValue::object();
+  // Library hits never touched the solver, so the work report is zeros
+  // (clients can read sat-core effort straight off any response).
+  const lattice::SatSynthesisResult* ran =
+      result.sat ? &*result.sat : nullptr;
   const auto num = [](std::uint64_t v) {
     return JsonValue::number(static_cast<double>(v));
   };
-  solver.set("solves", num(result.solver.solves));
-  solver.set("conflicts", num(result.solver.conflicts));
-  solver.set("decisions", num(result.solver.decisions));
-  solver.set("propagations", num(result.solver.propagations));
-  solver.set("restarts", num(result.solver.restarts));
-  solver.set("learned_clauses", num(result.solver.learned_clauses));
+  body.set("cegar_rounds", JsonValue::number(ran ? ran->cegar_rounds : 0));
+  body.set("care_minterms", JsonValue::number(ran ? ran->care_minterms : 0));
+  body.set("seed", num(ran ? ran->seed : synth_req.sat.seed));
+  JsonValue solver = JsonValue::object();
+  const sat::SolveStats work = ran ? ran->solver : sat::SolveStats{};
+  solver.set("solves", num(work.solves));
+  solver.set("conflicts", num(work.conflicts));
+  solver.set("decisions", num(work.decisions));
+  solver.set("propagations", num(work.propagations));
+  solver.set("restarts", num(work.restarts));
+  solver.set("learned_clauses", num(work.learned_clauses));
   body.set("solver", std::move(solver));
   return body;
 }
@@ -446,7 +474,8 @@ JsonValue handle_metrics(const JsonValue& req, const Deadline& deadline) {
   return body;
 }
 
-JsonValue handle_explore(const JsonValue& req, const Deadline& deadline) {
+JsonValue handle_explore(const JsonValue& req, const Deadline& deadline,
+                         library::LatticeLibrary* lib) {
   const logic::ParsedFunction parsed = logic::parse_expression(
       require_string(req, "expr"), string_array_or(req, "vars"));
 
@@ -458,6 +487,20 @@ JsonValue handle_explore(const JsonValue& req, const Deadline& deadline) {
                                  : options.max_search_cells;
   options.search_seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
   options.measure = measure_options_from(req);
+  if (lib != nullptr) {
+    // Feed the best-known class lattice (relabeled and verified by
+    // lookup_only) into the candidate set; the designer re-verifies and
+    // measures it like any other single-lattice design.
+    const std::vector<std::string> names = parsed.var_names;
+    options.extra_candidates =
+        [lib, names](const logic::TruthTable& target)
+        -> std::vector<std::pair<std::string, lattice::Lattice>> {
+      std::optional<lattice::Lattice> hit =
+          library::lookup_only(*lib, target, names);
+      if (!hit) return {};
+      return {{"library", std::move(*hit)}};
+    };
+  }
 
   designer::DesignWeights weights;
   if (const JsonValue* w = req.find("weights")) {
@@ -632,6 +675,11 @@ struct Service::Impl {
     if (!opts.cache_dir.empty()) {
       disk = std::make_unique<jobs::ResultCache>(opts.cache_dir);
     }
+    if (opts.library) {
+      lib = opts.library_dir.empty()
+                ? std::make_unique<library::LatticeLibrary>()
+                : std::make_unique<library::LatticeLibrary>(opts.library_dir);
+    }
   }
 
   struct Executed {
@@ -700,12 +748,12 @@ struct Service::Impl {
   JsonValue dispatch(const std::string& op, const JsonValue& req,
                      const Deadline& deadline) {
     if (op == "ping") return handle_ping(req, deadline);
-    if (op == "synth") return handle_synth(req, deadline);
-    if (op == "synth_sat") return handle_synth_sat(req, deadline);
+    if (op == "synth") return handle_synth(req, deadline, lib.get());
+    if (op == "synth_sat") return handle_synth_sat(req, deadline, lib.get());
     if (op == "eval") return handle_eval(req, deadline);
     if (op == "paths") return handle_paths(req, deadline);
     if (op == "metrics") return handle_metrics(req, deadline);
-    if (op == "explore") return handle_explore(req, deadline);
+    if (op == "explore") return handle_explore(req, deadline, lib.get());
     if (op == "lint") return handle_lint(req, deadline);
     if (op == "sleep") return handle_sleep(req, deadline);
     if (op == "stats") return handle_stats();
@@ -787,6 +835,28 @@ struct Service::Impl {
     sat_core.set("learned_clauses", get_u64(sc.learned_clauses));
     sat_core.set("cegar_rounds", get_u64(sc.cegar_rounds));
     body.set("sat_core", std::move(sat_core));
+    // Lattice-library counters (per-service, relaxed atomics): how the NPN
+    // class store is doing. class_hits vs misses is the headline ratio —
+    // every hit is a synth request answered with zero engine work (clients
+    // can cross-check: a hit moves no sat_core or eval-search counters).
+    JsonValue library_core = JsonValue::object();
+    library_core.set("enabled", JsonValue::boolean(lib != nullptr));
+    if (lib) {
+      const library::LibraryStats ls = lib->stats();
+      library_core.set("classes", get_u64(ls.classes));
+      library_core.set("entries", get_u64(ls.entries));
+      library_core.set("lookups", get_u64(ls.lookups));
+      library_core.set("class_hits", get_u64(ls.class_hits));
+      library_core.set("misses", get_u64(ls.misses));
+      library_core.set("unapplies", get_u64(ls.unapplies));
+      library_core.set("output_inversions", get_u64(ls.output_inversions));
+      library_core.set("verify_rejects", get_u64(ls.verify_rejects));
+      library_core.set("populates", get_u64(ls.populates));
+      library_core.set("improvements", get_u64(ls.improvements));
+      library_core.set("disk_loads", get_u64(ls.disk_loads));
+      library_core.set("disk_stores", get_u64(ls.disk_stores));
+    }
+    body.set("library_core", std::move(library_core));
     return body;
   }
 
@@ -939,6 +1009,7 @@ struct Service::Impl {
   ServiceOptions opts;
   util::ThreadPool pool;
   std::unique_ptr<jobs::ResultCache> disk;
+  std::unique_ptr<library::LatticeLibrary> lib;  ///< null when disabled
 
   static constexpr std::size_t kCacheShards = 16;  // power of two
   struct MemoShard {

@@ -67,6 +67,13 @@ struct ServiceOptions {
   std::size_t queue_depth = 64;  ///< admitted-but-not-started high-water mark
   std::string cache_dir;         ///< on-disk response cache ("" = memory only)
   bool cache = true;             ///< serve repeated pure ops from cache
+  /// NPN lattice-library root for the synth ops ("" = memory-only library).
+  /// Unlike the response cache — which only answers byte-identical request
+  /// lines — the library answers any request in the same NPN class by
+  /// relabeling a stored lattice, so permuted/negated variants of an
+  /// already-synthesized function skip the search engines entirely.
+  std::string library_dir;
+  bool library = true;  ///< consult/populate the lattice library
   jobs::EventSink* access_log = nullptr;  ///< per-request events (not owned)
 };
 

@@ -208,6 +208,113 @@ TEST(ServeCache, SynthSatIsPureAndCached) {
       1.0);
 }
 
+// --- NPN lattice library ---------------------------------------------------
+
+TEST(ServeLibrary, PermutedSynthSatAnswersFromTheLibraryWithZeroSolverWork) {
+  Service service({.workers = 1});
+  // Cold: the SAT engine runs and the result populates the library.
+  const JsonValue cold = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a b + c d","rows":2,"cols":2,"vars":["a","b","c","d"]})");
+  EXPECT_TRUE(cold.find("found")->as_bool()) << cold.dump();
+  EXPECT_EQ(cold.find("source")->as_string(), "engine") << cold.dump();
+
+  const JsonValue before = reply(service, R"({"op":"stats"})");
+  const double conflicts_before =
+      before.find("sat_core")->find("conflicts")->as_number();
+  const double solves_before =
+      before.find("sat_core")->find("solves")->as_number();
+
+  // Warm: the variable permutation (a b c d) -> (c d a b) is a different
+  // request line AND a different truth table, so neither response cache can
+  // help — only NPN canonicalization maps it to the stored class.
+  const JsonValue warm = reply(
+      service,
+      R"({"op":"synth_sat","expr":"c d + a b","rows":2,"cols":2,"vars":["a","b","c","d"]})");
+  EXPECT_TRUE(warm.find("found")->as_bool()) << warm.dump();
+  EXPECT_EQ(warm.find("source")->as_string(), "library") << warm.dump();
+  EXPECT_DOUBLE_EQ(warm.find("cegar_rounds")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(warm.find("solver")->find("solves")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(warm.find("solver")->find("conflicts")->as_number(), 0.0);
+  // Same NPN class either way.
+  ASSERT_NE(cold.find("npn_class"), nullptr) << cold.dump();
+  ASSERT_NE(warm.find("npn_class"), nullptr) << warm.dump();
+  EXPECT_EQ(cold.find("npn_class")->as_string(),
+            warm.find("npn_class")->as_string());
+
+  // The process-wide SAT core did not move: the hit really ran no solver.
+  const JsonValue after = reply(service, R"({"op":"stats"})");
+  EXPECT_DOUBLE_EQ(after.find("sat_core")->find("conflicts")->as_number(),
+                   conflicts_before);
+  EXPECT_DOUBLE_EQ(after.find("sat_core")->find("solves")->as_number(),
+                   solves_before);
+  const JsonValue* lib = after.find("library_core");
+  ASSERT_NE(lib, nullptr);
+  EXPECT_TRUE(lib->find("enabled")->as_bool());
+  EXPECT_GE(lib->find("class_hits")->as_number(), 1.0);
+  EXPECT_GE(lib->find("populates")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(lib->find("verify_rejects")->as_number(), 0.0);
+}
+
+TEST(ServeLibrary, SynthDefaultsToAutoAndReusesTheClassAcrossNegations) {
+  Service service({.workers = 1});
+  const JsonValue cold = reply(
+      service, R"({"op":"synth","expr":"a b + b c","vars":["a","b","c"]})");
+  EXPECT_TRUE(cold.bool_or("ok", false)) << cold.dump();
+  EXPECT_EQ(cold.find("method")->as_string(), "auto");
+  EXPECT_EQ(cold.find("source")->as_string(), "engine");
+  EXPECT_TRUE(cold.find("realizes")->as_bool());
+  // No seed for the closed-form/auto route (same contract as altun).
+  EXPECT_EQ(cold.find("seed"), nullptr) << cold.dump();
+
+  // Input negation of the same class: b(a + c) vs b'(a + c') etc.
+  const JsonValue warm = reply(
+      service, R"({"op":"synth","expr":"a b' + b' c","vars":["a","b","c"]})");
+  EXPECT_TRUE(warm.bool_or("ok", false)) << warm.dump();
+  EXPECT_EQ(warm.find("source")->as_string(), "library") << warm.dump();
+  EXPECT_TRUE(warm.find("realizes")->as_bool()) << warm.dump();
+  EXPECT_EQ(cold.find("npn_class")->as_string(),
+            warm.find("npn_class")->as_string());
+}
+
+TEST(ServeLibrary, DisabledLibraryStillServesSynthFromTheEngines) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.library = false;
+  Service service(opts);
+  const JsonValue r = reply(
+      service, R"({"op":"synth","expr":"a b + b c","vars":["a","b","c"]})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_EQ(r.find("source")->as_string(), "engine");
+  EXPECT_EQ(r.find("npn_class"), nullptr) << r.dump();
+  const JsonValue stats = reply(service, R"({"op":"stats"})");
+  EXPECT_FALSE(stats.find("library_core")->find("enabled")->as_bool());
+}
+
+TEST(ServeLibrary, ExploreIncludesTheLibraryCandidateOnceWarm) {
+  Service service({.workers = 1});
+  // Warm the class with an exhaustive 2x2 mapping (4 cells) — strictly
+  // smaller than anything the baseline would propose for this function.
+  const JsonValue synth = reply(
+      service,
+      R"({"op":"synth","expr":"a b + c d","method":"exhaustive","rows":2,"cols":2,"vars":["a","b","c","d"]})");
+  ASSERT_TRUE(synth.find("found")->as_bool()) << synth.dump();
+  const JsonValue r = reply(
+      service,
+      R"({"op":"explore","expr":"c d + a b","vars":["a","b","c","d"],"try_smaller":false})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  bool has_library_candidate = false;
+  for (const JsonValue& cand : r.find("candidates")->items()) {
+    if (cand.find("method")->as_string() == "library") {
+      has_library_candidate = true;
+      EXPECT_DOUBLE_EQ(cand.find("rows")->as_number() *
+                           cand.find("cols")->as_number(),
+                       4.0);
+    }
+  }
+  EXPECT_TRUE(has_library_candidate) << r.dump();
+}
+
 TEST(ServeProtocol, EvalFromExpressionReportsOnSet) {
   Service service({.workers = 1});
   const JsonValue r = reply(service, R"({"op":"eval","expr":"a b + b c + a c"})");

@@ -130,6 +130,43 @@ TEST(ExhaustiveSynthesis, LiteralsOnlyCannotRealizeXor3OnThreeByThree) {
   EXPECT_FALSE(lat.has_value());
 }
 
+TEST(ExhaustiveSynthesis, SymmetrySkipIsAnExactOptimization) {
+  // The reflection-twin skip must not change any answer: same found/not
+  // found, same cells, for 2D grids, single rows/columns, and an unrealizable
+  // target. Includes 3x3 XOR3 with constants — the paper's minimum mapping.
+  struct Case {
+    TruthTable target;
+    int rows, cols;
+  };
+  const std::vector<Case> cases = {
+      {TruthTable::from_bits(2, 0b0110), 2, 2},
+      {TruthTable::from_bits(2, 0b0110), 1, 2},  // unrealizable on a row
+      {ftl::lattice::xor3_truth_table(), 3, 3},
+      {ftl::logic::parse_expression("a b + b c + a c").table, 2, 3},
+      {TruthTable::variable(2, 0) & TruthTable::variable(2, 1), 2, 1},
+      {TruthTable::variable(2, 0) | TruthTable::variable(2, 1), 1, 3},
+  };
+  for (const auto& cs : cases) {
+    SearchOptions skip_on;
+    skip_on.symmetry_skip = true;
+    SearchOptions skip_off;
+    skip_off.symmetry_skip = false;
+    const auto a = exhaustive_synthesis(cs.target, cs.rows, cs.cols, skip_on);
+    const auto b = exhaustive_synthesis(cs.target, cs.rows, cs.cols, skip_off);
+    ASSERT_EQ(a.has_value(), b.has_value())
+        << cs.rows << "x" << cs.cols << " table " << cs.target.word(0);
+    if (!a) continue;
+    EXPECT_TRUE(realizes(*a, cs.target));
+    for (int r = 0; r < cs.rows; ++r) {
+      for (int c = 0; c < cs.cols; ++c) {
+        EXPECT_EQ(a->at(r, c), b->at(r, c))
+            << "cell (" << r << "," << c << ") differs for " << cs.rows << "x"
+            << cs.cols;
+      }
+    }
+  }
+}
+
 TEST(LocalSearch, FindsXor2Quickly) {
   const TruthTable xor2 = TruthTable::from_bits(2, 0b0110);
   SearchOptions options;
