@@ -1,0 +1,206 @@
+// Cost of certification: the CEGAR synthesis family run twice — once plain,
+// once with DRAT logging plus the embedded backward-RUP check on every
+// infeasibility — so the proof machinery's overhead is a measured number,
+// not a guess.
+//
+// Built-in gates decide the exit code:
+//  - verdict parity: certification must never change feasible/infeasible;
+//  - every UNSAT verdict under --certify must carry a proof that the
+//    embedded checker accepts (proof_checked && proof_valid);
+//  - overhead: per row, certified wall-clock <= 2x the plain run plus a
+//    fixed slack (short runs are timer noise, the slack absorbs it).
+//
+//   bench_sat_proof [out.json] [--quick]
+//
+// --quick drops the slowest rows (6-variable wall, 8-variable headline) so
+// the CI smoke finishes in seconds; every gate still runs on what remains.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ftl/lattice/function.hpp"
+#include "ftl/lattice/lattice.hpp"
+#include "ftl/lattice/synthesis.hpp"
+#include "ftl/logic/truth_table.hpp"
+#include "ftl/util/table.hpp"
+
+namespace {
+
+using ftl::lattice::SatSynthesisOptions;
+using ftl::lattice::SatSynthesisResult;
+using ftl::logic::TruthTable;
+using Clock = std::chrono::steady_clock;
+
+// Timer noise floor: sub-10ms rows can "double" on scheduler jitter alone.
+constexpr double kOverheadFactor = 2.0;
+constexpr double kOverheadSlackS = 0.25;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TruthTable parity(int num_vars) {
+  return TruthTable::from_function(num_vars, [](std::uint64_t m) {
+    return (__builtin_popcountll(m) & 1) != 0;
+  });
+}
+
+TruthTable majority3() {
+  return TruthTable::from_function(
+      3, [](std::uint64_t m) { return __builtin_popcountll(m) >= 2; });
+}
+
+/// OR of adjacent-variable ANDs: x0 x1 + x2 x3 + ... over `num_vars` vars.
+TruthTable pairwise_or(int num_vars) {
+  return TruthTable::from_function(num_vars, [num_vars](std::uint64_t m) {
+    for (int v = 0; v + 1 < num_vars; v += 2) {
+      if (((m >> v) & 1) != 0 && ((m >> (v + 1)) & 1) != 0) return true;
+    }
+    return false;
+  });
+}
+
+struct ProofRow {
+  std::string name;
+  double plain_s = 0.0;
+  double certified_s = 0.0;
+  double proof_check_ms = 0.0;
+  std::uint64_t learned_clauses = 0;
+  bool found = false;
+  bool infeasible = false;
+  bool proof_valid = false;
+  bool ok = true;
+};
+
+ProofRow run_row(const std::string& name, const TruthTable& target, int rows,
+                 int cols) {
+  ProofRow row;
+  row.name = name;
+
+  auto start = Clock::now();
+  const SatSynthesisResult plain =
+      ftl::lattice::synth_sat(target, rows, cols);
+  row.plain_s = seconds_since(start);
+
+  SatSynthesisOptions options;
+  options.certify = true;
+  start = Clock::now();
+  const SatSynthesisResult certified =
+      ftl::lattice::synth_sat(target, rows, cols, options);
+  row.certified_s = seconds_since(start);
+
+  row.found = certified.lattice.has_value();
+  row.infeasible = certified.proven_infeasible;
+  row.proof_valid = certified.proof_valid;
+  row.proof_check_ms = certified.proof_check_ms;
+  row.learned_clauses = certified.solver.learned_clauses;
+
+  if (plain.lattice.has_value() != certified.lattice.has_value() ||
+      plain.proven_infeasible != certified.proven_infeasible) {
+    std::fprintf(stderr, "FAIL: %s: certification changed the verdict\n",
+                 name.c_str());
+    row.ok = false;
+  }
+  if (certified.lattice &&
+      !ftl::lattice::realizes(*certified.lattice, target)) {
+    std::fprintf(stderr, "FAIL: %s: certified lattice does not realize\n",
+                 name.c_str());
+    row.ok = false;
+  }
+  if (certified.proven_infeasible &&
+      !(certified.proof_checked && certified.proof_valid)) {
+    std::fprintf(stderr, "FAIL: %s: UNSAT verdict without a valid proof\n",
+                 name.c_str());
+    row.ok = false;
+  }
+  if (row.certified_s >
+      kOverheadFactor * row.plain_s + kOverheadSlackS) {
+    std::fprintf(stderr,
+                 "FAIL: %s: certified %.3fs exceeds %.0fx plain %.3fs + %.2fs\n",
+                 name.c_str(), row.certified_s, kOverheadFactor, row.plain_s,
+                 kOverheadSlackS);
+    row.ok = false;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr9.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  // Feasible and infeasible rows in one family: the UNSAT rows are where
+  // the checker actually runs (a found lattice is its own certificate).
+  std::vector<ProofRow> rows;
+  rows.push_back(run_row("maj3 2x2 (UNSAT)", majority3(), 2, 2));
+  rows.push_back(run_row("xor3 2x2 (UNSAT)", parity(3), 2, 2));
+  rows.push_back(run_row("xor3 2x3 (UNSAT)", parity(3), 2, 3));
+  rows.push_back(run_row("maj3 2x3", majority3(), 2, 3));
+  rows.push_back(run_row("xor3 3x3", parity(3), 3, 3));
+  rows.push_back(run_row("2x2-or 2x3", pairwise_or(4), 2, 3));
+  if (!quick) {
+    rows.push_back(run_row("3x2x2-or 4x5 (6var)", pairwise_or(6), 4, 5));
+    rows.push_back(run_row("4x2x2-or 5x5 (8var)", pairwise_or(8), 5, 5));
+  }
+
+  bool ok = true;
+  for (const ProofRow& row : rows) ok = ok && row.ok;
+
+  const auto fmt = [](const char* spec, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, spec, value);
+    return std::string(buf);
+  };
+  ftl::util::ConsoleTable table(
+      {"target", "plain", "certified", "check", "verdict"});
+  for (const ProofRow& row : rows) {
+    table.add_row(
+        {row.name, fmt("%.1f ms", row.plain_s * 1e3),
+         fmt("%.1f ms", row.certified_s * 1e3),
+         row.infeasible ? fmt("%.2f ms", row.proof_check_ms) : "-",
+         row.found ? "found"
+                   : (row.infeasible
+                          ? (row.proof_valid ? "UNSAT (proof checked)"
+                                             : "UNSAT (PROOF INVALID)")
+                          : "?")});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  file << "{\"bench\":\"sat_proof\",\"quick\":" << (quick ? "true" : "false")
+       << ",\"overhead_gate\":{\"factor\":" << kOverheadFactor
+       << ",\"slack_s\":" << kOverheadSlackS << "},\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProofRow& row = rows[i];
+    if (i != 0) file << ",";
+    file << "{\"target\":\"" << row.name << "\""
+         << ",\"plain_ms\":" << row.plain_s * 1e3
+         << ",\"certified_ms\":" << row.certified_s * 1e3
+         << ",\"found\":" << (row.found ? "true" : "false")
+         << ",\"infeasible\":" << (row.infeasible ? "true" : "false")
+         << ",\"proof_valid\":" << (row.proof_valid ? "true" : "false")
+         << ",\"proof_check_ms\":" << row.proof_check_ms
+         << ",\"learned_clauses\":" << row.learned_clauses << "}";
+  }
+  file << "]}" << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return ok ? 0 : 1;
+}

@@ -3,22 +3,29 @@
 //
 //   ftl_lattice_lib build  LIB_DIR [--sat] [--no-curated] [--seed S]
 //   ftl_lattice_lib stats  LIB_DIR
-//   ftl_lattice_lib verify LIB_DIR
+//   ftl_lattice_lib verify LIB_DIR [--certify] [--sample N] [--conflicts C]
 //   ftl_lattice_lib lookup LIB_DIR "a b + c d" [--vars a,b,c,d]
 //
 // `build` precomputes every 4-variable NPN class (plus the curated 5-6
 // variable set) through the synthesis engines; `verify` re-checks every
 // stored lattice against its class table and exits non-zero on any
 // mismatch, so a library directory can be audited after manual edits or
-// partial writes.
+// partial writes. With --certify, each audited entry is additionally proven
+// correct by a DRAT-checked SAT equivalence AND shape-minimal by walking
+// the precompute ladder with certified infeasibility at every smaller
+// shape; entries that pass get their `certified` bit stamped into the
+// on-disk record. Budget exhaustion leaves an entry unproven (not an
+// error); a rejected proof is an error.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "ftl/check/equivalence.hpp"
 #include "ftl/jobs/digest.hpp"
 #include "ftl/lattice/function.hpp"
+#include "ftl/lattice/synthesis.hpp"
 #include "ftl/library/npn.hpp"
 #include "ftl/library/precompute.hpp"
 #include "ftl/library/store.hpp"
@@ -36,8 +43,11 @@ void print_usage() {
       "         precompute NPN classes into the library (idempotent)\n"
       "  stats  LIB_DIR\n"
       "         class/entry counts and per-engine provenance\n"
-      "  verify LIB_DIR\n"
-      "         re-verify every stored lattice; exit 1 on any mismatch\n"
+      "  verify LIB_DIR [--certify] [--sample N] [--conflicts C]\n"
+      "         re-verify every stored lattice; exit 1 on any mismatch.\n"
+      "         --certify: prove correctness (DRAT-checked SAT equivalence)\n"
+      "         and shape-minimality per entry, stamping the certified bit;\n"
+      "         --sample N certifies only the first N entries (key order)\n"
       "  lookup LIB_DIR EXPR [--vars a,b,c]\n"
       "         resolve EXPR through the library (no engine fallback)\n");
 }
@@ -105,9 +115,93 @@ int cmd_stats(ftl::library::LatticeLibrary& lib) {
   return 0;
 }
 
-int cmd_verify(ftl::library::LatticeLibrary& lib) {
+/// One entry's --certify audit: DRAT-checked SAT equivalence, then the
+/// precompute shape ladder with certified infeasibility at every strictly
+/// smaller shape. Outcomes are disjoint; exactly one counter is bumped.
+struct CertifyTally {
+  std::size_t stamped = 0;      ///< proven correct + minimal, bit written
+  std::size_t unproven = 0;     ///< a budget ran out somewhere; no stamp
+  std::size_t improvable = 0;   ///< a smaller shape realizes the class
+  std::size_t proof_failures = 0;  ///< some UNSAT failed the DRAT checker
+};
+
+void certify_entry(ftl::library::LatticeLibrary& lib, std::uint64_t key,
+                   bool complement, const ftl::library::LibraryEntry& entry,
+                   const ftl::logic::TruthTable& want, std::int64_t conflicts,
+                   CertifyTally& tally) {
+  const char* phase = complement ? "complement" : "direct";
+  // Correctness: the SAT miter, with every UNSAT answer checker-approved.
+  const ftl::check::EquivalenceVerdict equivalence =
+      ftl::check::verify_equivalence_sat(entry.lattice, want,
+                                         /*certify=*/true);
+  if (!equivalence.realizes || !equivalence.certified) {
+    std::printf("PROOF-FAIL %s (%s): equivalence %s\n",
+                ftl::jobs::digest_hex(key).c_str(), phase,
+                equivalence.realizes ? "proof rejected by the DRAT checker"
+                                     : "refuted by the SAT miter");
+    ++tally.proof_failures;
+    return;
+  }
+  // Minimality: every shape with fewer cells must be proven infeasible,
+  // walking the same ladder the precompute pass minimizes along.
+  bool proven = true;
+  for (int cells = 1; cells < entry.lattice.cell_count() && proven; ++cells) {
+    for (const auto& [rows, cols] : ftl::library::shapes_with_cells(cells)) {
+      ftl::lattice::SatSynthesisOptions sat;
+      sat.certify = true;
+      sat.max_conflicts = conflicts;
+      const ftl::lattice::SatSynthesisResult result =
+          ftl::lattice::synth_sat(want, rows, cols, sat);
+      if (result.lattice.has_value()) {
+        std::printf("IMPROVABLE %s (%s): a %dx%d lattice realizes the class\n",
+                    ftl::jobs::digest_hex(key).c_str(), phase, rows, cols);
+        ++tally.improvable;
+        return;
+      }
+      if (result.proven_infeasible) {
+        if (!result.proof_valid) {
+          std::printf(
+              "PROOF-FAIL %s (%s): %dx%d infeasibility rejected by the DRAT "
+              "checker\n",
+              ftl::jobs::digest_hex(key).c_str(), phase, rows, cols);
+          ++tally.proof_failures;
+          return;
+        }
+      } else {
+        proven = false;  // budget exhausted: minimality stays open
+        break;
+      }
+    }
+  }
+  if (!proven) {
+    ++tally.unproven;
+    return;
+  }
+  lib.stamp_certified(key, complement, true);
+  ++tally.stamped;
+}
+
+int cmd_verify(ftl::library::LatticeLibrary& lib, int argc, char** argv) {
+  bool certify = false;
+  std::size_t sample = 0;
+  std::int64_t conflicts = 50'000;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--certify") == 0) {
+      certify = true;
+    } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+      sample = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--conflicts") == 0 && i + 1 < argc) {
+      conflicts = static_cast<std::int64_t>(
+          std::strtoll(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "ftl_lattice_lib: unknown verify option %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
   lib.load_all();
-  std::size_t checked = 0, bad = 0;
+  std::size_t checked = 0, bad = 0, audited = 0;
+  CertifyTally tally;
   for (const auto& [key, cls] : lib.snapshot()) {
     if (ftl::library::npn_key(cls.canonical) != key) {
       std::printf("BAD %s: key does not match stored canonical table\n",
@@ -126,11 +220,23 @@ int cmd_verify(ftl::library::LatticeLibrary& lib) {
                     ftl::jobs::digest_hex(key).c_str(),
                     complement ? "complement" : "direct");
         ++bad;
+        continue;
       }
+      if (!certify || cls.canonical.num_vars() < 1) continue;
+      if (sample != 0 && audited >= sample) continue;
+      ++audited;
+      certify_entry(lib, key, complement, *slot, want, conflicts, tally);
     }
   }
   std::printf("verified %zu entries, %zu bad\n", checked, bad);
-  return bad == 0 ? 0 : 1;
+  if (certify) {
+    std::printf(
+        "certified %zu of %zu audited (%zu unproven by budget, %zu "
+        "improvable, %zu proof failures)\n",
+        tally.stamped, audited, tally.unproven, tally.improvable,
+        tally.proof_failures);
+  }
+  return bad == 0 && tally.proof_failures == 0 ? 0 : 1;
 }
 
 int cmd_lookup(ftl::library::LatticeLibrary& lib, const std::string& expr,
@@ -175,7 +281,7 @@ int main(int argc, char** argv) {
     ftl::library::LatticeLibrary lib((std::string(argv[2])));
     if (command == "build") return cmd_build(lib, argc - 3, argv + 3);
     if (command == "stats") return cmd_stats(lib);
-    if (command == "verify") return cmd_verify(lib);
+    if (command == "verify") return cmd_verify(lib, argc - 3, argv + 3);
     if (command == "lookup") {
       if (argc < 4) {
         std::fprintf(stderr, "ftl_lattice_lib: lookup needs an expression\n");

@@ -27,6 +27,7 @@
 
 #include "ftl/check/equivalence.hpp"
 #include "ftl/check/lattice.hpp"
+#include "ftl/check/lattice_sat.hpp"
 #include "ftl/check/netlist.hpp"
 #include "ftl/logic/expr_parser.hpp"
 #include "ftl/serve/service.hpp"
@@ -39,6 +40,9 @@ void print_usage() {
       "usage: ftl_lint [options] <file|-> [more files...]\n"
       "  --lattice      inputs are lattice-spec JSON, not netlists\n"
       "  --equiv B      equivalence backend: 'auto' (default), 'bdd', 'sat'\n"
+      "  --certify      (lattice mode) machine-check every UNSAT verdict\n"
+      "                 with the embedded DRAT checker and run the certified\n"
+      "                 SAT audits (FTL-L006/7/8); output gains a proof field\n"
       "  --format F     'text' (default) or 'json'\n"
       "  --quiet        suppress per-diagnostic output, keep exit code\n"
       "exit code: 0 clean, 1 warnings, 2 errors\n");
@@ -62,6 +66,11 @@ ftl::check::Report lint_lattice_spec(const std::string& text,
   const ftl::serve::JsonValue spec = ftl::serve::JsonValue::parse(text);
   const ftl::serve::LatticeSpec parsed = ftl::serve::lattice_spec_from(spec);
   ftl::check::Report report = ftl::check::check_lattice(parsed.lat);
+  if (equiv.certify) {
+    ftl::check::LatticeSatAuditOptions audit;
+    audit.certify = true;
+    report.merge(ftl::check::audit_lattice_sat(parsed.lat, audit).report);
+  }
   std::optional<ftl::logic::TruthTable> target = parsed.target;
   if (const ftl::serve::JsonValue* t = spec.find("target")) {
     target = ftl::logic::parse_expression(t->as_string(),
@@ -72,6 +81,13 @@ ftl::check::Report lint_lattice_spec(const std::string& text,
     report.merge(ftl::check::check_equivalence(parsed.lat, *target, equiv));
   }
   return report;
+}
+
+bool has_rule(const ftl::check::Report& report, const char* rule) {
+  for (const ftl::check::Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -92,6 +108,8 @@ int main(int argc, char** argv) {
       lattice_mode = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--certify") == 0) {
+      equiv.certify = true;
     } else if (std::strcmp(arg, "--equiv") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "ftl_lint: --equiv needs a value\n");
@@ -147,11 +165,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ftl_lint: %s: %s\n", path.c_str(), e.what());
       return 2;
     }
+    // Under --certify the output states the proof status explicitly: every
+    // UNSAT behind the verdicts passed the embedded DRAT checker
+    // ("checked") or at least one was rejected ("failed", FTL-E003).
+    const bool proof_failed =
+        equiv.certify && lattice_mode && has_rule(report, "FTL-E003");
     if (json_format) {
-      std::printf("%s\n", report.render_json().c_str());
+      std::string json = report.render_json();
+      if (equiv.certify && lattice_mode) {
+        json.insert(1, std::string("\"proof\":\"") +
+                           (proof_failed ? "failed" : "checked") + "\",");
+      }
+      std::printf("%s\n", json.c_str());
     } else if (!quiet) {
       if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
       std::printf("%s", report.render_text().c_str());
+      if (equiv.certify && lattice_mode) {
+        std::printf("proof: %s\n", proof_failed ? "failed" : "checked");
+      }
     }
     if (!report.ok()) {
       exit_code = 2;

@@ -23,8 +23,13 @@
 //   FTL-L003  error    cell literal references an out-of-range variable
 //   FTL-L004  note     row/column removable without changing the function
 //   FTL-L005  note     lattice realizes a constant function
+//   FTL-L006  note     row/column removable, SAT-certified (UNSAT-core cells)
+//   FTL-L007  warning  switch can never conduct, SAT-certified
+//   FTL-L008  note     a smaller lattice realizes the same function
+//   FTL-L009  note     semantic analysis skipped / routed to SAT audits
 //   FTL-E001  error    mapping does not realize the target (counterexample)
 //   FTL-E002  error    mapping/target variable-count mismatch
+//   FTL-E003  error    UNSAT verdict failed the embedded DRAT proof checker
 
 #include <string>
 #include <vector>

@@ -8,6 +8,7 @@
 #include "ftl/logic/bdd.hpp"
 #include "ftl/logic/isop.hpp"
 #include "ftl/sat/encode.hpp"
+#include "ftl/sat/proof.hpp"
 #include "ftl/sat/solver.hpp"
 #include "ftl/util/error.hpp"
 
@@ -157,14 +158,30 @@ std::uint64_t model_minterm(const sat::Solver& solver, int num_vars) {
 }  // namespace
 
 EquivalenceVerdict verify_equivalence_sat(const Lattice& lat,
-                                         const logic::TruthTable& target) {
+                                         const logic::TruthTable& target,
+                                         bool certify) {
   FTL_EXPECTS(lat.num_vars() == target.num_vars());
   const int nv = lat.num_vars();
+  sat::SolverOptions solver_options;
+  solver_options.certify = certify;
   EquivalenceVerdict verdict;
+  bool proofs_ok = true;
+  // Certification outcome of one UNSAT query: the solver auto-checked its
+  // proof; a missing or rejected check poisons the `certified` bit.
+  const auto note_unsat = [&](const sat::Solver& solver) {
+    if (!certify) return;
+    const sat::DratCheckResult* check = solver.last_proof_check();
+    if (check == nullptr || !check->valid) {
+      proofs_ok = false;
+    } else {
+      verdict.proof_check_ms += check->check_ms;
+    }
+  };
   if (nv == 0) {
     const bool got = lat.evaluate(0);
     if (got == target.get(0)) {
       verdict.realizes = true;
+      verdict.certified = certify;  // no solver involved: vacuously checked
     } else {
       verdict.counterexample = 0;
       verdict.lattice_value = got;
@@ -174,7 +191,7 @@ EquivalenceVerdict verify_equivalence_sat(const Lattice& lat,
 
   // Query A: lattice connected while the target is 0.
   if (!target.is_one()) {
-    sat::Solver solver;
+    sat::Solver solver(solver_options);
     for (int v = 0; v < nv; ++v) solver.new_var();
     sat::encode_path_exists(solver, lat.rows(), lat.cols(),
                             cell_on_literals(solver, lat));
@@ -184,11 +201,12 @@ EquivalenceVerdict verify_equivalence_sat(const Lattice& lat,
       verdict.lattice_value = true;
       return verdict;
     }
+    note_unsat(solver);
   }
 
   // Query B: lattice disconnected while the target is 1.
   if (!target.is_zero()) {
-    sat::Solver solver;
+    sat::Solver solver(solver_options);
     for (int v = 0; v < nv; ++v) solver.new_var();
     sat::encode_path_absent(solver, lat.rows(), lat.cols(),
                             cell_on_literals(solver, lat));
@@ -198,19 +216,21 @@ EquivalenceVerdict verify_equivalence_sat(const Lattice& lat,
       verdict.lattice_value = false;
       return verdict;
     }
+    note_unsat(solver);
   }
 
   verdict.realizes = true;
+  verdict.certified = certify && proofs_ok;
   return verdict;
 }
 
 EquivalenceVerdict verify_equivalence(const Lattice& lat,
                                       const logic::TruthTable& target,
                                       const EquivalenceOptions& options) {
-  if (options.backend == EquivalenceOptions::Backend::kSat ||
+  if (options.certify || options.backend == EquivalenceOptions::Backend::kSat ||
       (options.backend == EquivalenceOptions::Backend::kAuto &&
        lat.num_vars() > options.sat_fallback_vars)) {
-    return verify_equivalence_sat(lat, target);
+    return verify_equivalence_sat(lat, target, options.certify);
   }
   BddManager mgr(lat.num_vars());
   const BddRef f = lattice_bdd(mgr, lat, options);
@@ -238,7 +258,14 @@ Report check_equivalence(const Lattice& lat, const logic::TruthTable& target,
     return report;
   }
   const EquivalenceVerdict verdict = verify_equivalence(lat, target, options);
-  if (verdict.realizes) return report;
+  if (verdict.realizes) {
+    if (options.certify && !verdict.certified) {
+      report.add("FTL-E003", Severity::kError, "lattice",
+                 "equivalence holds but its UNSAT proof failed the embedded "
+                 "DRAT checker; the verdict is unverified");
+    }
+    return report;
+  }
   const std::uint64_t minterm = *verdict.counterexample;
   report.add("FTL-E001", Severity::kError, "lattice",
              "lattice does not realize the target function: at " +

@@ -29,6 +29,13 @@ struct EquivalenceOptions {
   enum class Backend { kAuto, kBdd, kSat };
   Backend backend = Backend::kAuto;
   int sat_fallback_vars = 20;  ///< kAuto switches to SAT above this
+
+  /// Certify: force the SAT backend, log DRAT proofs, and run the embedded
+  /// DratChecker on each UNSAT miter query, so an "equivalent" verdict is
+  /// machine-checked instead of trusted from the CDCL core. The verdict's
+  /// `certified` bit reports the checker outcome; check_equivalence turns a
+  /// failed check into FTL-E003.
+  bool certify = false;
 };
 
 struct EquivalenceVerdict {
@@ -37,6 +44,11 @@ struct EquivalenceVerdict {
   /// the lattice and the target disagree.
   std::optional<std::uint64_t> counterexample;
   bool lattice_value = false;  ///< lattice output at the counterexample
+
+  /// With EquivalenceOptions::certify and realizes: true when every UNSAT
+  /// miter query's DRAT proof passed the embedded checker.
+  bool certified = false;
+  double proof_check_ms = 0.0;  ///< total checker wall-clock
 };
 
 /// Decides whether `lat` realizes exactly `target`. Requires matching
@@ -52,8 +64,11 @@ EquivalenceVerdict verify_equivalence(const lattice::Lattice& lat,
 /// it disconnected while the target is 1". Both UNSAT proves equivalence;
 /// either model is a genuine counterexample minterm read off the input
 /// variables. Never builds a BDD, so it scales past BDD-friendly sizes.
+/// With `certify`, each query logs a DRAT proof and each UNSAT answer is
+/// validated by the embedded checker (see EquivalenceVerdict::certified).
 EquivalenceVerdict verify_equivalence_sat(const lattice::Lattice& lat,
-                                          const logic::TruthTable& target);
+                                          const logic::TruthTable& target,
+                                          bool certify = false);
 
 /// Report wrapper: FTL-E002 on variable-count mismatch, FTL-E001 with the
 /// counterexample assignment spelled out (variable names when the lattice

@@ -1,5 +1,6 @@
 #include "ftl/check/lattice.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <string>
 #include <vector>
@@ -137,7 +138,22 @@ Report check_lattice(const Lattice& lat, const LatticeCheckOptions& options) {
     }
   }
 
-  // Semantic passes need a well-formed, evaluable lattice.
+  // Semantic passes need a well-formed, evaluable lattice. When the only
+  // obstacle is the variable count, say so (FTL-L009) instead of returning
+  // a misleadingly clean report: the re-realization passes are capped at
+  // max_semantic_vars, and past that wall the SAT audits (FTL-L006/7/8,
+  // check::audit_lattice_sat) are the instrument that still works.
+  if (options.semantic && literals_ok && rows > 0 && cols > 0 &&
+      (num_vars > options.max_semantic_vars ||
+       num_vars > logic::TruthTable::kMaxVars)) {
+    report.add("FTL-L009", Severity::kNote, "lattice",
+               "semantic passes (constant/removable-row analysis) not run: " +
+                   std::to_string(num_vars) + " variables exceed the " +
+                   std::to_string(std::min<int>(options.max_semantic_vars,
+                                                logic::TruthTable::kMaxVars)) +
+                   "-variable re-realization budget; use the SAT-backed "
+                   "audits (--certify) for certified findings at this size");
+  }
   if (!options.semantic || !literals_ok || rows == 0 || cols == 0 ||
       num_vars > options.max_semantic_vars ||
       num_vars > logic::TruthTable::kMaxVars) {

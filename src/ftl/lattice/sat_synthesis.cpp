@@ -18,6 +18,7 @@
 #include "ftl/lattice/function.hpp"
 #include "ftl/lattice/synthesis.hpp"
 #include "ftl/sat/encode.hpp"
+#include "ftl/sat/proof.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::lattice {
@@ -35,9 +36,11 @@ SatSynthesisResult synth_sat(const logic::TruthTable& target, int rows,
 
   sat::SolverOptions solver_options;
   solver_options.seed = options.seed;
+  solver_options.certify = options.certify;
   sat::Solver solver(solver_options);
   sat::LatticeSynthesisCnf cnf(solver, rows, cols, nv,
                                options.allow_constants);
+  if (options.symmetry_break) cnf.add_symmetry_breaking();
   const std::vector<CellValue> choices =
       search_candidate_values(nv, options.allow_constants);
 
@@ -68,6 +71,15 @@ SatSynthesisResult synth_sat(const logic::TruthTable& target, int rows,
     sat::detail::count_cegar_round();
     if (verdict == sat::LBool::kFalse) {
       result.proven_infeasible = true;
+      // The solver auto-checked its DRAT proof on the UNSAT exit (certify);
+      // surface the outcome so callers can distinguish "proved infeasible"
+      // from "proved infeasible, and the proof was machine-checked".
+      if (options.certify) {
+        const sat::DratCheckResult* check = solver.last_proof_check();
+        result.proof_checked = check != nullptr;
+        result.proof_valid = check != nullptr && check->valid;
+        if (check != nullptr) result.proof_check_ms = check->check_ms;
+      }
       break;
     }
     if (verdict == sat::LBool::kUndef) {

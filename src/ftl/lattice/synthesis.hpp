@@ -124,6 +124,15 @@ struct SatSynthesisOptions {
   /// Counterexample minterms added per refinement round. More per round
   /// means fewer rounds but larger formulas; 4 is a good middle.
   int counterexamples_per_round = 4;
+  /// Lex-leader symmetry breaking over the lattice's row/column reflection
+  /// automorphisms, inside the CNF (the selector-layer analogue of
+  /// SearchOptions::symmetry_skip; see
+  /// LatticeSynthesisCnf::add_symmetry_breaking). Sound for any target —
+  /// reflections preserve the realized function — and on by default.
+  bool symmetry_break = true;
+  /// Log a DRAT proof and validate any infeasibility verdict with the
+  /// embedded checker; the outcome lands in proof_checked / proof_valid.
+  bool certify = false;
 };
 
 struct SatSynthesisResult {
@@ -139,6 +148,14 @@ struct SatSynthesisResult {
   int care_minterms = 0;   ///< minterms constrained when the loop stopped
   std::uint64_t seed = 1;  ///< decision seed used (from the options)
   sat::SolveStats solver;  ///< conflicts/decisions/propagations/restarts
+
+  /// Certification of the infeasibility verdict (certify only): the final
+  /// UNSAT's DRAT proof was run through the embedded checker, and whether
+  /// it was accepted. A found lattice needs no proof — it is re-verified
+  /// against the target by the bitslice kernel before being handed out.
+  bool proof_checked = false;
+  bool proof_valid = false;
+  double proof_check_ms = 0.0;  ///< checker wall-clock
 };
 
 /// CEGAR lattice synthesis on the embedded CDCL solver: encode realization

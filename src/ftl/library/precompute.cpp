@@ -25,17 +25,6 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-/// All shapes with exactly `cells` cells, rows ascending. Both orientations
-/// are distinct candidates: top-bottom connectivity is not transpose-
-/// symmetric, so a 2×3 solution says nothing about 3×2.
-std::vector<std::pair<int, int>> shapes_with_cells(int cells) {
-  std::vector<std::pair<int, int>> out;
-  for (int rows = 1; rows <= cells; ++rows) {
-    if (cells % rows == 0) out.emplace_back(rows, cells / rows);
-  }
-  return out;
-}
-
 /// CEGAR-SAT minimization ladder for one phase slot: try every shape with
 /// fewer cells than the incumbent, smallest first, and keep the first
 /// realization found (ascending order makes it the ladder's best).
@@ -76,6 +65,14 @@ void minimize_slot(LatticeLibrary& lib, std::uint64_t key,
 }
 
 }  // namespace
+
+std::vector<std::pair<int, int>> shapes_with_cells(int cells) {
+  std::vector<std::pair<int, int>> out;
+  for (int rows = 1; rows <= cells; ++rows) {
+    if (cells % rows == 0) out.emplace_back(rows, cells / rows);
+  }
+  return out;
+}
 
 std::vector<logic::TruthTable> npn_class_representatives(int num_vars) {
   FTL_EXPECTS(num_vars >= 0 && num_vars <= 4);

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ftl/library/store.hpp"
@@ -31,6 +32,13 @@ std::vector<logic::TruthTable> npn_class_representatives(int num_vars);
 /// canonical representatives, deduplicated by class.
 std::vector<logic::TruthTable> curated_targets(std::uint64_t seed,
                                                int randoms_per_size = 8);
+
+/// All (rows, cols) shapes with exactly `cells` cells, rows ascending. Both
+/// orientations are distinct candidates — top-bottom connectivity is not
+/// transpose-symmetric, so a 2×3 answer says nothing about 3×2. Shared by
+/// the precompute minimization ladder and the CLI's --certify minimality
+/// audit, which must walk the identical ladder to certify its result.
+std::vector<std::pair<int, int>> shapes_with_cells(int cells);
 
 struct PrecomputeOptions {
   enum class Effort {

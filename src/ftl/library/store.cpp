@@ -78,6 +78,7 @@ void encode_entry(jobs::Artifact& a, const char* prefix, bool phase,
   a.scalars[p + "_rows"] = entry.lattice.rows();
   a.scalars[p + "_cols"] = entry.lattice.cols();
   a.scalars[p + "_cost_ms"] = entry.cost_ms;
+  a.scalars[p + "_certified"] = entry.certified ? 1.0 : 0.0;
   a.add_row({phase ? 1.0 : 0.0, static_cast<double>(entry.lattice.rows()),
              static_cast<double>(entry.lattice.cols()),
              static_cast<double>(entry.lattice.cell_count())});
@@ -98,6 +99,7 @@ std::optional<LibraryEntry> decode_entry(const jobs::Artifact& a,
   entry.engine = a.note(p + "_engine");
   entry.seed = std::stoull(a.note(p + "_seed"), nullptr, 16);
   entry.cost_ms = a.scalar_or(p + "_cost_ms", 0.0);
+  entry.certified = a.scalar_or(p + "_certified", 0.0) != 0.0;
   return entry;
 }
 
@@ -225,6 +227,27 @@ bool LatticeLibrary::insert(std::uint64_t key,
     counters_.improvements.fetch_add(1, std::memory_order_relaxed);
   } else {
     counters_.populates.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (cache_) {
+    cache_->store(kJobName, key, class_to_artifact(to_store));
+    counters_.disk_stores.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool LatticeLibrary::stamp_certified(std::uint64_t key, bool complement,
+                                     bool certified) {
+  LibraryClass to_store;
+  {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.classes.find(key);
+    if (it == shard.classes.end()) return false;
+    std::optional<LibraryEntry>& slot = slot_of(it->second, complement);
+    if (!slot) return false;
+    if (slot->certified == certified) return true;
+    slot->certified = certified;
+    to_store = it->second;
   }
   if (cache_) {
     cache_->store(kJobName, key, class_to_artifact(to_store));

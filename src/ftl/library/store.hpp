@@ -36,6 +36,12 @@ struct LibraryEntry {
   std::string engine;     ///< "altun", "exhaustive", "search", "sat", ...
   std::uint64_t seed = 0;
   double cost_ms = 0;     ///< wall-clock cost of the search that found it
+  /// Stamped by `ftl_lattice_lib verify --certify`: the entry passed a
+  /// proof-checked SAT equivalence AND every smaller shape was proven
+  /// infeasible with a checker-accepted DRAT proof (shape-minimality).
+  /// Reset whenever a smaller lattice replaces the entry — the certificate
+  /// belongs to the lattice, not the class.
+  bool certified = false;
 };
 
 /// Everything stored for one NPN class. `direct` realizes the canonical
@@ -103,6 +109,11 @@ class LatticeLibrary {
   /// `key`; callers are responsible for having verified the lattice.
   bool insert(std::uint64_t key, const logic::TruthTable& canonical,
               bool complement, LibraryEntry entry);
+
+  /// Flips the certified bit on an existing phase slot and rewrites the
+  /// class record to disk. Returns false when the slot is empty (nothing to
+  /// stamp); a no-op stamp (bit already equal) skips the disk write.
+  bool stamp_certified(std::uint64_t key, bool complement, bool certified);
 
   /// Loads every on-disk class record into memory (CLI inspection /
   /// verification). Returns the number of classes now indexed.

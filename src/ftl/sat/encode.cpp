@@ -108,6 +108,78 @@ void encode_path_absent(Solver& solver, int rows, int cols,
   }
 }
 
+std::vector<Lit> encode_reach_exact(Solver& solver, int rows, int cols,
+                                    const std::vector<Lit>& on,
+                                    bool from_top) {
+  FTL_EXPECTS(rows >= 1 && cols >= 1);
+  FTL_EXPECTS(on.size() == static_cast<std::size_t>(rows) * cols);
+  const int cells = rows * cols;
+  const int seed_row = from_top ? 0 : rows - 1;
+
+  // Layer 0: the seed boundary's conducting cells, everything else false.
+  std::vector<Lit> reach(static_cast<std::size_t>(cells));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto i = static_cast<std::size_t>(r * cols + c);
+      const Lit ri = Lit::of(solver.new_var());
+      if (r == seed_row) {
+        solver.add_clause({~ri, on[i]});
+        solver.add_clause({~on[i], ri});
+      } else {
+        solver.add_clause({~ri});
+      }
+      reach[i] = ri;
+    }
+  }
+
+  // BFS unrolling: R'[i] <-> on[i] & (R[i] | OR of 4-neighbor R[j]).
+  // Distances are < cells, so cells-1 expansion steps reach the fixpoint.
+  for (int step = 1; step < cells; ++step) {
+    std::vector<Lit> next(static_cast<std::size_t>(cells));
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const auto i = static_cast<std::size_t>(r * cols + c);
+        std::vector<Lit> sources{reach[i]};
+        for_each_neighbor4(rows, cols, r, c, [&](int j) {
+          sources.push_back(reach[static_cast<std::size_t>(j)]);
+        });
+        // o <-> OR(sources)
+        const Lit o = Lit::of(solver.new_var());
+        std::vector<Lit> any{~o};
+        for (const Lit s : sources) {
+          solver.add_clause({~s, o});
+          any.push_back(s);
+        }
+        solver.add_clause(std::move(any));
+        // next <-> on & o
+        const Lit ri = Lit::of(solver.new_var());
+        solver.add_clause({~ri, on[i]});
+        solver.add_clause({~ri, o});
+        solver.add_clause({~on[i], ~o, ri});
+        next[i] = ri;
+      }
+    }
+    reach = std::move(next);
+  }
+  return reach;
+}
+
+Lit encode_connected_exact(Solver& solver, int rows, int cols,
+                           const std::vector<Lit>& on) {
+  const std::vector<Lit> reach =
+      encode_reach_exact(solver, rows, cols, on, /*from_top=*/true);
+  if (cols == 1) return reach[static_cast<std::size_t>((rows - 1) * cols)];
+  const Lit connected = Lit::of(solver.new_var());
+  std::vector<Lit> any{~connected};
+  for (int c = 0; c < cols; ++c) {
+    const Lit b = reach[static_cast<std::size_t>((rows - 1) * cols + c)];
+    solver.add_clause({~b, connected});
+    any.push_back(b);
+  }
+  solver.add_clause(std::move(any));
+  return connected;
+}
+
 LatticeSynthesisCnf::LatticeSynthesisCnf(Solver& solver, int rows, int cols,
                                          int num_vars, bool allow_constants)
     : solver_(solver),
@@ -175,6 +247,61 @@ void LatticeSynthesisCnf::add_care_minterm(std::uint64_t assignment,
     encode_path_exists(solver_, rows_, cols_, on);
   } else {
     encode_path_absent(solver_, rows_, cols_, on);
+  }
+}
+
+void LatticeSynthesisCnf::add_symmetry_breaking() {
+  // X <=lex sigma(X) for each reflection generator, where X is the selector
+  // bit vector in (cell, choice) order and sigma permutes cells. The chain
+  // literal a_i means "the first i+1 compared bit pairs are all equal"; it
+  // must be iff-defined (one-directional definitions let a spurious
+  // a_i = true impose x_{i+1} <= y_{i+1} on unequal prefixes, which can
+  // remove ALL members of an orbit — unsound).
+  const int cells = rows_ * cols_;
+  const auto add_lex_leader = [&](auto&& image_of) {
+    Lit prev{-2};  // undefined = the empty prefix, vacuously equal
+    for (int cell = 0; cell < cells; ++cell) {
+      if (image_of(cell) == cell) continue;  // sigma-fixed: pair is equal
+      for (int choice = 0; choice < num_choices_; ++choice) {
+        const Lit x = sel(cell, choice);
+        const Lit y = sel(image_of(cell), choice);
+        // prefix equal -> x <= y  (false < true)
+        if (prev.defined()) {
+          solver_.add_clause({~prev, ~x, y});
+        } else {
+          solver_.add_clause({~x, y});
+        }
+        // a <-> prev & (x <-> y)
+        const Lit a = Lit::of(solver_.new_var());
+        if (prev.defined()) {
+          solver_.add_clause({~a, prev});
+          solver_.add_clause({~a, ~x, y});
+          solver_.add_clause({~a, x, ~y});
+          solver_.add_clause({~prev, ~x, ~y, a});
+          solver_.add_clause({~prev, x, y, a});
+        } else {
+          solver_.add_clause({~a, ~x, y});
+          solver_.add_clause({~a, x, ~y});
+          solver_.add_clause({~x, ~y, a});
+          solver_.add_clause({x, y, a});
+        }
+        prev = a;
+      }
+    }
+  };
+  if (rows_ > 1) {
+    add_lex_leader([&](int cell) {
+      const int r = cell / cols_;
+      const int c = cell % cols_;
+      return (rows_ - 1 - r) * cols_ + c;
+    });
+  }
+  if (cols_ > 1) {
+    add_lex_leader([&](int cell) {
+      const int r = cell / cols_;
+      const int c = cell % cols_;
+      return r * cols_ + (cols_ - 1 - c);
+    });
   }
 }
 

@@ -29,6 +29,24 @@ namespace ftl::sat {
 void encode_path_exists(Solver& solver, int rows, int cols,
                         const std::vector<Lit>& on);
 
+/// Exact layered reachability: returns one literal per cell (row-major)
+/// that is true IFF the cell conducts and a 4-connected path of conducting
+/// cells links it to the seed boundary (top row when `from_top`, bottom row
+/// otherwise). Unlike the forced-closure encodings above — whose auxiliary
+/// flags may be over-set in satisfying models — every returned literal is
+/// functionally determined by the `on` assignment (iff-defined BFS layers,
+/// unrolled to the grid diameter), so both SAT and UNSAT answers of queries
+/// over these literals are meaningful. Costs ~2·cells² auxiliary variables;
+/// meant for audits on one lattice, not inner synthesis loops.
+std::vector<Lit> encode_reach_exact(Solver& solver, int rows, int cols,
+                                    const std::vector<Lit>& on, bool from_top);
+
+/// Exact top-to-bottom connectivity: a literal true IFF some conducting
+/// path links the top row to the bottom row (iff-defined via
+/// encode_reach_exact). Suitable for miter constructions.
+Lit encode_connected_exact(Solver& solver, int rows, int cols,
+                           const std::vector<Lit>& on);
+
 /// Asserts that NO top-to-bottom path of conducting cells exists.
 /// Single-layer forced-closure encoding: clauses force a cell's
 /// reachability flag true whenever it conducts and a 4-neighbor (or the top
@@ -70,6 +88,17 @@ class LatticeSynthesisCnf {
   /// fresh on-literals are defined from the selectors under this minterm
   /// and fed to encode_path_exists / encode_path_absent.
   void add_care_minterm(std::uint64_t assignment, bool target_value);
+
+  /// Lex-leader symmetry breaking over the lattice's reflection
+  /// automorphisms (row flip, column flip — ROADMAP's CNF-level analogue of
+  /// the exhaustive engine's SearchOptions::symmetry_skip). Top-bottom
+  /// connectivity is invariant under both reflections for every cell
+  /// assignment, so each symmetry maps solutions to solutions for any
+  /// target and constraining the selector vector to be lexicographically
+  /// <= each reflected image keeps at least one representative per orbit.
+  /// Call once, before or between solve()s; composes with CEGAR refinement
+  /// because later care-minterm clauses are themselves symmetric.
+  void add_symmetry_breaking();
 
   /// Reads the chosen candidate index per cell (row-major) out of the
   /// solver's model after solve() returned kTrue.

@@ -1,0 +1,146 @@
+#pragma once
+// DRAT proof logging and checking for the embedded CDCL solver.
+//
+// Every UNSAT verdict the solver hands out can be backed by a clausal
+// proof: the sequence of input clauses it was given plus every clause it
+// learned (each of which is a reverse-unit-propagation consequence of the
+// clauses before it) and every learnt clause it later deleted. DratChecker
+// replays that log with its own watched-literal propagation — a few hundred
+// lines that share no search code with the solver — so a "proof checked"
+// verdict does not depend on the ~1.5k-line CDCL core being correct.
+//
+// The trusted-core boundary: the checker trusts only (a) the recorded input
+// clauses and (b) its own unit propagation. Derived clauses are verified
+// backward from the final clause with lazy marking (drat-trim style): only
+// clauses that actually feed the final conflict are RUP-checked, and the
+// marked input clauses double as an UNSAT core over the inputs.
+//
+// Proof sinks are pluggable: MemoryProof keeps the log in-process for
+// immediate checking; FileProofSink streams standard DRAT text ("d " for
+// deletions, literals in DIMACS signed form) for external checkers.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ftl/sat/solver.hpp"
+
+namespace ftl::sat {
+
+enum class ProofStep : std::uint8_t {
+  kInput,   ///< axiom: a clause handed to the solver (post-canonicalization)
+  kDerive,  ///< a clause the solver claims follows by RUP from what precedes
+  kDelete,  ///< a previously added clause leaves the active set
+};
+
+struct ProofRecord {
+  ProofStep step = ProofStep::kInput;
+  std::vector<Lit> lits;
+};
+
+/// Receives proof events from the solver in derivation order. Implementations
+/// must not call back into the emitting solver.
+class ProofSink {
+ public:
+  virtual ~ProofSink() = default;
+  virtual void on_input(const std::vector<Lit>& lits) = 0;
+  virtual void on_derive(const std::vector<Lit>& lits) = 0;
+  virtual void on_delete(const std::vector<Lit>& lits) = 0;
+};
+
+/// In-memory proof log, the input format of DratChecker.
+class MemoryProof : public ProofSink {
+ public:
+  void on_input(const std::vector<Lit>& lits) override;
+  void on_derive(const std::vector<Lit>& lits) override;
+  void on_delete(const std::vector<Lit>& lits) override;
+
+  const std::vector<ProofRecord>& records() const { return records_; }
+  std::vector<ProofRecord>& mutable_records() { return records_; }
+
+  std::size_t inputs() const { return inputs_; }
+  std::size_t derives() const { return derives_; }
+  std::size_t deletes() const { return deletes_; }
+
+ private:
+  std::vector<ProofRecord> records_;
+  std::size_t inputs_ = 0;
+  std::size_t derives_ = 0;
+  std::size_t deletes_ = 0;
+};
+
+/// Streams DRAT text. Derivations are plain DIMACS lines ("1 -3 0"),
+/// deletions are prefixed "d". Input clauses are written as "c i ..."
+/// comment lines so one file carries the whole checkable unit (standard
+/// DRAT tools ignore comments; parse_drat_file reads them back).
+class FileProofSink : public ProofSink {
+ public:
+  /// Opens `path` for writing; throws ftl::Error when that fails.
+  explicit FileProofSink(const std::string& path);
+  ~FileProofSink() override;
+
+  FileProofSink(const FileProofSink&) = delete;
+  FileProofSink& operator=(const FileProofSink&) = delete;
+
+  void on_input(const std::vector<Lit>& lits) override;
+  void on_derive(const std::vector<Lit>& lits) override;
+  void on_delete(const std::vector<Lit>& lits) override;
+
+  /// Flushes and closes; subsequent events are an error. Called by the
+  /// destructor when not already closed.
+  void close();
+
+ private:
+  void write_clause(const char* prefix, const std::vector<Lit>& lits);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Reads a proof written by FileProofSink back into records. Throws
+/// ftl::Error on malformed input — a truncated clause (no terminating 0),
+/// a bad token, or trailing garbage all reject rather than silently
+/// shortening the proof.
+std::vector<ProofRecord> parse_drat_file(const std::string& path);
+
+struct DratCheckResult {
+  bool valid = false;
+  std::string error;  ///< empty when valid; first failure otherwise
+
+  std::size_t checked = 0;  ///< derived clauses RUP-verified (marked)
+  std::size_t skipped = 0;  ///< derived clauses never touched by the proof
+  double check_ms = 0.0;    ///< wall-clock of the check
+
+  /// Indices (into the proof's kInput records, in record order) of the
+  /// input clauses the verified derivation actually rests on — an UNSAT
+  /// core over the inputs, which the lattice audits map back to cells/rows.
+  std::vector<std::size_t> core_inputs;
+};
+
+/// Backward RUP checker over a recorded proof.
+///
+/// `final_clause` is the claim being certified: empty = the empty clause
+/// (plain UNSAT), otherwise the failed-assumption clause of an
+/// assumption-based UNSAT. The last kDerive record must equal it (sorted
+/// comparison), every marked derivation must be a reverse-unit-propagation
+/// consequence of the records before it, and any structural defect — a
+/// deletion naming an absent clause, no derivation at all — rejects.
+class DratChecker {
+ public:
+  DratCheckResult check(const std::vector<ProofRecord>& records,
+                        const std::vector<Lit>& final_clause = {});
+
+  DratCheckResult check(const MemoryProof& proof,
+                        const std::vector<Lit>& final_clause = {}) {
+    return check(proof.records(), final_clause);
+  }
+};
+
+/// Convenience wrapper: checks the proof of `solver`'s most recent kFalse
+/// verdict (the failed-assumption clause when the solve used assumptions,
+/// the empty clause otherwise). Requires the solver to have been
+/// constructed with SolverOptions::certify.
+DratCheckResult check_solver_proof(const Solver& solver);
+
+}  // namespace ftl::sat

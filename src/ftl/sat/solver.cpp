@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 
+#include "ftl/sat/proof.hpp"
 #include "ftl/util/error.hpp"
 
 namespace ftl::sat {
@@ -22,6 +23,10 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<std::uint64_t> learned_clauses{0};
   std::atomic<std::uint64_t> cegar_rounds{0};
+  std::atomic<std::uint64_t> proof_clauses{0};
+  std::atomic<std::uint64_t> proof_checks{0};
+  std::atomic<std::uint64_t> proof_failures{0};
+  std::atomic<std::uint64_t> proof_check_us{0};
 };
 
 AtomicCounters& counters() {
@@ -70,6 +75,10 @@ SatCounters sat_counters() {
   out.restarts = c.restarts.load(std::memory_order_relaxed);
   out.learned_clauses = c.learned_clauses.load(std::memory_order_relaxed);
   out.cegar_rounds = c.cegar_rounds.load(std::memory_order_relaxed);
+  out.proof_clauses = c.proof_clauses.load(std::memory_order_relaxed);
+  out.proof_checks = c.proof_checks.load(std::memory_order_relaxed);
+  out.proof_failures = c.proof_failures.load(std::memory_order_relaxed);
+  out.proof_check_us = c.proof_check_us.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -84,11 +93,23 @@ void reset_sat_counters() {
   c.restarts.store(0, std::memory_order_relaxed);
   c.learned_clauses.store(0, std::memory_order_relaxed);
   c.cegar_rounds.store(0, std::memory_order_relaxed);
+  c.proof_clauses.store(0, std::memory_order_relaxed);
+  c.proof_checks.store(0, std::memory_order_relaxed);
+  c.proof_failures.store(0, std::memory_order_relaxed);
+  c.proof_check_us.store(0, std::memory_order_relaxed);
 }
 
 namespace detail {
 void count_cegar_round() {
   counters().cegar_rounds.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_proof_check(bool valid, double check_ms) {
+  AtomicCounters& c = counters();
+  c.proof_checks.fetch_add(1, std::memory_order_relaxed);
+  if (!valid) c.proof_failures.fetch_add(1, std::memory_order_relaxed);
+  c.proof_check_us.fetch_add(static_cast<std::uint64_t>(check_ms * 1000.0),
+                             std::memory_order_relaxed);
 }
 }  // namespace detail
 
@@ -101,7 +122,10 @@ struct Solver::Impl {
     std::vector<Lit> lits;
   };
 
-  explicit Impl(SolverOptions opts) : options(opts) { stats.seed = opts.seed; }
+  explicit Impl(SolverOptions opts) : options(opts) {
+    stats.seed = opts.seed;
+    if (opts.certify) memory_proof = std::make_unique<MemoryProof>();
+  }
 
   // -- state ----------------------------------------------------------------
 
@@ -109,6 +133,36 @@ struct Solver::Impl {
   SolveStats stats;
   SolveStats flushed;  ///< last stats snapshot pushed to the global counters
   bool ok = true;
+
+  // -- proof logging --------------------------------------------------------
+
+  std::unique_ptr<MemoryProof> memory_proof;  ///< certify's checkable log
+  ProofSink* extern_sink = nullptr;           ///< optional mirror (not owned)
+  ProofStats proof;
+  std::uint64_t flushed_proof_clauses = 0;
+  std::unique_ptr<DratCheckResult> last_check;
+
+  bool logging() const {
+    return memory_proof != nullptr || extern_sink != nullptr;
+  }
+
+  void emit_input(const std::vector<Lit>& lits) {
+    ++proof.inputs;
+    if (memory_proof) memory_proof->on_input(lits);
+    if (extern_sink != nullptr) extern_sink->on_input(lits);
+  }
+
+  void emit_derive(const std::vector<Lit>& lits) {
+    ++proof.derived;
+    if (memory_proof) memory_proof->on_derive(lits);
+    if (extern_sink != nullptr) extern_sink->on_derive(lits);
+  }
+
+  void emit_delete(const std::vector<Lit>& lits) {
+    ++proof.deleted;
+    if (memory_proof) memory_proof->on_delete(lits);
+    if (extern_sink != nullptr) extern_sink->on_delete(lits);
+  }
 
   /// One watch-list entry: the watching clause plus a "blocker" literal —
   /// some other literal of the clause (initially the clause's other watch,
@@ -446,6 +500,7 @@ struct Solver::Impl {
   void record_learnt(std::vector<Lit> lits, int btlevel) {
     ++stats.learned_clauses;
     stats.learned_literals += lits.size();
+    if (logging()) emit_derive(lits);
     cancel_until(btlevel);
     if (lits.size() == 1) {
       enqueue(lits[0], nullptr);
@@ -477,6 +532,7 @@ struct Solver::Impl {
     for (std::size_t i = 0; i < learnts.size(); ++i) {
       Clause* c = learnts[i].get();
       if (dropped < target && c->lits.size() > 2 && !locked(c)) {
+        if (logging()) emit_delete(c->lits);
         detach(c);
         ++dropped;
         ++stats.deleted_clauses;
@@ -511,6 +567,7 @@ struct Solver::Impl {
         ++stats.conflicts;
         ++local_conflicts;
         if (decision_level() == 0) {
+          if (logging()) emit_derive({});
           ok = false;
           return LBool::kFalse;
         }
@@ -570,6 +627,9 @@ struct Solver::Impl {
                          std::memory_order_relaxed);
     c.learned_clauses.fetch_add(stats.learned_clauses - flushed.learned_clauses,
                                 std::memory_order_relaxed);
+    c.proof_clauses.fetch_add(proof.derived - flushed_proof_clauses,
+                              std::memory_order_relaxed);
+    flushed_proof_clauses = proof.derived;
     flushed = stats;
   }
 };
@@ -635,6 +695,11 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     if (im.value(p) == LBool::kFalse) continue;         // already falsified
     out.push_back(p);
   }
+  // Record the canonicalized clause as a proof input. Every stripped
+  // level-0 literal is justified by a previously recorded unit, so the
+  // recorded formula is a consequence of the original and UNSAT of the
+  // recorded clauses implies UNSAT of what the caller supplied.
+  if (im.logging()) im.emit_input(out);
   if (out.empty()) {
     im.ok = false;
     return false;
@@ -642,6 +707,7 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   if (out.size() == 1) {
     im.enqueue(out[0], nullptr);
     if (im.propagate() != nullptr) {
+      if (im.logging()) im.emit_derive({});
       im.ok = false;
       return false;
     }
@@ -663,6 +729,12 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
   im.conflict.clear();
   if (!im.ok) {
     im.flush_counters(LBool::kFalse);
+    if (im.options.certify && im.memory_proof) {
+      ++im.proof.checks;
+      im.last_check = std::make_unique<DratCheckResult>(
+          DratChecker().check(*im.memory_proof));
+      if (!im.last_check->valid) ++im.proof.failures;
+    }
     return LBool::kFalse;
   }
   if (im.max_learnts == 0) {
@@ -689,7 +761,20 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
     im.model = im.assigns;
   }
   im.cancel_until(0);
+  // An assumption-based UNSAT ends the proof with the failed-assumption
+  // clause (¬a₁ ∨ … ∨ ¬aₖ); it is RUP at this point because propagating
+  // the assumptions alone reaches the recorded conflict. Plain UNSAT paths
+  // already emitted the empty clause at the level-0 conflict.
+  if (status == LBool::kFalse && !im.conflict.empty() && im.logging()) {
+    im.emit_derive(im.conflict);
+  }
   im.flush_counters(status);
+  if (status == LBool::kFalse && im.options.certify && im.memory_proof) {
+    ++im.proof.checks;
+    im.last_check = std::make_unique<DratCheckResult>(
+        DratChecker().check(*im.memory_proof, im.conflict));
+    if (!im.last_check->valid) ++im.proof.failures;
+  }
   return status;
 }
 
@@ -713,6 +798,18 @@ const std::vector<Lit>& Solver::failed_assumptions() const {
 void Solver::set_max_conflicts(std::int64_t budget) {
   impl_->options.max_conflicts = budget;
 }
+
+void Solver::set_proof_sink(ProofSink* sink) { impl_->extern_sink = sink; }
+
+const MemoryProof* Solver::proof_log() const {
+  return impl_->memory_proof.get();
+}
+
+const DratCheckResult* Solver::last_proof_check() const {
+  return impl_->last_check.get();
+}
+
+const ProofStats& Solver::proof_stats() const { return impl_->proof; }
 
 const SolveStats& Solver::stats() const { return impl_->stats; }
 

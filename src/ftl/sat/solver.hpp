@@ -54,6 +54,12 @@ struct SolverOptions {
   /// Conflict budget per solve() call; kUndef is returned when it runs out
   /// (the solver stays usable and the budget can be raised). -1 = unlimited.
   std::int64_t max_conflicts = -1;
+  /// Log a DRAT proof (inputs, learnt clauses, deletions) into an in-memory
+  /// sink and run the embedded DratChecker on every kFalse verdict, making
+  /// each UNSAT answer machine-checked instead of trusted. The verdict is
+  /// available via last_proof_check(). Logging costs one clause copy per
+  /// learnt clause; checking is backward RUP over the marked cone.
+  bool certify = false;
 };
 
 /// Cumulative per-solver statistics (monotonic across solve() calls).
@@ -68,6 +74,20 @@ struct SolveStats {
   std::uint64_t deleted_clauses = 0;  ///< learnt clauses dropped by reduce
   std::uint64_t seed = 1;             ///< decision seed (from SolverOptions)
 };
+
+/// Per-solver proof-logging statistics (monotonic; all zero unless a proof
+/// sink is attached or SolverOptions::certify is set).
+struct ProofStats {
+  std::uint64_t inputs = 0;    ///< input clauses recorded
+  std::uint64_t derived = 0;   ///< learnt/final clauses recorded
+  std::uint64_t deleted = 0;   ///< deletions recorded
+  std::uint64_t checks = 0;    ///< auto-checks run on kFalse verdicts
+  std::uint64_t failures = 0;  ///< auto-checks that rejected the proof
+};
+
+class ProofSink;
+class MemoryProof;
+struct DratCheckResult;
 
 class Solver {
  public:
@@ -113,6 +133,22 @@ class Solver {
   /// Replaces the per-solve conflict budget (see SolverOptions).
   void set_max_conflicts(std::int64_t budget);
 
+  /// Mirrors proof events (inputs/derivations/deletions) into an external
+  /// sink — e.g. a FileProofSink streaming DRAT text — in addition to the
+  /// in-memory log certify maintains. Must be attached before the first
+  /// add_clause; pass nullptr to detach. Not owned.
+  void set_proof_sink(ProofSink* sink);
+
+  /// The in-memory proof log, or nullptr when SolverOptions::certify is off.
+  const MemoryProof* proof_log() const;
+
+  /// Verdict of the automatic proof check run on the most recent kFalse
+  /// result (certify only; nullptr before the first UNSAT). The result
+  /// carries the checker verdict, timing, and the input-clause UNSAT core.
+  const DratCheckResult* last_proof_check() const;
+
+  const ProofStats& proof_stats() const;
+
   const SolveStats& stats() const;
   const SolverOptions& options() const;
   std::size_t num_clauses() const;  ///< problem clauses currently attached
@@ -137,6 +173,10 @@ struct SatCounters {
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t cegar_rounds = 0;  ///< refinement rounds (lattice::synth_sat)
+  std::uint64_t proof_clauses = 0;   ///< derived clauses logged to proofs
+  std::uint64_t proof_checks = 0;    ///< DratChecker runs
+  std::uint64_t proof_failures = 0;  ///< DratChecker rejections
+  std::uint64_t proof_check_us = 0;  ///< cumulative checker wall-clock (µs)
 };
 
 /// Snapshot of the process-wide counters.
@@ -148,6 +188,8 @@ void reset_sat_counters();
 namespace detail {
 /// Accounting hook for CEGAR drivers (relaxed atomic increment).
 void count_cegar_round();
+/// Accounting hook for DratChecker runs (relaxed atomic increments).
+void count_proof_check(bool valid, double check_ms);
 }  // namespace detail
 
 }  // namespace ftl::sat

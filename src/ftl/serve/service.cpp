@@ -15,6 +15,7 @@
 #include "ftl/bridge/metrics.hpp"
 #include "ftl/check/equivalence.hpp"
 #include "ftl/check/lattice.hpp"
+#include "ftl/check/lattice_sat.hpp"
 #include "ftl/check/netlist.hpp"
 #include "ftl/designer/designer.hpp"
 #include "ftl/jobs/artifact.hpp"
@@ -333,6 +334,7 @@ JsonValue handle_synth_sat(const JsonValue& req, const Deadline& deadline,
     throw Error("'max_conflicts' must be a number in [0, 9e18]");
   }
   synth_req.sat.max_conflicts = static_cast<std::int64_t>(budget);
+  synth_req.sat.certify = req.bool_or("certify", false);
   deadline.check("synthesis");
 
   const library::SynthesisResult result =
@@ -344,6 +346,13 @@ JsonValue handle_synth_sat(const JsonValue& req, const Deadline& deadline,
   set_library_fields(body, result);
   body.set("proven_infeasible", JsonValue::boolean(result.proven_infeasible));
   body.set("budget_exhausted", JsonValue::boolean(result.budget_exhausted));
+  // Under "certify", an infeasibility verdict carries its proof status:
+  // "checked" when the final UNSAT's DRAT derivation passed the embedded
+  // checker, "failed" when it was rejected (treat the verdict as unproven).
+  if (synth_req.sat.certify && result.proven_infeasible) {
+    const bool valid = result.sat && result.sat->proof_valid;
+    body.set("proof", JsonValue::str(valid ? "checked" : "failed"));
+  }
   if (result.found) {
     body.set("lattice", lattice_json(result.lattice));
     body.set("switch_count", JsonValue::number(result.lattice.rows() *
@@ -566,6 +575,8 @@ JsonValue report_json(const check::Report& report) {
 /// like the other deterministic ops.
 JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
   check::Report report;
+  const bool certify = req.bool_or("certify", false);
+  bool certified_lint = false;
   if (const JsonValue* deck = req.find("netlist")) {
     if (!deck->is_string()) throw Error("'netlist' must be a string");
     deadline.check("lint");
@@ -574,6 +585,12 @@ JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
     LatticeSpec spec = lattice_spec_from(req);
     deadline.check("lint");
     report = check::check_lattice(spec.lat);
+    if (certify) {
+      certified_lint = true;
+      check::LatticeSatAuditOptions audit;
+      audit.certify = true;
+      report.merge(check::audit_lattice_sat(spec.lat, audit).report);
+    }
     std::optional<logic::TruthTable> target = spec.target;
     if (const JsonValue* t = req.find("target")) {
       if (!t->is_string()) {
@@ -594,6 +611,7 @@ JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
         throw Error("unknown equiv backend '" + backend +
                     "' (expected auto, bdd, or sat)");
       }
+      equiv.certify = certify;
       report.merge(check::check_equivalence(spec.lat, *target, equiv));
     }
   }
@@ -602,6 +620,16 @@ JsonValue handle_lint(const JsonValue& req, const Deadline& deadline) {
   // in report.clean/errors/warnings.
   JsonValue body = body_for("lint");
   body.set("report", report_json(report));
+  // Certified lattice lints state the proof status: every UNSAT verdict
+  // passed the embedded DRAT checker ("checked") or at least one was
+  // rejected ("failed" — the report then carries FTL-E003).
+  if (certified_lint) {
+    bool failed = false;
+    for (const check::Diagnostic& d : report.diagnostics()) {
+      if (d.rule == "FTL-E003") failed = true;
+    }
+    body.set("proof", JsonValue::str(failed ? "failed" : "checked"));
+  }
   return body;
 }
 
@@ -834,6 +862,10 @@ struct Service::Impl {
     sat_core.set("restarts", get_u64(sc.restarts));
     sat_core.set("learned_clauses", get_u64(sc.learned_clauses));
     sat_core.set("cegar_rounds", get_u64(sc.cegar_rounds));
+    sat_core.set("proof_clauses", get_u64(sc.proof_clauses));
+    sat_core.set("proof_checks", get_u64(sc.proof_checks));
+    sat_core.set("proof_failures", get_u64(sc.proof_failures));
+    sat_core.set("proof_check_us", get_u64(sc.proof_check_us));
     body.set("sat_core", std::move(sat_core));
     // Lattice-library counters (per-service, relaxed atomics): how the NPN
     // class store is doing. class_hits vs misses is the headline ratio —

@@ -13,6 +13,7 @@
 #include "ftl/check/diagnostics.hpp"
 #include "ftl/check/equivalence.hpp"
 #include "ftl/check/lattice.hpp"
+#include "ftl/check/lattice_sat.hpp"
 #include "ftl/check/netlist.hpp"
 #include "ftl/jobs/pipeline.hpp"
 #include "ftl/lattice/function.hpp"
@@ -365,6 +366,166 @@ TEST(LatticeCheck, ConstantFunctionIsNote) {
   EXPECT_TRUE(has_rule(report, "FTL-L005"));
   // 'a' is also unused; the note itself must not break clean().
   EXPECT_TRUE(report.ok());
+}
+
+TEST(LatticeCheck, SemanticSkipPastBudgetIsL009) {
+  // 13 variables exceed the 12-variable re-realization budget: the semantic
+  // passes must announce they were skipped instead of staying silent.
+  lattice::Lattice lat(2, 1, 13);
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(1, 0, lattice::CellValue::of(12));
+  const Report report = check::check_lattice(lat);
+  const Diagnostic& d = first_of(report, "FTL-L009");
+  EXPECT_EQ(d.severity, Severity::kNote);
+  EXPECT_NE(d.message.find("--certify"), std::string::npos) << d.message;
+  EXPECT_FALSE(has_rule(report, "FTL-L004"));
+
+  // Under the budget, or with semantic off, no L009.
+  lattice::Lattice small(1, 1, 1);
+  small.set(0, 0, lattice::CellValue::of(0));
+  EXPECT_FALSE(has_rule(check::check_lattice(small), "FTL-L009"));
+  check::LatticeCheckOptions structural_only;
+  structural_only.semantic = false;
+  EXPECT_FALSE(has_rule(check::check_lattice(lat, structural_only),
+                        "FTL-L009"));
+}
+
+// ---------------------------------------------------------------------------
+// SAT-backed audits (FTL-L006/L007/L008)
+
+TEST(SatAudit, CertifiedRedundantRowAndSmallerLattice) {
+  // Two identical rows of 'a': either row is removable (L006, the certified
+  // sibling of L004), and a 1×1 lattice realizes the same function (L008).
+  lattice::Lattice lat(2, 1, 1, {"a"});
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(1, 0, lattice::CellValue::of(0));
+  check::LatticeSatAuditOptions options;
+  options.certify = true;
+  const check::LatticeSatAudit audit = check::audit_lattice_sat(lat, options);
+  EXPECT_TRUE(has_rule(audit.report, "FTL-L006"));
+  EXPECT_EQ(first_of(audit.report, "FTL-L006").severity, Severity::kNote);
+  EXPECT_TRUE(has_rule(audit.report, "FTL-L008"));
+  EXPECT_FALSE(has_rule(audit.report, "FTL-L007"));
+  EXPECT_FALSE(has_rule(audit.report, "FTL-E003"));
+  // Every UNSAT consumed by the audit came back checker-approved.
+  EXPECT_GT(audit.unsat_verdicts, 0);
+  EXPECT_EQ(audit.certified_unsat, audit.unsat_verdicts);
+  EXPECT_EQ(audit.proof_failures, 0);
+  EXPECT_GT(audit.queries, 0);
+}
+
+TEST(SatAudit, NeverConductingSwitchIsL007WithCore) {
+  // Column [a; !a; a]: every top-to-bottom path demands a AND !a, so no
+  // switch ever conducts — invisible to the flood fill (FTL-L001 stays
+  // quiet; no constant-0 cells), certified by the SAT pass.
+  lattice::Lattice lat(3, 1, 1, {"a"});
+  lat.set(0, 0, lattice::CellValue::of(0));
+  lat.set(1, 0, lattice::CellValue::of(0, false));
+  lat.set(2, 0, lattice::CellValue::of(0));
+  EXPECT_FALSE(has_rule(check::check_lattice(lat), "FTL-L001"));
+
+  check::LatticeSatAuditOptions options;
+  options.certify = true;
+  options.suboptimal = false;  // focus on the L007 pass
+  const check::LatticeSatAudit audit = check::audit_lattice_sat(lat, options);
+  for (const char* cell : {"(0,0)", "(1,0)", "(2,0)"}) {
+    bool found = false;
+    for (const Diagnostic& d : audit.report.diagnostics()) {
+      if (d.rule == "FTL-L007" && d.object == cell) found = true;
+    }
+    EXPECT_TRUE(found) << "no FTL-L007 at " << cell;
+  }
+  const Diagnostic& d = first_of(audit.report, "FTL-L007");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("UNSAT core: cells"), std::string::npos)
+      << d.message;
+  EXPECT_EQ(audit.certified_unsat, audit.unsat_verdicts);
+  EXPECT_EQ(audit.proof_failures, 0);
+}
+
+TEST(SatAudit, CoreMinimizedFindingsPastTheTwelveVarWall) {
+  // A 13-variable lattice: check_lattice's semantic passes bail (L009
+  // above), but the SAT audit still proves findings at this size — and the
+  // greedy deletion pass shrinks each UNSAT core to a handful of cells
+  // instead of citing the whole 3×3 array.
+  lattice::Lattice lat(3, 3, 13);
+  for (int c = 0; c < 3; ++c) {
+    lat.set(0, c, lattice::CellValue::of(0));          // top row: x0
+    lat.set(2, c, lattice::CellValue::of(0, false));   // bottom row: !x0
+    lat.set(1, c, lattice::CellValue::of(1 + c));      // middle: x1..x3
+  }
+  check::LatticeSatAuditOptions options;
+  options.certify = true;
+  options.suboptimal = false;
+  const check::LatticeSatAudit audit = check::audit_lattice_sat(lat, options);
+  ASSERT_TRUE(has_rule(audit.report, "FTL-L007"));
+  // Core minimization: refuting "some path through (1,1) conducts" needs
+  // every boundary escape blocked — the six x0/!x0 cells — but never the
+  // middle row's x1..x3 guards, which the deletion pass must have dropped.
+  for (const Diagnostic& d : audit.report.diagnostics()) {
+    if (d.rule != "FTL-L007" || d.object != "(1,1)") continue;
+    const std::size_t at = d.message.find("UNSAT core: ");
+    ASSERT_NE(at, std::string::npos) << d.message;
+    int cells = 0;
+    for (std::size_t i = at; i < d.message.size(); ++i) {
+      if (d.message[i] == '(') ++cells;
+    }
+    EXPECT_LE(cells, 6) << "core not minimized: " << d.message;
+    EXPECT_GE(cells, 2) << "a clash needs two cells: " << d.message;
+    EXPECT_EQ(d.message.find("(1,0)", at), std::string::npos) << d.message;
+    EXPECT_EQ(d.message.find("(1,2)", at), std::string::npos) << d.message;
+  }
+  EXPECT_EQ(audit.certified_unsat, audit.unsat_verdicts);
+  EXPECT_EQ(audit.proof_failures, 0);
+  EXPECT_GT(audit.unsat_verdicts, 0);
+}
+
+TEST(SatAudit, MinimalLatticeAuditsCleanWithCertifiedNegatives) {
+  // The paper's 3×3 XOR3 mapping: nothing removable, nothing dead, and no
+  // smaller shape realizes XOR3 — the L008 infeasibility answers are UNSAT
+  // verdicts too, and must come back certified.
+  check::LatticeSatAuditOptions options;
+  options.certify = true;
+  const check::LatticeSatAudit audit =
+      check::audit_lattice_sat(lattice::xor3_lattice_3x3(), options);
+  EXPECT_FALSE(has_rule(audit.report, "FTL-L006")) << audit.report.render_text();
+  EXPECT_FALSE(has_rule(audit.report, "FTL-L007")) << audit.report.render_text();
+  EXPECT_FALSE(has_rule(audit.report, "FTL-L008")) << audit.report.render_text();
+  EXPECT_FALSE(has_rule(audit.report, "FTL-E003"));
+  EXPECT_GE(audit.unsat_verdicts, 2) << "both smaller shapes are infeasible";
+  EXPECT_EQ(audit.certified_unsat, audit.unsat_verdicts);
+  EXPECT_EQ(audit.proof_failures, 0);
+}
+
+TEST(SatAudit, DegenerateLatticesReturnEmptyAudits) {
+  // Zero declared variables: nothing to audit semantically (constant cells
+  // only); the audit declines instead of encoding an empty input space.
+  lattice::Lattice no_vars(2, 2, 0);
+  const check::LatticeSatAudit audit = check::audit_lattice_sat(no_vars);
+  EXPECT_TRUE(audit.report.diagnostics().empty());
+  EXPECT_EQ(audit.queries, 0);
+}
+
+TEST(Equivalence, CertifiedEquivalenceChecksTheMiterProofs) {
+  check::EquivalenceOptions options;
+  options.certify = true;
+  const auto verdict = check::verify_equivalence(
+      lattice::xor3_lattice_3x3(), lattice::xor3_truth_table(), options);
+  EXPECT_TRUE(verdict.realizes);
+  EXPECT_TRUE(verdict.certified);
+  EXPECT_GE(verdict.proof_check_ms, 0.0);
+  EXPECT_TRUE(check::check_equivalence(lattice::xor3_lattice_3x3(),
+                                       lattice::xor3_truth_table(), options)
+                  .clean());
+
+  // Non-equivalence yields a counterexample, never a certificate.
+  lattice::Lattice broken = lattice::xor3_lattice_3x3();
+  broken.set(1, 1, lattice::CellValue::zero());
+  const auto refuted = check::verify_equivalence(
+      broken, lattice::xor3_truth_table(), options);
+  EXPECT_FALSE(refuted.realizes);
+  EXPECT_FALSE(refuted.certified);
+  ASSERT_TRUE(refuted.counterexample.has_value());
 }
 
 // ---------------------------------------------------------------------------

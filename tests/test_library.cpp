@@ -199,6 +199,41 @@ TEST(Library, StoreRoundTripsThroughDisk) {
   EXPECT_FALSE(reopened.find(key, true).has_value());
 }
 
+TEST(Library, CertifiedBitPersistsAndResetsOnReplacement) {
+  const std::string dir = fresh_dir("certified");
+  const TruthTable target = TruthTable::variable(2, 0);
+  const library::NpnCanonical canon = library::canonicalize(target);
+  const std::uint64_t key = library::npn_key(canon.canonical);
+
+  {
+    library::LatticeLibrary lib(dir);
+    library::LibraryEntry big;
+    big.lattice = library::pad_lattice(
+        lattice::altun_riedel_synthesis(canon.canonical), 3, 3);
+    big.engine = "altun";
+    ASSERT_TRUE(lib.insert(key, canon.canonical, false, big));
+
+    // Entries start unstamped; stamping an absent slot is a miss.
+    EXPECT_FALSE(lib.find(key, false)->certified);
+    EXPECT_FALSE(lib.stamp_certified(key, true, true));
+    EXPECT_TRUE(lib.stamp_certified(key, false, true));
+    EXPECT_TRUE(lib.find(key, false)->certified);
+  }
+
+  // The stamp survives a reopen from disk.
+  library::LatticeLibrary reopened(dir);
+  reopened.load_all();
+  EXPECT_TRUE(reopened.find(key, false)->certified);
+
+  // A strictly smaller replacement is a new, unproven lattice: the bit
+  // resets and must be re-earned.
+  library::LibraryEntry small;
+  small.lattice = lattice::altun_riedel_synthesis(canon.canonical);
+  small.engine = "exhaustive";
+  ASSERT_TRUE(reopened.insert(key, canon.canonical, false, small));
+  EXPECT_FALSE(reopened.find(key, false)->certified);
+}
+
 TEST(Library, InsertKeepsTheSmallerLattice) {
   library::LatticeLibrary lib;  // memory-only
   const TruthTable target = TruthTable::variable(2, 0);

@@ -364,6 +364,86 @@ TEST(SatEncode, PathEncodingsMatchBfsOnAllSmallGrids) {
   }
 }
 
+/// Ground truth for encode_reach_exact: the set of ON cells BFS-reachable
+/// from the seed boundary through ON 4-neighbors.
+std::vector<char> bfs_reach_set(int rows, int cols, std::uint64_t on_bits,
+                                bool from_top) {
+  const int cells = rows * cols;
+  std::vector<char> reached(static_cast<std::size_t>(cells), 0);
+  std::vector<int> queue;
+  const int seed_row = from_top ? 0 : rows - 1;
+  for (int c = 0; c < cols; ++c) {
+    const int i = seed_row * cols + c;
+    if ((on_bits >> i) & 1) {
+      reached[static_cast<std::size_t>(i)] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const int i = queue.back();
+    queue.pop_back();
+    const int r = i / cols;
+    const int c = i % cols;
+    const int neighbors[4] = {r > 0 ? i - cols : -1,
+                              r + 1 < rows ? i + cols : -1,
+                              c > 0 ? i - 1 : -1, c + 1 < cols ? i + 1 : -1};
+    for (const int j : neighbors) {
+      if (j < 0 || reached[static_cast<std::size_t>(j)] != 0) continue;
+      if (((on_bits >> j) & 1) == 0) continue;
+      reached[static_cast<std::size_t>(j)] = 1;
+      queue.push_back(j);
+    }
+  }
+  return reached;
+}
+
+TEST(SatEncode, ExactReachabilityMatchesBfsOnAllSmallGrids) {
+  using ftl::sat::encode_connected_exact;
+  using ftl::sat::encode_reach_exact;
+  const int shapes[][2] = {{1, 1}, {1, 3}, {2, 2}, {3, 1}, {2, 3}, {3, 3}};
+  for (const auto& shape : shapes) {
+    const int rows = shape[0];
+    const int cols = shape[1];
+    const int cells = rows * cols;
+    for (std::uint64_t on_bits = 0; on_bits < (std::uint64_t{1} << cells);
+         ++on_bits) {
+      Solver solver;
+      std::vector<Lit> on;
+      for (int i = 0; i < cells; ++i) on.push_back(Lit::of(solver.new_var()));
+      for (int i = 0; i < cells; ++i) {
+        ASSERT_TRUE(solver.add_clause({((on_bits >> i) & 1) != 0
+                                           ? on[static_cast<std::size_t>(i)]
+                                           : ~on[static_cast<std::size_t>(i)]}));
+      }
+      const std::vector<Lit> top =
+          encode_reach_exact(solver, rows, cols, on, /*from_top=*/true);
+      const std::vector<Lit> bottom =
+          encode_reach_exact(solver, rows, cols, on, /*from_top=*/false);
+      const Lit connected = encode_connected_exact(solver, rows, cols, on);
+      // Exact (iff) definitions: every pattern extends to exactly one model.
+      ASSERT_EQ(solver.solve(), LBool::kTrue)
+          << rows << "x" << cols << " pattern " << on_bits;
+      const std::vector<char> want_top =
+          bfs_reach_set(rows, cols, on_bits, true);
+      const std::vector<char> want_bottom =
+          bfs_reach_set(rows, cols, on_bits, false);
+      for (int i = 0; i < cells; ++i) {
+        EXPECT_EQ(solver.model_value(top[static_cast<std::size_t>(i)]) ==
+                      LBool::kTrue,
+                  want_top[static_cast<std::size_t>(i)] != 0)
+            << rows << "x" << cols << " pattern " << on_bits << " cell " << i;
+        EXPECT_EQ(solver.model_value(bottom[static_cast<std::size_t>(i)]) ==
+                      LBool::kTrue,
+                  want_bottom[static_cast<std::size_t>(i)] != 0)
+            << rows << "x" << cols << " pattern " << on_bits << " cell " << i;
+      }
+      EXPECT_EQ(solver.model_value(connected) == LBool::kTrue,
+                bfs_connected(rows, cols, on_bits))
+          << rows << "x" << cols << " pattern " << on_bits;
+    }
+  }
+}
+
 TEST(SatEncode, ChoiceOnMatchesLiteralSemantics) {
   // Choice 2v is "variable v positive", 2v+1 its negation; then constants.
   const int nv = 3;

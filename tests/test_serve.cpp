@@ -186,6 +186,25 @@ TEST(ServeProtocol, SynthSatReportsInfeasibilityAsAResult) {
   EXPECT_EQ(r.find("lattice"), nullptr);
 }
 
+TEST(ServeProtocol, SynthSatCertifyChecksTheInfeasibilityProof) {
+  Service service({.workers = 1});
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a' b' c + a' b c' + a b' c' + a b c",)"
+      R"("rows":2,"cols":2,"certify":true})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  EXPECT_TRUE(r.find("proven_infeasible")->as_bool()) << r.dump();
+  ASSERT_NE(r.find("proof"), nullptr) << r.dump();
+  EXPECT_EQ(r.find("proof")->as_string(), "checked");
+
+  // Feasible and uncertified runs carry no proof field at all.
+  const JsonValue feasible = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a b","rows":2,"cols":1,"certify":true})");
+  EXPECT_TRUE(feasible.find("found")->as_bool()) << feasible.dump();
+  EXPECT_EQ(feasible.find("proof"), nullptr) << feasible.dump();
+}
+
 TEST(ServeProtocol, SynthSatBudgetExhaustionIsExplicit) {
   Service service({.workers = 1});
   const JsonValue r = reply(
@@ -543,6 +562,53 @@ TEST(ServeProtocol, LintLatticeCleanMapping) {
       R"("target":"a' b' c + a' b c' + a b' c' + a b c"})");
   EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
   EXPECT_TRUE(r.find("report")->find("clean")->as_bool()) << r.dump();
+}
+
+TEST(ServeProtocol, LintCertifyAuditsTheLatticeAndReportsProofStatus) {
+  Service service({.workers = 1});
+  // A 2x1 column [a; a]: row 1 is certifiably removable (FTL-L006) and the
+  // 1x1 lattice realizing the same function is found (FTL-L008). Every
+  // UNSAT behind those findings passes the DRAT checker -> "checked".
+  const JsonValue r = reply(
+      service,
+      R"({"op":"lint","rows":2,"cols":1,"vars":["a"],"cells":["a","a"],)"
+      R"("certify":true})");
+  EXPECT_TRUE(r.bool_or("ok", false)) << r.dump();
+  ASSERT_NE(r.find("proof"), nullptr) << r.dump();
+  EXPECT_EQ(r.find("proof")->as_string(), "checked");
+  bool saw_l006 = false;
+  bool saw_e003 = false;
+  for (const JsonValue& d : r.find("report")->find("diagnostics")->items()) {
+    if (d.find("rule")->as_string() == "FTL-L006") saw_l006 = true;
+    if (d.find("rule")->as_string() == "FTL-E003") saw_e003 = true;
+  }
+  EXPECT_TRUE(saw_l006) << r.dump();
+  EXPECT_FALSE(saw_e003) << r.dump();
+
+  // Without certify the audits stay off and there is no proof field.
+  const JsonValue plain = reply(
+      service,
+      R"({"op":"lint","rows":2,"cols":1,"vars":["a"],"cells":["a","a"]})");
+  EXPECT_EQ(plain.find("proof"), nullptr) << plain.dump();
+}
+
+TEST(ServeStats, SatCoreExposesProofCounters) {
+  Service service({.workers = 1});
+  const JsonValue before = reply(service, R"({"op":"stats"})");
+  const double checks_before =
+      before.find("sat_core")->find("proof_checks")->as_number();
+  const JsonValue r = reply(
+      service,
+      R"({"op":"synth_sat","expr":"a' b' c + a' b c' + a b' c' + a b c",)"
+      R"("rows":2,"cols":2,"certify":true})");
+  EXPECT_TRUE(r.find("proven_infeasible")->as_bool()) << r.dump();
+  const JsonValue after = reply(service, R"({"op":"stats"})");
+  const JsonValue* sc = after.find("sat_core");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_GT(sc->find("proof_checks")->as_number(), checks_before);
+  EXPECT_GE(sc->find("proof_clauses")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(sc->find("proof_failures")->as_number(), 0.0);
+  EXPECT_GE(sc->find("proof_check_us")->as_number(), 0.0);
 }
 
 TEST(ServeCache, LintIsPureAndCached) {
