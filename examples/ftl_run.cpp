@@ -51,6 +51,9 @@ void print_usage() {
       "                 pipeline-generated bench circuits, SAT-prove the\n"
       "                 pipeline's lattice mappings, and exit\n"
       "  --jobs N       parallelism (0 = pool default, 1 = serial)\n"
+      "  --workers N    SPICE-stage thread cap for the Monte-Carlo jobs\n"
+      "                 (0 = hardware concurrency); results are identical\n"
+      "                 for every setting\n"
       "  --cache-dir D  content-addressed result cache (default .ftl-cache)\n"
       "  --no-cache     force a cold run (cache neither read nor written)\n"
       "  --events F     append JSON-lines telemetry events to F\n"
@@ -103,6 +106,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--jobs") == 0) {
       run_options.jobs =
           static_cast<std::size_t>(parse_flag("--jobs", next_arg(i), 0, 4096));
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      // Forwarded to VariabilityOptions::max_threads so a CI runner running
+      // --jobs J in parallel doesn't additionally fan every MC job out to
+      // full hardware concurrency (J * cores threads).
+      pipeline_options.workers =
+          static_cast<int>(parse_flag("--workers", next_arg(i), 0, 4096));
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       run_options.cache_dir = next_arg(i);
     } else if (std::strcmp(arg, "--no-cache") == 0) {
@@ -123,6 +132,7 @@ int main(int argc, char** argv) {
       pipeline_options.chain_max = 5;
       pipeline_options.transient_dt = 1e-9;
       pipeline_options.transient_periods = 2;
+      pipeline_options.mc_trials = 12;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "ftl_run: unknown option %s\n", arg);
       print_usage();

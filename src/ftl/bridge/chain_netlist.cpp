@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "ftl/spice/batch.hpp"
 #include "ftl/spice/dcop.hpp"
 #include "ftl/spice/sources.hpp"
 #include "ftl/util/error.hpp"
@@ -53,17 +54,64 @@ double chain_current(int count, double supply_voltage, double gate_voltage,
   return -supply.current(op.solution);
 }
 
+std::vector<double> chain_current_batch(int count,
+                                        const std::vector<double>& supply_voltages,
+                                        const std::vector<double>& gate_voltages,
+                                        const SwitchModelParams& params) {
+  FTL_EXPECTS(!supply_voltages.empty());
+  FTL_EXPECTS(supply_voltages.size() == gate_voltages.size());
+  ChainCircuit chain =
+      build_switch_chain(count, supply_voltages[0], gate_voltages[0], params);
+  auto& supply = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.supply_source));
+  auto& gate = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.gate_source));
+  const auto results = spice::dcop_batch(
+      chain.circuit, supply_voltages.size(), [&](std::size_t lane) {
+        supply.set_waveform(spice::Waveform::dc(supply_voltages[lane]));
+        gate.set_waveform(spice::Waveform::dc(gate_voltages[lane]));
+      });
+  std::vector<double> currents(results.size());
+  for (std::size_t lane = 0; lane < results.size(); ++lane) {
+    const spice::BatchCornerResult& r = results[lane];
+    if (r.failed) throw ftl::Error(r.error);
+    if (!r.op.converged) {
+      throw ftl::Error("chain_current: DC did not converge");
+    }
+    currents[lane] = -supply.current(r.op.solution);
+  }
+  return currents;
+}
+
 double voltage_for_current(int count, double target_current, double v_max,
                            const SwitchModelParams& params) {
   FTL_EXPECTS(target_current > 0.0 && v_max > 0.0);
+  // The bisection is inherently sequential (each probe depends on the last
+  // bracket), so it can't batch across lanes — but one circuit serves all
+  // probes: retune the two sources in place and let the circuit's solver
+  // reuse its cached pattern and symbolic analysis across the 61 solves.
+  // Fresh-build and retuned circuits assemble bitwise-identical matrices,
+  // so the bracket sequence matches the per-point path exactly.
+  ChainCircuit chain = build_switch_chain(count, v_max, v_max, params);
+  auto& supply = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.supply_source));
+  auto& gate = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.gate_source));
+  const auto current_at = [&](double volts) {
+    supply.set_waveform(spice::Waveform::dc(volts));
+    gate.set_waveform(spice::Waveform::dc(volts));
+    const spice::OpResult op = spice::dc_operating_point(chain.circuit);
+    if (!op.converged) throw ftl::Error("chain_current: DC did not converge");
+    return -supply.current(op.solution);
+  };
   double lo = 0.0;
   double hi = v_max;
-  if (chain_current(count, hi, hi, params) < target_current) {
+  if (current_at(hi) < target_current) {
     throw ftl::Error("voltage_for_current: target unreachable below v_max");
   }
   for (int iter = 0; iter < 60; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    if (chain_current(count, mid, mid, params) < target_current) {
+    if (current_at(mid) < target_current) {
       lo = mid;
     } else {
       hi = mid;

@@ -4,6 +4,7 @@
 // between the supply and ground, all gates held at the gate voltage.
 
 #include <string>
+#include <vector>
 
 #include "ftl/bridge/switch_model.hpp"
 #include "ftl/spice/circuit.hpp"
@@ -27,6 +28,16 @@ ChainCircuit build_switch_chain(int count, double supply_voltage,
 /// points). Positive for current flowing out of the supply into the chain.
 double chain_current(int count, double supply_voltage, double gate_voltage,
                      const SwitchModelParams& params = paper_switch_model());
+
+/// All Fig. 12a points of one chain length in a single shot: one circuit,
+/// one symbolic LU analysis, lane k solved at (supply_voltages[k],
+/// gate_voltages[k]) through spice::BatchSolver. Bitwise identical to
+/// calling chain_current per point; throws (like chain_current) if any
+/// point fails to converge. The two vectors must have equal, nonzero size.
+std::vector<double> chain_current_batch(
+    int count, const std::vector<double>& supply_voltages,
+    const std::vector<double>& gate_voltages,
+    const SwitchModelParams& params = paper_switch_model());
 
 /// Supply voltage needed to push `target_current` through the chain
 /// (Fig. 12b points), found by bisection on [0, v_max]. The gate rail

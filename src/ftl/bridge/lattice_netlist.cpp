@@ -166,6 +166,7 @@ LatticeCircuit build_lattice_circuit(const lattice::Lattice& lattice,
       options.pullup));
   out.input_sources =
       add_input_drivers(out.circuit, {&lattice}, drives, options.vdd);
+  out.var_names = lattice.var_names();
   add_lattice_network(out.circuit, lattice, "", out.output_node, "0", options);
   return out;
 }
@@ -185,6 +186,7 @@ LatticeCircuit build_complementary_lattice_circuit(
   LatticeCircuit out = begin_circuit(options);
   out.input_sources = add_input_drivers(out.circuit, {&pulldown, &pullup},
                                         drives, options.vdd);
+  out.var_names = pulldown.var_names();
   add_lattice_network(out.circuit, pulldown, "pd_", out.output_node, "0",
                       options);
   add_lattice_network(out.circuit, pullup, "pu_", "vdd", out.output_node,

@@ -43,6 +43,11 @@ struct LatticeCircuit {
   std::string output_node;              ///< the lattice top plate ("out")
   std::string vdd_source;               ///< supply source name
   std::vector<std::string> input_sources;  ///< one per variable (true phase)
+  /// Variable names in index order — the driver of variable v, when it
+  /// exists, is "Vin_<var_names[v]>" (true phase) / "..._n" (complement).
+  /// Lets consumers retune the input drives of a built circuit in place
+  /// instead of rebuilding the netlist per input code.
+  std::vector<std::string> var_names;
 };
 
 /// Builds the §V bench around `lattice`. `drives[var]` is the gate waveform

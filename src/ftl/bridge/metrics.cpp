@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ftl/spice/batch.hpp"
 #include "ftl/spice/dcop.hpp"
 #include "ftl/spice/measure.hpp"
 #include "ftl/spice/transient.hpp"
@@ -28,34 +29,74 @@ GateMetrics measure_gate(const GateBuilder& build, const logic::TruthTable& f,
   m.switch_count = switch_count;
 
   // ---- Static characterization: one DC operating point per code ----------
+  // All 2^n bias cases run as lanes of one BatchSolver over a single built
+  // circuit: one symbolic LU analysis, retuned input drives per lane —
+  // bitwise identical to building and solving each code standalone.
   m.functional = true;
   m.output_low_max = 0.0;
   m.output_high_min = vdd;
   double power_sum = 0.0;
   std::vector<double> static_power(static_cast<std::size_t>(num_codes), 0.0);
-  for (std::uint64_t code = 0; code < num_codes; ++code) {
+  {
     std::map<int, spice::Waveform> drives;
     for (int v = 0; v < num_vars; ++v) {
-      drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+      drives[v] = spice::Waveform::dc(0.0);
     }
     LatticeCircuit lc = build(drives);
-    const spice::OpResult op = spice::dc_operating_point(lc.circuit);
-    const double out =
-        op.solution[static_cast<std::size_t>(lc.circuit.find_node(lc.output_node))];
+    std::vector<spice::VoltageSource*> pos(static_cast<std::size_t>(num_vars),
+                                           nullptr);
+    std::vector<spice::VoltageSource*> neg(static_cast<std::size_t>(num_vars),
+                                           nullptr);
+    for (int v = 0; v < num_vars; ++v) {
+      const std::string& name = lc.var_names[static_cast<std::size_t>(v)];
+      if (lc.circuit.has_device("Vin_" + name)) {
+        pos[static_cast<std::size_t>(v)] = dynamic_cast<spice::VoltageSource*>(
+            &lc.circuit.device("Vin_" + name));
+      }
+      if (lc.circuit.has_device("Vin_" + name + "_n")) {
+        neg[static_cast<std::size_t>(v)] = dynamic_cast<spice::VoltageSource*>(
+            &lc.circuit.device("Vin_" + name + "_n"));
+      }
+    }
     const auto& supply = dynamic_cast<const spice::VoltageSource&>(
         lc.circuit.device(lc.vdd_source));
-    const double power = vdd * std::fabs(supply.current(op.solution));
-    static_power[static_cast<std::size_t>(code)] = power;
-    power_sum += power;
-    m.static_power_worst = std::max(m.static_power_worst, power);
+    const std::size_t out_index =
+        static_cast<std::size_t>(lc.circuit.find_node(lc.output_node));
 
-    // Both topologies invert: f = 1 pulls the output low.
-    if (f.get(code)) {
-      m.output_low_max = std::max(m.output_low_max, out);
-      m.functional = m.functional && op.converged && out < vdd / 3.0;
-    } else {
-      m.output_high_min = std::min(m.output_high_min, out);
-      m.functional = m.functional && op.converged && out > 2.0 * vdd / 3.0;
+    const auto results = spice::dcop_batch(
+        lc.circuit, static_cast<std::size_t>(num_codes), [&](std::size_t lane) {
+          const std::uint64_t code = static_cast<std::uint64_t>(lane);
+          for (int v = 0; v < num_vars; ++v) {
+            const spice::Waveform w =
+                spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+            if (pos[static_cast<std::size_t>(v)] != nullptr) {
+              pos[static_cast<std::size_t>(v)]->set_waveform(w);
+            }
+            if (neg[static_cast<std::size_t>(v)] != nullptr) {
+              neg[static_cast<std::size_t>(v)]->set_waveform(
+                  w.complemented(vdd));
+            }
+          }
+        });
+    for (std::uint64_t code = 0; code < num_codes; ++code) {
+      const spice::BatchCornerResult& r =
+          results[static_cast<std::size_t>(code)];
+      if (r.failed) throw ftl::Error(r.error);
+      const spice::OpResult& op = r.op;
+      const double out = op.solution[out_index];
+      const double power = vdd * std::fabs(supply.current(op.solution));
+      static_power[static_cast<std::size_t>(code)] = power;
+      power_sum += power;
+      m.static_power_worst = std::max(m.static_power_worst, power);
+
+      // Both topologies invert: f = 1 pulls the output low.
+      if (f.get(code)) {
+        m.output_low_max = std::max(m.output_low_max, out);
+        m.functional = m.functional && op.converged && out < vdd / 3.0;
+      } else {
+        m.output_high_min = std::min(m.output_high_min, out);
+        m.functional = m.functional && op.converged && out > 2.0 * vdd / 3.0;
+      }
     }
   }
   m.static_power_mean = power_sum / static_cast<double>(num_codes);

@@ -39,6 +39,14 @@ SwitchModelParams switch_model_from_fit(const fit::FitResult& fit);
 /// live FitResult.
 SwitchModelParams switch_model_from_level1(const fit::Level1Params& params);
 
+/// Level-1 parameter set of one of the switch's six transistors, exactly as
+/// add_four_terminal_switch instantiates them: `adjacent` selects the
+/// Type A (adjacent-pair, L = 0.35 um) geometry, otherwise Type B. The
+/// batched variability engine uses this to retune Mosfets of a shared
+/// circuit in place with bit-identical parameters to a fresh netlist build.
+fit::Level1Params switch_level1_params(const SwitchModelParams& params,
+                                       bool adjacent);
+
 /// Instantiates one four-terminal switch into `circuit`.
 /// `terminals` are the N/E/S/W node names; `gate` the control node.
 /// Device names are derived from `prefix` (must be unique per switch).

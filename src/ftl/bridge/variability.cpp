@@ -1,10 +1,17 @@
 #include "ftl/bridge/variability.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
 #include <random>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "ftl/spice/batch.hpp"
 #include "ftl/spice/dcop.hpp"
+#include "ftl/spice/mosfet.hpp"
+#include "ftl/spice/sources.hpp"
 #include "ftl/util/error.hpp"
 #include "ftl/util/thread_pool.hpp"
 
@@ -27,16 +34,28 @@ struct TrialOutcome {
   double worst_high = 0.0;
 };
 
-}  // namespace
+/// One fixed perturbation per switch site for one trial — its own RNG
+/// stream, per-cell Vth draw then Kp draw. Shared by both engines so their
+/// dice are literally the same.
+void trial_perturbations(const lattice::Lattice& lattice,
+                         const VariabilityOptions& options, std::size_t trial,
+                         std::vector<double>& dvth, std::vector<double>& dkp) {
+  std::mt19937_64 rng(mix_seed(options.seed, trial));
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  dvth.resize(static_cast<std::size_t>(lattice.cell_count()));
+  dkp.resize(static_cast<std::size_t>(lattice.cell_count()));
+  for (int i = 0; i < lattice.cell_count(); ++i) {
+    dvth[static_cast<std::size_t>(i)] = options.sigma_vth * gauss(rng);
+    dkp[static_cast<std::size_t>(i)] =
+        std::max(1.0 + options.sigma_kp_rel * gauss(rng), 0.05);
+  }
+}
 
-VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
-                                    const logic::TruthTable& target,
-                                    const VariabilityOptions& options) {
-  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
-  FTL_EXPECTS(options.trials >= 1);
-  FTL_EXPECTS(options.sigma_vth >= 0.0 && options.sigma_kp_rel >= 0.0);
-  FTL_EXPECTS(options.max_threads >= 0);
-
+/// The PR 1 engine: fresh netlist + standalone solve per (trial, code).
+void run_per_trial(const lattice::Lattice& lattice,
+                   const logic::TruthTable& target,
+                   const VariabilityOptions& options,
+                   std::vector<TrialOutcome>& outcomes) {
   const double vdd = options.circuit.vdd;
   const double v_low_limit = options.low_fraction * vdd;
   const double v_high_limit = options.high_fraction * vdd;
@@ -46,22 +65,11 @@ VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
   // own result slot. That makes the outcome a pure function of (options,
   // lattice, target) — identical whether the trials run serially or fanned
   // across the thread pool in any schedule.
-  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(options.trials));
   util::parallel_for(
       static_cast<std::size_t>(options.trials),
       [&](std::size_t trial) {
-        std::mt19937_64 rng(mix_seed(options.seed, trial));
-        std::normal_distribution<double> gauss(0.0, 1.0);
-
-        // One fixed perturbation per switch site for this trial; the same
-        // die is then evaluated on every input code.
-        std::vector<double> dvth(static_cast<std::size_t>(lattice.cell_count()));
-        std::vector<double> dkp(static_cast<std::size_t>(lattice.cell_count()));
-        for (int i = 0; i < lattice.cell_count(); ++i) {
-          dvth[static_cast<std::size_t>(i)] = options.sigma_vth * gauss(rng);
-          dkp[static_cast<std::size_t>(i)] =
-              std::max(1.0 + options.sigma_kp_rel * gauss(rng), 0.05);
-        }
+        std::vector<double> dvth, dkp;
+        trial_perturbations(lattice, options, trial, dvth, dkp);
 
         LatticeCircuitOptions circuit_options = options.circuit;
         circuit_options.switch_param_fn =
@@ -106,11 +114,189 @@ VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
         }
       },
       static_cast<std::size_t>(options.max_threads));
+}
+
+/// One worker's contiguous trial chunk through the batched engine: ONE
+/// netlist build for the whole chunk, retuned in place per trial, with all
+/// still-passing trials of the chunk solved as lanes of one
+/// spice::BatchSolver per input code — one symbolic LU analysis amortized
+/// across the population instead of one per (trial, code, Newton rebuild).
+void run_batched_chunk(const lattice::Lattice& lattice,
+                       const logic::TruthTable& target,
+                       const VariabilityOptions& options, int trial_begin,
+                       int trial_end, std::vector<TrialOutcome>& outcomes) {
+  const double vdd = options.circuit.vdd;
+  const double v_low_limit = options.low_fraction * vdd;
+  const double v_high_limit = options.high_fraction * vdd;
+  const std::size_t cells = static_cast<std::size_t>(lattice.cell_count());
+
+  // The same dice as the per-trial engine, drawn up front for the chunk.
+  const std::size_t chunk = static_cast<std::size_t>(trial_end - trial_begin);
+  std::vector<std::vector<double>> dvth(chunk), dkp(chunk);
+  for (std::size_t k = 0; k < chunk; ++k) {
+    trial_perturbations(lattice, options,
+                        static_cast<std::size_t>(trial_begin) + k, dvth[k],
+                        dkp[k]);
+  }
+
+  // One shared circuit. monte_carlo_yield owns the per-switch parameters
+  // (it replaces any caller hook in the per-trial engine too), so the
+  // nominal build drops the hook and every lane mutates from nominal.
+  LatticeCircuitOptions circuit_options = options.circuit;
+  circuit_options.switch_param_fn = nullptr;
+  LatticeCircuit lc = build_lattice_circuit(lattice, {}, circuit_options);
+
+  // Mutation handles: the six transistors of every switch site (kPairs
+  // order — four adjacent Type A, then ns/ew Type B)...
+  static constexpr const char* kTags[6] = {"ne", "es", "sw", "wn", "ns", "ew"};
+  std::vector<std::array<spice::Mosfet*, 6>> fets(cells);
+  for (int r = 0; r < lattice.rows(); ++r) {
+    for (int c = 0; c < lattice.cols(); ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * lattice.cols() + c);
+      const std::string base =
+          "Msw" + std::to_string(r) + "_" + std::to_string(c) + "_";
+      for (std::size_t f = 0; f < 6; ++f) {
+        fets[i][f] = dynamic_cast<spice::Mosfet*>(&lc.circuit.device(base + kTags[f]));
+        FTL_EXPECTS(fets[i][f] != nullptr);
+      }
+    }
+  }
+  // ...and the input drivers (either phase of a variable may be absent).
+  const int num_vars = target.num_vars();
+  std::vector<spice::VoltageSource*> pos(static_cast<std::size_t>(num_vars),
+                                         nullptr);
+  std::vector<spice::VoltageSource*> neg(static_cast<std::size_t>(num_vars),
+                                         nullptr);
+  for (int v = 0; v < num_vars; ++v) {
+    const std::string& name =
+        lattice.var_names()[static_cast<std::size_t>(v)];
+    if (lc.circuit.has_device("Vin_" + name)) {
+      pos[static_cast<std::size_t>(v)] = dynamic_cast<spice::VoltageSource*>(
+          &lc.circuit.device("Vin_" + name));
+    }
+    if (lc.circuit.has_device("Vin_" + name + "_n")) {
+      neg[static_cast<std::size_t>(v)] = dynamic_cast<spice::VoltageSource*>(
+          &lc.circuit.device("Vin_" + name + "_n"));
+    }
+  }
+  const std::size_t out_index =
+      static_cast<std::size_t>(lc.circuit.find_node(lc.output_node));
+  const SwitchModelParams& nominal = options.circuit.switch_model;
+
+  std::vector<int> active;
+  for (int t = trial_begin; t < trial_end; ++t) {
+    TrialOutcome& outcome = outcomes[static_cast<std::size_t>(t)];
+    outcome.pass = true;
+    outcome.worst_low = 0.0;
+    outcome.worst_high = vdd;
+    active.push_back(t);
+  }
+
+  for (std::uint64_t code = 0; code < target.num_minterms() && !active.empty();
+       ++code) {
+    // Retune the drivers to this input code — the same Waveform
+    // construction build_lattice_circuit would have baked in.
+    for (int v = 0; v < num_vars; ++v) {
+      const spice::Waveform w =
+          spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+      if (pos[static_cast<std::size_t>(v)] != nullptr) {
+        pos[static_cast<std::size_t>(v)]->set_waveform(w);
+      }
+      if (neg[static_cast<std::size_t>(v)] != nullptr) {
+        neg[static_cast<std::size_t>(v)]->set_waveform(w.complemented(vdd));
+      }
+    }
+
+    const auto apply = [&](std::size_t lane) {
+      const std::size_t k =
+          static_cast<std::size_t>(active[lane] - trial_begin);
+      for (std::size_t i = 0; i < cells; ++i) {
+        SwitchModelParams p = nominal;
+        p.vth = nominal.vth + dvth[k][i];
+        p.kp = nominal.kp * dkp[k][i];
+        const fit::Level1Params type_a = switch_level1_params(p, true);
+        const fit::Level1Params type_b = switch_level1_params(p, false);
+        for (std::size_t f = 0; f < 4; ++f) fets[i][f]->set_params(type_a);
+        fets[i][4]->set_params(type_b);
+        fets[i][5]->set_params(type_b);
+      }
+    };
+    const std::vector<spice::BatchCornerResult> results =
+        spice::dcop_batch(lc.circuit, active.size(), apply);
+
+    std::vector<int> still;
+    for (std::size_t lane = 0; lane < active.size(); ++lane) {
+      TrialOutcome& outcome =
+          outcomes[static_cast<std::size_t>(active[lane])];
+      const spice::BatchCornerResult& r = results[lane];
+      if (r.failed) {
+        // A die whose operating point cannot be found is a failing die.
+        outcome.pass = false;
+        continue;
+      }
+      const double out = r.op.solution[out_index];
+      if (target.get(code)) {
+        outcome.worst_low = std::max(outcome.worst_low, out);
+        outcome.pass = r.op.converged && out < v_low_limit;
+      } else {
+        outcome.worst_high = std::min(outcome.worst_high, out);
+        outcome.pass = r.op.converged && out > v_high_limit;
+      }
+      if (outcome.pass) still.push_back(active[lane]);
+    }
+    active.swap(still);
+  }
+}
+
+void run_batched(const lattice::Lattice& lattice,
+                 const logic::TruthTable& target,
+                 const VariabilityOptions& options,
+                 std::vector<TrialOutcome>& outcomes) {
+  // Threads split the batch, never a trial: one contiguous chunk of trials
+  // per worker, each chunk with its own shared circuit and BatchSolver.
+  // Chunk boundaries cannot affect results — every trial's outcome is a
+  // pure function of its own matrices — so any worker count reduces to the
+  // same answer, exactly like the per-trial engine's schedule independence.
+  std::size_t workers =
+      options.max_threads > 0
+          ? static_cast<std::size_t>(options.max_threads)
+          : static_cast<std::size_t>(std::thread::hardware_concurrency());
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, static_cast<std::size_t>(options.trials));
+  const std::size_t trials = static_cast<std::size_t>(options.trials);
+  util::parallel_for(
+      workers,
+      [&](std::size_t w) {
+        const int begin = static_cast<int>(trials * w / workers);
+        const int end = static_cast<int>(trials * (w + 1) / workers);
+        if (begin < end) {
+          run_batched_chunk(lattice, target, options, begin, end, outcomes);
+        }
+      },
+      workers);
+}
+
+}  // namespace
+
+VariabilityResult monte_carlo_yield(const lattice::Lattice& lattice,
+                                    const logic::TruthTable& target,
+                                    const VariabilityOptions& options) {
+  FTL_EXPECTS(lattice.num_vars() == target.num_vars());
+  FTL_EXPECTS(options.trials >= 1);
+  FTL_EXPECTS(options.sigma_vth >= 0.0 && options.sigma_kp_rel >= 0.0);
+  FTL_EXPECTS(options.max_threads >= 0);
+
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(options.trials));
+  if (options.engine == VariabilityEngine::kBatched) {
+    run_batched(lattice, target, options, outcomes);
+  } else {
+    run_per_trial(lattice, target, options, outcomes);
+  }
 
   VariabilityResult result;
   result.trials = options.trials;
   result.worst_low = 0.0;
-  result.worst_high = vdd;
+  result.worst_high = options.circuit.vdd;
   for (const TrialOutcome& outcome : outcomes) {
     if (outcome.pass) ++result.passing;
     result.worst_low = std::max(result.worst_low, outcome.worst_low);

@@ -12,6 +12,21 @@
 
 namespace ftl::bridge {
 
+/// Which solver path the Monte-Carlo sweep runs. Both produce bitwise
+/// identical results — the batched engine's accepted LU replays are exact
+/// reproductions of the standalone factorizations — so the per-trial path
+/// survives only as the differential baseline the tests and the
+/// bench_spice_batch gate compare against.
+enum class VariabilityEngine {
+  /// One shared circuit per worker chunk, retuned in place per trial, all
+  /// trials of a chunk solved through one spice::BatchSolver per input code
+  /// (one symbolic LU analysis amortized across the population).
+  kBatched,
+  /// The PR 1 path: a fresh netlist build and standalone
+  /// dc_operating_point per (trial, code).
+  kPerTrial,
+};
+
 struct VariabilityOptions {
   double sigma_vth = 0.0;     ///< std-dev of the per-switch Vth shift, V
   double sigma_kp_rel = 0.0;  ///< relative std-dev of per-switch Kp
@@ -20,7 +35,10 @@ struct VariabilityOptions {
   /// Thread fan-out across trials: 0 = hardware concurrency, 1 = serial.
   /// The result is identical for every setting — each trial derives its own
   /// RNG stream from (seed, trial index) and results reduce in trial order.
+  /// The batched engine splits trials into one contiguous chunk per thread
+  /// (threads split the batch, never a trial).
   int max_threads = 0;
+  VariabilityEngine engine = VariabilityEngine::kBatched;
   LatticeCircuitOptions circuit;
   /// Logic thresholds as fractions of VDD for the pass/fail decision.
   double low_fraction = 1.0 / 3.0;

@@ -6,9 +6,11 @@
 
 #include "ftl/bridge/chain_netlist.hpp"
 #include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/bridge/variability.hpp"
 #include "ftl/fit/extract.hpp"
 #include "ftl/jobs/digest.hpp"
 #include "ftl/lattice/known_mappings.hpp"
+#include "ftl/spice/batch.hpp"
 #include "ftl/spice/dcop.hpp"
 #include "ftl/spice/measure.hpp"
 #include "ftl/spice/transient.hpp"
@@ -407,6 +409,63 @@ Artifact fig12b_job(const PipelineOptions& pipeline_options, JobContext& ctx) {
   return out;
 }
 
+// sweep_batch: the batched-corner engine as a pipeline stage. Runs the §V
+// Monte-Carlo yield of the XOR3 bench (all trials of a worker chunk solved
+// as lanes of one BatchSolver per input code) plus a Fig. 12 chain supply
+// sweep through chain_current_batch, and folds the engine's batch_core
+// counter deltas into the job telemetry.
+Artifact sweep_batch_job(const PipelineOptions& pipeline_options,
+                         JobContext& ctx) {
+  const bridge::SwitchModelParams model =
+      bridge::switch_model_from_level1(level1_from_artifact(ctx.input(0)));
+  const spice::BatchCounters before = spice::batch_counters();
+
+  bridge::VariabilityOptions vo;
+  vo.sigma_vth = 0.01;
+  vo.sigma_kp_rel = 0.05;
+  vo.trials = pipeline_options.mc_trials;
+  vo.max_threads = pipeline_options.workers;
+  vo.circuit.switch_model = model;
+  const bridge::VariabilityResult mc = bridge::monte_carlo_yield(
+      lattice::xor3_lattice_3x3(), lattice::xor3_truth_table(), vo);
+
+  // Fig. 12 drive sweep: one chain topology, all supply corners as lanes
+  // of a single symbolic analysis (gate rail tracking the supply).
+  const int chain_n = std::min(5, pipeline_options.chain_max);
+  std::vector<double> volts;
+  for (int i = 0; i <= 10; ++i) volts.push_back(0.3 + 0.27 * i);
+  const std::vector<double> currents =
+      bridge::chain_current_batch(chain_n, volts, volts, model);
+
+  Artifact out;
+  out.set_columns({"v", "current"});
+  for (std::size_t i = 0; i < volts.size(); ++i) {
+    out.add_row({volts[i], currents[i]});
+  }
+  out.scalars["trials"] = static_cast<double>(mc.trials);
+  out.scalars["yield"] = mc.yield();
+  out.scalars["worst_low"] = mc.worst_low;
+  out.scalars["worst_high"] = mc.worst_high;
+  out.scalars["chain_n"] = static_cast<double>(chain_n);
+
+  // batch_core deltas — the process-wide counters are safe to difference
+  // here because no other pipeline job routes through the batch engine.
+  const spice::BatchCounters after = spice::batch_counters();
+  ctx.counter("batches", static_cast<double>(after.batches - before.batches));
+  ctx.counter("lanes", static_cast<double>(after.lanes - before.lanes));
+  ctx.counter("symbolic_reuses", static_cast<double>(after.symbolic_reuses -
+                                                     before.symbolic_reuses));
+  ctx.counter("numeric_refactors", static_cast<double>(
+                                       after.numeric_refactors -
+                                       before.numeric_refactors));
+  ctx.counter("lane_fallbacks", static_cast<double>(after.lane_fallbacks -
+                                                    before.lane_fallbacks));
+  ctx.counter("newton_iterations", static_cast<double>(
+                                       after.newton_iterations -
+                                       before.newton_iterations));
+  return out;
+}
+
 std::uint64_t base_digest(const PipelineOptions& options, const char* recipe) {
   Digest d;
   d.str(recipe);
@@ -612,6 +671,22 @@ PaperPipeline build_paper_pipeline(const PipelineOptions& options) {
     desc.param_digest = d.value();
     desc.deps = {fit_a, fig12a};
     desc.fn = [options](JobContext& ctx) { return fig12b_job(options, ctx); };
+    add(std::move(desc));
+  }
+  {
+    JobDesc desc;
+    desc.name = "sweep_batch";
+    Digest d;
+    d.u64(base_digest(options, "sweep-batch-v1"));
+    d.i64(options.mc_trials);
+    d.i64(options.chain_max);
+    // options.workers stays out of the digest: the batched engine is
+    // bitwise-deterministic across thread counts.
+    desc.param_digest = d.value();
+    desc.deps = {fit_a};
+    desc.fn = [options](JobContext& ctx) {
+      return sweep_batch_job(options, ctx);
+    };
     add(std::move(desc));
   }
 

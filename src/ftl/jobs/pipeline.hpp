@@ -30,6 +30,12 @@ struct PipelineOptions {
   int chain_max = 21;     ///< Fig. 12 longest series chain
   double transient_dt = 0.2e-9;  ///< Fig. 11 transient step, s
   int transient_periods = 8;     ///< Fig. 11 stimulus periods of 40 ns
+  int mc_trials = 64;     ///< sweep_batch Monte-Carlo trials
+  /// SPICE-stage thread cap (0 = hardware concurrency), forwarded to
+  /// VariabilityOptions::max_threads by the sweep_batch job so CI runners
+  /// can pin their fan-out. Results are identical for every setting, so
+  /// this is deliberately NOT part of any cache digest.
+  int workers = 0;
 };
 
 struct PaperPipeline {

@@ -16,10 +16,14 @@ void TripletList::add(std::size_t r, std::size_t c, double v) {
 SparseMatrix::SparseMatrix(const TripletList& triplets, ZeroPolicy policy)
     : rows_(triplets.rows()), cols_(triplets.cols()) {
   std::vector<TripletList::Entry> sorted = triplets.entries();
-  std::sort(sorted.begin(), sorted.end(),
-            [](const TripletList::Entry& a, const TripletList::Entry& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
+  // stable_sort, not sort: duplicate (row, col) entries must accumulate in
+  // insertion order, so a first-pass merge sums a slot in exactly the order
+  // later pattern-cached assemblies add into it (bitwise-reproducible MNA
+  // values whether or not the pattern was already frozen).
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TripletList::Entry& a, const TripletList::Entry& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
 
   row_start_.assign(rows_ + 1, 0);
   col_index_.reserve(sorted.size());

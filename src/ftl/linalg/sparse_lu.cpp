@@ -1,5 +1,6 @@
 #include "ftl/linalg/sparse_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -181,57 +182,89 @@ void SparseLu::factor(const SparseMatrix& a, const Options& options) {
   factor(a.view(), options);
 }
 
-bool SparseLu::refactor(const CsrView& a, const Options& options) {
+bool SparseLu::refactor_into(const CsrView& a, const Options& options,
+                             double* l_values, double* u_values, double* u_diag,
+                             std::vector<double>& x) const {
   if (n_ == 0 || !pattern_matches(a)) return false;
   const std::size_t n = n_;
+  x.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t reach_begin = reach_start_[k];
     const std::size_t reach_end = reach_start_[k + 1];
     for (std::size_t px = reach_begin; px < reach_end; ++px) {
-      x_[reach_[px]] = 0.0;
+      x[reach_[px]] = 0.0;
     }
     for (std::size_t p = acol_start_[k]; p < acol_start_[k + 1]; ++p) {
-      x_[arow_index_[p]] = a.values[aperm_[p]];
+      x[arow_index_[p]] = a.values[aperm_[p]];
     }
     for (std::size_t px = reach_begin; px < reach_end; ++px) {
       const std::size_t j = reach_[px];
       const std::size_t jcol = pinv_[j];
       if (jcol >= k) continue;  // not eliminated before this column
-      const double xj = x_[j];
+      const double xj = x[j];
       if (xj == 0.0) continue;
       for (std::size_t p = l_col_start_[jcol]; p < l_col_start_[jcol + 1]; ++p) {
-        x_[l_rows_[p]] -= l_values_[p] * xj;
+        x[l_rows_[p]] -= l_values[p] * xj;
       }
     }
 
-    // Reused pivot must still dominate its candidates well enough.
-    const double pivot = x_[perm_[k]];
-    double colmax = 0.0;
+    // Re-run the pivot selection exactly as factor() does. The recorded
+    // reach is still in the topological order the DFS emitted it, and with
+    // pinv_ holding its final values, "unassigned when column k was
+    // factored" is exactly pinv_[j] >= k. Any disagreement with the
+    // recorded pivot means a fresh factorization would permute differently,
+    // so the replayed elimination would no longer match the symbolic
+    // record: reject and let the caller re-factor.
+    double maxabs = 0.0;
+    std::size_t pivot_row = kUnassigned;
+    bool diag_in_reach = false;
     for (std::size_t px = reach_begin; px < reach_end; ++px) {
       const std::size_t j = reach_[px];
-      if (pinv_[j] >= k) colmax = std::max(colmax, std::fabs(x_[j]));
+      if (j == k) diag_in_reach = true;
+      if (pinv_[j] < k) continue;  // already eliminated at step k
+      const double v = std::fabs(x[j]);
+      if (v > maxabs) {
+        maxabs = v;
+        pivot_row = j;
+      }
     }
-    if (std::fabs(pivot) <= options.pivot_floor ||
-        std::fabs(pivot) < options.refactor_rel * colmax) {
+    if (pivot_row == kUnassigned || maxabs <= options.pivot_floor) {
+      return false;  // factor() would throw; let it report the singularity
+    }
+    if (diag_in_reach && pinv_[k] >= k &&
+        std::fabs(x[k]) >= options.diag_preference * maxabs) {
+      pivot_row = k;  // the diagonal preference factor() would apply
+    }
+    if (pivot_row != perm_[k]) return false;  // pivot order drifted
+
+    const double pivot = x[pivot_row];
+    if (std::fabs(pivot) < options.refactor_rel * maxabs) {
       return false;  // factors now partially stale: caller must factor()
     }
 
-    u_diag_[k] = pivot;
+    u_diag[k] = pivot;
     for (std::size_t p = u_col_start_[k]; p < u_col_start_[k + 1]; ++p) {
-      u_values_[p] = x_[perm_[u_rows_[p]]];
+      u_values[p] = x[perm_[u_rows_[p]]];
     }
     for (std::size_t p = l_col_start_[k]; p < l_col_start_[k + 1]; ++p) {
-      l_values_[p] = x_[l_rows_[p]] / pivot;
+      l_values[p] = x[l_rows_[p]] / pivot;
     }
   }
   return true;
+}
+
+bool SparseLu::refactor(const CsrView& a, const Options& options) {
+  return refactor_into(a, options, l_values_.data(), u_values_.data(),
+                       u_diag_.data(), x_);
 }
 
 bool SparseLu::refactor(const SparseMatrix& a, const Options& options) {
   return refactor(a.view(), options);
 }
 
-void SparseLu::solve(const Vector& b, Vector& x) const {
+void SparseLu::solve_with(const double* l_values, const double* u_values,
+                          const double* u_diag, const Vector& b,
+                          Vector& x) const {
   FTL_EXPECTS(n_ > 0 && b.size() == n_);
   x.resize(n_);
   for (std::size_t k = 0; k < n_; ++k) x[k] = b[perm_[k]];
@@ -240,23 +273,141 @@ void SparseLu::solve(const Vector& b, Vector& x) const {
     const double xj = x[j];
     if (xj == 0.0) continue;
     for (std::size_t p = l_col_start_[j]; p < l_col_start_[j + 1]; ++p) {
-      x[l_pivot_rows_[p]] -= l_values_[p] * xj;
+      x[l_pivot_rows_[p]] -= l_values[p] * xj;
     }
   }
   // Back substitution on U (columns high to low).
   for (std::size_t k = n_; k-- > 0;) {
-    const double xk = (x[k] /= u_diag_[k]);
+    const double xk = (x[k] /= u_diag[k]);
     if (xk == 0.0) continue;
     for (std::size_t p = u_col_start_[k]; p < u_col_start_[k + 1]; ++p) {
-      x[u_rows_[p]] -= u_values_[p] * xk;
+      x[u_rows_[p]] -= u_values[p] * xk;
     }
   }
+}
+
+void SparseLu::solve(const Vector& b, Vector& x) const {
+  solve_with(l_values_.data(), u_values_.data(), u_diag_.data(), b, x);
 }
 
 Vector SparseLu::solve(const Vector& b) const {
   Vector x;
   solve(b, x);
   return x;
+}
+
+// ---------------------------------------------------------------------------
+// SparseLuBatch
+
+void SparseLuBatch::reset(std::size_t lanes) {
+  lanes_ = lanes;
+  shared_ = SparseLu();
+  l_stride_ = u_stride_ = 0;
+  lane_l_.clear();
+  lane_u_.clear();
+  lane_d_.clear();
+  state_.assign(lanes, LaneState::kEmpty);
+  fallback_.clear();
+  fallback_.resize(lanes);
+  counters_ = SparseLuBatchCounters();
+}
+
+void SparseLuBatch::invalidate() {
+  shared_ = SparseLu();
+  l_stride_ = u_stride_ = 0;
+  lane_l_.clear();
+  lane_u_.clear();
+  lane_d_.clear();
+  std::fill(state_.begin(), state_.end(), LaneState::kEmpty);
+  for (auto& own : fallback_) own.reset();
+}
+
+void SparseLuBatch::factor_lane(std::size_t lane, const CsrView& a,
+                                const Options& options) {
+  FTL_EXPECTS(lane < lanes_);
+  if (!shared_.factored()) {
+    // First lane through: run the full analysis and adopt its pattern as the
+    // shared symbolic record. Its values seed this lane's block. A throwing
+    // factor() leaves factored() true on half-built state, so reset before
+    // propagating — nothing may replay off an aborted analysis.
+    try {
+      shared_.factor(a, options);  // throws on singular input
+    } catch (...) {
+      shared_ = SparseLu();
+      throw;
+    }
+    ++counters_.symbolic_factors;
+    l_stride_ = shared_.l_values_.size();
+    u_stride_ = shared_.u_values_.size();
+    lane_l_.assign(lanes_ * l_stride_, 0.0);
+    lane_u_.assign(lanes_ * u_stride_, 0.0);
+    lane_d_.assign(lanes_ * shared_.n_, 0.0);
+    std::copy(shared_.l_values_.begin(), shared_.l_values_.end(),
+              lane_l_.begin() + static_cast<std::ptrdiff_t>(lane * l_stride_));
+    std::copy(shared_.u_values_.begin(), shared_.u_values_.end(),
+              lane_u_.begin() + static_cast<std::ptrdiff_t>(lane * u_stride_));
+    std::copy(shared_.u_diag_.begin(), shared_.u_diag_.end(),
+              lane_d_.begin() + static_cast<std::ptrdiff_t>(lane * shared_.n_));
+    state_[lane] = LaneState::kShared;
+    return;
+  }
+  // A lane that previously went private still tries the shared replay first:
+  // acceptance is a property of the values, not of the lane's history, and a
+  // replayed factor is bitwise identical to the private full factor anyway.
+  double* l = lane_l_.data() + lane * l_stride_;
+  double* u = lane_u_.data() + lane * u_stride_;
+  double* d = lane_d_.data() + lane * shared_.n_;
+  if (shared_.refactor_into(a, options, l, u, d, x_)) {
+    ++counters_.symbolic_reuses;
+    ++counters_.numeric_refactors;
+    state_[lane] = LaneState::kShared;
+    return;
+  }
+  ++counters_.lane_fallbacks;
+  auto& own = fallback_[lane];
+  if (!own) own = std::make_unique<SparseLu>();
+  if (own->factored() && own->refactor(a, options)) {
+    ++counters_.numeric_refactors;
+  } else {
+    try {
+      own->factor(a, options);  // throws on singular input
+    } catch (...) {
+      own.reset();  // an aborted factor must not satisfy factored() later
+      throw;
+    }
+    ++counters_.symbolic_factors;
+  }
+  state_[lane] = LaneState::kPrivate;
+}
+
+void SparseLuBatch::solve_lane(std::size_t lane, const Vector& b,
+                               Vector& x) const {
+  FTL_EXPECTS(lane < lanes_);
+  FTL_EXPECTS(state_[lane] != LaneState::kEmpty);
+  if (state_[lane] == LaneState::kPrivate) {
+    fallback_[lane]->solve(b, x);
+    return;
+  }
+  shared_.solve_with(lane_l_.data() + lane * l_stride_,
+                     lane_u_.data() + lane * u_stride_,
+                     lane_d_.data() + lane * shared_.n_, b, x);
+}
+
+void SparseLuBatch::refactor_batch(const std::vector<CsrView>& matrices,
+                                   const Options& options) {
+  FTL_EXPECTS(matrices.size() == lanes_);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    factor_lane(lane, matrices[lane], options);
+  }
+}
+
+void SparseLuBatch::solve_batch(const std::vector<Vector>& rhs,
+                                std::vector<Vector>& x) const {
+  FTL_EXPECTS(rhs.size() == lanes_);
+  x.resize(lanes_);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    solve_lane(lane, rhs[lane], x[lane]);
+  }
 }
 
 }  // namespace ftl::linalg

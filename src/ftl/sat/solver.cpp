@@ -22,6 +22,7 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> propagations{0};
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<std::uint64_t> learned_clauses{0};
+  std::atomic<std::uint64_t> minimized_literals{0};
   std::atomic<std::uint64_t> cegar_rounds{0};
   std::atomic<std::uint64_t> proof_clauses{0};
   std::atomic<std::uint64_t> proof_checks{0};
@@ -74,6 +75,8 @@ SatCounters sat_counters() {
   out.propagations = c.propagations.load(std::memory_order_relaxed);
   out.restarts = c.restarts.load(std::memory_order_relaxed);
   out.learned_clauses = c.learned_clauses.load(std::memory_order_relaxed);
+  out.minimized_literals =
+      c.minimized_literals.load(std::memory_order_relaxed);
   out.cegar_rounds = c.cegar_rounds.load(std::memory_order_relaxed);
   out.proof_clauses = c.proof_clauses.load(std::memory_order_relaxed);
   out.proof_checks = c.proof_checks.load(std::memory_order_relaxed);
@@ -92,6 +95,7 @@ void reset_sat_counters() {
   c.propagations.store(0, std::memory_order_relaxed);
   c.restarts.store(0, std::memory_order_relaxed);
   c.learned_clauses.store(0, std::memory_order_relaxed);
+  c.minimized_literals.store(0, std::memory_order_relaxed);
   c.cegar_rounds.store(0, std::memory_order_relaxed);
   c.proof_clauses.store(0, std::memory_order_relaxed);
   c.proof_checks.store(0, std::memory_order_relaxed);
@@ -187,6 +191,8 @@ struct Solver::Impl {
   std::vector<int> level;         ///< per-var decision level
   std::vector<double> activity;   ///< per-var VSIDS activity
   std::vector<char> seen;         ///< analyze() scratch
+  std::vector<Lit> analyze_stack;    ///< lit_redundant() DFS worklist
+  std::vector<Lit> analyze_toclear;  ///< seen[] marks to undo after analyze
 
   std::vector<Lit> trail;
   std::vector<int> trail_lim;  ///< trail index at each decision level
@@ -449,6 +455,27 @@ struct Solver::Impl {
     } while (path_count > 0);
     out_learnt[0] = ~p;
 
+    // Minimize by recursive self-subsumption BEFORE picking the backjump
+    // level: dropping a literal can lower the second-highest level in the
+    // clause, and slot 1 must hold the surviving watch.
+    analyze_toclear.assign(out_learnt.begin(), out_learnt.end());
+    if (options.minimize_learnts) {
+      std::uint32_t abstract_levels = 0;
+      for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+        abstract_levels |= abstract_level(out_learnt[k].var());
+      }
+      std::size_t j = 1;
+      for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+        const Lit q = out_learnt[k];
+        if (reason[static_cast<std::size_t>(q.var())] == nullptr ||
+            !lit_redundant(q, abstract_levels)) {
+          out_learnt[j++] = q;
+        }
+      }
+      stats.minimized_literals += out_learnt.size() - j;
+      out_learnt.resize(j);
+    }
+
     // Backjump to the second-highest decision level in the clause, keeping
     // that literal in slot 1 so it becomes the other watch.
     out_btlevel = 0;
@@ -463,9 +490,54 @@ struct Solver::Impl {
       std::swap(out_learnt[1], out_learnt[max_i]);
       out_btlevel = level[static_cast<std::size_t>(out_learnt[1].var())];
     }
-    for (const Lit q : out_learnt) {
+    // Clear from the pre-minimization snapshot plus lit_redundant's marks —
+    // out_learnt alone would leave dropped literals' seen bits set.
+    for (const Lit q : analyze_toclear) {
       seen[static_cast<std::size_t>(q.var())] = 0;
     }
+  }
+
+  /// One-hot abstraction of a variable's decision level (MiniSat's
+  /// abstractLevel): cheap set-membership filter for lit_redundant — a
+  /// reason literal whose level bit is outside the learnt clause's level
+  /// mask can never resolve away.
+  std::uint32_t abstract_level(Var v) const {
+    return 1u << (level[static_cast<std::size_t>(v)] & 31);
+  }
+
+  /// True when `p` is implied by the rest of the learnt clause: DFS through
+  /// reason clauses, succeeding only if every path bottoms out in literals
+  /// already in the clause (seen) or at level 0. Redundant intermediates
+  /// keep their seen mark as memoization (undone after analyze via
+  /// analyze_toclear); on failure all marks added by this call are unwound.
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels) {
+    analyze_stack.clear();
+    analyze_stack.push_back(p);
+    const std::size_t top = analyze_toclear.size();
+    while (!analyze_stack.empty()) {
+      const Lit q = analyze_stack.back();
+      analyze_stack.pop_back();
+      const Clause& c = *reason[static_cast<std::size_t>(q.var())];
+      // Slot 0 of a reason clause is the implied literal itself.
+      for (std::size_t k = 1; k < c.lits.size(); ++k) {
+        const Lit l = c.lits[k];
+        const auto v = static_cast<std::size_t>(l.var());
+        if (seen[v] != 0 || level[v] == 0) continue;
+        if (reason[v] != nullptr &&
+            (abstract_level(l.var()) & abstract_levels) != 0) {
+          seen[v] = 1;
+          analyze_stack.push_back(l);
+          analyze_toclear.push_back(l);
+        } else {
+          for (std::size_t i = top; i < analyze_toclear.size(); ++i) {
+            seen[static_cast<std::size_t>(analyze_toclear[i].var())] = 0;
+          }
+          analyze_toclear.resize(top);
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
   /// Failed-assumption extraction: the conflict set reached from ~p through
@@ -627,6 +699,9 @@ struct Solver::Impl {
                          std::memory_order_relaxed);
     c.learned_clauses.fetch_add(stats.learned_clauses - flushed.learned_clauses,
                                 std::memory_order_relaxed);
+    c.minimized_literals.fetch_add(
+        stats.minimized_literals - flushed.minimized_literals,
+        std::memory_order_relaxed);
     c.proof_clauses.fetch_add(proof.derived - flushed_proof_clauses,
                               std::memory_order_relaxed);
     flushed_proof_clauses = proof.derived;

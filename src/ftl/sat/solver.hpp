@@ -54,6 +54,13 @@ struct SolverOptions {
   /// Conflict budget per solve() call; kUndef is returned when it runs out
   /// (the solver stays usable and the budget can be raised). -1 = unlimited.
   std::int64_t max_conflicts = -1;
+  /// Minimize learnt clauses by recursive self-subsumption before they are
+  /// recorded: a literal whose reason clause resolves away entirely within
+  /// the learnt clause's level set is implied by the rest of the clause and
+  /// is dropped. Shorter learnt clauses propagate more and cost less to
+  /// walk; disable only for differential testing against the raw first-UIP
+  /// clauses (verdicts are identical either way).
+  bool minimize_learnts = true;
   /// Log a DRAT proof (inputs, learnt clauses, deletions) into an in-memory
   /// sink and run the embedded DratChecker on every kFalse verdict, making
   /// each UNSAT answer machine-checked instead of trusted. The verdict is
@@ -72,6 +79,9 @@ struct SolveStats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;
   std::uint64_t deleted_clauses = 0;  ///< learnt clauses dropped by reduce
+  /// Literals removed from learnt clauses by self-subsumption minimization
+  /// (SolverOptions::minimize_learnts).
+  std::uint64_t minimized_literals = 0;
   std::uint64_t seed = 1;             ///< decision seed (from SolverOptions)
 };
 
@@ -172,6 +182,7 @@ struct SatCounters {
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
+  std::uint64_t minimized_literals = 0;  ///< dropped by clause minimization
   std::uint64_t cegar_rounds = 0;  ///< refinement rounds (lattice::synth_sat)
   std::uint64_t proof_clauses = 0;   ///< derived clauses logged to proofs
   std::uint64_t proof_checks = 0;    ///< DratChecker runs

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ftl/bridge/metrics.hpp"
+#include "ftl/bridge/variability.hpp"
 #include "ftl/check/equivalence.hpp"
 #include "ftl/check/lattice.hpp"
 #include "ftl/check/lattice_sat.hpp"
@@ -31,6 +32,8 @@
 #include "ftl/logic/expr_parser.hpp"
 #include "ftl/sat/solver.hpp"
 #include "ftl/serve/json.hpp"
+#include "ftl/spice/batch.hpp"
+#include "ftl/spice/linear_solver.hpp"
 #include "ftl/util/thread_pool.hpp"
 
 namespace ftl::serve {
@@ -483,6 +486,64 @@ JsonValue handle_metrics(const JsonValue& req, const Deadline& deadline) {
   return body;
 }
 
+// sweep_batch: the batched corner/variability engine as a service op — a
+// Monte-Carlo yield sweep of the requested lattice through
+// bridge::monte_carlo_yield's BatchSolver path. Deterministic for fixed
+// parameters at ANY worker count (lanes reduce in trial order; threads
+// split the batch, never a trial), so it is a pure, cacheable op; the
+// engine's process-wide counters surface in `stats` as batch_core.
+JsonValue handle_sweep_batch(const JsonValue& req, const Deadline& deadline) {
+  LatticeSpec spec = lattice_spec_from(req);
+  if (spec.lat.num_vars() > 6) {
+    throw Error("sweep_batch characterization needs num_vars <= 6");
+  }
+  bridge::VariabilityOptions options;
+  options.trials = req.find("trials") != nullptr
+                       ? require_int(req, "trials", 1, 4096)
+                       : 32;
+  options.sigma_vth = req.number_or("sigma_vth", 0.01);
+  options.sigma_kp_rel = req.number_or("sigma_kp_rel", 0.05);
+  if (options.sigma_vth < 0.0 || options.sigma_kp_rel < 0.0 ||
+      options.sigma_vth > 10.0 || options.sigma_kp_rel > 10.0) {
+    throw Error("'sigma_vth'/'sigma_kp_rel' must be in [0, 10]");
+  }
+  options.seed = static_cast<std::uint64_t>(req.number_or("seed", 1.0));
+  options.max_threads = req.find("workers") != nullptr
+                            ? require_int(req, "workers", 0, 4096)
+                            : 0;
+  if (const JsonValue* e = req.find("engine")) {
+    const std::string name = e->is_string() ? e->as_string() : "";
+    if (name == "per_trial") {
+      // Differential baseline: same dice, fresh netlist + standalone solve
+      // per (trial, code). Bitwise identical to the batched engine.
+      options.engine = bridge::VariabilityEngine::kPerTrial;
+    } else if (name != "batched") {
+      throw Error("'engine' must be 'batched' or 'per_trial'");
+    }
+  }
+  deadline.check("target function");
+  const logic::TruthTable target =
+      spec.target ? *spec.target : lattice::realized_truth_table(spec.lat);
+  deadline.check("simulation");
+  const bridge::VariabilityResult result =
+      bridge::monte_carlo_yield(spec.lat, target, options);
+  deadline.check("serialization");
+
+  JsonValue body = body_for("sweep_batch");
+  body.set("rows", JsonValue::number(spec.lat.rows()));
+  body.set("cols", JsonValue::number(spec.lat.cols()));
+  body.set("trials", JsonValue::number(result.trials));
+  body.set("passing", JsonValue::number(result.passing));
+  body.set("yield", JsonValue::number(result.yield()));
+  body.set("worst_low", JsonValue::number(result.worst_low));
+  body.set("worst_high", JsonValue::number(result.worst_high));
+  body.set("engine", JsonValue::str(
+                         options.engine == bridge::VariabilityEngine::kBatched
+                             ? "batched"
+                             : "per_trial"));
+  return body;
+}
+
 JsonValue handle_explore(const JsonValue& req, const Deadline& deadline,
                          library::LatticeLibrary* lib) {
   const logic::ParsedFunction parsed = logic::parse_expression(
@@ -653,7 +714,8 @@ JsonValue handle_sleep(const JsonValue& req, const Deadline& deadline) {
 
 bool is_pure_op(const std::string& op) {
   return op == "synth" || op == "synth_sat" || op == "eval" ||
-         op == "paths" || op == "metrics" || op == "explore" || op == "lint";
+         op == "paths" || op == "metrics" || op == "sweep_batch" ||
+         op == "explore" || op == "lint";
 }
 
 /// Canonical parameter rendering for the cache key: the request object with
@@ -781,6 +843,7 @@ struct Service::Impl {
     if (op == "eval") return handle_eval(req, deadline);
     if (op == "paths") return handle_paths(req, deadline);
     if (op == "metrics") return handle_metrics(req, deadline);
+    if (op == "sweep_batch") return handle_sweep_batch(req, deadline);
     if (op == "explore") return handle_explore(req, deadline, lib.get());
     if (op == "lint") return handle_lint(req, deadline);
     if (op == "sleep") return handle_sleep(req, deadline);
@@ -793,7 +856,7 @@ struct Service::Impl {
     }
     throw Error("unknown op '" + op +
                 "' (expected ping, synth, synth_sat, eval, paths, metrics, "
-                "explore, lint, stats, sleep, or shutdown)");
+                "sweep_batch, explore, lint, stats, sleep, or shutdown)");
   }
 
   JsonValue handle_stats() {
@@ -861,12 +924,40 @@ struct Service::Impl {
     sat_core.set("propagations", get_u64(sc.propagations));
     sat_core.set("restarts", get_u64(sc.restarts));
     sat_core.set("learned_clauses", get_u64(sc.learned_clauses));
+    sat_core.set("minimized_literals", get_u64(sc.minimized_literals));
     sat_core.set("cegar_rounds", get_u64(sc.cegar_rounds));
     sat_core.set("proof_clauses", get_u64(sc.proof_clauses));
     sat_core.set("proof_checks", get_u64(sc.proof_checks));
     sat_core.set("proof_failures", get_u64(sc.proof_failures));
     sat_core.set("proof_check_us", get_u64(sc.proof_check_us));
     body.set("sat_core", std::move(sat_core));
+    // SPICE-core counters (process-wide, monotonic): classic per-circuit
+    // Newton/LU pipeline work — how often the sparse LU got away with a
+    // numeric-only refactor vs a full factorization, and how often sparse
+    // pivoting degraded to the dense fallback. Driven by the metrics op.
+    const spice::SpiceCounters spc = spice::spice_counters();
+    JsonValue spice_core = JsonValue::object();
+    spice_core.set("newton_iterations", get_u64(spc.newton_iterations));
+    spice_core.set("factors", get_u64(spc.factors));
+    spice_core.set("refactors", get_u64(spc.refactors));
+    spice_core.set("dense_fallbacks", get_u64(spc.dense_fallbacks));
+    spice_core.set("dense_solves", get_u64(spc.dense_solves));
+    body.set("spice_core", std::move(spice_core));
+    // Batched-corner engine counters (process-wide, monotonic), flushed
+    // once per BatchSolver::solve. symbolic_reuses / (symbolic_factors +
+    // symbolic_reuses) is the headline amortization ratio; lane_fallbacks
+    // counts corners whose pivot order drifted off the shared analysis.
+    // Driven by the sweep_batch and metrics ops.
+    const spice::BatchCounters bc = spice::batch_counters();
+    JsonValue batch_core = JsonValue::object();
+    batch_core.set("batches", get_u64(bc.batches));
+    batch_core.set("lanes", get_u64(bc.lanes));
+    batch_core.set("symbolic_factors", get_u64(bc.symbolic_factors));
+    batch_core.set("symbolic_reuses", get_u64(bc.symbolic_reuses));
+    batch_core.set("numeric_refactors", get_u64(bc.numeric_refactors));
+    batch_core.set("lane_fallbacks", get_u64(bc.lane_fallbacks));
+    batch_core.set("newton_iterations", get_u64(bc.newton_iterations));
+    body.set("batch_core", std::move(batch_core));
     // Lattice-library counters (per-service, relaxed atomics): how the NPN
     // class store is doing. class_hits vs misses is the headline ratio —
     // every hit is a synth request answered with zero engine work (clients

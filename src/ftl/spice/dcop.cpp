@@ -79,56 +79,14 @@ OpResult dc_operating_point(Circuit& circuit, const NewtonOptions& options) {
   ctx.is_transient = false;
   ctx.gmin = options.gmin;
 
-  // Plain Newton from a zero start.
+  // Plain Newton from a zero start; the shared rescue ladders otherwise.
   OpResult direct = newton_solve(circuit, {}, ctx, options);
   if (direct.converged) return direct;
-
-  // gmin stepping: solve an easier (leakier) circuit, then tighten.
-  linalg::Vector guess;
-  bool have_guess = false;
-  for (double gmin = 1e-2; gmin >= options.gmin; gmin /= 10.0) {
-    EvalContext step_ctx = ctx;
-    step_ctx.gmin = gmin;
-    OpResult r = newton_solve(circuit, have_guess ? guess : linalg::Vector{},
-                              step_ctx, options);
-    if (!r.converged) break;
-    guess = r.solution;
-    have_guess = true;
-    if (gmin <= options.gmin * 10.0) {
-      EvalContext final_ctx = ctx;
-      OpResult final = newton_solve(circuit, guess, final_ctx, options);
-      if (final.converged) return final;
-      break;
-    }
-  }
-
-  // Source stepping from whatever the gmin ladder produced, with an
-  // adaptive step: a failed rung halves the increment and retries from the
-  // last good solution.
-  double scale = 0.0;
-  double step = 0.1;
-  while (scale < 1.0) {
-    const double attempt_scale = std::min(scale + step, 1.0);
-    EvalContext step_ctx = ctx;
-    step_ctx.source_scale = attempt_scale;
-    OpResult r = newton_solve(circuit, have_guess ? guess : linalg::Vector{},
-                              step_ctx, options);
-    if (r.converged) {
-      scale = attempt_scale;
-      guess = r.solution;
-      have_guess = true;
-      step = std::min(step * 2.0, 0.25);
-      if (scale >= 1.0) return r;
-    } else {
-      step /= 2.0;
-      if (step < 1e-4) {
-        throw ftl::Error(
-            "DC operating point: source stepping stalled at scale " +
-            std::to_string(scale));
-      }
-    }
-  }
-  throw ftl::Error("DC operating point: convergence failed");
+  return detail::dcop_rescue(
+      ctx, options,
+      [&](const linalg::Vector& initial, const EvalContext& step_ctx) {
+        return newton_solve(circuit, initial, step_ctx, options);
+      });
 }
 
 }  // namespace ftl::spice

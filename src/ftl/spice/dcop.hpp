@@ -2,8 +2,12 @@
 // Newton–Raphson DC operating point with the two classic SPICE rescue
 // ladders: gmin stepping and source stepping.
 
+#include <algorithm>
+#include <string>
+
 #include "ftl/spice/circuit.hpp"
 #include "ftl/spice/linear_solver.hpp"
+#include "ftl/util/error.hpp"
 
 namespace ftl::spice {
 
@@ -35,5 +39,65 @@ OpResult dc_operating_point(Circuit& circuit, const NewtonOptions& options = {})
 /// solver pointer inside it is managed here.
 OpResult newton_solve(Circuit& circuit, const linalg::Vector& initial,
                       EvalContext ctx_template, const NewtonOptions& options);
+
+namespace detail {
+
+/// The classic rescue ladders (gmin stepping, then source stepping from the
+/// ladder's best solution), shared verbatim by dc_operating_point and the
+/// batched corner driver (spice/batch.hpp) so both rescue identically.
+/// `run(initial, step_ctx)` performs one Newton solve and returns its
+/// OpResult; `ctx` is the target context (true gmin, full sources). Called
+/// after a plain Newton attempt failed; throws ftl::Error when both ladders
+/// stall.
+template <class RunFn>
+OpResult dcop_rescue(const EvalContext& ctx, const NewtonOptions& options,
+                     RunFn&& run) {
+  // gmin stepping: solve an easier (leakier) circuit, then tighten.
+  linalg::Vector guess;
+  bool have_guess = false;
+  for (double gmin = 1e-2; gmin >= options.gmin; gmin /= 10.0) {
+    EvalContext step_ctx = ctx;
+    step_ctx.gmin = gmin;
+    OpResult r = run(have_guess ? guess : linalg::Vector{}, step_ctx);
+    if (!r.converged) break;
+    guess = r.solution;
+    have_guess = true;
+    if (gmin <= options.gmin * 10.0) {
+      EvalContext final_ctx = ctx;
+      OpResult final_result = run(guess, final_ctx);
+      if (final_result.converged) return final_result;
+      break;
+    }
+  }
+
+  // Source stepping from whatever the gmin ladder produced, with an
+  // adaptive step: a failed rung halves the increment and retries from the
+  // last good solution.
+  double scale = 0.0;
+  double step = 0.1;
+  while (scale < 1.0) {
+    const double attempt_scale = std::min(scale + step, 1.0);
+    EvalContext step_ctx = ctx;
+    step_ctx.source_scale = attempt_scale;
+    OpResult r = run(have_guess ? guess : linalg::Vector{}, step_ctx);
+    if (r.converged) {
+      scale = attempt_scale;
+      guess = r.solution;
+      have_guess = true;
+      step = std::min(step * 2.0, 0.25);
+      if (scale >= 1.0) return r;
+    } else {
+      step /= 2.0;
+      if (step < 1e-4) {
+        throw ftl::Error(
+            "DC operating point: source stepping stalled at scale " +
+            std::to_string(scale));
+      }
+    }
+  }
+  throw ftl::Error("DC operating point: convergence failed");
+}
+
+}  // namespace detail
 
 }  // namespace ftl::spice

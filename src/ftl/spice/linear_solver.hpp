@@ -5,6 +5,8 @@
 // so the sparsity pattern is computed once per circuit and the sparse LU
 // reuses its symbolic analysis whenever the pattern holds still.
 
+#include <cstdint>
+
 #include "ftl/linalg/lu.hpp"
 #include "ftl/linalg/sparse_lu.hpp"
 #include "ftl/spice/mna.hpp"
@@ -12,6 +14,25 @@
 namespace ftl::spice {
 
 class Circuit;
+
+/// Process-wide Newton/LU pipeline counters (relaxed atomics, monotonic),
+/// surfaced by the serve `stats` op as `spice_core` so production circuit
+/// load is observable. They cover the classic per-circuit MnaLinearSolver
+/// path; the batched corner engine reports separately as `batch_core`
+/// (spice/batch.hpp).
+struct SpiceCounters {
+  std::uint64_t newton_iterations = 0;  ///< solve_iteration calls, all analyses
+  std::uint64_t factors = 0;            ///< full sparse factorizations
+  std::uint64_t refactors = 0;          ///< accepted numeric-only replays
+  std::uint64_t dense_fallbacks = 0;    ///< sparse pivoting gave out mid-solve
+  std::uint64_t dense_solves = 0;       ///< iterations served by the dense LU
+};
+
+/// Snapshot of the process-wide counters.
+SpiceCounters spice_counters();
+
+/// Resets all counters to zero (test support).
+void reset_spice_counters();
 
 /// Which matrix backend newton_solve uses. kAuto picks dense for small
 /// systems (below MnaLinearSolver::kDenseCutover unknowns) and sparse above;

@@ -14,6 +14,11 @@ Mosfet::Mosfet(std::string name, int drain, int gate, int source, int bulk,
   (void)bulk_;
 }
 
+void Mosfet::set_params(const fit::Level1Params& params) {
+  FTL_EXPECTS(params.width > 0.0 && params.length > 0.0);
+  params_ = params;
+}
+
 void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) const {
   double vd = ctx.voltage(drain_);
   double vg = ctx.voltage(gate_);

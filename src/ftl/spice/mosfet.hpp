@@ -20,6 +20,12 @@ class Mosfet : public Device {
 
   const fit::Level1Params& params() const { return params_; }
 
+  /// Replaces the model parameters in place. The corner/variability batch
+  /// engine mutates one shared circuit per lane instead of rebuilding the
+  /// netlist per trial; the MNA stamp positions do not depend on the
+  /// parameter values, so the cached sparsity pattern stays valid.
+  void set_params(const fit::Level1Params& params);
+
   /// Drain current at a given solution (positive into the drain).
   double drain_current(const linalg::Vector& solution) const;
 

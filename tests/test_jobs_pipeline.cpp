@@ -26,7 +26,7 @@ jobs::PipelineOptions quick_options() {
 
 TEST(PaperPipeline, GraphShapeMatchesThePaper) {
   const jobs::PaperPipeline p = jobs::build_paper_pipeline(quick_options());
-  EXPECT_EQ(p.graph.size(), 20u);
+  EXPECT_EQ(p.graph.size(), 21u);  // 20 paper stages + the sweep_batch stage
   // Spot-check the §III -> §IV -> §V dependency spine.
   const jobs::JobId fig5 = p.graph.find("fig5");
   ASSERT_GE(fig5, 0);

@@ -11,6 +11,7 @@
 
 #include "ftl/sat/dpll.hpp"
 #include "ftl/sat/encode.hpp"
+#include "ftl/sat/proof.hpp"
 #include "ftl/sat/solver.hpp"
 #include "ftl/util/error.hpp"
 
@@ -135,6 +136,42 @@ TEST(SatSolver, PigeonholeIsUnsatAndLearnsClauses) {
   EXPECT_GT(solver.stats().learned_clauses, 0u);
 }
 
+TEST(SatSolver, MinimizationShortensPigeonholeLearntClauses) {
+  // Pigeonhole refutations resolve over long all-different chains, so
+  // recursive self-subsumption must find removable literals. The verdict
+  // is untouched; the learnt clauses just get shorter.
+  SolverOptions minimize;
+  minimize.minimize_learnts = true;
+  Solver with(minimize);
+  add_pigeonhole(with, 5);
+  EXPECT_EQ(with.solve(), LBool::kFalse);
+  EXPECT_GT(with.stats().minimized_literals, 0u);
+
+  SolverOptions raw = minimize;
+  raw.minimize_learnts = false;
+  Solver without(raw);
+  add_pigeonhole(without, 5);
+  EXPECT_EQ(without.solve(), LBool::kFalse);
+  EXPECT_EQ(without.stats().minimized_literals, 0u);
+}
+
+TEST(SatSolver, MinimizedClausesStillCertifyUnderDrat) {
+  // Dropping literals keeps each learnt clause RUP (it subsumes the raw
+  // first-UIP clause), so the self-check must accept the minimized proof.
+  SolverOptions options;
+  options.minimize_learnts = true;
+  options.certify = true;
+  Solver solver(options);
+  add_pigeonhole(solver, 4);
+  EXPECT_EQ(solver.solve(), LBool::kFalse);
+  EXPECT_GT(solver.stats().minimized_literals, 0u);
+  const ftl::sat::DratCheckResult* check = solver.last_proof_check();
+  ASSERT_NE(check, nullptr);
+  EXPECT_TRUE(check->valid) << check->error;
+  EXPECT_EQ(solver.proof_stats().failures, 0u);
+  EXPECT_GE(solver.proof_stats().checks, 1u);
+}
+
 TEST(SatSolver, ConflictBudgetReturnsUndefAndCanBeRaised) {
   Solver solver;
   add_pigeonhole(solver, 7);
@@ -180,6 +217,47 @@ bool model_satisfies(const RandomCnf& cnf, const Solver& solver) {
     if (!satisfied) return false;
   }
   return true;
+}
+
+TEST(SatSolver, MinimizationPreservesVerdictsOnRandomInstances) {
+  // Differential check at the ~4.26 phase transition: minimize on vs off
+  // must render the same verdict on every instance, and every model the
+  // minimizing solver produces must actually satisfy the formula.
+  std::uint64_t minimized_total = 0;
+  int sat_seen = 0;
+  int unsat_seen = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const int num_vars = 6 + static_cast<int>(seed % 7);
+    const int num_clauses = static_cast<int>(4.3 * num_vars);
+    const RandomCnf cnf = random_3sat(num_vars, num_clauses, 0x5eed + seed);
+
+    SolverOptions on;
+    on.minimize_learnts = true;
+    Solver a(on);
+    SolverOptions off;
+    off.minimize_learnts = false;
+    Solver b(off);
+    make_vars(a, cnf.num_vars);
+    make_vars(b, cnf.num_vars);
+    for (const std::vector<Lit>& clause : cnf.clauses) {
+      a.add_clause(clause);
+      b.add_clause(clause);
+    }
+    const LBool va = a.solve();
+    const LBool vb = b.solve();
+    ASSERT_EQ(va, vb) << "seed " << seed;
+    if (va == LBool::kTrue) {
+      EXPECT_TRUE(model_satisfies(cnf, a)) << "seed " << seed;
+      ++sat_seen;
+    } else {
+      ++unsat_seen;
+    }
+    minimized_total += a.stats().minimized_literals;
+    EXPECT_EQ(b.stats().minimized_literals, 0u);
+  }
+  EXPECT_GT(sat_seen, 5);
+  EXPECT_GT(unsat_seen, 5);
+  EXPECT_GT(minimized_total, 0u);  // the batch must exercise the minimizer
 }
 
 TEST(SatSolver, AgreesWithDpllOnRandomInstances) {

@@ -161,6 +161,239 @@ TEST(SparseLu, RefactorRejectsDegradedPivotsAndDifferentPatterns) {
   EXPECT_FALSE(lu2.refactor(other));
 }
 
+TEST(SparseLu, AcceptedRefactorIsBitwiseIdenticalToFreshFactor) {
+  // The contract the batched corner engine rests on: an accepted replay is
+  // not merely close to factor(a), it IS factor(a), bit for bit. Solve both
+  // and compare with EXPECT_EQ (exact double equality, no tolerance).
+  std::mt19937 rng(17);
+  const std::size_t n = 60;
+  linalg::SparseMatrix a = random_unsymmetric(n, rng);
+  linalg::SparseLu replayed;
+  replayed.factor(a);
+
+  std::uniform_real_distribution<double> jitter(0.9, 1.1);
+  for (int round = 0; round < 3; ++round) {
+    for (double& v : a.values()) v *= jitter(rng);
+    ASSERT_TRUE(replayed.refactor(a)) << "round=" << round;
+    linalg::SparseLu fresh;
+    fresh.factor(a);
+    const linalg::Vector b = random_vector(n, rng);
+    const linalg::Vector x_replayed = replayed.solve(b);
+    const linalg::Vector x_fresh = fresh.solve(b);
+    ASSERT_EQ(x_replayed.size(), x_fresh.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x_replayed[i], x_fresh[i]) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST(SparseLu, MidSweepDegradationFallsBackBitwise) {
+  // A value sweep that progressively starves one row's entries until the
+  // recorded pivot order stops being what a fresh factor() would choose.
+  // Engine A reuses one SparseLu with the refactor-else-factor idiom; engine
+  // B factors from scratch at every step. They must agree bitwise at EVERY
+  // step — including the steps where A rejected the replay — and the sweep
+  // must actually cross the rejection threshold at least once.
+  std::mt19937 rng(29);
+  const std::size_t n = 40;
+  const linalg::SparseMatrix base = random_unsymmetric(n, rng);
+  const linalg::Vector b = random_vector(n, rng);
+  const std::size_t row = n / 2;
+
+  linalg::SparseLu engine_a;
+  engine_a.factor(base);
+  int rejections = 0;
+  for (int t = 0; t <= 6; ++t) {
+    linalg::SparseMatrix at = base;
+    const double scale = std::pow(10.0, -2.0 * t);
+    const auto& rs = at.row_start();
+    for (std::size_t p = rs[row]; p < rs[row + 1]; ++p) {
+      at.values()[p] *= scale;
+    }
+    if (!engine_a.refactor(at)) {
+      ++rejections;
+      engine_a.factor(at);
+    }
+    linalg::SparseLu engine_b;
+    engine_b.factor(at);
+    const linalg::Vector xa = engine_a.solve(b);
+    const linalg::Vector xb = engine_b.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(xa[i], xb[i]) << "t=" << t << " i=" << i;
+    }
+  }
+  EXPECT_GE(rejections, 1) << "sweep never stressed the rejection path";
+}
+
+TEST(SparseLu, RefactorRelThresholdRejectsWeakenedDiagonalPivot) {
+  // Deterministic 2x2 where the crossing is exactly the refactor_rel branch:
+  // [[d, 1], [1, 2]]. The diagonal preference keeps row 0 pivotal while
+  // d >= diag_preference * 1, so as d shrinks the reused pivot first fails
+  // the refactor_rel fraction (same pivot row, weakened magnitude) and only
+  // later drifts to row 1 outright.
+  const auto make = [](double d) {
+    linalg::TripletList trip(2, 2);
+    trip.add(0, 0, d);
+    trip.add(0, 1, 1.0);
+    trip.add(1, 0, 1.0);
+    trip.add(1, 1, 2.0);
+    return linalg::SparseMatrix(trip);
+  };
+  linalg::SparseLuOptions strict;
+  strict.refactor_rel = 0.5;
+
+  linalg::SparseLu lu;
+  lu.factor(make(1.0), strict);
+  // d = 0.8: pivot row 0 keeps 0.8 of the column max — accepted.
+  EXPECT_TRUE(lu.refactor(make(0.8), strict));
+  // d = 0.3: row 0 still wins the diagonal preference (0.3 >= 0.1 * 1) so
+  // there is no pivot drift, but 0.3 < refactor_rel * 1.0 — rejected.
+  EXPECT_FALSE(lu.refactor(make(0.3), strict));
+  lu.factor(make(0.3), strict);
+  // d = 0.05: below the diagonal preference, a fresh factor() would now
+  // pivot on row 1 — rejected as pivot-order drift.
+  EXPECT_FALSE(lu.refactor(make(0.05), strict));
+  lu.factor(make(0.05), strict);
+  const linalg::Vector b{2.0, 3.0};
+  EXPECT_LT(rel_error(lu.solve(b), dense_solve(make(0.05), b)), 1e-12);
+}
+
+TEST(SparseLuBatch, LanesShareOneSymbolicAnalysis) {
+  std::mt19937 rng(41);
+  const std::size_t n = 50;
+  const std::size_t lanes = 4;
+  const linalg::SparseMatrix base = random_unsymmetric(n, rng);
+
+  std::vector<linalg::SparseMatrix> mats;
+  std::uniform_real_distribution<double> jitter(0.9, 1.1);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    linalg::SparseMatrix m = base;
+    if (lane > 0) {
+      for (double& v : m.values()) v *= jitter(rng);
+    }
+    mats.push_back(std::move(m));
+  }
+  std::vector<linalg::CsrView> views;
+  for (const auto& m : mats) views.push_back(m.view());
+
+  linalg::SparseLuBatch batch;
+  batch.reset(lanes);
+  batch.refactor_batch(views);
+  EXPECT_EQ(batch.counters().symbolic_factors, 1u);
+  EXPECT_EQ(batch.counters().symbolic_reuses, lanes - 1);
+  EXPECT_EQ(batch.counters().numeric_refactors, lanes - 1);
+  EXPECT_EQ(batch.counters().lane_fallbacks, 0u);
+
+  // Every lane must match a standalone factorization of its matrix bitwise.
+  const linalg::Vector b = random_vector(n, rng);
+  std::vector<linalg::Vector> xs;
+  batch.solve_batch(std::vector<linalg::Vector>(lanes, b), xs);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    linalg::SparseLu standalone;
+    standalone.factor(mats[lane]);
+    const linalg::Vector expect = standalone.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(xs[lane][i], expect[i]) << "lane=" << lane << " i=" << i;
+    }
+  }
+}
+
+TEST(SparseLuBatch, DegradedLaneFallsBackPrivatelyAndStaysBitwise) {
+  std::mt19937 rng(53);
+  const std::size_t n = 40;
+  const std::size_t lanes = 3;
+  const linalg::SparseMatrix base = random_unsymmetric(n, rng);
+
+  // Lane 1 starves a row hard enough to break the recorded pivot order.
+  std::vector<linalg::SparseMatrix> mats(lanes, base);
+  {
+    const std::size_t row = n / 2;
+    const auto& rs = mats[1].row_start();
+    for (std::size_t p = rs[row]; p < rs[row + 1]; ++p) {
+      mats[1].values()[p] *= 1e-12;
+    }
+  }
+  std::vector<linalg::CsrView> views;
+  for (const auto& m : mats) views.push_back(m.view());
+
+  linalg::SparseLuBatch batch;
+  batch.reset(lanes);
+  batch.refactor_batch(views);
+  EXPECT_GE(batch.counters().lane_fallbacks, 1u);
+
+  const linalg::Vector b = random_vector(n, rng);
+  std::vector<linalg::Vector> xs;
+  batch.solve_batch(std::vector<linalg::Vector>(lanes, b), xs);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    linalg::SparseLu standalone;
+    standalone.factor(mats[lane]);
+    const linalg::Vector expect = standalone.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(xs[lane][i], expect[i]) << "lane=" << lane << " i=" << i;
+    }
+  }
+
+  // A later round with healthy values: the fallback lane retries the shared
+  // replay first (acceptance is a property of the values, not history).
+  const auto reuses_before = batch.counters().symbolic_reuses;
+  std::vector<linalg::CsrView> healthy;
+  for (std::size_t lane = 0; lane < lanes; ++lane) healthy.push_back(base.view());
+  batch.refactor_batch(healthy);
+  EXPECT_EQ(batch.counters().symbolic_reuses, reuses_before + lanes);
+}
+
+TEST(SparseLuBatch, InvalidateDropsTheAnalysisButKeepsLaneCount) {
+  std::mt19937 rng(67);
+  const std::size_t n = 20;
+  const linalg::SparseMatrix a = random_unsymmetric(n, rng);
+  linalg::SparseLuBatch batch;
+  batch.reset(2);
+  EXPECT_FALSE(batch.analyzed());
+  batch.factor_lane(0, a.view());
+  batch.factor_lane(1, a.view());
+  EXPECT_TRUE(batch.analyzed());
+  EXPECT_EQ(batch.lanes(), 2u);
+
+  batch.invalidate();
+  EXPECT_FALSE(batch.analyzed());
+  EXPECT_EQ(batch.lanes(), 2u);
+
+  // Refactoring after invalidate re-runs the full analysis.
+  batch.factor_lane(0, a.view());
+  EXPECT_TRUE(batch.analyzed());
+  EXPECT_EQ(batch.counters().symbolic_factors, 2u);
+
+  const linalg::Vector b = random_vector(n, rng);
+  linalg::Vector x;
+  batch.solve_lane(0, b, x);
+  EXPECT_LT(rel_error(x, dense_solve(a, b)), 1e-10);
+}
+
+TEST(SparseLuBatch, SingularLaneThrowsLikeStandaloneFactor) {
+  linalg::TripletList trip(3, 3);
+  trip.add(0, 0, 1.0);
+  trip.add(0, 1, 2.0);
+  trip.add(1, 0, 2.0);
+  trip.add(1, 1, 4.0);  // row 1 = 2 * row 0, column 2 empty
+  trip.add(2, 2, 1.0);
+  const linalg::SparseMatrix singular(trip,
+                                      linalg::SparseMatrix::ZeroPolicy::kKeep);
+  linalg::SparseLuBatch batch;
+  batch.reset(2);
+  EXPECT_THROW(batch.factor_lane(0, singular.view()), ftl::Error);
+  EXPECT_FALSE(batch.analyzed());
+
+  // The failed first lane must not leave half-built shared state behind: a
+  // healthy lane afterwards analyses from scratch and solves correctly.
+  std::mt19937 rng(71);
+  const linalg::SparseMatrix a = random_unsymmetric(12, rng);
+  batch.factor_lane(1, a.view());
+  const linalg::Vector b = random_vector(12, rng);
+  linalg::Vector x;
+  batch.solve_lane(1, b, x);
+  EXPECT_LT(rel_error(x, dense_solve(a, b)), 1e-10);
+}
+
 TEST(SparseLu, ThrowsOnSingularMatrix) {
   linalg::TripletList trip(3, 3);
   trip.add(0, 0, 1.0);

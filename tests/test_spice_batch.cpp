@@ -1,0 +1,170 @@
+// Batched corner DC engine: bitwise agreement with standalone
+// dc_operating_point across sparse and dense paths, chain_current_batch
+// parity, per-lane failure reporting, warm starts, and the process-wide
+// batch_core counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ftl/bridge/chain_netlist.hpp"
+#include "ftl/bridge/lattice_netlist.hpp"
+#include "ftl/lattice/known_mappings.hpp"
+#include "ftl/spice/batch.hpp"
+#include "ftl/spice/dcop.hpp"
+#include "ftl/spice/sources.hpp"
+#include "ftl/util/error.hpp"
+
+namespace {
+
+using namespace ftl;
+
+TEST(SpiceBatch, MatchesStandaloneDcopBitwiseOnXor3) {
+  // One shared circuit, 8 lanes = the 8 input codes, each lane retuned by
+  // waveform only. Lane k's solution must equal — bit for bit — a fresh
+  // standalone build + dc_operating_point at code k: this is the engine's
+  // determinism contract, and what licenses every consumer to batch.
+  const auto lat = lattice::xor3_lattice_3x3();
+  const double vdd = bridge::LatticeCircuitOptions{}.vdd;
+
+  bridge::LatticeCircuit lc = bridge::build_lattice_circuit(lat, {});
+  const int num_vars = static_cast<int>(lc.var_names.size());
+  ASSERT_EQ(num_vars, 3);
+  std::vector<spice::VoltageSource*> pos(lc.var_names.size(), nullptr);
+  std::vector<spice::VoltageSource*> neg(lc.var_names.size(), nullptr);
+  for (std::size_t v = 0; v < lc.var_names.size(); ++v) {
+    const std::string base = "Vin_" + lc.var_names[v];
+    if (lc.circuit.has_device(base)) {
+      pos[v] = dynamic_cast<spice::VoltageSource*>(&lc.circuit.device(base));
+    }
+    if (lc.circuit.has_device(base + "_n")) {
+      neg[v] =
+          dynamic_cast<spice::VoltageSource*>(&lc.circuit.device(base + "_n"));
+    }
+  }
+
+  const auto apply = [&](std::size_t lane) {
+    for (std::size_t v = 0; v < lc.var_names.size(); ++v) {
+      const bool bit = ((lane >> v) & 1u) != 0;
+      const spice::Waveform w = spice::Waveform::dc(bit ? vdd : 0.0);
+      if (pos[v] != nullptr) pos[v]->set_waveform(w);
+      if (neg[v] != nullptr) neg[v]->set_waveform(w.complemented(vdd));
+    }
+  };
+  const std::vector<spice::BatchCornerResult> batch =
+      spice::dcop_batch(lc.circuit, 8, apply);
+  ASSERT_EQ(batch.size(), 8u);
+
+  for (std::uint64_t code = 0; code < 8; ++code) {
+    std::map<int, spice::Waveform> drives;
+    for (int v = 0; v < num_vars; ++v) {
+      drives[v] = spice::Waveform::dc(((code >> v) & 1) != 0 ? vdd : 0.0);
+    }
+    bridge::LatticeCircuit standalone =
+        bridge::build_lattice_circuit(lat, drives);
+    const spice::OpResult op = spice::dc_operating_point(standalone.circuit);
+
+    const spice::BatchCornerResult& r = batch[code];
+    ASSERT_FALSE(r.failed) << "code=" << code << ": " << r.error;
+    ASSERT_TRUE(r.op.converged) << "code=" << code;
+    EXPECT_EQ(r.op.iterations, op.iterations) << "code=" << code;
+    EXPECT_EQ(r.op.gmin_used, op.gmin_used) << "code=" << code;
+    ASSERT_EQ(r.op.solution.size(), op.solution.size());
+    for (std::size_t i = 0; i < op.solution.size(); ++i) {
+      EXPECT_EQ(r.op.solution[i], op.solution[i])
+          << "code=" << code << " unknown=" << i;
+    }
+  }
+}
+
+TEST(SpiceBatch, ChainCurrentBatchMatchesPerPointBitwise) {
+  // Fig. 12a sweeps, short chain (dense linear-solver path) and longer
+  // chain (sparse path with lane-blocked LU): the batched sweep must hit
+  // the per-point scalar API exactly.
+  std::vector<double> volts;
+  for (int i = 0; i < 8; ++i) volts.push_back(0.3 + 0.35 * i);
+  for (const int count : {1, 4}) {
+    const std::vector<double> batched =
+        bridge::chain_current_batch(count, volts, volts);
+    ASSERT_EQ(batched.size(), volts.size());
+    for (std::size_t k = 0; k < volts.size(); ++k) {
+      const double serial = bridge::chain_current(count, volts[k], volts[k]);
+      EXPECT_EQ(batched[k], serial) << "count=" << count << " v=" << volts[k];
+    }
+  }
+}
+
+TEST(SpiceBatch, CountersAccumulatePerBatchAndLane) {
+  const spice::BatchCounters before = spice::batch_counters();
+  std::vector<double> volts{0.5, 1.0, 1.5, 2.0};
+  // 8 switches put the MNA system above the dense cutover, so the lanes
+  // exercise the lane-blocked sparse LU (the dense path never refactors).
+  bridge::chain_current_batch(8, volts, volts);
+  const spice::BatchCounters after = spice::batch_counters();
+  EXPECT_EQ(after.batches, before.batches + 1);
+  EXPECT_EQ(after.lanes, before.lanes + volts.size());
+  EXPECT_GT(after.newton_iterations, before.newton_iterations);
+  // Lane 0's first Newton iteration pays the one symbolic analysis; later
+  // factorizations ride the recorded elimination.
+  EXPECT_GT(after.symbolic_reuses, before.symbolic_reuses);
+  EXPECT_GT(after.numeric_refactors, before.numeric_refactors);
+}
+
+TEST(SpiceBatch, WarmStartConvergesToTheSameOperatingPoints) {
+  // warm_start trades bitwise identity for fewer iterations on smooth
+  // sweeps; the operating points themselves must still agree to solver
+  // tolerance.
+  bridge::ChainCircuit chain = bridge::build_switch_chain(3, 1.2, 1.2);
+  auto& supply = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.supply_source));
+  auto& gate = dynamic_cast<spice::VoltageSource&>(
+      chain.circuit.device(chain.gate_source));
+  std::vector<double> volts{0.6, 0.8, 1.0, 1.2, 1.4};
+  const auto apply = [&](std::size_t lane) {
+    supply.set_waveform(spice::Waveform::dc(volts[lane]));
+    gate.set_waveform(spice::Waveform::dc(volts[lane]));
+  };
+
+  const auto cold = spice::dcop_batch(chain.circuit, volts.size(), apply);
+  spice::BatchOptions warm_options;
+  warm_options.warm_start = true;
+  const auto warm =
+      spice::dcop_batch(chain.circuit, volts.size(), apply, warm_options);
+  std::uint64_t cold_iters = 0;
+  std::uint64_t warm_iters = 0;
+  for (std::size_t lane = 0; lane < volts.size(); ++lane) {
+    ASSERT_FALSE(cold[lane].failed);
+    ASSERT_FALSE(warm[lane].failed);
+    ASSERT_TRUE(cold[lane].op.converged);
+    ASSERT_TRUE(warm[lane].op.converged);
+    cold_iters += static_cast<std::uint64_t>(cold[lane].op.iterations);
+    warm_iters += static_cast<std::uint64_t>(warm[lane].op.iterations);
+    for (std::size_t i = 0; i < cold[lane].op.solution.size(); ++i) {
+      EXPECT_NEAR(warm[lane].op.solution[i], cold[lane].op.solution[i], 1e-6)
+          << "lane=" << lane << " unknown=" << i;
+    }
+  }
+  // Adjacent sweep points are close, so seeding from the neighbour must not
+  // cost iterations overall.
+  EXPECT_LE(warm_iters, cold_iters);
+}
+
+TEST(SpiceBatch, PresolveRejectionFailsEveryLaneWithoutThrowing) {
+  // The corners share one topology, so the static gate renders one verdict;
+  // the batch API reports it per lane instead of throwing mid-batch.
+  bridge::ChainCircuit chain = bridge::build_switch_chain(2, 1.2, 1.2);
+  chain.circuit.set_presolve_hook(
+      [](const spice::Circuit&) { throw ftl::Error("lint: gate rejected"); });
+  const auto results =
+      spice::dcop_batch(chain.circuit, 3, [](std::size_t) {});
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.error.find("gate rejected"), std::string::npos);
+    EXPECT_FALSE(r.op.converged);
+  }
+}
+
+}  // namespace

@@ -59,6 +59,56 @@ TEST(Variability, ParallelMatchesSerialForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.worst_high, b.worst_high);
 }
 
+TEST(Variability, BatchedEngineMatchesPerTrialBitwise) {
+  // The batched engine shares one circuit and one symbolic LU analysis per
+  // worker chunk; the per-trial engine builds a fresh circuit per (trial,
+  // code). Same dice, same stamps, bitwise-identical LU replays — so the
+  // whole result must match byte for byte, not merely statistically.
+  const auto f = logic::parse_expression("a b + c").table;
+  const auto lat = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  bridge::VariabilityOptions batched;
+  batched.sigma_vth = 0.25;  // large enough that some dies actually fail
+  batched.sigma_kp_rel = 0.1;
+  batched.trials = 20;
+  batched.seed = 19;
+  batched.max_threads = 1;
+  batched.engine = bridge::VariabilityEngine::kBatched;
+  bridge::VariabilityOptions per_trial = batched;
+  per_trial.engine = bridge::VariabilityEngine::kPerTrial;
+
+  const auto a = bridge::monte_carlo_yield(lat, f, batched);
+  const auto b = bridge::monte_carlo_yield(lat, f, per_trial);
+  EXPECT_LT(a.passing, a.trials);  // the spread must exercise the fail path
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_EQ(a.worst_low, b.worst_low);    // exact, not EXPECT_DOUBLE_EQ
+  EXPECT_EQ(a.worst_high, b.worst_high);
+}
+
+TEST(Variability, BatchedParallelMatchesBatchedSerialBitwise) {
+  // Threads split the batch into contiguous trial chunks, never a trial;
+  // chunk boundaries only move which BatchSolver instance serves a lane,
+  // and every lane is bitwise-deterministic, so the reduction over trial
+  // order cannot see the thread count.
+  const auto f = logic::parse_expression("a b + c").table;
+  const auto lat = lattice::altun_riedel_synthesis(f, {"a", "b", "c"});
+  bridge::VariabilityOptions serial;
+  serial.sigma_vth = 0.2;
+  serial.sigma_kp_rel = 0.1;
+  serial.trials = 18;
+  serial.seed = 23;
+  serial.max_threads = 1;
+  serial.engine = bridge::VariabilityEngine::kBatched;
+  bridge::VariabilityOptions parallel = serial;
+  parallel.max_threads = 3;
+
+  const auto a = bridge::monte_carlo_yield(lat, f, serial);
+  const auto b = bridge::monte_carlo_yield(lat, f, parallel);
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_EQ(a.worst_low, b.worst_low);
+  EXPECT_EQ(a.worst_high, b.worst_high);
+}
+
 TEST(Variability, LargeSpreadCostsYield) {
   const auto lat = lattice::xor3_lattice_3x3();
   const auto xor3 = lattice::xor3_truth_table();
